@@ -1,0 +1,241 @@
+//! Parameter ablations — the "better parametric configuration" analysis
+//! the paper motivates in its introduction.
+//!
+//! Sweeps each algorithm's key knob and records both decision time
+//! (criterion's measurement) and, via stderr notes, the estimated makespan
+//! quality so time/quality trade-offs are visible in one run:
+//!
+//! * ACO: ant count and iteration count (Table II's population knobs).
+//! * HBO: the `facLB` load-balance factor.
+//! * RBS: the VM group size.
+//! * Greedy baselines: Min-Min vs Max-Min.
+
+use biosched_core::aco::{AcoParams, AntColony};
+use biosched_core::ga::{GaParams, Genetic};
+use biosched_core::hbo::{HboParams, HoneyBee};
+use biosched_core::minmax::{MaxMin, MinMin};
+use biosched_core::objective::{score_assignment, Objective};
+use biosched_core::pso::{ParticleSwarm, PsoParams};
+use biosched_core::rbs::{RandomBiasedSampling, RbsParams};
+use biosched_core::scheduler::Scheduler;
+use biosched_workload::heterogeneous::HeterogeneousScenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn problem() -> biosched_core::problem::SchedulingProblem {
+    HeterogeneousScenario {
+        vm_count: 100,
+        cloudlet_count: 500,
+        datacenter_count: 4,
+        seed: 42,
+    }
+    .build()
+    .problem()
+}
+
+fn bench_aco_ants(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("ablation/aco_ants");
+    group.sample_size(10);
+    for ants in [10usize, 25, 50] {
+        let params = AcoParams {
+            ants,
+            ..AcoParams::paper()
+        };
+        group.bench_function(BenchmarkId::from_parameter(ants), |b| {
+            b.iter(|| {
+                let mut s = AntColony::new(params.clone(), 1);
+                black_box(s.schedule(black_box(&p)))
+            })
+        });
+        let quality = AntColony::new(params.clone(), 1)
+            .schedule(&p)
+            .estimated_makespan_ms(&p);
+        eprintln!("[ablation] aco ants={ants}: est. makespan {quality:.1} ms");
+    }
+    group.finish();
+}
+
+fn bench_aco_iterations(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("ablation/aco_iterations");
+    group.sample_size(10);
+    for iterations in [2usize, 8, 16] {
+        let params = AcoParams {
+            iterations,
+            ..AcoParams::paper()
+        };
+        group.bench_function(BenchmarkId::from_parameter(iterations), |b| {
+            b.iter(|| {
+                let mut s = AntColony::new(params.clone(), 1);
+                black_box(s.schedule(black_box(&p)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hbo_fac_lb(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("ablation/hbo_fac_lb");
+    for fac in [0.3f64, 0.7, 1.0] {
+        let params = HboParams {
+            fac_lb: fac,
+            ..HboParams::paper()
+        };
+        group.bench_function(BenchmarkId::from_parameter(fac), |b| {
+            b.iter(|| {
+                let mut s = HoneyBee::new(params.clone(), 1);
+                black_box(s.schedule(black_box(&p)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rbs_group_size(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("ablation/rbs_group_size");
+    for size in [2usize, 10, 50] {
+        let params = RbsParams { group_size: size };
+        group.bench_function(BenchmarkId::from_parameter(size), |b| {
+            b.iter(|| {
+                let mut s = RandomBiasedSampling::new(params.clone(), 1);
+                black_box(s.schedule(black_box(&p)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_baselines(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("ablation/greedy_baselines");
+    group.sample_size(10);
+    group.bench_function("min_min", |b| {
+        b.iter(|| black_box(MinMin::new().schedule(black_box(&p))))
+    });
+    group.bench_function("max_min", |b| {
+        b.iter(|| black_box(MaxMin::new().schedule(black_box(&p))))
+    });
+    group.finish();
+}
+
+/// The survey claim the paper repeats ([30]: PSO converges fastest, GA is
+/// slow): measure decision time for the three population heuristics at
+/// comparable search budgets, and note solution quality on stderr.
+fn bench_population_heuristics(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("ablation/population_heuristics");
+    group.sample_size(10);
+
+    group.bench_function("aco_paper", |b| {
+        b.iter(|| {
+            let mut s = AntColony::new(AcoParams::paper(), 1);
+            black_box(s.schedule(black_box(&p)))
+        })
+    });
+    group.bench_function("pso_standard", |b| {
+        b.iter(|| {
+            let mut s = ParticleSwarm::new(PsoParams::standard(), 1);
+            black_box(s.schedule(black_box(&p)))
+        })
+    });
+    group.bench_function("ga_standard", |b| {
+        b.iter(|| {
+            let mut s = Genetic::new(GaParams::standard(), 1);
+            black_box(s.schedule(black_box(&p)))
+        })
+    });
+    group.finish();
+
+    for (name, assignment) in [
+        ("aco", AntColony::new(AcoParams::paper(), 1).schedule(&p)),
+        ("pso", ParticleSwarm::new(PsoParams::standard(), 1).schedule(&p)),
+        ("ga", Genetic::new(GaParams::standard(), 1).schedule(&p)),
+    ] {
+        eprintln!(
+            "[ablation] {name}: est. makespan {:.1} ms",
+            score_assignment(&p, &assignment, Objective::Makespan)
+        );
+    }
+}
+
+/// Substrate ablation: VM→host allocation policies on a tightly packed
+/// datacenter (how fast each policy places a full fleet).
+fn bench_vm_allocation_policies(c: &mut Criterion) {
+    use simcloud::host::{Host, HostSpec};
+    use simcloud::ids::{HostId, VmId};
+    use simcloud::vm::VmSpec;
+    use simcloud::vm_alloc::{
+        BestFit, FirstFit, LeastLoaded, RoundRobinHosts, VmAllocationPolicy,
+    };
+
+    let vm = VmSpec::homogeneous_default();
+    let make_hosts = || -> Vec<Host> {
+        (0..64)
+            .map(|i| Host::new(HostId(i), HostSpec::roomy_for(&vm, 4)))
+            .collect()
+    };
+
+    fn place_all(
+        policy: &mut dyn VmAllocationPolicy,
+        hosts: &mut [Host],
+        vm: &VmSpec,
+        count: u32,
+    ) -> usize {
+        let mut placed = 0usize;
+        for i in 0..count {
+            if let Some(host) = policy.select_host(hosts, vm) {
+                if hosts[host.index()].allocate_vm(VmId(i), vm) {
+                    placed += 1;
+                }
+            }
+        }
+        placed
+    }
+
+    let mut group = c.benchmark_group("ablation/vm_allocation");
+    group.bench_function("first_fit", |b| {
+        b.iter(|| {
+            let mut hosts = make_hosts();
+            black_box(place_all(&mut FirstFit, &mut hosts, &vm, 256))
+        })
+    });
+    group.bench_function("best_fit", |b| {
+        b.iter(|| {
+            let mut hosts = make_hosts();
+            black_box(place_all(&mut BestFit, &mut hosts, &vm, 256))
+        })
+    });
+    group.bench_function("least_loaded", |b| {
+        b.iter(|| {
+            let mut hosts = make_hosts();
+            black_box(place_all(&mut LeastLoaded, &mut hosts, &vm, 256))
+        })
+    });
+    group.bench_function("round_robin", |b| {
+        b.iter(|| {
+            let mut hosts = make_hosts();
+            black_box(place_all(
+                &mut RoundRobinHosts::default(),
+                &mut hosts,
+                &vm,
+                256,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aco_ants,
+    bench_aco_iterations,
+    bench_hbo_fac_lb,
+    bench_rbs_group_size,
+    bench_greedy_baselines,
+    bench_population_heuristics,
+    bench_vm_allocation_policies
+);
+criterion_main!(benches);

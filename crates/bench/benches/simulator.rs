@@ -1,0 +1,72 @@
+//! Substrate benchmarks: the discrete-event simulator itself.
+//!
+//! These measure `simcloud`'s event throughput so figure-level timings can
+//! be attributed correctly between scheduler cost (the paper's metric) and
+//! simulator cost (our substrate's overhead).
+
+use biosched_core::scheduler::AlgorithmKind;
+use biosched_workload::homogeneous::HomogeneousScenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simcloud::event::{Event, EventQueue};
+use simcloud::ids::EntityId;
+use simcloud::time::SimTime;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/event_queue");
+    for n in [1_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("push_pop", n), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n);
+                // Scattered times exercise heap reordering.
+                for i in 0..n {
+                    let t = ((i * 2_654_435_761) % 1_000_000) as f64;
+                    q.push(
+                        SimTime::new(t),
+                        EntityId(0),
+                        EntityId(0),
+                        Event::Start,
+                    );
+                }
+                let mut last = 0.0;
+                while let Some(ev) = q.pop() {
+                    last = ev.time.as_millis();
+                }
+                black_box(last)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/end_to_end");
+    group.sample_size(10);
+    for (vms, cloudlets) in [(50usize, 500usize), (200, 5_000)] {
+        let scenario = HomogeneousScenario {
+            vm_count: vms,
+            cloudlet_count: cloudlets,
+        }
+        .build();
+        let assignment = AlgorithmKind::BaseTest
+            .build(0)
+            .schedule(&scenario.problem());
+        group.throughput(Throughput::Elements(cloudlets as u64));
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{vms}vm_{cloudlets}cl")),
+            |b| {
+                b.iter(|| {
+                    let outcome = scenario
+                        .simulate(black_box(assignment.clone()))
+                        .expect("simulation runs");
+                    black_box(outcome.finished_count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,399 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <command> [options]
+//!
+//! Commands:
+//!   fig4a fig4b    homogeneous simulation time (Fig. 4)
+//!   fig5a fig5b    homogeneous scheduling time (Fig. 5)
+//!   fig6           all four heterogeneous figures (Fig. 6a-6d)
+//!   fig6a..fig6d   one heterogeneous figure
+//!   tables         Tables I-VII from implementation defaults
+//!   extended       all nine schedulers x all six metrics (one point)
+//!   convergence    ACO vs PSO vs GA convergence curves
+//!   fig6-stats     Fig. 6 metrics with 5-seed error bars
+//!   all            every table and figure above
+//!
+//! Options:
+//!   --seed N            base RNG seed (default 42)
+//!   --scale N           homogeneous down-scale divisor (default 100;
+//!                       1 = paper scale: 10^6 cloudlets, takes hours)
+//!   --full-scale        shorthand for --scale 1 and 5000 heterogeneous
+//!                       cloudlets
+//!   --hetero-cloudlets N  heterogeneous workload size (default 1000)
+//!   --csv DIR           also write each figure/table as CSV under DIR
+//!   --ascii / --no-ascii  toggle ASCII charts (default on)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use biosched_bench::convergence::{convergence_figure, ConvergenceConfig};
+use biosched_bench::extended::{extended_comparison, ExtendedConfig};
+use biosched_bench::figures::{
+    figure_from_results, heterogeneous_sweep, homogeneous_sweep, Metric,
+};
+use biosched_bench::tables::all_tables;
+use biosched_metrics::report::{fmt_value, Table};
+use biosched_metrics::series::FigureSeries;
+use biosched_workload::heterogeneous::fig6_vm_points;
+use biosched_workload::homogeneous::{fig4a_vm_points, fig4b_vm_points};
+use biosched_workload::sweep::PointResult;
+
+#[derive(Debug, Clone)]
+struct Options {
+    command: String,
+    seed: u64,
+    scale: usize,
+    hetero_cloudlets: usize,
+    csv_dir: Option<PathBuf>,
+    ascii: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: repro <fig4a|fig4b|fig5a|fig5b|fig6|fig6a|fig6b|fig6c|fig6d|fig6-stats|tables|extended|convergence|all> \
+     [--seed N] [--scale N] [--full-scale] [--hetero-cloudlets N] [--csv DIR] [--ascii]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        command: String::new(),
+        seed: 42,
+        scale: 100,
+        hetero_cloudlets: 1_000,
+        csv_dir: None,
+        ascii: true,
+    };
+    let mut it = args.iter();
+    match it.next() {
+        Some(cmd) if !cmd.starts_with("--") => opts.command = cmd.clone(),
+        _ => return Err(usage().to_string()),
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--scale" => {
+                opts.scale = it
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                if opts.scale == 0 {
+                    return Err("--scale must be >= 1".into());
+                }
+            }
+            "--full-scale" => {
+                opts.scale = 1;
+                opts.hetero_cloudlets = 5_000;
+            }
+            "--hetero-cloudlets" => {
+                opts.hetero_cloudlets = it
+                    .next()
+                    .ok_or("--hetero-cloudlets needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --hetero-cloudlets: {e}"))?;
+            }
+            "--csv" => {
+                opts.csv_dir = Some(PathBuf::from(
+                    it.next().ok_or("--csv needs a directory")?,
+                ));
+            }
+            "--ascii" => opts.ascii = true,
+            "--no-ascii" => opts.ascii = false,
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn emit_figure(fig: &FigureSeries, slug: &str, opts: &Options) {
+    println!("\n=== {} ===", fig.title);
+    if opts.ascii {
+        println!("{}", fig.render_ascii(72, 18));
+    }
+    // Always print the numeric rows — these are the paper's data points.
+    let x_header = if fig.x_label.contains("Virtual Machines") {
+        "VMs".to_string()
+    } else {
+        fig.x_label.clone()
+    };
+    let mut t = Table::new(
+        std::iter::once(x_header)
+            .chain(fig.series.iter().map(|(n, _)| n.clone()))
+            .collect::<Vec<_>>(),
+    );
+    for (i, x) in fig.x.iter().enumerate() {
+        t.push_row(
+            std::iter::once(format!("{x:.0}"))
+                .chain(fig.series.iter().map(|(_, v)| fmt_value(v[i])))
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!("{}", t.render());
+    if let Some(dir) = &opts.csv_dir {
+        let path = dir.join(format!("{slug}.csv"));
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, fig.to_csv()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn homogeneous(points: Vec<usize>, metric: Metric, title: &str, slug: &str, opts: &Options) {
+    println!(
+        "running homogeneous sweep ({} points, scale 1/{}, seed {})…",
+        points.len(),
+        opts.scale,
+        opts.seed
+    );
+    let results = homogeneous_sweep(&points, opts.scale, opts.seed);
+    sanity_check(&results);
+    let fig = figure_from_results(title, &points, &results, metric);
+    emit_figure(&fig, slug, opts);
+}
+
+fn heterogeneous(metrics: &[(Metric, &str, &str)], opts: &Options) {
+    let points = fig6_vm_points();
+    println!(
+        "running heterogeneous sweep ({} points, {} cloudlets, seed {})…",
+        points.len(),
+        opts.hetero_cloudlets,
+        opts.seed
+    );
+    let results = heterogeneous_sweep(&points, opts.hetero_cloudlets, opts.seed);
+    sanity_check(&results);
+    for (metric, title, slug) in metrics {
+        let fig = figure_from_results(title, &points, &results, *metric);
+        emit_figure(&fig, slug, opts);
+    }
+}
+
+/// Every run must complete its whole workload — anything else means the
+/// scenario infrastructure was infeasible and the figures would be lies.
+fn sanity_check(results: &[Vec<PointResult>]) {
+    for row in results {
+        for r in row {
+            assert_eq!(
+                r.finished, r.cloudlet_count,
+                "{} finished only {}/{} cloudlets at {} VMs",
+                r.algorithm, r.finished, r.cloudlet_count, r.vm_count
+            );
+        }
+    }
+}
+
+fn print_tables(opts: &Options) {
+    for (title, table) in all_tables() {
+        println!("\n=== {title} ===");
+        println!("{}", table.render());
+        if let Some(dir) = &opts.csv_dir {
+            let slug: String = title
+                .chars()
+                .take_while(|c| *c != '—')
+                .collect::<String>()
+                .trim()
+                .to_lowercase()
+                .replace(' ', "_");
+            let path = dir.join(format!("{slug}.csv"));
+            if table.write_csv(&path).is_ok() {
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let fig6_all: [(Metric, &str, &str); 4] = [
+        (
+            Metric::SimulationTime,
+            "Fig 6a — Simulation Time (heterogeneous)",
+            "fig6a_simulation_time",
+        ),
+        (
+            Metric::SchedulingTime,
+            "Fig 6b — Scheduling Time (heterogeneous)",
+            "fig6b_scheduling_time",
+        ),
+        (
+            Metric::Imbalance,
+            "Fig 6c — Degree of Time Imbalance (heterogeneous)",
+            "fig6c_imbalance",
+        ),
+        (
+            Metric::ProcessingCost,
+            "Fig 6d — Processing Cost (heterogeneous)",
+            "fig6d_cost",
+        ),
+    ];
+
+    match opts.command.as_str() {
+        "fig4a" => homogeneous(
+            fig4a_vm_points(),
+            Metric::SimulationTime,
+            "Fig 4a — Simulation Time (homogeneous, 1k-9k VMs)",
+            "fig4a_simulation_time",
+            &opts,
+        ),
+        "fig4b" => homogeneous(
+            fig4b_vm_points(),
+            Metric::SimulationTime,
+            "Fig 4b — Simulation Time (homogeneous, 10k-90k VMs)",
+            "fig4b_simulation_time",
+            &opts,
+        ),
+        "fig5a" => homogeneous(
+            fig4a_vm_points(),
+            Metric::SchedulingTime,
+            "Fig 5a — Scheduling Time (homogeneous, 1k-9k VMs)",
+            "fig5a_scheduling_time",
+            &opts,
+        ),
+        "fig5b" => homogeneous(
+            fig4b_vm_points(),
+            Metric::SchedulingTime,
+            "Fig 5b — Scheduling Time (homogeneous, 10k-90k VMs)",
+            "fig5b_scheduling_time",
+            &opts,
+        ),
+        "fig6" => heterogeneous(&fig6_all, &opts),
+        "fig6a" => heterogeneous(&fig6_all[0..1], &opts),
+        "fig6b" => heterogeneous(&fig6_all[1..2], &opts),
+        "fig6c" => heterogeneous(&fig6_all[2..3], &opts),
+        "fig6d" => heterogeneous(&fig6_all[3..4], &opts),
+        "tables" => print_tables(&opts),
+        "fig6-stats" => {
+            use biosched_bench::figures::heterogeneous_sweep_repeated;
+            let points = fig6_vm_points();
+            let reps = 5usize;
+            println!(
+                "heterogeneous sweep with error bars: {} points × 4 algorithms × {} seeds, \
+                 {} cloudlets…",
+                points.len(),
+                reps,
+                opts.hetero_cloudlets
+            );
+            let results =
+                heterogeneous_sweep_repeated(&points, opts.hetero_cloudlets, opts.seed, reps);
+            let mut t = Table::new(vec![
+                "VMs".to_string(),
+                "algorithm".to_string(),
+                "makespan ms (±CI95)".to_string(),
+                "imbalance (±CI95)".to_string(),
+                "cost (±CI95)".to_string(),
+            ]);
+            for (x, row) in points.iter().zip(&results) {
+                for r in row {
+                    t.push_row(vec![
+                        x.to_string(),
+                        r.algorithm.label().to_string(),
+                        format!(
+                            "{} ±{}",
+                            fmt_value(r.simulation_time_ms.mean),
+                            fmt_value(r.simulation_time_ms.ci95)
+                        ),
+                        format!(
+                            "{} ±{}",
+                            fmt_value(r.imbalance.mean),
+                            fmt_value(r.imbalance.ci95)
+                        ),
+                        format!(
+                            "{} ±{}",
+                            fmt_value(r.total_cost.mean),
+                            fmt_value(r.total_cost.ci95)
+                        ),
+                    ]);
+                }
+            }
+            println!("\n{}", t.render());
+            if let Some(dir) = &opts.csv_dir {
+                let path = dir.join("fig6_stats.csv");
+                if t.write_csv(&path).is_ok() {
+                    println!("wrote {}", path.display());
+                }
+            }
+        }
+        "convergence" => {
+            println!(
+                "convergence curves: ACO vs PSO vs GA, 40 iterations, \
+                 60 VMs x 120 cloudlets…"
+            );
+            let fig = convergence_figure(ConvergenceConfig {
+                seed: opts.seed,
+                ..ConvergenceConfig::default()
+            });
+            emit_figure(&fig, "convergence", &opts);
+        }
+        "extended" => {
+            println!(
+                "extended comparison: every scheduler in the workspace on one \
+                 heterogeneous point (100 VMs, 400 cloudlets, SLA slack 8x)…"
+            );
+            let table = extended_comparison(ExtendedConfig {
+                seed: opts.seed,
+                ..ExtendedConfig::default()
+            });
+            println!("\n{}", table.render());
+            if let Some(dir) = &opts.csv_dir {
+                let path = dir.join("extended_comparison.csv");
+                if table.write_csv(&path).is_ok() {
+                    println!("wrote {}", path.display());
+                }
+            }
+        }
+        "all" => {
+            print_tables(&opts);
+            homogeneous(
+                fig4a_vm_points(),
+                Metric::SimulationTime,
+                "Fig 4a — Simulation Time (homogeneous, 1k-9k VMs)",
+                "fig4a_simulation_time",
+                &opts,
+            );
+            homogeneous(
+                fig4b_vm_points(),
+                Metric::SimulationTime,
+                "Fig 4b — Simulation Time (homogeneous, 10k-90k VMs)",
+                "fig4b_simulation_time",
+                &opts,
+            );
+            homogeneous(
+                fig4a_vm_points(),
+                Metric::SchedulingTime,
+                "Fig 5a — Scheduling Time (homogeneous, 1k-9k VMs)",
+                "fig5a_scheduling_time",
+                &opts,
+            );
+            homogeneous(
+                fig4b_vm_points(),
+                Metric::SchedulingTime,
+                "Fig 5b — Scheduling Time (homogeneous, 10k-90k VMs)",
+                "fig5b_scheduling_time",
+                &opts,
+            );
+            heterogeneous(&fig6_all, &opts);
+        }
+        other => {
+            eprintln!("unknown command {other}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

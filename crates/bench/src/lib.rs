@@ -1,0 +1,18 @@
+//! # biosched-bench — experiment harness
+//!
+//! Everything needed to regenerate the paper's evaluation section:
+//!
+//! * [`figures`] — sweep runners + figure extraction for Figs. 4, 5, 6a–d.
+//! * [`tables`] — Tables I–VII printed from the implementation's defaults.
+//!
+//! The `repro` binary drives these; the `benches/` directory holds the
+//! criterion micro-benchmarks (scheduling time, simulator throughput, and
+//! parameter ablations).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod convergence;
+pub mod extended;
+pub mod figures;
+pub mod tables;

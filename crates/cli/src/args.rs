@@ -1,0 +1,210 @@
+//! Hand-rolled argument parsing shared by every subcommand.
+
+use biosched_core::objective::Objective;
+use biosched_core::scheduler::AlgorithmKind;
+use simcloud::cloudlet_sched::SchedulerKind;
+
+/// Scenario + execution options common to all commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonOpts {
+    /// Fleet size.
+    pub vms: usize,
+    /// Workload size.
+    pub cloudlets: usize,
+    /// Datacenters (heterogeneous scenario only).
+    pub datacenters: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Homogeneous (Tables III/IV) instead of heterogeneous (V–VII).
+    pub homogeneous: bool,
+    /// Per-VM execution policy.
+    pub vm_scheduler: SchedulerKind,
+    /// Optional SLA slack (deadline = slack × solo runtime @2000 MIPS).
+    pub sla_slack: Option<f64>,
+    /// Optional CSV output path.
+    pub csv: Option<String>,
+}
+
+impl Default for CommonOpts {
+    fn default() -> Self {
+        CommonOpts {
+            vms: 50,
+            cloudlets: 500,
+            datacenters: 4,
+            seed: 42,
+            homogeneous: false,
+            vm_scheduler: SchedulerKind::TimeShared,
+            sla_slack: None,
+            csv: None,
+        }
+    }
+}
+
+/// Parses an algorithm name as accepted on the command line.
+pub fn parse_algorithm(name: &str) -> Result<AlgorithmKind, String> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "base" | "base-test" | "roundrobin" | "rr" => AlgorithmKind::BaseTest,
+        "aco" | "antcolony" | "ant-colony" => AlgorithmKind::AntColony,
+        "hbo" | "honeybee" | "honey-bee" => AlgorithmKind::HoneyBee,
+        "rbs" | "random-biased-sampling" => AlgorithmKind::Rbs,
+        "minmin" | "min-min" => AlgorithmKind::MinMin,
+        "maxmin" | "max-min" => AlgorithmKind::MaxMin,
+        "pso" => AlgorithmKind::Pso,
+        "ga" | "genetic" => AlgorithmKind::Ga,
+        "hybrid" | "hybrid-makespan" => AlgorithmKind::Hybrid(Objective::Makespan),
+        "hybrid-cost" => AlgorithmKind::Hybrid(Objective::Cost),
+        "hybrid-balance" => AlgorithmKind::Hybrid(Objective::Balance),
+        other => {
+            return Err(format!(
+                "unknown algorithm '{other}' (try: base aco hbo rbs minmin maxmin \
+                 pso ga hybrid hybrid-cost hybrid-balance)"
+            ))
+        }
+    })
+}
+
+/// Parses a comma-separated algorithm list.
+pub fn parse_algorithm_list(list: &str) -> Result<Vec<AlgorithmKind>, String> {
+    let kinds: Result<Vec<_>, _> = list
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(parse_algorithm)
+        .collect();
+    let kinds = kinds?;
+    if kinds.is_empty() {
+        return Err("algorithm list is empty".into());
+    }
+    Ok(kinds)
+}
+
+/// Parses a comma-separated list of positive integers.
+pub fn parse_usize_list(list: &str) -> Result<Vec<usize>, String> {
+    let values: Result<Vec<usize>, _> = list
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse::<usize>())
+        .collect();
+    let values = values.map_err(|e| format!("bad number list '{list}': {e}"))?;
+    if values.is_empty() {
+        return Err("number list is empty".into());
+    }
+    if values.contains(&0) {
+        return Err("numbers must be positive".into());
+    }
+    Ok(values)
+}
+
+/// Consumes common options from an argument iterator; returns unconsumed
+/// arguments for the command-specific parser.
+pub fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), String> {
+    let mut opts = CommonOpts::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--vms" => opts.vms = take("--vms")?.parse().map_err(|e| format!("bad --vms: {e}"))?,
+            "--cloudlets" => {
+                opts.cloudlets = take("--cloudlets")?
+                    .parse()
+                    .map_err(|e| format!("bad --cloudlets: {e}"))?
+            }
+            "--datacenters" => {
+                opts.datacenters = take("--datacenters")?
+                    .parse()
+                    .map_err(|e| format!("bad --datacenters: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--homogeneous" => opts.homogeneous = true,
+            "--space-shared" => opts.vm_scheduler = SchedulerKind::SpaceShared,
+            "--backfill" => opts.vm_scheduler = SchedulerKind::SpaceSharedBackfill,
+            "--time-shared" => opts.vm_scheduler = SchedulerKind::TimeShared,
+            "--sla-slack" => {
+                opts.sla_slack = Some(
+                    take("--sla-slack")?
+                        .parse()
+                        .map_err(|e| format!("bad --sla-slack: {e}"))?,
+                )
+            }
+            "--csv" => opts.csv = Some(take("--csv")?),
+            _ => rest.push(arg.clone()),
+        }
+    }
+    if opts.vms == 0 || opts.cloudlets == 0 || opts.datacenters == 0 {
+        return Err("--vms, --cloudlets and --datacenters must be positive".into());
+    }
+    Ok((opts, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(parse_algorithm("aco").unwrap(), AlgorithmKind::AntColony);
+        assert_eq!(parse_algorithm("Base").unwrap(), AlgorithmKind::BaseTest);
+        assert_eq!(
+            parse_algorithm("hybrid-cost").unwrap(),
+            AlgorithmKind::Hybrid(Objective::Cost)
+        );
+        assert!(parse_algorithm("nope").is_err());
+    }
+
+    #[test]
+    fn algorithm_lists() {
+        let kinds = parse_algorithm_list("aco,hbo,rbs").unwrap();
+        assert_eq!(kinds.len(), 3);
+        assert!(parse_algorithm_list("").is_err());
+        assert!(parse_algorithm_list("aco,bogus").is_err());
+    }
+
+    #[test]
+    fn usize_lists() {
+        assert_eq!(parse_usize_list("50,150, 250").unwrap(), vec![50, 150, 250]);
+        assert!(parse_usize_list("50,0").is_err());
+        assert!(parse_usize_list("x").is_err());
+    }
+
+    #[test]
+    fn common_options_roundtrip() {
+        let (opts, rest) = parse_common(&args(
+            "--vms 10 --cloudlets 20 --seed 7 --homogeneous --space-shared \
+             --sla-slack 4.5 --csv out.csv --extra positional",
+        ))
+        .unwrap();
+        assert_eq!(opts.vms, 10);
+        assert_eq!(opts.cloudlets, 20);
+        assert_eq!(opts.seed, 7);
+        assert!(opts.homogeneous);
+        assert_eq!(opts.vm_scheduler, SchedulerKind::SpaceShared);
+        assert_eq!(opts.sla_slack, Some(4.5));
+        assert_eq!(opts.csv.as_deref(), Some("out.csv"));
+        assert_eq!(rest, args("--extra positional"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let (opts, rest) = parse_common(&[]).unwrap();
+        assert_eq!(opts, CommonOpts::default());
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn missing_values_error() {
+        assert!(parse_common(&args("--vms")).is_err());
+        assert!(parse_common(&args("--seed abc")).is_err());
+    }
+}

@@ -1,0 +1,515 @@
+//! The CLI subcommands.
+
+use std::time::Instant;
+
+use biosched_core::scheduler::AlgorithmKind;
+use biosched_core::workflow::heft;
+use biosched_metrics::distribution::percentile;
+use biosched_metrics::report::{fmt_value, Table};
+use biosched_workload::scenario::Scenario;
+use biosched_workload::sweep::sweep;
+use biosched_workload::workflow;
+use simcloud::energy::{estimate_energy, PowerModel};
+use simcloud::stats::SimulationOutcome;
+
+use crate::args::{parse_algorithm, parse_algorithm_list, parse_common, parse_usize_list, CommonOpts};
+use crate::scenario_builder::{build_scenario, describe_scenario};
+
+/// Help text for all commands.
+pub fn usage() -> &'static str {
+    "biosched — bio-inspired cloud task scheduling
+
+usage: biosched <command> [options]
+
+commands:
+  run --algorithm <name>      run one scheduler, print every metric
+  compare --algorithms a,b,c  run several schedulers side by side
+  sweep --points 50,150,...   sweep the VM count, print/export series
+  workflow --shape <shape>    schedule a DAG (chain|fork-join|layered|ensemble)
+  online --waves N            re-invoke the scheduler per arrival wave
+  describe                    print the scenario a given option set builds
+
+scenario options (all commands):
+  --vms N          fleet size (default 50)
+  --cloudlets N    workload size (default 500)
+  --datacenters N  heterogeneous datacenters (default 4)
+  --seed N         RNG seed (default 42)
+  --homogeneous    Tables III/IV instead of V-VII
+  --space-shared / --time-shared   per-VM execution policy
+  --sla-slack F    attach deadlines at F x solo runtime @2000 MIPS
+  --csv PATH       also write results as CSV
+
+examples:
+  biosched run --algorithm aco --vms 100 --cloudlets 1000
+  biosched compare --algorithms base,aco,hbo,rbs --sla-slack 8
+  biosched sweep --points 50,250,450 --algorithms base,aco
+  biosched workflow --shape fork-join --tasks 32 --scheduler heft"
+}
+
+/// Collects every metric for one (scenario, algorithm) pair.
+struct RunResult {
+    name: String,
+    scheduling_ms: f64,
+    outcome: SimulationOutcome,
+}
+
+fn run_one(scenario: &Scenario, kind: AlgorithmKind, seed: u64) -> Result<RunResult, String> {
+    let problem = scenario.problem();
+    let mut scheduler = kind.build(seed);
+    let started = Instant::now();
+    let assignment = scheduler.schedule(&problem);
+    let scheduling_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    assignment
+        .validate(&problem)
+        .map_err(|e| format!("{kind} produced an invalid plan: {e}"))?;
+    let outcome = scenario
+        .simulate(assignment)
+        .map_err(|e| format!("simulation failed: {e}"))?;
+    Ok(RunResult {
+        name: kind.label().to_string(),
+        scheduling_ms,
+        outcome,
+    })
+}
+
+fn metrics_table(results: &[RunResult], vm_count: usize) -> Table {
+    let mut table = Table::new(vec![
+        "scheduler",
+        "sched (ms)",
+        "makespan (ms)",
+        "imbalance",
+        "cost",
+        "SLA %",
+        "p99 turnaround (ms)",
+        "energy (Wh)",
+    ]);
+    for r in results {
+        let mut turnarounds: Vec<f64> = r
+            .outcome
+            .records
+            .iter()
+            .filter_map(|rec| Some(rec.finish?.saturating_sub(rec.submit?).as_millis()))
+            .collect();
+        turnarounds.sort_by(f64::total_cmp);
+        let p99 = percentile(&turnarounds, 0.99).unwrap_or(0.0);
+        let energy = estimate_energy(&r.outcome, vm_count, &PowerModel::commodity_server());
+        table.push_row(vec![
+            r.name.clone(),
+            fmt_value(r.scheduling_ms),
+            fmt_value(r.outcome.simulation_time_ms().unwrap_or(0.0)),
+            fmt_value(r.outcome.time_imbalance().unwrap_or(0.0)),
+            fmt_value(r.outcome.total_cost()),
+            r.outcome
+                .sla_attainment()
+                .map(|a| format!("{:.1}", a * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            fmt_value(p99),
+            energy
+                .map(|e| fmt_value(e.total_wh()))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    table
+}
+
+fn emit_table(table: &Table, csv: Option<&str>) -> Result<(), String> {
+    println!("{}", table.render());
+    if let Some(path) = csv {
+        table
+            .write_csv(std::path::Path::new(path))
+            .map_err(|e| format!("failed to write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `biosched run`.
+pub fn cmd_run(args: &[String]) -> Result<(), String> {
+    let (opts, rest) = parse_common(args)?;
+    let mut algorithm = AlgorithmKind::AntColony;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algorithm" => {
+                algorithm =
+                    parse_algorithm(it.next().ok_or("--algorithm needs a value")?)?
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let scenario = build_scenario(&opts);
+    println!("{}", describe_scenario(&opts));
+    let result = run_one(&scenario, algorithm, opts.seed)?;
+    if result.outcome.finished_count() != scenario.cloudlet_count() {
+        println!(
+            "warning: only {}/{} cloudlets finished",
+            result.outcome.finished_count(),
+            scenario.cloudlet_count()
+        );
+    }
+    emit_table(&metrics_table(&[result], opts.vms), opts.csv.as_deref())
+}
+
+/// `biosched compare`.
+pub fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let (opts, rest) = parse_common(args)?;
+    let mut algorithms = vec![
+        AlgorithmKind::BaseTest,
+        AlgorithmKind::AntColony,
+        AlgorithmKind::HoneyBee,
+        AlgorithmKind::Rbs,
+    ];
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algorithms" => {
+                algorithms =
+                    parse_algorithm_list(it.next().ok_or("--algorithms needs a value")?)?
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let scenario = build_scenario(&opts);
+    println!("{}", describe_scenario(&opts));
+    let results: Result<Vec<RunResult>, String> = algorithms
+        .iter()
+        .map(|kind| run_one(&scenario, *kind, opts.seed))
+        .collect();
+    emit_table(&metrics_table(&results?, opts.vms), opts.csv.as_deref())
+}
+
+/// `biosched sweep`.
+pub fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let (opts, rest) = parse_common(args)?;
+    let mut points = vec![50usize, 150, 250, 350, 450];
+    let mut algorithms = AlgorithmKind::PAPER_SET.to_vec();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--points" => {
+                points = parse_usize_list(it.next().ok_or("--points needs a value")?)?
+            }
+            "--algorithms" => {
+                algorithms =
+                    parse_algorithm_list(it.next().ok_or("--algorithms needs a value")?)?
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    println!(
+        "sweeping {} VM points × {} algorithms ({} cloudlets each)…",
+        points.len(),
+        algorithms.len(),
+        opts.cloudlets
+    );
+    let base = opts.clone();
+    let results = sweep(&points, &algorithms, opts.seed, move |vms| {
+        build_scenario(&CommonOpts {
+            vms,
+            ..base.clone()
+        })
+    });
+    let mut table = Table::new(
+        std::iter::once("VMs".to_string())
+            .chain(
+                algorithms
+                    .iter()
+                    .flat_map(|a| {
+                        [
+                            format!("{} makespan", a.label()),
+                            format!("{} cost", a.label()),
+                        ]
+                    }),
+            )
+            .collect::<Vec<_>>(),
+    );
+    for (x, row) in points.iter().zip(&results) {
+        table.push_row(
+            std::iter::once(x.to_string())
+                .chain(row.iter().flat_map(|r| {
+                    [
+                        fmt_value(r.simulation_time_ms),
+                        fmt_value(r.total_cost),
+                    ]
+                }))
+                .collect::<Vec<_>>(),
+        );
+    }
+    emit_table(&table, opts.csv.as_deref())
+}
+
+/// `biosched workflow`.
+pub fn cmd_workflow(args: &[String]) -> Result<(), String> {
+    let (opts, rest) = parse_common(args)?;
+    let mut shape = "fork-join".to_string();
+    let mut tasks = 32usize;
+    let mut use_heft = true;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shape" => shape = it.next().ok_or("--shape needs a value")?.clone(),
+            "--tasks" => {
+                tasks = it
+                    .next()
+                    .ok_or("--tasks needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --tasks: {e}"))?
+            }
+            "--scheduler" => {
+                use_heft = match it.next().ok_or("--scheduler needs a value")?.as_str() {
+                    "heft" => true,
+                    "base" => false,
+                    other => return Err(format!("unknown workflow scheduler {other}")),
+                }
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let tasks = tasks.max(2);
+    let wf = match shape.as_str() {
+        "chain" => workflow::chain(tasks, 4_000.0),
+        "fork-join" => workflow::fork_join((tasks - 2).div_ceil(3).max(1), 3, 4_000.0),
+        "layered" => workflow::layered_random(
+            4,
+            tasks.div_ceil(4).max(1),
+            0.3,
+            (1_000.0, 8_000.0),
+            opts.seed,
+        ),
+        "ensemble" => {
+            workflow::pipeline_ensemble(tasks.div_ceil(4).max(1), 4, 4_000.0, opts.seed)
+        }
+        other => return Err(format!("unknown shape {other} (chain|fork-join|layered|ensemble)")),
+    };
+    let mut scenario = build_scenario(&opts);
+    wf.install(&mut scenario);
+    let problem = scenario.problem();
+    println!(
+        "{} workflow: {} tasks, {} edges, critical path {:.0} MI",
+        shape,
+        wf.len(),
+        wf.edge_count(),
+        wf.critical_path_mi()
+    );
+    let plan = if use_heft {
+        heft(&problem, &wf.parents)
+    } else {
+        AlgorithmKind::BaseTest.build(opts.seed).schedule(&problem)
+    };
+    let outcome = scenario
+        .simulate(plan)
+        .map_err(|e| format!("simulation failed: {e}"))?;
+    let span = outcome
+        .records
+        .iter()
+        .filter_map(|r| Some(r.finish?.as_millis()))
+        .fold(0.0, f64::max);
+    println!(
+        "scheduler: {} | finished {}/{} | span {:.1} ms",
+        if use_heft { "HEFT" } else { "Base Test" },
+        outcome.finished_count(),
+        wf.len(),
+        span
+    );
+    Ok(())
+}
+
+/// `biosched online`.
+pub fn cmd_online(args: &[String]) -> Result<(), String> {
+    use biosched_workload::online::{run_online, WavePlan};
+    let (opts, rest) = parse_common(args)?;
+    let mut algorithm = AlgorithmKind::BaseTest;
+    let mut waves = 4usize;
+    let mut interval_ms = 5_000.0f64;
+    let mut poisson = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algorithm" => {
+                algorithm = parse_algorithm(it.next().ok_or("--algorithm needs a value")?)?
+            }
+            "--waves" => {
+                waves = it
+                    .next()
+                    .ok_or("--waves needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --waves: {e}"))?
+            }
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .ok_or("--interval-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --interval-ms: {e}"))?
+            }
+            "--poisson" => poisson = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if waves == 0 {
+        return Err("--waves must be positive".into());
+    }
+    let scenario = build_scenario(&opts);
+    println!("{}", describe_scenario(&opts));
+    let plan = if poisson {
+        WavePlan::poisson(
+            scenario.cloudlet_count(),
+            scenario.cloudlet_count().div_ceil(waves).max(1),
+            interval_ms,
+            opts.seed,
+        )
+    } else {
+        WavePlan::uniform(scenario.cloudlet_count(), waves, interval_ms)
+    };
+    let mut scheduler = algorithm.build(opts.seed);
+    let result = run_online(&scenario, scheduler.as_mut(), &plan)
+        .map_err(|e| format!("online run failed: {e}"))?;
+    let last_finish = result
+        .outcome
+        .records
+        .iter()
+        .filter_map(|r| Some(r.finish?.as_secs()))
+        .fold(0.0, f64::max);
+    println!(
+        "{}: {} waves, finished {}/{}, last completion at {:.1}s, mean exec {:.0} ms",
+        algorithm.label(),
+        result.rounds,
+        result.outcome.finished_count(),
+        scenario.cloudlet_count(),
+        last_finish,
+        result.outcome.mean_execution_ms().unwrap_or(0.0),
+    );
+    Ok(())
+}
+
+/// `biosched describe`.
+pub fn cmd_describe(args: &[String]) -> Result<(), String> {
+    let (opts, rest) = parse_common(args)?;
+    if !rest.is_empty() {
+        return Err(format!("unknown option {}", rest[0]));
+    }
+    let scenario = build_scenario(&opts);
+    println!("{}", describe_scenario(&opts));
+    let problem = scenario.problem();
+    let mut table = Table::new(vec!["property", "value"]);
+    let mips_min = problem.vms.iter().map(|v| v.mips).fold(f64::INFINITY, f64::min);
+    let mips_max = problem.vms.iter().map(|v| v.mips).fold(0.0, f64::max);
+    let len_min = problem
+        .cloudlets
+        .iter()
+        .map(|c| c.length_mi)
+        .fold(f64::INFINITY, f64::min);
+    let len_max = problem.cloudlets.iter().map(|c| c.length_mi).fold(0.0, f64::max);
+    table.push_row(vec!["VM MIPS range".to_string(), format!("{mips_min:.0}–{mips_max:.0}")]);
+    table.push_row(vec![
+        "cloudlet length range (MI)".to_string(),
+        format!("{len_min:.0}–{len_max:.0}"),
+    ]);
+    table.push_row(vec![
+        "total demand (MI)".to_string(),
+        format!("{:.0}", problem.cloudlets.iter().map(|c| c.length_mi).sum::<f64>()),
+    ]);
+    table.push_row(vec![
+        "total capacity (MIPS)".to_string(),
+        format!("{:.0}", problem.vms.iter().map(|v| v.total_mips()).sum::<f64>()),
+    ]);
+    for (i, dc) in problem.datacenters.iter().enumerate() {
+        table.push_row(vec![
+            format!("dc{i} prices (mem/sto/bw/cpu)"),
+            format!(
+                "{:.3}/{:.4}/{:.3}/{:.1}",
+                dc.cost.per_memory, dc.cost.per_storage, dc.cost.per_bandwidth, dc.cost.per_processing
+            ),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+/// Dispatches a full argument vector (without the binary name).
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage().to_string());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "run" => cmd_run(rest),
+        "compare" => cmd_compare(rest),
+        "sweep" => cmd_sweep(rest),
+        "workflow" => cmd_workflow(rest),
+        "online" => cmd_online(rest),
+        "describe" => cmd_describe(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n\n{}", usage())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn run_command_small() {
+        cmd_run(&args(
+            "--algorithm base --vms 4 --cloudlets 12 --datacenters 2 --seed 1",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn compare_command_small() {
+        cmd_compare(&args(
+            "--algorithms base,rbs --vms 4 --cloudlets 12 --datacenters 2 --sla-slack 16",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn sweep_command_small() {
+        cmd_sweep(&args(
+            "--points 2,4 --algorithms base --cloudlets 8 --datacenters 2",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn workflow_command_shapes() {
+        for shape in ["chain", "fork-join", "layered", "ensemble"] {
+            cmd_workflow(&args(&format!(
+                "--shape {shape} --tasks 8 --vms 4 --datacenters 2"
+            )))
+            .unwrap_or_else(|e| panic!("{shape}: {e}"));
+        }
+        assert!(cmd_workflow(&args("--shape mystery")).is_err());
+    }
+
+    #[test]
+    fn online_command_small() {
+        cmd_online(&args(
+            "--waves 2 --interval-ms 100 --vms 4 --cloudlets 8 --datacenters 2",
+        ))
+        .unwrap();
+        cmd_online(&args("--poisson --vms 4 --cloudlets 8 --datacenters 2")).unwrap();
+        assert!(cmd_online(&args("--waves 0")).is_err());
+    }
+
+    #[test]
+    fn describe_command() {
+        cmd_describe(&args("--vms 3 --cloudlets 5 --datacenters 2")).unwrap();
+        assert!(cmd_describe(&args("--bogus")).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown() {
+        assert!(dispatch(&args("frobnicate")).is_err());
+        assert!(dispatch(&[]).is_err());
+        dispatch(&args("help")).unwrap();
+    }
+}

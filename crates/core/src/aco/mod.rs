@@ -1,0 +1,478 @@
+//! Ant Colony Optimization scheduler (Section IV of the paper).
+//!
+//! Ants construct cloudlet→VM tours guided by pheromone trails τ and the
+//! heuristic desirability η = 1/d of Eq. 6. The transition rule is Eq. 5,
+//! pheromone updates follow Eqs. 7–11, and each ant's tabu list forbids
+//! reusing a VM within a tour (the paper's constraint-satisfaction rule).
+//!
+//! Cloudlets are scheduled in *batches* of at most `batch_size` (clamped to
+//! the VM count, since a tour cannot revisit VMs). Each batch runs a full
+//! colony: `iterations` rounds of `ants` tour constructions followed by
+//! local evaporation + deposit (Eqs. 9–10) and a global best-tour
+//! reinforcement (Eq. 11). The best tour ever seen becomes the batch's
+//! assignment.
+//!
+//! A tour's length `L_k` is the sum of Eq. 6 expected execution times of
+//! its (cloudlet, VM) pairs — the scheduling analog of the TSP tour length
+//! the original ACO minimizes (the paper's Eq. 8 rendering is garbled; the
+//! sum interpretation preserves "shorter tour = better schedule").
+
+//!
+//! ```
+//! use biosched_core::aco::{AcoParams, AntColony};
+//! use biosched_core::problem::SchedulingProblem;
+//! use biosched_core::scheduler::Scheduler;
+//! use simcloud::prelude::*;
+//!
+//! let problem = SchedulingProblem::single_datacenter(
+//!     vec![VmSpec::new(500.0, 5000.0, 512.0, 500.0, 1),
+//!          VmSpec::new(4000.0, 5000.0, 512.0, 500.0, 1)],
+//!     vec![CloudletSpec::new(10_000.0, 300.0, 300.0, 1); 6],
+//!     CostModel::default(),
+//! );
+//! let mut aco = AntColony::new(AcoParams::fast(), 42);
+//! let plan = aco.schedule(&problem);
+//! assert!(plan.validate(&problem).is_ok());
+//! ```
+mod params;
+mod pheromone;
+
+pub use params::AcoParams;
+pub use pheromone::PheromoneMatrix;
+
+use std::collections::HashSet;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simcloud::ids::VmId;
+use simcloud::rng::stream;
+
+use crate::assignment::Assignment;
+use crate::problem::SchedulingProblem;
+use crate::scheduler::Scheduler;
+
+/// The ACO scheduler.
+pub struct AntColony {
+    params: AcoParams,
+    rng: StdRng,
+}
+
+impl AntColony {
+    /// Creates a colony with the given parameters and seed.
+    pub fn new(params: AcoParams, seed: u64) -> Self {
+        params.validate().expect("invalid AcoParams");
+        AntColony {
+            params,
+            rng: stream(seed, "aco"),
+        }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &AcoParams {
+        &self.params
+    }
+
+    /// Like [`Scheduler::schedule`], but also returns the best tour
+    /// length after each iteration of the *first* colony — ACO's
+    /// convergence curve (subsequent batches behave statistically alike).
+    pub fn schedule_traced(&mut self, problem: &SchedulingProblem) -> (Assignment, Vec<f64>) {
+        self.run(problem, true)
+    }
+
+    fn run(&mut self, problem: &SchedulingProblem, traced: bool) -> (Assignment, Vec<f64>) {
+        let c = problem.cloudlet_count();
+        let v = problem.vm_count();
+        // Clamp: a tour may not revisit VMs, and a tour covering the whole
+        // fleet is a bare permutation with no room for preference.
+        let fleet_cap = ((v as f64 * self.params.max_vm_fraction).ceil() as usize).max(1);
+        let batch = self.params.batch_size.min(fleet_cap).max(1);
+        let mut map = Vec::with_capacity(c);
+        let mut trace = Vec::new();
+        let mut start = 0;
+        while start < c {
+            let end = (start + batch).min(c);
+            let trace_slot = (traced && start == 0).then_some(&mut trace);
+            map.extend(self.run_colony(problem, start..end, trace_slot));
+            start = end;
+        }
+        (Assignment::new(map), trace)
+    }
+
+    /// Runs one colony over `slots` (global cloudlet indices) and returns
+    /// the best tour found.
+    fn run_colony(
+        &mut self,
+        problem: &SchedulingProblem,
+        slots: Range<usize>,
+        mut trace: Option<&mut Vec<f64>>,
+    ) -> Vec<VmId> {
+        let mut pheromone = PheromoneMatrix::new(self.params.initial_pheromone);
+        let mut best: Option<(Vec<u32>, f64)> = None;
+
+        for _ in 0..self.params.iterations {
+            let seeds: Vec<u64> = (0..self.params.ants).map(|_| self.rng.gen()).collect();
+            let tours = construct_tours(problem, &slots, &pheromone, &self.params, &seeds);
+
+            // Local update (Eqs. 9–10): evaporate once, then every ant
+            // deposits Q/L_k along its tour.
+            pheromone.evaporate(self.params.rho);
+            for (tour, len) in &tours {
+                let dq = self.params.q / len.max(f64::MIN_POSITIVE);
+                for (i, vm) in tour.iter().enumerate() {
+                    pheromone.deposit(i as u32, *vm, dq);
+                }
+            }
+
+            // Track the global best and reinforce it (Eq. 11).
+            for (tour, len) in tours {
+                if best.as_ref().is_none_or(|(_, b)| len < *b) {
+                    best = Some((tour, len));
+                }
+            }
+            let (bt, bl) = best.as_ref().expect("ants always produce tours");
+            let dq = self.params.q / bl.max(f64::MIN_POSITIVE);
+            for (i, vm) in bt.iter().enumerate() {
+                pheromone.deposit(i as u32, *vm, dq);
+            }
+            if let Some(trace) = trace.as_deref_mut() {
+                trace.push(*bl);
+            }
+        }
+
+        best.expect("ants always produce tours")
+            .0
+            .into_iter()
+            .map(VmId)
+            .collect()
+    }
+}
+
+/// Builds all ant tours for one iteration (parallel over ants when the
+/// `parallel` feature is on; order-preserving either way, so runs are
+/// deterministic).
+fn construct_tours(
+    problem: &SchedulingProblem,
+    slots: &Range<usize>,
+    pheromone: &PheromoneMatrix,
+    params: &AcoParams,
+    seeds: &[u64],
+) -> Vec<(Vec<u32>, f64)> {
+    #[cfg(feature = "parallel")]
+    {
+        use rayon::prelude::*;
+        if seeds.len() >= 8 && slots.len() >= 32 {
+            return seeds
+                .par_iter()
+                .map(|&seed| construct_tour(problem, slots.clone(), pheromone, params, seed))
+                .collect();
+        }
+    }
+    seeds
+        .iter()
+        .map(|&seed| construct_tour(problem, slots.clone(), pheromone, params, seed))
+        .collect()
+}
+
+/// One ant's tour: for each slot, pick a VM by the Eq. 5 roulette over the
+/// candidate list, respecting the tabu set.
+fn construct_tour(
+    problem: &SchedulingProblem,
+    slots: Range<usize>,
+    pheromone: &PheromoneMatrix,
+    params: &AcoParams,
+    seed: u64,
+) -> (Vec<u32>, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let v = problem.vm_count();
+    let b = slots.len();
+    debug_assert!(b <= v, "batch must be clamped to the VM count");
+
+    let mut tabu: HashSet<u32> = HashSet::with_capacity(b);
+    let mut tour = Vec::with_capacity(b);
+    let mut length = 0.0;
+    let mut candidates: Vec<u32> = Vec::new();
+    let mut weights: Vec<f64> = Vec::new();
+
+    for (slot_idx, c) in slots.enumerate() {
+        candidates.clear();
+        weights.clear();
+        let free = v - tabu.len();
+        let k = params.candidates.unwrap_or(v).min(v);
+
+        if k >= free {
+            // Few VMs left: enumerate all allowed ones.
+            candidates.extend((0..v as u32).filter(|j| !tabu.contains(j)));
+        } else {
+            // Sample k distinct allowed VMs.
+            let mut attempts = 0;
+            let max_attempts = 6 * k;
+            while candidates.len() < k && attempts < max_attempts {
+                attempts += 1;
+                let j = rng.gen_range(0..v) as u32;
+                if !tabu.contains(&j) && !candidates.contains(&j) {
+                    candidates.push(j);
+                }
+            }
+            if candidates.is_empty() {
+                // Rejection sampling got unlucky; take the first free VM
+                // scanning from a random start.
+                let start = rng.gen_range(0..v);
+                for off in 0..v {
+                    let j = ((start + off) % v) as u32;
+                    if !tabu.contains(&j) {
+                        candidates.push(j);
+                        break;
+                    }
+                }
+            }
+        }
+        debug_assert!(!candidates.is_empty(), "tabu cannot exhaust all VMs");
+
+        // Eq. 5: p(j) ∝ τ(i,j)^α · η(i,j)^β over allowed candidates.
+        let mut total = 0.0;
+        for &j in &candidates {
+            let tau = pheromone.get(slot_idx as u32, j);
+            let eta = problem.heuristic(c, j as usize);
+            let w = tau.powf(params.alpha) * eta.powf(params.beta);
+            let w = if w.is_finite() { w } else { 0.0 };
+            total += w;
+            weights.push(w);
+        }
+        // ACS pseudo-random-proportional rule: exploit the best edge with
+        // probability q0, otherwise spin the roulette.
+        let pick = if params.q0 > 0.0 && rng.gen_range(0.0..1.0) < params.q0 {
+            weights
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("candidates are non-empty")
+        } else {
+            roulette(&mut rng, &weights, total)
+        };
+        let j = candidates[pick];
+        tabu.insert(j);
+        tour.push(j);
+        length += problem.expected_exec_ms(c, j as usize);
+    }
+    (tour, length)
+}
+
+/// Roulette-wheel selection; degenerates to uniform if all weights vanish.
+fn roulette(rng: &mut StdRng, weights: &[f64], total: f64) -> usize {
+    debug_assert!(!weights.is_empty());
+    if !(total.is_finite() && total > 0.0) {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut spin = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        spin -= w;
+        if spin <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+impl Scheduler for AntColony {
+    fn name(&self) -> &'static str {
+        "ant-colony"
+    }
+
+    fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
+        self.run(problem, false).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcloud::characteristics::CostModel;
+    use simcloud::cloudlet::CloudletSpec;
+    use simcloud::vm::VmSpec;
+
+    fn hetero_problem(vms: usize, cloudlets: usize) -> SchedulingProblem {
+        // Alternating slow/fast VMs, uniform cloudlets.
+        let vm_specs: Vec<VmSpec> = (0..vms)
+            .map(|i| {
+                let mips = if i % 2 == 0 { 500.0 } else { 4_000.0 };
+                VmSpec::new(mips, 5_000.0, 512.0, 500.0, 1)
+            })
+            .collect();
+        let cl = CloudletSpec::new(10_000.0, 0.0, 0.0, 1);
+        SchedulingProblem::single_datacenter(vm_specs, vec![cl; cloudlets], CostModel::default())
+    }
+
+    #[test]
+    fn produces_complete_valid_assignment() {
+        let p = hetero_problem(10, 37);
+        let a = AntColony::new(AcoParams::fast(), 1).schedule(&p);
+        assert!(a.validate(&p).is_ok());
+        assert_eq!(a.len(), 37);
+    }
+
+    #[test]
+    fn tabu_forbids_vm_reuse_within_batch() {
+        let p = hetero_problem(16, 16);
+        let params = AcoParams {
+            batch_size: 16,
+            max_vm_fraction: 1.0,
+            ..AcoParams::fast()
+        };
+        let a = AntColony::new(params, 2).schedule(&p);
+        let mut seen = std::collections::HashSet::new();
+        for vm in a.as_slice() {
+            assert!(seen.insert(*vm), "VM {vm} reused within a single batch");
+        }
+    }
+
+    #[test]
+    fn batch_clamped_to_fleet_fraction() {
+        // 10 VMs, fraction 0.5 -> batches of 5: within any window of 5
+        // consecutive cloudlets every VM is distinct.
+        let p = hetero_problem(10, 20);
+        let params = AcoParams {
+            batch_size: 128,
+            max_vm_fraction: 0.5,
+            ..AcoParams::fast()
+        };
+        let a = AntColony::new(params, 11).schedule(&p);
+        for chunk in a.as_slice().chunks(5) {
+            let distinct: std::collections::HashSet<_> = chunk.iter().collect();
+            assert_eq!(distinct.len(), chunk.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = hetero_problem(8, 40);
+        let a = AntColony::new(AcoParams::fast(), 9).schedule(&p);
+        let b = AntColony::new(AcoParams::fast(), 9).schedule(&p);
+        assert_eq!(a, b);
+        let c = AntColony::new(AcoParams::fast(), 10).schedule(&p);
+        // Different seeds almost surely differ on 40 choices.
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn favors_fast_vms() {
+        // β=0.99 makes ants strongly heuristic-driven: fast VMs must
+        // receive clearly more cloudlets than slow ones.
+        let p = hetero_problem(10, 200);
+        let a = AntColony::new(AcoParams::paper(), 3).schedule(&p);
+        let counts = a.counts_per_vm(10);
+        let slow: usize = counts.iter().step_by(2).sum();
+        let fast: usize = counts.iter().skip(1).step_by(2).sum();
+        assert!(
+            fast > slow * 2,
+            "fast VMs should dominate: fast={fast} slow={slow}"
+        );
+    }
+
+    #[test]
+    fn beats_round_robin_on_estimated_makespan() {
+        use crate::round_robin::RoundRobin;
+        let p = hetero_problem(10, 100);
+        let aco = AntColony::new(AcoParams::paper(), 4).schedule(&p);
+        let rr = RoundRobin::new().schedule(&p);
+        assert!(
+            aco.estimated_makespan_ms(&p) < rr.estimated_makespan_ms(&p),
+            "ACO {} should beat RR {}",
+            aco.estimated_makespan_ms(&p),
+            rr.estimated_makespan_ms(&p)
+        );
+    }
+
+    #[test]
+    fn trace_is_monotone_and_harmless() {
+        let p = hetero_problem(12, 24);
+        let (plan, trace) = AntColony::new(AcoParams::fast(), 13).schedule_traced(&p);
+        assert_eq!(trace.len(), AcoParams::fast().iterations);
+        // The global best tour length never regresses.
+        assert!(trace.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+        // Tracing does not change the schedule.
+        let untraced = AntColony::new(AcoParams::fast(), 13).schedule(&p);
+        assert_eq!(plan, untraced);
+    }
+
+    #[test]
+    fn single_vm_degenerates_gracefully() {
+        let p = hetero_problem(1, 5);
+        let a = AntColony::new(AcoParams::fast(), 5).schedule(&p);
+        assert!(a.as_slice().iter().all(|v| v.index() == 0));
+    }
+
+    #[test]
+    fn acs_exploitation_is_valid_and_greedier() {
+        let p = hetero_problem(10, 100);
+        let acs = AntColony::new(
+            AcoParams {
+                q0: 0.9,
+                ..AcoParams::fast()
+            },
+            30,
+        )
+        .schedule(&p);
+        assert!(acs.validate(&p).is_ok());
+        // Full exploitation (q0=1) is near-deterministic given the
+        // pheromone trajectory and must still cover everything.
+        let greedy = AntColony::new(
+            AcoParams {
+                q0: 1.0,
+                ..AcoParams::fast()
+            },
+            30,
+        )
+        .schedule(&p);
+        assert_eq!(greedy.len(), 100);
+    }
+
+    #[test]
+    fn exhaustive_candidates_work() {
+        // candidates = None examines every VM per choice.
+        let p = hetero_problem(6, 12);
+        let params = AcoParams {
+            candidates: None,
+            ..AcoParams::fast()
+        };
+        let a = AntColony::new(params, 20).schedule(&p);
+        assert!(a.validate(&p).is_ok());
+    }
+
+    #[test]
+    fn more_cloudlets_than_vms_by_far() {
+        // 3 VMs, 50 cloudlets: many tiny batches of ceil(3*0.5)=2.
+        let p = hetero_problem(3, 50);
+        let a = AntColony::new(AcoParams::fast(), 21).schedule(&p);
+        assert_eq!(a.len(), 50);
+        let counts = a.counts_per_vm(3);
+        assert!(counts.iter().all(|c| *c > 0), "all VMs see work: {counts:?}");
+    }
+
+    #[test]
+    fn repeated_rounds_advance_rng_state() {
+        // Two consecutive schedule() calls on one colony instance draw
+        // fresh ant seeds — rounds differ (statistically certain here).
+        let p = hetero_problem(10, 30);
+        let mut colony = AntColony::new(AcoParams::fast(), 22);
+        let first = colony.schedule(&p);
+        let second = colony.schedule(&p);
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn roulette_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let weights = [0.0, 0.0, 10.0];
+        for _ in 0..32 {
+            assert_eq!(roulette(&mut rng, &weights, 10.0), 2);
+        }
+        // Degenerate: all-zero weights fall back to uniform.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            seen.insert(roulette(&mut rng, &[0.0, 0.0], 0.0));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+}

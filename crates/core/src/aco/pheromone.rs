@@ -1,0 +1,135 @@
+//! Sparse pheromone storage.
+//!
+//! The pheromone matrix τ(i, j) spans (batch slot × VM). At paper scale a
+//! dense matrix would be 128 × 100 000 doubles per batch, yet ants only
+//! ever deposit on the edges they walk — a few thousand per batch — so we
+//! store *deviations* from a shared base value sparsely.
+//!
+//! Evaporation (Eq. 9's `(1-ρ)τ` term) applies uniformly to both the base
+//! and every deposit, which we implement with a global scale factor instead
+//! of touching every entry.
+
+use std::collections::HashMap;
+
+/// Floor below which pheromone cannot decay, keeping probabilities sane.
+const MIN_PHEROMONE: f64 = 1e-12;
+
+/// τ(i, j) over (slot, VM) edges, stored as base + sparse deposits.
+#[derive(Debug, Clone)]
+pub struct PheromoneMatrix {
+    /// Evaporated initial level shared by all never-deposited edges.
+    base: f64,
+    /// Raw deposited amounts; the effective deposit is `raw * scale`.
+    deposits: HashMap<(u32, u32), f64>,
+    /// Global evaporation accumulator applied to deposits.
+    scale: f64,
+}
+
+impl PheromoneMatrix {
+    /// Creates a matrix where every edge starts at `initial` (τ(0) = C in
+    /// Algorithm 2).
+    pub fn new(initial: f64) -> Self {
+        assert!(initial > 0.0 && initial.is_finite());
+        PheromoneMatrix {
+            base: initial,
+            deposits: HashMap::new(),
+            scale: 1.0,
+        }
+    }
+
+    /// Current pheromone on edge (slot, vm).
+    #[inline]
+    pub fn get(&self, slot: u32, vm: u32) -> f64 {
+        let extra = self
+            .deposits
+            .get(&(slot, vm))
+            .map_or(0.0, |raw| raw * self.scale);
+        (self.base + extra).max(MIN_PHEROMONE)
+    }
+
+    /// Eq. 9 evaporation: τ ← (1-ρ)τ for every edge.
+    pub fn evaporate(&mut self, rho: f64) {
+        debug_assert!((0.0..1.0).contains(&rho));
+        let keep = 1.0 - rho;
+        self.base = (self.base * keep).max(MIN_PHEROMONE);
+        self.scale *= keep;
+        // Renormalize before the scale underflows.
+        if self.scale < 1e-100 {
+            for raw in self.deposits.values_mut() {
+                *raw *= self.scale;
+            }
+            self.scale = 1.0;
+        }
+    }
+
+    /// Eq. 7/10 deposit: τ(slot, vm) ← τ(slot, vm) + amount.
+    pub fn deposit(&mut self, slot: u32, vm: u32, amount: f64) {
+        debug_assert!(amount >= 0.0 && amount.is_finite());
+        *self.deposits.entry((slot, vm)).or_insert(0.0) += amount / self.scale;
+    }
+
+    /// Number of edges carrying explicit deposits (diagnostics).
+    pub fn deposited_edges(&self) -> usize {
+        self.deposits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_uniform() {
+        let m = PheromoneMatrix::new(2.0);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(99, 12345), 2.0);
+        assert_eq!(m.deposited_edges(), 0);
+    }
+
+    #[test]
+    fn deposit_then_read() {
+        let mut m = PheromoneMatrix::new(1.0);
+        m.deposit(3, 7, 0.5);
+        assert!((m.get(3, 7) - 1.5).abs() < 1e-12);
+        assert_eq!(m.get(3, 8), 1.0);
+        assert_eq!(m.deposited_edges(), 1);
+    }
+
+    #[test]
+    fn evaporation_applies_to_all_edges() {
+        let mut m = PheromoneMatrix::new(1.0);
+        m.deposit(0, 0, 1.0); // edge at 2.0
+        m.evaporate(0.4);
+        assert!((m.get(0, 0) - 1.2).abs() < 1e-12);
+        assert!((m.get(5, 5) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq9_shape_local_update() {
+        // τ' = (1-ρ)τ + Δτ : evaporate then deposit.
+        let mut m = PheromoneMatrix::new(1.0);
+        m.evaporate(0.4);
+        m.deposit(1, 2, 0.25);
+        assert!((m.get(1, 2) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pheromone_never_hits_zero() {
+        let mut m = PheromoneMatrix::new(1.0);
+        for _ in 0..10_000 {
+            m.evaporate(0.9);
+        }
+        assert!(m.get(0, 0) >= MIN_PHEROMONE);
+        // Deposits after heavy evaporation still register.
+        m.deposit(0, 0, 1.0);
+        assert!(m.get(0, 0) >= 1.0);
+    }
+
+    #[test]
+    fn repeated_deposits_accumulate() {
+        let mut m = PheromoneMatrix::new(1.0);
+        m.deposit(0, 1, 0.1);
+        m.deposit(0, 1, 0.1);
+        assert!((m.get(0, 1) - 1.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,351 @@
+//! Genetic Algorithm scheduler — related-work baseline.
+//!
+//! Section II's first family of heuristics: GA schedulers ([6] Ge & Wei,
+//! [10] Jang et al., [31] Zhao et al.). The paper repeats the survey
+//! verdict that "GA scheduling algorithms are slow for Cloud due [to] the
+//! time to converge" [17] — this implementation exists to make that
+//! comparison measurable (see the `ablation` bench).
+//!
+//! Standard generational GA over assignment chromosomes:
+//! tournament selection, uniform crossover, per-gene mutation, elitism.
+
+//!
+//! ```
+//! use biosched_core::ga::{GaParams, Genetic};
+//! use biosched_core::problem::SchedulingProblem;
+//! use biosched_core::scheduler::Scheduler;
+//! use simcloud::prelude::*;
+//!
+//! let problem = SchedulingProblem::single_datacenter(
+//!     vec![VmSpec::new(1000.0, 5000.0, 512.0, 500.0, 1); 4],
+//!     vec![CloudletSpec::new(2_000.0, 0.0, 0.0, 1); 16],
+//!     CostModel::default(),
+//! );
+//! let plan = Genetic::new(GaParams::fast(), 42).schedule(&problem);
+//! assert!(plan.validate(&problem).is_ok());
+//! ```
+use rand::rngs::StdRng;
+use rand::Rng;
+use simcloud::ids::VmId;
+use simcloud::rng::stream;
+
+use crate::assignment::Assignment;
+use crate::objective::{score_assignment, Objective};
+use crate::problem::SchedulingProblem;
+use crate::scheduler::Scheduler;
+
+/// GA tuning parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaParams {
+    /// Population size.
+    pub population: usize,
+    /// Generations.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Probability a child gene comes from parent B (uniform crossover).
+    pub crossover_mix: f64,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Chromosomes carried over unchanged each generation.
+    pub elites: usize,
+    /// What the population optimizes.
+    pub objective: Objective,
+}
+
+impl GaParams {
+    /// Literature-standard configuration.
+    pub fn standard() -> Self {
+        GaParams {
+            population: 40,
+            generations: 60,
+            tournament: 3,
+            crossover_mix: 0.5,
+            mutation_rate: 0.02,
+            elites: 2,
+            objective: Objective::Makespan,
+        }
+    }
+
+    /// A cheaper configuration for sweeps and debug-mode tests.
+    pub fn fast() -> Self {
+        GaParams {
+            population: 16,
+            generations: 20,
+            ..Self::standard()
+        }
+    }
+
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.population < 2 {
+            return Err("population must be at least 2".into());
+        }
+        if self.generations == 0 {
+            return Err("generations must be at least 1".into());
+        }
+        if self.tournament == 0 || self.tournament > self.population {
+            return Err(format!(
+                "tournament must be in [1, population], got {}",
+                self.tournament
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.crossover_mix) {
+            return Err("crossover_mix must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.mutation_rate) {
+            return Err("mutation_rate must be in [0,1]".into());
+        }
+        if self.elites >= self.population {
+            return Err("elites must be smaller than the population".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// The GA scheduler.
+pub struct Genetic {
+    params: GaParams,
+    rng: StdRng,
+}
+
+impl Genetic {
+    /// Creates a GA with the given parameters and seed.
+    pub fn new(params: GaParams, seed: u64) -> Self {
+        params.validate().expect("invalid GaParams");
+        Genetic {
+            params,
+            rng: stream(seed, "ga"),
+        }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &GaParams {
+        &self.params
+    }
+
+    fn tournament_pick<'a>(
+        &mut self,
+        population: &'a [(Vec<u32>, f64)],
+    ) -> &'a (Vec<u32>, f64) {
+        let mut best: Option<&(Vec<u32>, f64)> = None;
+        for _ in 0..self.params.tournament {
+            let cand = &population[self.rng.gen_range(0..population.len())];
+            if best.is_none_or(|b| cand.1 < b.1) {
+                best = Some(cand);
+            }
+        }
+        best.expect("tournament >= 1")
+    }
+}
+
+fn to_assignment(genes: &[u32]) -> Assignment {
+    Assignment::new(genes.iter().map(|g| VmId(*g)).collect())
+}
+
+impl Genetic {
+    /// Like [`Scheduler::schedule`], but also returns the best objective
+    /// score after every generation — the GA's convergence curve (the
+    /// survey [17] calls GA "slow … due to the time to converge"; this
+    /// makes that measurable).
+    pub fn schedule_traced(&mut self, problem: &SchedulingProblem) -> (Assignment, Vec<f64>) {
+        self.run(problem, true)
+    }
+
+    fn run(&mut self, problem: &SchedulingProblem, traced: bool) -> (Assignment, Vec<f64>) {
+        let dims = problem.cloudlet_count();
+        let v = problem.vm_count() as u32;
+        let mut trace = Vec::new();
+        if dims == 0 {
+            return (Assignment::new(Vec::new()), trace);
+        }
+        let objective = self.params.objective;
+        let eval = |genes: &[u32]| -> f64 {
+            score_assignment(problem, &to_assignment(genes), objective)
+        };
+
+        // Seed the population with random chromosomes plus one cyclic
+        // chromosome — a common warm start that also guarantees the GA
+        // never ends worse than the Base Test on homogeneous setups.
+        let mut population: Vec<(Vec<u32>, f64)> = Vec::with_capacity(self.params.population);
+        let cyclic: Vec<u32> = (0..dims).map(|i| (i as u32) % v).collect();
+        let score = eval(&cyclic);
+        population.push((cyclic, score));
+        while population.len() < self.params.population {
+            let genes: Vec<u32> = (0..dims).map(|_| self.rng.gen_range(0..v)).collect();
+            let score = eval(&genes);
+            population.push((genes, score));
+        }
+
+        for _ in 0..self.params.generations {
+            population.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let mut next: Vec<(Vec<u32>, f64)> =
+                population[..self.params.elites].to_vec();
+            while next.len() < self.params.population {
+                let parent_a = self.tournament_pick(&population).0.clone();
+                let parent_b = self.tournament_pick(&population).0.clone();
+                let mut child = Vec::with_capacity(dims);
+                for d in 0..dims {
+                    let from_b = self.rng.gen_bool(self.params.crossover_mix);
+                    let mut gene = if from_b { parent_b[d] } else { parent_a[d] };
+                    if self.rng.gen_bool(self.params.mutation_rate) {
+                        gene = self.rng.gen_range(0..v);
+                    }
+                    child.push(gene);
+                }
+                let score = eval(&child);
+                next.push((child, score));
+            }
+            population = next;
+            if traced {
+                let best = population
+                    .iter()
+                    .map(|(_, s)| *s)
+                    .fold(f64::INFINITY, f64::min);
+                trace.push(best);
+            }
+        }
+        population.sort_by(|a, b| a.1.total_cmp(&b.1));
+        (to_assignment(&population[0].0), trace)
+    }
+}
+
+impl Scheduler for Genetic {
+    fn name(&self) -> &'static str {
+        "ga"
+    }
+
+    fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
+        self.run(problem, false).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round_robin::RoundRobin;
+    use simcloud::characteristics::CostModel;
+    use simcloud::cloudlet::CloudletSpec;
+    use simcloud::vm::VmSpec;
+
+    fn hetero_problem(vms: usize, cloudlets: usize) -> SchedulingProblem {
+        let vm_specs: Vec<VmSpec> = (0..vms)
+            .map(|i| VmSpec::new(500.0 + 600.0 * (i % 5) as f64, 5_000.0, 512.0, 500.0, 1))
+            .collect();
+        let cls: Vec<CloudletSpec> = (0..cloudlets)
+            .map(|i| CloudletSpec::new(1_500.0 + 900.0 * (i % 9) as f64, 300.0, 300.0, 1))
+            .collect();
+        SchedulingProblem::single_datacenter(vm_specs, cls, CostModel::default())
+    }
+
+    #[test]
+    fn produces_valid_assignments() {
+        let p = hetero_problem(7, 25);
+        let a = Genetic::new(GaParams::fast(), 1).schedule(&p);
+        assert!(a.validate(&p).is_ok());
+        assert_eq!(a.len(), 25);
+    }
+
+    #[test]
+    fn never_loses_to_its_cyclic_seed() {
+        // The cyclic chromosome is in the initial population and elitism
+        // preserves the best, so GA can only match or improve on it.
+        let p = hetero_problem(6, 36);
+        let ga = Genetic::new(GaParams::fast(), 2).schedule(&p);
+        let rr = RoundRobin::new().schedule(&p);
+        let ga_score = score_assignment(&p, &ga, Objective::Makespan);
+        let rr_score = score_assignment(&p, &rr, Objective::Makespan);
+        assert!(ga_score <= rr_score, "GA {ga_score} vs RR {rr_score}");
+    }
+
+    #[test]
+    fn more_generations_never_hurt() {
+        let p = hetero_problem(6, 30);
+        let short = Genetic::new(
+            GaParams {
+                generations: 2,
+                ..GaParams::fast()
+            },
+            3,
+        )
+        .schedule(&p);
+        let long = Genetic::new(
+            GaParams {
+                generations: 80,
+                ..GaParams::fast()
+            },
+            3,
+        )
+        .schedule(&p);
+        let s_short = score_assignment(&p, &short, Objective::Makespan);
+        let s_long = score_assignment(&p, &long, Objective::Makespan);
+        assert!(s_long <= s_short);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = hetero_problem(5, 20);
+        assert_eq!(
+            Genetic::new(GaParams::fast(), 9).schedule(&p),
+            Genetic::new(GaParams::fast(), 9).schedule(&p)
+        );
+    }
+
+    #[test]
+    fn trace_is_monotone_via_elitism() {
+        let p = hetero_problem(6, 30);
+        let (plan, trace) = Genetic::new(GaParams::fast(), 10).schedule_traced(&p);
+        assert_eq!(trace.len(), GaParams::fast().generations);
+        // Elitism guarantees the best never regresses.
+        assert!(trace.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+        let final_score = score_assignment(&p, &plan, Objective::Makespan);
+        assert!((trace.last().unwrap() - final_score).abs() < 1e-9);
+        // Tracing does not change the result.
+        assert_eq!(plan, Genetic::new(GaParams::fast(), 10).schedule(&p));
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(GaParams {
+            population: 1,
+            ..GaParams::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(GaParams {
+            tournament: 0,
+            ..GaParams::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(GaParams {
+            mutation_rate: 1.5,
+            ..GaParams::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(GaParams {
+            elites: 40,
+            ..GaParams::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(GaParams::standard().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_workload_is_empty_plan() {
+        let p = SchedulingProblem::single_datacenter(
+            vec![VmSpec::homogeneous_default()],
+            vec![],
+            CostModel::free(),
+        );
+        assert!(Genetic::new(GaParams::fast(), 1).schedule(&p).is_empty());
+    }
+}

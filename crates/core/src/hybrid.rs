@@ -1,0 +1,185 @@
+//! The adaptive hybrid scheduler — the paper's future-work proposal.
+//!
+//! Section VII: *"we will propose a hybrid scheduling algorithm in which
+//! the conditions of the system and environment against pre-selected
+//! requirements function as key elements to select a specific behavior of
+//! the scheduling algorithm … a modular solution"*. This module implements
+//! that design: given an [`Objective`], the hybrid inspects the problem and
+//! delegates to the algorithm the study found best for it:
+//!
+//! * homogeneous problem, any objective → Base Test (provably optimal and
+//!   the cheapest decision, per the homogeneous scenario's conclusion);
+//! * `Makespan` → ACO (Fig. 6a's winner);
+//! * `Cost` → HBO (Fig. 6d's winner);
+//! * `Balance` → a spread-equalizing greedy: each cloudlet goes to the VM
+//!   whose Eq. 6 time lies closest to the running median, tie-broken by
+//!   load, which directly minimizes the Eq. 13 numerator.
+
+use simcloud::ids::VmId;
+
+use crate::aco::{AcoParams, AntColony};
+use crate::assignment::Assignment;
+use crate::hbo::{HboParams, HoneyBee};
+use crate::objective::Objective;
+use crate::problem::SchedulingProblem;
+use crate::round_robin::RoundRobin;
+use crate::scheduler::Scheduler;
+
+/// Objective-driven adaptive scheduler.
+pub struct Hybrid {
+    objective: Objective,
+    aco: AntColony,
+    hbo: HoneyBee,
+    base: RoundRobin,
+}
+
+impl Hybrid {
+    /// Creates a hybrid optimizing `objective`.
+    pub fn new(objective: Objective, seed: u64) -> Self {
+        Hybrid {
+            objective,
+            aco: AntColony::new(AcoParams::paper(), seed),
+            hbo: HoneyBee::new(HboParams::paper(), seed),
+            base: RoundRobin::new(),
+        }
+    }
+
+    /// The objective this instance optimizes.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Balance-first greedy: place each cloudlet on the VM whose expected
+    /// execution time is closest to a global target (the median expected
+    /// time over a sample of (cloudlet, VM) pairs), tie-breaking toward
+    /// the least-loaded of the qualifying VMs.
+    fn schedule_balance(problem: &SchedulingProblem) -> Assignment {
+        let v = problem.vm_count();
+        let c = problem.cloudlet_count();
+
+        // Target: median Eq. 6 time over a bounded sample.
+        let mut sample = Vec::new();
+        let cl_step = (c / 64).max(1);
+        let vm_step = (v / 64).max(1);
+        for cl in (0..c).step_by(cl_step) {
+            for vm in (0..v).step_by(vm_step) {
+                sample.push(problem.expected_exec_ms(cl, vm));
+            }
+        }
+        if sample.is_empty() {
+            return Assignment::new(Vec::new());
+        }
+        sample.sort_by(f64::total_cmp);
+        let target = sample[sample.len() / 2];
+
+        let mut load = vec![0.0f64; v];
+        let mut map = Vec::with_capacity(c);
+        for cl in 0..c {
+            let mut best_vm = 0usize;
+            let mut best_key = (f64::INFINITY, f64::INFINITY);
+            for (vm, vm_load) in load.iter().enumerate() {
+                let d = problem.expected_exec_ms(cl, vm);
+                let key = ((d - target).abs(), *vm_load);
+                if key < best_key {
+                    best_key = key;
+                    best_vm = vm;
+                }
+            }
+            load[best_vm] += problem.expected_exec_ms(cl, best_vm);
+            map.push(VmId::from_index(best_vm));
+        }
+        Assignment::new(map)
+    }
+}
+
+impl Scheduler for Hybrid {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
+        // Condition check: homogeneous setups need no advanced decision
+        // making (Section VI-D-1's conclusion) — cyclic binding is optimal
+        // for every objective there.
+        if problem.is_homogeneous() && problem.datacenters.len() == 1 {
+            return self.base.schedule(problem);
+        }
+        match self.objective {
+            Objective::Makespan => self.aco.schedule(problem),
+            Objective::Cost => self.hbo.schedule(problem),
+            Objective::Balance => Self::schedule_balance(problem),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::score_assignment;
+    use simcloud::characteristics::CostModel;
+    use simcloud::cloudlet::CloudletSpec;
+    use simcloud::vm::VmSpec;
+
+    fn hetero_problem() -> SchedulingProblem {
+        let vms: Vec<VmSpec> = (0..10)
+            .map(|i| VmSpec::new(500.0 + 350.0 * i as f64, 5_000.0, 512.0, 500.0, 1))
+            .collect();
+        let cloudlets: Vec<CloudletSpec> = (0..60)
+            .map(|i| CloudletSpec::new(1_000.0 + 300.0 * i as f64, 300.0, 300.0, 1))
+            .collect();
+        SchedulingProblem::single_datacenter(vms, cloudlets, CostModel::default())
+    }
+
+    #[test]
+    fn homogeneous_fast_path_is_cyclic() {
+        let p = SchedulingProblem::single_datacenter(
+            vec![VmSpec::homogeneous_default(); 4],
+            vec![CloudletSpec::homogeneous_default(); 8],
+            CostModel::default(),
+        );
+        for obj in Objective::ALL {
+            let a = Hybrid::new(obj, 1).schedule(&p);
+            let rr = RoundRobin::new().schedule(&p);
+            assert_eq!(a, rr, "objective {obj:?} should take the fast path");
+        }
+    }
+
+    #[test]
+    fn balance_mode_minimizes_spread_vs_others() {
+        let p = hetero_problem();
+        let balance = Hybrid::new(Objective::Balance, 2).schedule(&p);
+        let makespan = Hybrid::new(Objective::Makespan, 2).schedule(&p);
+        let b_spread = score_assignment(&p, &balance, Objective::Balance);
+        let m_spread = score_assignment(&p, &makespan, Objective::Balance);
+        assert!(
+            b_spread <= m_spread,
+            "balance hybrid {b_spread} should not exceed makespan hybrid {m_spread}"
+        );
+    }
+
+    #[test]
+    fn makespan_mode_delegates_to_aco() {
+        let p = hetero_problem();
+        let hybrid = Hybrid::new(Objective::Makespan, 3).schedule(&p);
+        let aco = AntColony::new(AcoParams::paper(), 3).schedule(&p);
+        assert_eq!(hybrid, aco);
+    }
+
+    #[test]
+    fn cost_mode_delegates_to_hbo() {
+        let p = hetero_problem();
+        let hybrid = Hybrid::new(Objective::Cost, 4).schedule(&p);
+        let hbo = HoneyBee::new(HboParams::paper(), 4).schedule(&p);
+        assert_eq!(hybrid, hbo);
+    }
+
+    #[test]
+    fn all_objectives_produce_valid_assignments() {
+        let p = hetero_problem();
+        for obj in Objective::ALL {
+            let a = Hybrid::new(obj, 5).schedule(&p);
+            assert!(a.validate(&p).is_ok(), "objective {obj:?}");
+            assert_eq!(Hybrid::new(obj, 5).objective(), obj);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The scheduling problem handed to every algorithm.
+//!
+//! A [`SchedulingProblem`] is an immutable snapshot of what a CloudSim
+//! broker knows before binding cloudlets: the VM fleet, the cloudlet batch,
+//! and the datacenters (with their cost models) each VM lives in. All of
+//! the paper's algorithms are pure functions from this snapshot to an
+//! [`crate::assignment::Assignment`].
+
+use simcloud::characteristics::CostModel;
+use simcloud::cloudlet::CloudletSpec;
+use simcloud::ids::{DatacenterId, VmId};
+use simcloud::network::transfer_time;
+use simcloud::vm::VmSpec;
+
+/// What a scheduler can see of one datacenter.
+#[derive(Debug, Clone)]
+pub struct DatacenterView {
+    /// The datacenter's identity.
+    pub id: DatacenterId,
+    /// Its resource prices (drives HBO's fitness, Eq. 1).
+    pub cost: CostModel,
+}
+
+/// Immutable scheduling input.
+#[derive(Debug, Clone)]
+pub struct SchedulingProblem {
+    /// VM fleet specs, indexed by [`VmId`].
+    pub vms: Vec<VmSpec>,
+    /// Cloudlet batch specs, indexed by [`simcloud::ids::CloudletId`].
+    pub cloudlets: Vec<CloudletSpec>,
+    /// Datacenters visible to the scheduler.
+    pub datacenters: Vec<DatacenterView>,
+    /// Which datacenter each VM lives in (`vm_placement[vm] = dc`).
+    pub vm_placement: Vec<DatacenterId>,
+}
+
+impl SchedulingProblem {
+    /// Builds and validates a problem.
+    pub fn new(
+        vms: Vec<VmSpec>,
+        cloudlets: Vec<CloudletSpec>,
+        datacenters: Vec<DatacenterView>,
+        vm_placement: Vec<DatacenterId>,
+    ) -> Result<Self, String> {
+        let p = SchedulingProblem {
+            vms,
+            cloudlets,
+            datacenters,
+            vm_placement,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// A problem where every VM lives in one datacenter with the given
+    /// cost model — the homogeneous-scenario shape.
+    pub fn single_datacenter(
+        vms: Vec<VmSpec>,
+        cloudlets: Vec<CloudletSpec>,
+        cost: CostModel,
+    ) -> Self {
+        let placement = vec![DatacenterId(0); vms.len()];
+        SchedulingProblem::new(
+            vms,
+            cloudlets,
+            vec![DatacenterView {
+                id: DatacenterId(0),
+                cost,
+            }],
+            placement,
+        )
+        .expect("single-datacenter construction is always consistent")
+    }
+
+    /// Consistency checks shared by all constructors.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vms.is_empty() {
+            return Err("problem has no VMs".into());
+        }
+        if self.datacenters.is_empty() {
+            return Err("problem has no datacenters".into());
+        }
+        if self.vm_placement.len() != self.vms.len() {
+            return Err(format!(
+                "vm_placement covers {} VMs, expected {}",
+                self.vm_placement.len(),
+                self.vms.len()
+            ));
+        }
+        for (i, dc) in self.vm_placement.iter().enumerate() {
+            if dc.index() >= self.datacenters.len() {
+                return Err(format!("vm {i} placed in unknown datacenter {dc}"));
+            }
+        }
+        for (i, vm) in self.vms.iter().enumerate() {
+            vm.validate().map_err(|e| format!("vm {i}: {e}"))?;
+        }
+        for (i, cl) in self.cloudlets.iter().enumerate() {
+            cl.validate().map_err(|e| format!("cloudlet {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Number of VMs.
+    #[inline]
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Number of cloudlets.
+    #[inline]
+    pub fn cloudlet_count(&self) -> usize {
+        self.cloudlets.len()
+    }
+
+    /// The paper's Eq. 6 — expected execution time of cloudlet `c` on VM
+    /// `v`, in milliseconds:
+    ///
+    /// `d(c, v) = TL / (peNum × peMips) + InFileSize / VMbw`
+    ///
+    /// The first term is pure compute; the second is input staging over the
+    /// VM's bandwidth (same model the simulator charges).
+    pub fn expected_exec_ms(&self, c: usize, v: usize) -> f64 {
+        let cl = &self.cloudlets[c];
+        let vm = &self.vms[v];
+        let effective_pes = cl.pes.min(vm.pes);
+        let compute_ms = cl.length_mi / (f64::from(effective_pes) * vm.mips) * 1_000.0;
+        let staging_ms = transfer_time(cl.file_size_mb, vm.bw_mbps).as_millis();
+        compute_ms + staging_ms
+    }
+
+    /// Eq. 6's heuristic desirability `η = 1 / d`.
+    #[inline]
+    pub fn heuristic(&self, c: usize, v: usize) -> f64 {
+        1.0 / self.expected_exec_ms(c, v)
+    }
+
+    /// Cost model of the datacenter hosting VM `v`.
+    pub fn cost_of_vm(&self, v: usize) -> &CostModel {
+        let dc = self.vm_placement[v];
+        &self.datacenters[dc.index()].cost
+    }
+
+    /// Ids of VMs hosted in datacenter `dc`.
+    pub fn vms_in_datacenter(&self, dc: DatacenterId) -> Vec<VmId> {
+        self.vm_placement
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == dc)
+            .map(|(i, _)| VmId::from_index(i))
+            .collect()
+    }
+
+    /// True if every VM has an identical spec and every cloudlet an
+    /// identical spec — the paper's homogeneous scenario. Schedulers can
+    /// use this to detect the degenerate case where cyclic assignment is
+    /// provably optimal.
+    pub fn is_homogeneous(&self) -> bool {
+        let vm_uniform = self.vms.windows(2).all(|w| w[0] == w[1]);
+        let cl_uniform = self.cloudlets.windows(2).all(|w| w[0] == w[1]);
+        vm_uniform && cl_uniform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hetero_problem() -> SchedulingProblem {
+        let vms = vec![
+            VmSpec::new(500.0, 5_000.0, 512.0, 500.0, 1),
+            VmSpec::new(4_000.0, 5_000.0, 512.0, 500.0, 1),
+        ];
+        let cloudlets = vec![
+            CloudletSpec::new(1_000.0, 300.0, 300.0, 1),
+            CloudletSpec::new(20_000.0, 300.0, 300.0, 1),
+        ];
+        let dcs = vec![
+            DatacenterView {
+                id: DatacenterId(0),
+                cost: CostModel::new(0.05, 0.004, 0.05, 3.0),
+            },
+            DatacenterView {
+                id: DatacenterId(1),
+                cost: CostModel::new(0.01, 0.001, 0.01, 3.0),
+            },
+        ];
+        SchedulingProblem::new(
+            vms,
+            cloudlets,
+            dcs,
+            vec![DatacenterId(0), DatacenterId(1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eq6_expected_exec() {
+        let p = hetero_problem();
+        // c0 on v0: 1000/(1*500)*1000 = 2000ms + 300MB over 500Mbps = 4800ms.
+        let d = p.expected_exec_ms(0, 0);
+        assert!((d - 6_800.0).abs() < 1e-9, "got {d}");
+        // Faster VM yields smaller d.
+        assert!(p.expected_exec_ms(0, 1) < d);
+        // Heuristic is the inverse.
+        assert!((p.heuristic(0, 0) - 1.0 / 6_800.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq6_clamps_pe_demand() {
+        let vms = vec![VmSpec::new(1_000.0, 1.0, 1.0, 500.0, 1)];
+        let cls = vec![CloudletSpec::new(1_000.0, 0.0, 0.0, 4)];
+        let p = SchedulingProblem::single_datacenter(vms, cls, CostModel::free());
+        // Cloudlet wants 4 PEs but the VM has 1 -> compute on 1 PE.
+        assert!((p.expected_exec_ms(0, 0) - 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn datacenter_lookup() {
+        let p = hetero_problem();
+        assert_eq!(p.cost_of_vm(1).per_memory, 0.01);
+        assert_eq!(p.vms_in_datacenter(DatacenterId(0)), vec![VmId(0)]);
+        assert_eq!(p.vms_in_datacenter(DatacenterId(1)), vec![VmId(1)]);
+    }
+
+    #[test]
+    fn homogeneity_detection() {
+        let p = hetero_problem();
+        assert!(!p.is_homogeneous());
+        let h = SchedulingProblem::single_datacenter(
+            vec![VmSpec::homogeneous_default(); 3],
+            vec![CloudletSpec::homogeneous_default(); 5],
+            CostModel::free(),
+        );
+        assert!(h.is_homogeneous());
+    }
+
+    #[test]
+    fn validation_catches_inconsistency() {
+        assert!(SchedulingProblem::new(
+            vec![],
+            vec![],
+            vec![DatacenterView {
+                id: DatacenterId(0),
+                cost: CostModel::free()
+            }],
+            vec![],
+        )
+        .is_err());
+        assert!(SchedulingProblem::new(
+            vec![VmSpec::homogeneous_default()],
+            vec![],
+            vec![DatacenterView {
+                id: DatacenterId(0),
+                cost: CostModel::free()
+            }],
+            vec![DatacenterId(7)],
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,415 @@
+//! Particle Swarm Optimization scheduler — related-work baseline.
+//!
+//! Section II surveys PSO-based cloud schedulers at length ([18] Pandey et
+//! al., [23] Rodriguez & Buyya, [12]/[11] renumbering PSO) and notes that
+//! "PSO is the algorithm with the fastest convergence when compared to GA
+//! and ACO" [30]. This module implements the discrete PSO those works use:
+//!
+//! * **Encoding** — one dimension per cloudlet; the continuous position is
+//!   discretized by rounding into a VM index ([23]'s "rounded integer
+//!   specifying the index of the resource assigned to each task").
+//! * **Dynamics** — the classic inertia-weight update
+//!   `v ← w·v + c1·r1·(pbest − x) + c2·r2·(gbest − x)`, with `w` decaying
+//!   linearly over the run and velocity clamped to ±`v_max`.
+//! * **Fitness** — selectable [`Objective`]; [18] optimizes cost, most
+//!   others makespan.
+
+//!
+//! ```
+//! use biosched_core::pso::{ParticleSwarm, PsoParams};
+//! use biosched_core::problem::SchedulingProblem;
+//! use biosched_core::scheduler::Scheduler;
+//! use simcloud::prelude::*;
+//!
+//! let problem = SchedulingProblem::single_datacenter(
+//!     vec![VmSpec::new(1000.0, 5000.0, 512.0, 500.0, 1); 4],
+//!     vec![CloudletSpec::new(2_000.0, 0.0, 0.0, 1); 16],
+//!     CostModel::default(),
+//! );
+//! let plan = ParticleSwarm::new(PsoParams::fast(), 42).schedule(&problem);
+//! assert_eq!(plan.len(), 16);
+//! ```
+use rand::rngs::StdRng;
+use rand::Rng;
+use simcloud::ids::VmId;
+use simcloud::rng::stream;
+
+use crate::assignment::Assignment;
+use crate::objective::{score_assignment, Objective};
+use crate::problem::SchedulingProblem;
+use crate::scheduler::Scheduler;
+
+/// PSO tuning parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsoParams {
+    /// Swarm size.
+    pub particles: usize,
+    /// Iterations.
+    pub iterations: usize,
+    /// Inertia weight at the first iteration.
+    pub inertia_start: f64,
+    /// Inertia weight at the last iteration.
+    pub inertia_end: f64,
+    /// Cognitive coefficient c1 (pull toward the particle's best).
+    pub cognitive: f64,
+    /// Social coefficient c2 (pull toward the swarm's best).
+    pub social: f64,
+    /// Velocity clamp as a fraction of the VM count.
+    pub v_max_fraction: f64,
+    /// What the swarm optimizes.
+    pub objective: Objective,
+}
+
+impl PsoParams {
+    /// Literature-standard configuration (w 0.9→0.4, c1=c2=2).
+    pub fn standard() -> Self {
+        PsoParams {
+            particles: 30,
+            iterations: 50,
+            inertia_start: 0.9,
+            inertia_end: 0.4,
+            cognitive: 2.0,
+            social: 2.0,
+            v_max_fraction: 0.25,
+            objective: Objective::Makespan,
+        }
+    }
+
+    /// A cheaper configuration for sweeps and debug-mode tests.
+    pub fn fast() -> Self {
+        PsoParams {
+            particles: 12,
+            iterations: 15,
+            ..Self::standard()
+        }
+    }
+
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.particles == 0 {
+            return Err("particles must be at least 1".into());
+        }
+        if self.iterations == 0 {
+            return Err("iterations must be at least 1".into());
+        }
+        for (name, v) in [
+            ("inertia_start", self.inertia_start),
+            ("inertia_end", self.inertia_end),
+            ("cognitive", self.cognitive),
+            ("social", self.social),
+            ("v_max_fraction", self.v_max_fraction),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be positive, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PsoParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// One particle of the swarm.
+struct Particle {
+    position: Vec<f64>,
+    velocity: Vec<f64>,
+    best_position: Vec<f64>,
+    best_score: f64,
+}
+
+/// The PSO scheduler.
+pub struct ParticleSwarm {
+    params: PsoParams,
+    rng: StdRng,
+}
+
+impl ParticleSwarm {
+    /// Creates a swarm with the given parameters and seed.
+    pub fn new(params: PsoParams, seed: u64) -> Self {
+        params.validate().expect("invalid PsoParams");
+        ParticleSwarm {
+            params,
+            rng: stream(seed, "pso"),
+        }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &PsoParams {
+        &self.params
+    }
+
+    /// Discretizes a continuous position into an assignment.
+    fn decode(position: &[f64], vm_count: usize) -> Assignment {
+        let v = vm_count as f64;
+        Assignment::new(
+            position
+                .iter()
+                .map(|x| {
+                    // Wrap into [0, v) then floor to a valid index.
+                    let wrapped = x.rem_euclid(v);
+                    VmId::from_index((wrapped as usize).min(vm_count - 1))
+                })
+                .collect(),
+        )
+    }
+
+    fn score(&self, problem: &SchedulingProblem, position: &[f64]) -> f64 {
+        let assignment = Self::decode(position, problem.vm_count());
+        score_assignment(problem, &assignment, self.params.objective)
+    }
+}
+
+impl ParticleSwarm {
+    /// Like [`Scheduler::schedule`], but also returns the best objective
+    /// score after every iteration — the swarm's convergence curve (the
+    /// property the survey [30] credits PSO with: fastest convergence).
+    pub fn schedule_traced(&mut self, problem: &SchedulingProblem) -> (Assignment, Vec<f64>) {
+        self.run(problem, true)
+    }
+
+    fn run(&mut self, problem: &SchedulingProblem, traced: bool) -> (Assignment, Vec<f64>) {
+        let dims = problem.cloudlet_count();
+        let v = problem.vm_count() as f64;
+        let mut trace = Vec::new();
+        if dims == 0 {
+            return (Assignment::new(Vec::new()), trace);
+        }
+        let v_max = (v * self.params.v_max_fraction).max(1.0);
+
+        // Initialize the swarm uniformly over the VM range.
+        let mut swarm: Vec<Particle> = (0..self.params.particles)
+            .map(|_| {
+                let position: Vec<f64> =
+                    (0..dims).map(|_| self.rng.gen_range(0.0..v)).collect();
+                let velocity: Vec<f64> = (0..dims)
+                    .map(|_| self.rng.gen_range(-v_max..v_max))
+                    .collect();
+                Particle {
+                    best_position: position.clone(),
+                    best_score: f64::INFINITY,
+                    position,
+                    velocity,
+                }
+            })
+            .collect();
+        for p in &mut swarm {
+            p.best_score = self.score(problem, &p.position);
+        }
+
+        let mut global_best = swarm
+            .iter()
+            .min_by(|a, b| a.best_score.total_cmp(&b.best_score))
+            .map(|p| (p.best_position.clone(), p.best_score))
+            .expect("swarm is non-empty");
+
+        for iter in 0..self.params.iterations {
+            let progress = iter as f64 / self.params.iterations.max(1) as f64;
+            let w = self.params.inertia_start
+                + (self.params.inertia_end - self.params.inertia_start) * progress;
+            for p in &mut swarm {
+                for d in 0..dims {
+                    let r1: f64 = self.rng.gen_range(0.0..1.0);
+                    let r2: f64 = self.rng.gen_range(0.0..1.0);
+                    let vel = w * p.velocity[d]
+                        + self.params.cognitive * r1 * (p.best_position[d] - p.position[d])
+                        + self.params.social * r2 * (global_best.0[d] - p.position[d]);
+                    p.velocity[d] = vel.clamp(-v_max, v_max);
+                    p.position[d] += p.velocity[d];
+                }
+                let score = {
+                    let assignment = Self::decode(&p.position, problem.vm_count());
+                    score_assignment(problem, &assignment, self.params.objective)
+                };
+                if score < p.best_score {
+                    p.best_score = score;
+                    p.best_position.clone_from(&p.position);
+                }
+                if score < global_best.1 {
+                    global_best = (p.position.clone(), score);
+                }
+            }
+            if traced {
+                trace.push(global_best.1);
+            }
+        }
+        (Self::decode(&global_best.0, problem.vm_count()), trace)
+    }
+}
+
+impl Scheduler for ParticleSwarm {
+    fn name(&self) -> &'static str {
+        "pso"
+    }
+
+    fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
+        self.run(problem, false).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::round_robin::RoundRobin;
+    use simcloud::characteristics::CostModel;
+    use simcloud::cloudlet::CloudletSpec;
+    use simcloud::vm::VmSpec;
+
+    fn hetero_problem(vms: usize, cloudlets: usize) -> SchedulingProblem {
+        let vm_specs: Vec<VmSpec> = (0..vms)
+            .map(|i| VmSpec::new(500.0 + 500.0 * (i % 7) as f64, 5_000.0, 512.0, 500.0, 1))
+            .collect();
+        let cls: Vec<CloudletSpec> = (0..cloudlets)
+            .map(|i| CloudletSpec::new(1_000.0 + 750.0 * (i % 11) as f64, 300.0, 300.0, 1))
+            .collect();
+        SchedulingProblem::single_datacenter(vm_specs, cls, CostModel::default())
+    }
+
+    #[test]
+    fn produces_valid_assignments() {
+        let p = hetero_problem(8, 30);
+        let a = ParticleSwarm::new(PsoParams::fast(), 1).schedule(&p);
+        assert!(a.validate(&p).is_ok());
+        assert_eq!(a.len(), 30);
+    }
+
+    #[test]
+    fn decode_wraps_out_of_range_positions() {
+        let a = ParticleSwarm::decode(&[-0.5, 3.99, 12.3, 4.0], 4);
+        assert!(a.as_slice().iter().all(|v| v.index() < 4));
+        // -0.5 wraps to 3.5 -> vm3; 4.0 wraps to 0.0 -> vm0.
+        assert_eq!(a.vm_for(0), VmId(3));
+        assert_eq!(a.vm_for(3), VmId(0));
+    }
+
+    #[test]
+    fn beats_round_robin_on_its_objective() {
+        let p = hetero_problem(6, 40);
+        let pso = ParticleSwarm::new(PsoParams::standard(), 2).schedule(&p);
+        let rr = RoundRobin::new().schedule(&p);
+        let pso_score = score_assignment(&p, &pso, Objective::Makespan);
+        let rr_score = score_assignment(&p, &rr, Objective::Makespan);
+        assert!(
+            pso_score <= rr_score,
+            "PSO {pso_score} should not lose to RR {rr_score} on makespan"
+        );
+    }
+
+    #[test]
+    fn cost_objective_steers_the_swarm() {
+        use crate::problem::DatacenterView;
+        use simcloud::ids::DatacenterId;
+        // Two DCs, one much cheaper.
+        let vms = vec![VmSpec::homogeneous_default(); 6];
+        let placement: Vec<DatacenterId> =
+            (0..6).map(|i| DatacenterId(u32::from(i >= 3))).collect();
+        let p = SchedulingProblem::new(
+            vms,
+            vec![CloudletSpec::new(5_000.0, 300.0, 300.0, 1); 24],
+            vec![
+                DatacenterView {
+                    id: DatacenterId(0),
+                    cost: CostModel::new(0.05, 0.004, 0.05, 3.0),
+                },
+                DatacenterView {
+                    id: DatacenterId(1),
+                    cost: CostModel::new(0.01, 0.001, 0.01, 3.0),
+                },
+            ],
+            placement,
+        )
+        .unwrap();
+        let params = PsoParams {
+            objective: Objective::Cost,
+            ..PsoParams::standard()
+        };
+        let a = ParticleSwarm::new(params, 3).schedule(&p);
+        let cheap_share = a
+            .as_slice()
+            .iter()
+            .filter(|vm| vm.index() >= 3)
+            .count() as f64
+            / a.len() as f64;
+        assert!(
+            cheap_share > 0.6,
+            "cost-driven swarm should favor the cheap DC, got {cheap_share}"
+        );
+    }
+
+    #[test]
+    fn more_iterations_never_hurt() {
+        let p = hetero_problem(8, 30);
+        let short = ParticleSwarm::new(
+            PsoParams {
+                iterations: 2,
+                ..PsoParams::fast()
+            },
+            4,
+        )
+        .schedule(&p);
+        let long = ParticleSwarm::new(
+            PsoParams {
+                iterations: 60,
+                ..PsoParams::fast()
+            },
+            4,
+        )
+        .schedule(&p);
+        let s_short = score_assignment(&p, &short, Objective::Makespan);
+        let s_long = score_assignment(&p, &long, Objective::Makespan);
+        assert!(s_long <= s_short, "long run {s_long} vs short run {s_short}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = hetero_problem(5, 20);
+        let a = ParticleSwarm::new(PsoParams::fast(), 6).schedule(&p);
+        let b = ParticleSwarm::new(PsoParams::fast(), 6).schedule(&p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_is_monotone_nonincreasing() {
+        let p = hetero_problem(8, 40);
+        let (plan, trace) = ParticleSwarm::new(PsoParams::fast(), 8).schedule_traced(&p);
+        assert_eq!(trace.len(), PsoParams::fast().iterations);
+        assert!(trace.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+        // The final trace point is the returned plan's score.
+        let final_score = score_assignment(&p, &plan, Objective::Makespan);
+        assert!((trace.last().unwrap() - final_score).abs() < 1e-9);
+        // Tracing does not change the result.
+        let untraced = ParticleSwarm::new(PsoParams::fast(), 8).schedule(&p);
+        assert_eq!(plan, untraced);
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(PsoParams {
+            particles: 0,
+            ..PsoParams::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(PsoParams {
+            inertia_start: -1.0,
+            ..PsoParams::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(PsoParams::standard().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_workload_is_empty_plan() {
+        let p = SchedulingProblem::single_datacenter(
+            vec![VmSpec::homogeneous_default()],
+            vec![],
+            CostModel::free(),
+        );
+        let a = ParticleSwarm::new(PsoParams::fast(), 7).schedule(&p);
+        assert!(a.is_empty());
+    }
+}

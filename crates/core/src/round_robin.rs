@@ -1,0 +1,94 @@
+//! The Base Test: CloudSim's default cyclic binder.
+//!
+//! Section VI-A: *"a simple scheduler that assigns Cloudlets to VMs in a
+//! cyclic matter […] vm1 to c1, vm2 to c2, vm1 to c3 and so forth"*. In a
+//! homogeneous setup this is provably optimal, which is why the paper uses
+//! it as the reference line in every figure.
+
+use simcloud::ids::VmId;
+
+use crate::assignment::Assignment;
+use crate::problem::SchedulingProblem;
+use crate::scheduler::Scheduler;
+
+/// Cyclic cloudlet→VM binder.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobin {
+    /// Where the cycle resumes on the next scheduling round.
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a binder starting at VM 0.
+    pub fn new() -> Self {
+        RoundRobin { cursor: 0 }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "base-test"
+    }
+
+    fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
+        let n = problem.vm_count();
+        let map = (0..problem.cloudlet_count())
+            .map(|i| VmId::from_index((self.cursor + i) % n))
+            .collect();
+        self.cursor = (self.cursor + problem.cloudlet_count()) % n;
+        Assignment::new(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcloud::characteristics::CostModel;
+    use simcloud::cloudlet::CloudletSpec;
+    use simcloud::vm::VmSpec;
+
+    fn problem(vms: usize, cloudlets: usize) -> SchedulingProblem {
+        SchedulingProblem::single_datacenter(
+            vec![VmSpec::homogeneous_default(); vms],
+            vec![CloudletSpec::homogeneous_default(); cloudlets],
+            CostModel::free(),
+        )
+    }
+
+    #[test]
+    fn assigns_cyclically() {
+        let p = problem(2, 5);
+        let a = RoundRobin::new().schedule(&p);
+        assert_eq!(
+            a.as_slice(),
+            &[VmId(0), VmId(1), VmId(0), VmId(1), VmId(0)]
+        );
+    }
+
+    #[test]
+    fn counts_differ_by_at_most_one() {
+        let p = problem(7, 100);
+        let a = RoundRobin::new().schedule(&p);
+        let counts = a.counts_per_vm(7);
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn cursor_persists_across_rounds() {
+        let mut rr = RoundRobin::new();
+        let p = problem(3, 2);
+        let first = rr.schedule(&p);
+        let second = rr.schedule(&p);
+        assert_eq!(first.as_slice(), &[VmId(0), VmId(1)]);
+        assert_eq!(second.as_slice(), &[VmId(2), VmId(0)]);
+    }
+
+    #[test]
+    fn single_vm_gets_everything() {
+        let p = problem(1, 4);
+        let a = RoundRobin::new().schedule(&p);
+        assert!(a.as_slice().iter().all(|v| *v == VmId(0)));
+    }
+}

@@ -1,0 +1,150 @@
+//! The `Scheduler` trait and the algorithm registry.
+
+use crate::aco::{AcoParams, AntColony};
+use crate::assignment::Assignment;
+use crate::ga::{GaParams, Genetic};
+use crate::hbo::{HboParams, HoneyBee};
+use crate::hybrid::Hybrid;
+use crate::minmax::{MaxMin, MinMin};
+use crate::objective::Objective;
+use crate::problem::SchedulingProblem;
+use crate::pso::{ParticleSwarm, PsoParams};
+use crate::rbs::{RandomBiasedSampling, RbsParams};
+use crate::round_robin::RoundRobin;
+
+/// A cloudlet→VM scheduling algorithm.
+///
+/// Implementations are deterministic for a fixed construction seed; calling
+/// [`Scheduler::schedule`] twice on the same problem may advance internal
+/// RNG state (matching how the paper's schedulers run round after round).
+pub trait Scheduler: Send {
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes a complete assignment for `problem`.
+    fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment;
+}
+
+/// Every algorithm in the study, constructible by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// CloudSim's default cyclic binder — the paper's Base Test.
+    BaseTest,
+    /// Ant Colony Optimization (Section IV).
+    AntColony,
+    /// Honey Bee Optimization (Section III).
+    HoneyBee,
+    /// Random Biased Sampling (Section V).
+    Rbs,
+    /// Min-Min greedy baseline (related work, [4]).
+    MinMin,
+    /// Max-Min greedy baseline (related work, [4]).
+    MaxMin,
+    /// Discrete Particle Swarm Optimization (related work, [18]/[23]).
+    Pso,
+    /// Genetic Algorithm (related work, [6]/[31]).
+    Ga,
+    /// The paper's future-work adaptive hybrid, fixed to an objective.
+    Hybrid(Objective),
+}
+
+impl AlgorithmKind {
+    /// The four algorithms the paper's figures compare.
+    pub const PAPER_SET: [AlgorithmKind; 4] = [
+        AlgorithmKind::AntColony,
+        AlgorithmKind::BaseTest,
+        AlgorithmKind::HoneyBee,
+        AlgorithmKind::Rbs,
+    ];
+
+    /// Display label (matches the paper's figure legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgorithmKind::BaseTest => "Base Test",
+            AlgorithmKind::AntColony => "AntColony",
+            AlgorithmKind::HoneyBee => "HoneyBee",
+            AlgorithmKind::Rbs => "RBS",
+            AlgorithmKind::MinMin => "MinMin",
+            AlgorithmKind::MaxMin => "MaxMin",
+            AlgorithmKind::Pso => "PSO",
+            AlgorithmKind::Ga => "GA",
+            AlgorithmKind::Hybrid(_) => "Hybrid",
+        }
+    }
+
+    /// Instantiates the scheduler with default parameters and `seed`.
+    pub fn build(self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            AlgorithmKind::BaseTest => Box::new(RoundRobin::new()),
+            AlgorithmKind::AntColony => Box::new(AntColony::new(AcoParams::default(), seed)),
+            AlgorithmKind::HoneyBee => Box::new(HoneyBee::new(HboParams::default(), seed)),
+            AlgorithmKind::Rbs => Box::new(RandomBiasedSampling::new(RbsParams::default(), seed)),
+            AlgorithmKind::MinMin => Box::new(MinMin::new()),
+            AlgorithmKind::MaxMin => Box::new(MaxMin::new()),
+            AlgorithmKind::Pso => Box::new(ParticleSwarm::new(PsoParams::standard(), seed)),
+            AlgorithmKind::Ga => Box::new(Genetic::new(GaParams::standard(), seed)),
+            AlgorithmKind::Hybrid(objective) => Box::new(Hybrid::new(objective, seed)),
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcloud::characteristics::CostModel;
+    use simcloud::cloudlet::CloudletSpec;
+    use simcloud::vm::VmSpec;
+
+    fn small_problem() -> SchedulingProblem {
+        SchedulingProblem::single_datacenter(
+            vec![VmSpec::homogeneous_default(); 3],
+            vec![CloudletSpec::homogeneous_default(); 10],
+            CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn every_kind_builds_and_schedules() {
+        let p = small_problem();
+        let kinds = [
+            AlgorithmKind::BaseTest,
+            AlgorithmKind::AntColony,
+            AlgorithmKind::HoneyBee,
+            AlgorithmKind::Rbs,
+            AlgorithmKind::MinMin,
+            AlgorithmKind::MaxMin,
+            AlgorithmKind::Pso,
+            AlgorithmKind::Ga,
+            AlgorithmKind::Hybrid(Objective::Makespan),
+        ];
+        for kind in kinds {
+            let mut s = kind.build(42);
+            let a = s.schedule(&p);
+            a.validate(&p)
+                .unwrap_or_else(|e| panic!("{} produced invalid assignment: {e}", s.name()));
+        }
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let p = small_problem();
+        for kind in AlgorithmKind::PAPER_SET {
+            let a = kind.build(7).schedule(&p);
+            let b = kind.build(7).schedule(&p);
+            assert_eq!(a, b, "{kind} must be deterministic for a fixed seed");
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(AlgorithmKind::BaseTest.label(), "Base Test");
+        assert_eq!(AlgorithmKind::AntColony.to_string(), "AntColony");
+        assert_eq!(AlgorithmKind::PAPER_SET.len(), 4);
+    }
+}

@@ -1,0 +1,93 @@
+//! Markdown rendering for tables and figure series.
+//!
+//! `EXPERIMENTS.md`-style reports can be generated mechanically from the
+//! same structures the terminal renderers use.
+
+use crate::report::Table;
+use crate::series::FigureSeries;
+
+/// Escapes a cell for a markdown table (pipes and newlines).
+fn md_escape(cell: &str) -> String {
+    cell.replace('|', "\\|").replace('\n', " ")
+}
+
+/// Renders a [`Table`] as a GitHub-flavored markdown table.
+pub fn table_to_markdown(table: &Table) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(
+        &table
+            .headers
+            .iter()
+            .map(|h| md_escape(h))
+            .collect::<Vec<_>>()
+            .join(" | "),
+    );
+    out.push_str(" |\n|");
+    for _ in &table.headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str("| ");
+        out.push_str(
+            &row.iter()
+                .map(|c| md_escape(c))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Renders a [`FigureSeries`] as a markdown section: a heading, the data
+/// table, and axis labels.
+pub fn figure_to_markdown(fig: &FigureSeries) -> String {
+    let mut table = Table::new(
+        std::iter::once(fig.x_label.clone())
+            .chain(fig.series.iter().map(|(n, _)| n.clone()))
+            .collect::<Vec<_>>(),
+    );
+    for (i, x) in fig.x.iter().enumerate() {
+        table.push_row(
+            std::iter::once(format!("{x}"))
+                .chain(fig.series.iter().map(|(_, v)| format!("{}", v[i])))
+                .collect::<Vec<_>>(),
+        );
+    }
+    format!(
+        "## {}\n\n{}\n*y-axis: {}*\n",
+        fig.title,
+        table_to_markdown(&table),
+        fig.y_label
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_markdown_shape() {
+        let mut t = Table::new(vec!["alg", "ms"]);
+        t.push_row(vec!["base", "1.5"]);
+        t.push_row(vec!["a|b", "2"]);
+        let md = table_to_markdown(&t);
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| alg | ms |");
+        assert_eq!(lines[1], "|---|---|");
+        assert!(lines[3].contains("a\\|b"), "pipes escaped: {}", lines[3]);
+    }
+
+    #[test]
+    fn figure_markdown_contains_everything() {
+        let mut f = FigureSeries::new("Fig X", "VMs", "ms", vec![1.0, 2.0]);
+        f.push_series("base", vec![10.0, 20.0]);
+        let md = figure_to_markdown(&f);
+        assert!(md.starts_with("## Fig X"));
+        assert!(md.contains("| VMs | base |"));
+        assert!(md.contains("| 1 | 10 |"));
+        assert!(md.contains("*y-axis: ms*"));
+    }
+}

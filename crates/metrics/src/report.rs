@@ -1,0 +1,165 @@
+//! Tabular reports: aligned terminal tables and CSV files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::series::csv_escape;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must match the header width.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; its width must match the headers.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders with padded columns, a header underline and `│` separators.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:<w$}", h, w = widths[i]);
+            if i + 1 < cols {
+                out.push_str(" │ ");
+            }
+        }
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 3 * (cols - 1);
+        out.push_str(&"─".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(out, "{:<w$}", cell, w = widths[i]);
+                if i + 1 < cols {
+                    out.push_str(" │ ");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float with engineering-friendly precision (3 significant-ish
+/// decimals, stripping noise on large magnitudes).
+pub fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1_000.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new(vec!["alg", "ms"]);
+        t.push_row(vec!["base", "1.5"]);
+        t.push_row(vec!["aco", "200"]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = table().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("alg"));
+        assert!(lines[0].contains('│'));
+        assert!(lines[1].starts_with('─'));
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        table().push_row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let csv = table().to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "alg,ms");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("biosched-metrics-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        table().write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("base"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(12_345.678), "12345.7");
+        assert_eq!(fmt_value(4.66920), "4.669");
+        assert_eq!(fmt_value(0.000123), "0.000123");
+    }
+}

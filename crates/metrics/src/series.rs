@@ -1,0 +1,202 @@
+//! Figure data: an x-axis with one or more named y-series.
+//!
+//! Every figure in the paper is a family of lines over a VM-count x-axis;
+//! [`FigureSeries`] is exactly that, with CSV export and an ASCII renderer
+//! for terminal inspection.
+
+/// Data behind one figure.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    /// Figure title (e.g. "Fig 6a — Simulation Time, heterogeneous").
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X values, shared by all series.
+    pub x: Vec<f64>,
+    /// Named y-series, each aligned with `x`.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureSeries {
+    /// Creates an empty figure with labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        x: Vec<f64>,
+    ) -> Self {
+        FigureSeries {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series; its length must match the x-axis.
+    pub fn push_series(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.x.len(),
+            "series length must match the x-axis"
+        );
+        self.series.push((name.into(), values));
+    }
+
+    /// Renders the figure as CSV: header `x_label,name1,name2,…` then rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv_escape(&self.x_label));
+        for (name, _) in &self.series {
+            out.push(',');
+            out.push_str(&csv_escape(name));
+        }
+        out.push('\n');
+        for (i, x) in self.x.iter().enumerate() {
+            out.push_str(&format!("{x}"));
+            for (_, values) in &self.series {
+                out.push_str(&format!(",{}", values[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a monochrome ASCII line chart (for terminal reports).
+    ///
+    /// Each series is drawn with its own marker; a legend follows.
+    pub fn render_ascii(&self, width: usize, height: usize) -> String {
+        const MARKERS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        let width = width.max(16);
+        let height = height.max(4);
+        let mut out = format!("{}\n", self.title);
+        if self.x.is_empty() || self.series.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let y_min = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(f64::INFINITY, f64::min)
+            .min(0.0);
+        let mut y_max = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if y_max <= y_min {
+            y_max = y_min + 1.0;
+        }
+        let x_min = self.x.first().copied().unwrap_or(0.0);
+        let x_max = self.x.last().copied().unwrap_or(1.0).max(x_min + 1.0);
+
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, (_, values)) in self.series.iter().enumerate() {
+            let marker = MARKERS[si % MARKERS.len()];
+            for (x, y) in self.x.iter().zip(values) {
+                let col = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+                let row_f = (y - y_min) / (y_max - y_min) * (height - 1) as f64;
+                let row = height - 1 - row_f.round() as usize;
+                let cell = &mut grid[row.min(height - 1)][col.min(width - 1)];
+                // Overlapping points show the later series' marker.
+                *cell = marker;
+            }
+        }
+        out.push_str(&format!("{:>12.3} ┤", y_max));
+        out.push_str(&grid[0].iter().collect::<String>());
+        out.push('\n');
+        for row in &grid[1..height - 1] {
+            out.push_str("             │");
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>12.3} ┼", y_min));
+        out.push_str(&grid[height - 1].iter().collect::<String>());
+        out.push('\n');
+        out.push_str(&format!(
+            "             {:<.0}{}{:>.0}\n",
+            x_min,
+            " ".repeat(width.saturating_sub(8)),
+            x_max
+        ));
+        out.push_str(&format!("             x: {}   y: {}\n", self.x_label, self.y_label));
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!(
+                "             {} {}\n",
+                MARKERS[si % MARKERS.len()],
+                name
+            ));
+        }
+        out
+    }
+}
+
+/// Escapes a CSV field (quotes when it contains commas/quotes/newlines).
+pub fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> FigureSeries {
+        let mut f = FigureSeries::new("Test", "VMs", "ms", vec![1.0, 2.0, 3.0]);
+        f.push_series("a", vec![10.0, 20.0, 30.0]);
+        f.push_series("b", vec![5.0, 5.0, 5.0]);
+        f
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = fig().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "VMs,a,b");
+        assert_eq!(lines[1], "1,10,5");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "match the x-axis")]
+    fn mismatched_series_rejected() {
+        fig().push_series("bad", vec![1.0]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn ascii_render_contains_markers_and_legend() {
+        let art = fig().render_ascii(40, 10);
+        assert!(art.contains('*'));
+        assert!(art.contains('o'));
+        assert!(art.contains("x: VMs"));
+        assert!(art.contains("* a"));
+        assert!(art.contains("o b"));
+    }
+
+    #[test]
+    fn ascii_render_empty_is_graceful() {
+        let f = FigureSeries::new("Empty", "x", "y", vec![]);
+        assert!(f.render_ascii(40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn ascii_render_flat_series_does_not_panic() {
+        let mut f = FigureSeries::new("Flat", "x", "y", vec![1.0, 2.0]);
+        f.push_series("z", vec![0.0, 0.0]);
+        let _ = f.render_ascii(30, 8);
+    }
+}

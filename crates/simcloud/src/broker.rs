@@ -1,0 +1,406 @@
+//! The datacenter broker entity.
+//!
+//! The broker mirrors CloudSim's `DatacenterBroker`: it requests VM
+//! creation, and once every VM is acknowledged it submits cloudlets
+//! according to a *pre-computed assignment* (cloudlet → VM). The assignment
+//! is exactly what the paper's schedulers produce, which keeps the
+//! scheduling algorithms outside the simulator — they are pure functions in
+//! `biosched-core` — while the broker plays back their decisions.
+
+use crate::cloudlet::CloudletStatus;
+use crate::event::{Event, ScheduledEvent};
+use crate::ids::{CloudletId, DatacenterId, EntityId, VmId};
+use crate::kernel::{Context, Entity, World};
+use crate::network::{transfer_time, Topology};
+use crate::time::SimTime;
+
+/// The broker entity.
+pub struct Broker {
+    entity: EntityId,
+    /// Target datacenter entity per datacenter id.
+    dc_entities: Vec<EntityId>,
+    /// Which datacenter each VM should be created in.
+    vm_placement: Vec<DatacenterId>,
+    /// Which VM each cloudlet runs on (the scheduler's output).
+    assignment: Vec<VmId>,
+    /// Optional per-cloudlet arrival times (absolute, from t=0). Without
+    /// them every cloudlet is submitted as soon as the fleet is up —
+    /// the paper's batch model.
+    arrivals: Option<Vec<SimTime>>,
+    /// Optional workflow structure: `parents[c]` lists the cloudlets that
+    /// must finish before `c` may be submitted.
+    parents: Option<Vec<Vec<CloudletId>>>,
+    /// Reverse adjacency derived from `parents`.
+    children: Vec<Vec<u32>>,
+    /// Unfinished-parent counters per cloudlet.
+    pending_parents: Vec<u32>,
+    topology: Topology,
+    outstanding_vm_acks: usize,
+    fleet_ready: bool,
+    vms_created: usize,
+    vms_rejected: usize,
+    cloudlets_returned: usize,
+    cloudlets_failed: usize,
+    /// Fault tolerance: rebind failed cloudlets onto surviving VMs up to
+    /// this many times each. `0` disables resubmission (paper behavior).
+    max_retries: u8,
+    /// Per-cloudlet retry counters (allocated lazily on first failure).
+    retries: Vec<u8>,
+    /// Cyclic cursor over the fleet for rebinding.
+    rebind_cursor: usize,
+    /// Cloudlets resubmitted over the whole run (diagnostics).
+    resubmissions: u64,
+}
+
+impl Broker {
+    /// Creates a broker.
+    ///
+    /// * `dc_entities[d]` — kernel address of datacenter `d`.
+    /// * `vm_placement[v]` — datacenter VM `v` is created in.
+    /// * `assignment[c]` — VM cloudlet `c` is bound to.
+    pub fn new(
+        entity: EntityId,
+        dc_entities: Vec<EntityId>,
+        vm_placement: Vec<DatacenterId>,
+        assignment: Vec<VmId>,
+        topology: Topology,
+    ) -> Self {
+        assert!(!dc_entities.is_empty(), "broker needs at least one datacenter");
+        for dc in &vm_placement {
+            assert!(
+                dc.index() < dc_entities.len(),
+                "VM placed in unknown datacenter {dc}"
+            );
+        }
+        Broker {
+            entity,
+            dc_entities,
+            vm_placement,
+            assignment,
+            arrivals: None,
+            parents: None,
+            children: Vec::new(),
+            pending_parents: Vec::new(),
+            topology,
+            outstanding_vm_acks: 0,
+            fleet_ready: false,
+            vms_created: 0,
+            vms_rejected: 0,
+            cloudlets_returned: 0,
+            cloudlets_failed: 0,
+            max_retries: 0,
+            retries: Vec::new(),
+            rebind_cursor: 0,
+            resubmissions: 0,
+        }
+    }
+
+    /// Enables fault tolerance: a cloudlet whose VM dies (or never came
+    /// up) is rebound to the next surviving VM and resubmitted, up to
+    /// `max_retries` times.
+    pub fn with_resubmission(mut self, max_retries: u8) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Cloudlets resubmitted after failures.
+    pub fn resubmissions(&self) -> u64 {
+        self.resubmissions
+    }
+
+    /// Declares workflow precedence: `parents[c]` must all finish before
+    /// cloudlet `c` is submitted. The caller is responsible for supplying
+    /// an acyclic graph ([`crate::simulation::SimulationBuilder`]
+    /// validates this).
+    pub fn with_dependencies(mut self, parents: Vec<Vec<CloudletId>>) -> Self {
+        assert_eq!(
+            parents.len(),
+            self.assignment.len(),
+            "dependencies must cover every cloudlet"
+        );
+        let n = parents.len();
+        let mut children = vec![Vec::new(); n];
+        let mut pending = vec![0u32; n];
+        for (c, ps) in parents.iter().enumerate() {
+            pending[c] = u32::try_from(ps.len()).expect("parent list fits u32");
+            for p in ps {
+                children[p.index()].push(c as u32);
+            }
+        }
+        self.children = children;
+        self.pending_parents = pending;
+        self.parents = Some(parents);
+        self
+    }
+
+    /// Staggers cloudlet submissions: cloudlet `c` arrives at
+    /// `arrivals[c]` (absolute simulated time). Cloudlets whose arrival
+    /// precedes fleet readiness are submitted as soon as the fleet is up.
+    pub fn with_arrivals(mut self, arrivals: Vec<SimTime>) -> Self {
+        assert_eq!(
+            arrivals.len(),
+            self.assignment.len(),
+            "arrivals must cover every cloudlet"
+        );
+        self.arrivals = Some(arrivals);
+        self
+    }
+
+    /// VMs successfully created.
+    pub fn vms_created(&self) -> usize {
+        self.vms_created
+    }
+
+    /// VMs the datacenters refused.
+    pub fn vms_rejected(&self) -> usize {
+        self.vms_rejected
+    }
+
+    /// Cloudlets completed and returned.
+    pub fn cloudlets_returned(&self) -> usize {
+        self.cloudlets_returned
+    }
+
+    /// Cloudlets that could not run (bound to rejected VMs).
+    pub fn cloudlets_failed(&self) -> usize {
+        self.cloudlets_failed
+    }
+
+    fn request_vms(&mut self, world: &mut World, ctx: &mut Context<'_>) {
+        assert_eq!(
+            world.vms.len(),
+            self.vm_placement.len(),
+            "placement must cover every VM"
+        );
+        self.outstanding_vm_acks = world.vms.len();
+        if self.outstanding_vm_acks == 0 {
+            self.submit_cloudlets(world, ctx);
+            return;
+        }
+        for (idx, dc) in self.vm_placement.iter().enumerate() {
+            let vm = VmId::from_index(idx);
+            world.vm_mut(vm).status = crate::vm::VmStatus::Requested;
+            let latency = self.topology.latency_to(*dc);
+            ctx.send(self.dc_entities[dc.index()], latency, Event::VmCreate { vm });
+        }
+    }
+
+    /// Fleet is up: submit every cloudlet whose parents (if any) are done.
+    fn submit_cloudlets(&mut self, world: &mut World, ctx: &mut Context<'_>) {
+        assert_eq!(
+            world.cloudlets.len(),
+            self.assignment.len(),
+            "assignment must cover every cloudlet"
+        );
+        self.fleet_ready = true;
+        for idx in 0..self.assignment.len() {
+            let ready = self.parents.is_none() || self.pending_parents[idx] == 0;
+            if ready {
+                self.submit_one(world, ctx, idx);
+            }
+        }
+    }
+
+    /// Picks the next active VM cyclically, if any survives.
+    fn next_active_vm(&mut self, world: &World) -> Option<VmId> {
+        let n = world.vms.len();
+        for step in 0..n {
+            let idx = (self.rebind_cursor + step) % n;
+            if world.vms[idx].is_active() {
+                self.rebind_cursor = (idx + 1) % n;
+                return Some(VmId::from_index(idx));
+            }
+        }
+        None
+    }
+
+    /// Attempts to rebind a dead cloudlet onto a surviving VM. Returns
+    /// true if it was resubmitted.
+    fn try_resubmit(&mut self, world: &mut World, ctx: &mut Context<'_>, idx: usize) -> bool {
+        if self.max_retries == 0 {
+            return false;
+        }
+        if self.retries.is_empty() {
+            self.retries = vec![0; self.assignment.len()];
+        }
+        if self.retries[idx] >= self.max_retries {
+            return false;
+        }
+        let Some(new_vm) = self.next_active_vm(world) else {
+            return false;
+        };
+        self.retries[idx] += 1;
+        self.resubmissions += 1;
+        self.assignment[idx] = new_vm;
+        // Reset the record: the cloudlet gets a fresh life on a new VM.
+        let cl = world.cloudlet_mut(CloudletId::from_index(idx));
+        cl.status = crate::cloudlet::CloudletStatus::Created;
+        cl.vm = None;
+        cl.start_time = None;
+        cl.finish_time = None;
+        self.submit_one(world, ctx, idx);
+        true
+    }
+
+    /// Submits one ready cloudlet, or fails it (and its descendants) if
+    /// its VM never came up.
+    fn submit_one(&mut self, world: &mut World, ctx: &mut Context<'_>, idx: usize) {
+        let cloudlet = CloudletId::from_index(idx);
+        let vm_id = self.assignment[idx];
+        let vm = world.vm(vm_id);
+        if !vm.is_active() {
+            if !self.try_resubmit(world, ctx, idx) {
+                self.cascade_failure(world, ctx, cloudlet);
+            }
+            return;
+        }
+        let dc = vm.datacenter.expect("active VM has a datacenter");
+        let latency = self.topology.latency_to(dc);
+        // Input file travels over the VM's bandwidth before execution.
+        let spec = &world.cloudlets[idx].spec;
+        let in_delay = transfer_time(spec.file_size_mb, vm.spec.bw_mbps);
+        // An arrival in the future defers submission until then.
+        let wait = self
+            .arrivals
+            .as_ref()
+            .map(|a| a[idx].saturating_sub(ctx.now))
+            .unwrap_or(SimTime::ZERO);
+        let cl = world.cloudlet_mut(cloudlet);
+        cl.submit_time = Some(ctx.now + wait);
+        ctx.send(
+            self.dc_entities[dc.index()],
+            wait + latency + in_delay,
+            Event::CloudletSubmit { cloudlet, vm: vm_id },
+        );
+    }
+
+    /// A parent completed: release any children that became ready.
+    fn on_parent_done(&mut self, world: &mut World, ctx: &mut Context<'_>, parent: CloudletId) {
+        if self.parents.is_none() {
+            return;
+        }
+        let released: Vec<u32> = self.children[parent.index()]
+            .iter()
+            .copied()
+            .filter(|&child| {
+                let pending = &mut self.pending_parents[child as usize];
+                debug_assert!(*pending > 0, "child released twice");
+                *pending -= 1;
+                *pending == 0
+            })
+            .collect();
+        if self.fleet_ready {
+            for child in released {
+                self.submit_one(world, ctx, child as usize);
+            }
+        }
+    }
+
+    /// Marks a cloudlet failed and transitively fails every descendant
+    /// that can now never run.
+    fn cascade_failure(&mut self, world: &mut World, ctx: &mut Context<'_>, root: CloudletId) {
+        let _ = ctx; // kept for symmetry; failures need no events here
+        let mut stack = vec![root.0];
+        while let Some(c) = stack.pop() {
+            let cl = world.cloudlet_mut(CloudletId(c));
+            if cl.status == CloudletStatus::Failed {
+                continue;
+            }
+            cl.status = CloudletStatus::Failed;
+            self.cloudlets_failed += 1;
+            if self.parents.is_some() {
+                stack.extend(self.children[c as usize].iter().copied());
+            }
+        }
+    }
+}
+
+impl Entity for Broker {
+    fn id(&self) -> EntityId {
+        self.entity
+    }
+
+    fn handle(&mut self, world: &mut World, ctx: &mut Context<'_>, ev: ScheduledEvent) {
+        match ev.event {
+            Event::Start => self.request_vms(world, ctx),
+            Event::VmCreateAck { vm: _, success } => {
+                if success {
+                    self.vms_created += 1;
+                } else {
+                    self.vms_rejected += 1;
+                }
+                self.outstanding_vm_acks -= 1;
+                if self.outstanding_vm_acks == 0 {
+                    self.submit_cloudlets(world, ctx);
+                }
+            }
+            Event::CloudletReturn { cloudlet } => {
+                debug_assert!(
+                    world.cloudlet(cloudlet).is_finished(),
+                    "returned cloudlet must be finished"
+                );
+                self.cloudlets_returned += 1;
+                self.on_parent_done(world, ctx, cloudlet);
+            }
+            Event::CloudletFailed { cloudlet } => {
+                debug_assert_eq!(
+                    world.cloudlet(cloudlet).status,
+                    CloudletStatus::Failed,
+                    "reported cloudlet must be failed"
+                );
+                // Fault tolerance first: a surviving VM can take the work.
+                if self.try_resubmit(world, ctx, cloudlet.index()) {
+                    return;
+                }
+                // The datacenter marked the cloudlet itself; the broker
+                // counts it and fails any descendants that now cannot run.
+                self.cloudlets_failed += 1;
+                if self.parents.is_some() {
+                    let children: Vec<u32> = self.children[cloudlet.index()].clone();
+                    for child in children {
+                        self.cascade_failure(world, ctx, CloudletId(child));
+                    }
+                }
+            }
+            other => panic!("broker received unexpected event {other:?}"),
+        }
+    }
+}
+
+/// Delay before execution for a cloudlet: broker→DC latency + input staging.
+///
+/// Exposed for analytical tests that want to predict event times.
+pub fn submission_delay(topology: &Topology, dc: DatacenterId, file_size_mb: f64, vm_bw: f64) -> SimTime {
+    topology.latency_to(dc) + transfer_time(file_size_mb, vm_bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submission_delay_combines_latency_and_staging() {
+        let topo = Topology::with_latencies(vec![10.0]);
+        let d = submission_delay(&topo, DatacenterId(0), 300.0, 500.0);
+        // 10ms latency + 4.8s staging.
+        assert!((d.as_millis() - 4_810.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown datacenter")]
+    fn placement_into_unknown_dc_rejected() {
+        let _ = Broker::new(
+            EntityId(0),
+            vec![EntityId(1)],
+            vec![DatacenterId(3)],
+            vec![],
+            Topology::flat(1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one datacenter")]
+    fn broker_requires_datacenters() {
+        let _ = Broker::new(EntityId(0), vec![], vec![], vec![], Topology::flat(0));
+    }
+}

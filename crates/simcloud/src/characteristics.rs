@@ -1,0 +1,141 @@
+//! Datacenter characteristics, including the cost model.
+//!
+//! Mirrors CloudSim's `DatacenterCharacteristics`: the per-unit prices a
+//! datacenter charges for memory, storage, bandwidth and CPU time. The
+//! paper's Table VII gives the heterogeneous-scenario ranges.
+
+/// Per-unit resource prices of a datacenter.
+///
+/// Units follow CloudSim conventions: cost per MB of RAM, per MB of
+/// storage, per Mbps of bandwidth, and per second of CPU time
+/// (`CostPerProcessing` in Table VII).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// `CostPerMemory` — $/MB of VM RAM per unit task length.
+    pub per_memory: f64,
+    /// `CostPerStorage` — $/MB of VM image storage per unit task length.
+    pub per_storage: f64,
+    /// `CostPerBandwidth` — $/Mbps of VM bandwidth per unit task length.
+    pub per_bandwidth: f64,
+    /// `CostPerProcessing` — $/second of CPU time.
+    pub per_processing: f64,
+}
+
+impl CostModel {
+    /// Creates a cost model, validating non-negativity.
+    pub fn new(per_memory: f64, per_storage: f64, per_bandwidth: f64, per_processing: f64) -> Self {
+        let m = CostModel {
+            per_memory,
+            per_storage,
+            per_bandwidth,
+            per_processing,
+        };
+        m.validate().expect("invalid CostModel");
+        m
+    }
+
+    /// Checks all prices are finite and non-negative.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("per_memory", self.per_memory),
+            ("per_storage", self.per_storage),
+            ("per_bandwidth", self.per_bandwidth),
+            ("per_processing", self.per_processing),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("CostModel.{name} must be non-negative, got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// A free datacenter (homogeneous scenario — cost is not measured).
+    pub fn free() -> Self {
+        CostModel::new(0.0, 0.0, 0.0, 0.0)
+    }
+
+    /// Midpoint of the paper's Table VII ranges.
+    pub fn table_vii_midpoint() -> Self {
+        CostModel::new(0.03, 0.0025, 0.03, 3.0)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::table_vii_midpoint()
+    }
+}
+
+/// Static characteristics of a datacenter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatacenterCharacteristics {
+    /// Architecture label (informational, e.g. "x86").
+    pub arch: &'static str,
+    /// Operating system label (informational).
+    pub os: &'static str,
+    /// Virtual machine monitor label (informational).
+    pub vmm: &'static str,
+    /// Scheduling time zone offset (informational, CloudSim parity).
+    pub time_zone: f64,
+    /// Resource prices.
+    pub cost: CostModel,
+}
+
+impl DatacenterCharacteristics {
+    /// CloudSim's stock characteristics with the given cost model.
+    pub fn with_cost(cost: CostModel) -> Self {
+        DatacenterCharacteristics {
+            arch: "x86",
+            os: "Linux",
+            vmm: "Xen",
+            time_zone: 10.0,
+            cost,
+        }
+    }
+}
+
+impl Default for DatacenterCharacteristics {
+    fn default() -> Self {
+        Self::with_cost(CostModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_negative_prices() {
+        assert!(CostModel {
+            per_memory: -0.1,
+            ..CostModel::free()
+        }
+        .validate()
+        .is_err());
+        assert!(CostModel {
+            per_processing: f64::INFINITY,
+            ..CostModel::free()
+        }
+        .validate()
+        .is_err());
+        assert!(CostModel::free().validate().is_ok());
+    }
+
+    #[test]
+    fn table_vii_midpoint_within_ranges() {
+        let c = CostModel::table_vii_midpoint();
+        assert!((0.01..=0.05).contains(&c.per_memory));
+        assert!((0.001..=0.004).contains(&c.per_storage));
+        assert!((0.01..=0.05).contains(&c.per_bandwidth));
+        assert_eq!(c.per_processing, 3.0);
+    }
+
+    #[test]
+    fn characteristics_defaults() {
+        let ch = DatacenterCharacteristics::default();
+        assert_eq!(ch.arch, "x86");
+        assert_eq!(ch.cost, CostModel::table_vii_midpoint());
+        let free = DatacenterCharacteristics::with_cost(CostModel::free());
+        assert_eq!(free.cost.per_processing, 0.0);
+    }
+}

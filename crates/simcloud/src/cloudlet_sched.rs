@@ -1,0 +1,524 @@
+//! Per-VM cloudlet execution schedulers.
+//!
+//! Each VM runs one `CloudletScheduler` that decides how the VM's compute
+//! capacity is divided among the cloudlets bound to it. Two policies mirror
+//! CloudSim's stock implementations:
+//!
+//! * [`SpaceShared`] — cloudlets occupy PEs exclusively; at most
+//!   `vm.pes` PEs' worth of cloudlets run at once, the rest wait FIFO.
+//! * [`TimeShared`] — all cloudlets run concurrently, splitting the VM's
+//!   total MIPS evenly (capped at each cloudlet's PE demand).
+//!
+//! The scheduler is a pure state machine over simulated time: the
+//! datacenter calls [`CloudletScheduler::advance`] whenever an event
+//! touches the VM, and schedules the returned `next_completion` as a
+//! `VmTick`.
+
+use std::collections::VecDeque;
+
+use crate::ids::CloudletId;
+use crate::time::SimTime;
+
+/// Execution state of one cloudlet inside a VM scheduler.
+#[derive(Debug, Clone)]
+pub struct RunningCloudlet {
+    /// Which cloudlet this is.
+    pub id: CloudletId,
+    /// Compute still owed, in million instructions.
+    pub remaining_mi: f64,
+    /// PEs the cloudlet occupies while running.
+    pub pes: u32,
+}
+
+impl RunningCloudlet {
+    /// Creates the execution record for a cloudlet of `length_mi` MI.
+    pub fn new(id: CloudletId, length_mi: f64, pes: u32) -> Self {
+        RunningCloudlet {
+            id,
+            remaining_mi: length_mi,
+            pes,
+        }
+    }
+}
+
+/// Result of advancing a scheduler to a point in time.
+#[derive(Debug, Default)]
+pub struct Tick {
+    /// Cloudlets that began executing during this advance.
+    pub started: Vec<CloudletId>,
+    /// Cloudlets that completed during this advance.
+    pub finished: Vec<CloudletId>,
+    /// Absolute time of the next completion, if any cloudlet is running.
+    pub next_completion: Option<SimTime>,
+}
+
+/// Remaining-work threshold below which a cloudlet counts as finished.
+/// Guards against floating-point residue at predicted completion times.
+const DONE_EPS_MI: f64 = 1e-6;
+
+/// How a VM divides its compute among bound cloudlets.
+pub trait CloudletScheduler: Send {
+    /// Binds a cloudlet to this VM at time `now` and returns the resulting
+    /// state change (it may start immediately or queue).
+    fn submit(&mut self, now: SimTime, cl: RunningCloudlet) -> Tick;
+
+    /// Advances execution to `now`, collecting completions and starts.
+    fn advance(&mut self, now: SimTime) -> Tick;
+
+    /// Cloudlets currently executing.
+    fn running_count(&self) -> usize;
+
+    /// Cloudlets waiting to execute.
+    fn waiting_count(&self) -> usize;
+
+    /// Total MI of work still bound to this VM (running + waiting).
+    fn backlog_mi(&self) -> f64;
+
+    /// Removes and returns every cloudlet still bound to this VM, running
+    /// or waiting — used when the VM is destroyed (host failure).
+    fn drain(&mut self) -> Vec<CloudletId>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// FIFO space-shared scheduler (CloudSim `CloudletSchedulerSpaceShared`),
+/// optionally with backfilling.
+#[derive(Debug)]
+pub struct SpaceShared {
+    mips_per_pe: f64,
+    total_pes: u32,
+    running: Vec<RunningCloudlet>,
+    waiting: VecDeque<RunningCloudlet>,
+    last_update: SimTime,
+    /// With backfilling, a waiting cloudlet behind a blocked queue head
+    /// may start if enough PEs are free — curing the multi-PE
+    /// head-of-line blocking strict FIFO suffers.
+    backfill: bool,
+}
+
+impl SpaceShared {
+    /// Creates a scheduler for a VM with `total_pes` PEs of `mips_per_pe`.
+    pub fn new(mips_per_pe: f64, total_pes: u32) -> Self {
+        assert!(mips_per_pe > 0.0 && total_pes > 0);
+        SpaceShared {
+            mips_per_pe,
+            total_pes,
+            running: Vec::new(),
+            waiting: VecDeque::new(),
+            last_update: SimTime::ZERO,
+            backfill: false,
+        }
+    }
+
+    /// Enables backfilling.
+    pub fn with_backfill(mut self) -> Self {
+        self.backfill = true;
+        self
+    }
+
+    fn pes_in_use(&self) -> u32 {
+        self.running.iter().map(|c| c.pes).sum()
+    }
+
+    /// Execution rate of one cloudlet in MI per millisecond.
+    fn rate_mi_per_ms(&self, cl: &RunningCloudlet) -> f64 {
+        // Each of the cloudlet's PEs advances at the VM's per-PE MIPS.
+        self.mips_per_pe * f64::from(cl.pes) / 1_000.0
+    }
+
+    /// Runs the clock forward and harvests completions / promotions.
+    fn settle(&mut self, now: SimTime, tick: &mut Tick) {
+        let dt_ms = now.saturating_sub(self.last_update).as_millis();
+        if dt_ms > 0.0 {
+            for cl in self.running.iter_mut() {
+                cl.remaining_mi -= self.mips_per_pe * f64::from(cl.pes) / 1_000.0 * dt_ms;
+            }
+        }
+        self.last_update = self.last_update.max(now);
+        // Harvest finished, preserving order for determinism.
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].remaining_mi <= DONE_EPS_MI {
+                let done = self.running.remove(i);
+                tick.finished.push(done.id);
+            } else {
+                i += 1;
+            }
+        }
+        // Promote waiting cloudlets into freed PEs: strict FIFO by
+        // default; with backfilling, scan past a blocked head for the
+        // first job that fits.
+        loop {
+            let free = self.total_pes - self.pes_in_use();
+            if free == 0 {
+                break;
+            }
+            let fits = |cl: &RunningCloudlet| cl.pes.min(self.total_pes) <= free;
+            let pick = if self.backfill {
+                self.waiting.iter().position(fits)
+            } else {
+                self.waiting.front().and_then(|h| fits(h).then_some(0))
+            };
+            let Some(pos) = pick else { break };
+            let mut cl = self.waiting.remove(pos).expect("position checked");
+            // A cloudlet demanding more PEs than the VM owns is clamped
+            // (CloudSim runs it on all available PEs).
+            cl.pes = cl.pes.min(self.total_pes);
+            tick.started.push(cl.id);
+            self.running.push(cl);
+        }
+    }
+
+    fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        self.running
+            .iter()
+            .map(|cl| {
+                let ms = cl.remaining_mi.max(0.0) / self.rate_mi_per_ms(cl);
+                now + SimTime::new(ms)
+            })
+            .min()
+    }
+}
+
+impl CloudletScheduler for SpaceShared {
+    fn submit(&mut self, now: SimTime, cl: RunningCloudlet) -> Tick {
+        let mut tick = Tick::default();
+        self.settle(now, &mut tick);
+        self.waiting.push_back(cl);
+        // Re-settle to promote immediately if PEs are free.
+        self.settle(now, &mut tick);
+        tick.next_completion = self.next_completion(now);
+        tick
+    }
+
+    fn advance(&mut self, now: SimTime) -> Tick {
+        let mut tick = Tick::default();
+        self.settle(now, &mut tick);
+        tick.next_completion = self.next_completion(now);
+        tick
+    }
+
+    fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    fn waiting_count(&self) -> usize {
+        self.waiting.len()
+    }
+
+    fn backlog_mi(&self) -> f64 {
+        self.running
+            .iter()
+            .map(|c| c.remaining_mi.max(0.0))
+            .chain(self.waiting.iter().map(|c| c.remaining_mi))
+            .sum()
+    }
+
+    fn drain(&mut self) -> Vec<CloudletId> {
+        self.running
+            .drain(..)
+            .map(|c| c.id)
+            .chain(self.waiting.drain(..).map(|c| c.id))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "space-shared"
+    }
+}
+
+/// Fair time-shared scheduler (CloudSim `CloudletSchedulerTimeShared`).
+#[derive(Debug)]
+pub struct TimeShared {
+    mips_per_pe: f64,
+    total_pes: u32,
+    running: Vec<RunningCloudlet>,
+    last_update: SimTime,
+}
+
+impl TimeShared {
+    /// Creates a scheduler for a VM with `total_pes` PEs of `mips_per_pe`.
+    pub fn new(mips_per_pe: f64, total_pes: u32) -> Self {
+        assert!(mips_per_pe > 0.0 && total_pes > 0);
+        TimeShared {
+            mips_per_pe,
+            total_pes,
+            running: Vec::new(),
+            last_update: SimTime::ZERO,
+        }
+    }
+
+    /// Per-cloudlet execution rate in MI/ms under an even capacity split,
+    /// capped by the cloudlet's own PE demand.
+    fn rate_mi_per_ms(&self, cl: &RunningCloudlet) -> f64 {
+        let n = self.running.len().max(1) as f64;
+        let total_mips = self.mips_per_pe * f64::from(self.total_pes);
+        let fair = total_mips / n;
+        let cap = self.mips_per_pe * f64::from(cl.pes);
+        fair.min(cap) / 1_000.0
+    }
+
+    fn settle(&mut self, now: SimTime, tick: &mut Tick) {
+        let dt_ms = now.saturating_sub(self.last_update).as_millis();
+        if dt_ms > 0.0 {
+            let rates: Vec<f64> = self.running.iter().map(|c| self.rate_mi_per_ms(c)).collect();
+            for (cl, rate) in self.running.iter_mut().zip(rates) {
+                cl.remaining_mi -= rate * dt_ms;
+            }
+        }
+        self.last_update = self.last_update.max(now);
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].remaining_mi <= DONE_EPS_MI {
+                let done = self.running.remove(i);
+                tick.finished.push(done.id);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        self.running
+            .iter()
+            .map(|cl| {
+                let ms = cl.remaining_mi.max(0.0) / self.rate_mi_per_ms(cl);
+                now + SimTime::new(ms)
+            })
+            .min()
+    }
+}
+
+impl CloudletScheduler for TimeShared {
+    fn submit(&mut self, now: SimTime, cl: RunningCloudlet) -> Tick {
+        let mut tick = Tick::default();
+        self.settle(now, &mut tick);
+        tick.started.push(cl.id);
+        self.running.push(cl);
+        tick.next_completion = self.next_completion(now);
+        tick
+    }
+
+    fn advance(&mut self, now: SimTime) -> Tick {
+        let mut tick = Tick::default();
+        self.settle(now, &mut tick);
+        tick.next_completion = self.next_completion(now);
+        tick
+    }
+
+    fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    fn waiting_count(&self) -> usize {
+        0
+    }
+
+    fn backlog_mi(&self) -> f64 {
+        self.running.iter().map(|c| c.remaining_mi.max(0.0)).sum()
+    }
+
+    fn drain(&mut self) -> Vec<CloudletId> {
+        self.running.drain(..).map(|c| c.id).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "time-shared"
+    }
+}
+
+/// Which stock scheduler a scenario wants on each VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// FIFO, PEs held exclusively (the paper's setting).
+    #[default]
+    SpaceShared,
+    /// FIFO with backfilling: short jobs may overtake a blocked multi-PE
+    /// queue head when enough PEs are free.
+    SpaceSharedBackfill,
+    /// Even MIPS split among all bound cloudlets.
+    TimeShared,
+}
+
+impl SchedulerKind {
+    /// Instantiates the scheduler for a VM with the given shape.
+    pub fn build(self, mips_per_pe: f64, pes: u32) -> Box<dyn CloudletScheduler> {
+        match self {
+            SchedulerKind::SpaceShared => Box::new(SpaceShared::new(mips_per_pe, pes)),
+            SchedulerKind::SpaceSharedBackfill => {
+                Box::new(SpaceShared::new(mips_per_pe, pes).with_backfill())
+            }
+            SchedulerKind::TimeShared => Box::new(TimeShared::new(mips_per_pe, pes)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cl(id: u32, mi: f64) -> RunningCloudlet {
+        RunningCloudlet::new(CloudletId(id), mi, 1)
+    }
+
+    #[test]
+    fn space_shared_runs_fifo() {
+        let mut s = SpaceShared::new(1_000.0, 1); // 1 MI/ms
+        let t0 = SimTime::ZERO;
+        let tick = s.submit(t0, cl(0, 100.0));
+        assert_eq!(tick.started, vec![CloudletId(0)]);
+        assert_eq!(tick.next_completion, Some(SimTime::new(100.0)));
+
+        let tick = s.submit(t0, cl(1, 50.0));
+        assert!(tick.started.is_empty(), "second cloudlet must queue");
+        assert_eq!(s.waiting_count(), 1);
+
+        // First finishes at t=100; second starts then, finishes at t=150.
+        let tick = s.advance(SimTime::new(100.0));
+        assert_eq!(tick.finished, vec![CloudletId(0)]);
+        assert_eq!(tick.started, vec![CloudletId(1)]);
+        assert_eq!(tick.next_completion, Some(SimTime::new(150.0)));
+
+        let tick = s.advance(SimTime::new(150.0));
+        assert_eq!(tick.finished, vec![CloudletId(1)]);
+        assert_eq!(tick.next_completion, None);
+        assert_eq!(s.running_count(), 0);
+    }
+
+    #[test]
+    fn space_shared_parallel_pes() {
+        let mut s = SpaceShared::new(1_000.0, 2);
+        let t0 = SimTime::ZERO;
+        s.submit(t0, cl(0, 100.0));
+        let tick = s.submit(t0, cl(1, 100.0));
+        assert_eq!(s.running_count(), 2, "two PEs run two cloudlets at once");
+        assert_eq!(tick.next_completion, Some(SimTime::new(100.0)));
+        let tick = s.advance(SimTime::new(100.0));
+        assert_eq!(tick.finished.len(), 2);
+    }
+
+    #[test]
+    fn space_shared_clamps_oversized_pe_demand() {
+        let mut s = SpaceShared::new(1_000.0, 2);
+        let wide = RunningCloudlet::new(CloudletId(0), 100.0, 8);
+        let tick = s.submit(SimTime::ZERO, wide);
+        assert_eq!(tick.started, vec![CloudletId(0)]);
+        // Runs on 2 PEs -> 2 MI/ms -> done at 50ms.
+        assert_eq!(tick.next_completion, Some(SimTime::new(50.0)));
+    }
+
+    #[test]
+    fn time_shared_splits_capacity() {
+        let mut s = TimeShared::new(1_000.0, 1); // 1 MI/ms total
+        let t0 = SimTime::ZERO;
+        s.submit(t0, cl(0, 100.0));
+        let tick = s.submit(t0, cl(1, 100.0));
+        // Each runs at 0.5 MI/ms -> both complete at 200ms.
+        assert_eq!(tick.next_completion, Some(SimTime::new(200.0)));
+        let tick = s.advance(SimTime::new(200.0));
+        assert_eq!(tick.finished.len(), 2);
+    }
+
+    #[test]
+    fn time_shared_speeds_up_after_departure() {
+        let mut s = TimeShared::new(1_000.0, 1);
+        let t0 = SimTime::ZERO;
+        s.submit(t0, cl(0, 50.0));
+        s.submit(t0, cl(1, 100.0));
+        // Both at 0.5 MI/ms. cl0 done at t=100 (50/0.5).
+        let tick = s.advance(SimTime::new(100.0));
+        assert_eq!(tick.finished, vec![CloudletId(0)]);
+        // cl1 has 50 MI left, now at full 1 MI/ms -> done at 150.
+        assert_eq!(tick.next_completion, Some(SimTime::new(150.0)));
+        let tick = s.advance(SimTime::new(150.0));
+        assert_eq!(tick.finished, vec![CloudletId(1)]);
+    }
+
+    #[test]
+    fn time_shared_caps_at_pe_demand() {
+        // VM has 4 PEs x 1000 MIPS but the lone cloudlet only uses 1 PE.
+        let mut s = TimeShared::new(1_000.0, 4);
+        let tick = s.submit(SimTime::ZERO, cl(0, 100.0));
+        // Rate capped at 1 MI/ms, not 4.
+        assert_eq!(tick.next_completion, Some(SimTime::new(100.0)));
+    }
+
+    #[test]
+    fn backlog_accounts_running_and_waiting() {
+        let mut s = SpaceShared::new(1_000.0, 1);
+        s.submit(SimTime::ZERO, cl(0, 100.0));
+        s.submit(SimTime::ZERO, cl(1, 60.0));
+        assert!((s.backlog_mi() - 160.0).abs() < 1e-9);
+        s.advance(SimTime::new(40.0));
+        assert!((s.backlog_mi() - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backfill_cures_head_of_line_blocking() {
+        // 2-PE VM running a 1-PE job; queue: [2-PE job (blocked), 1-PE job].
+        // Strict FIFO idles the free PE; backfill runs the 1-PE job now.
+        let strict = {
+            let mut s = SpaceShared::new(1_000.0, 2);
+            s.submit(SimTime::ZERO, RunningCloudlet::new(CloudletId(0), 1_000.0, 1));
+            s.submit(SimTime::ZERO, RunningCloudlet::new(CloudletId(1), 1_000.0, 2));
+            let tick = s.submit(SimTime::ZERO, RunningCloudlet::new(CloudletId(2), 100.0, 1));
+            assert!(tick.started.is_empty(), "FIFO must not jump the queue");
+            s
+        };
+        assert_eq!(strict.running_count(), 1);
+
+        let mut bf = SpaceShared::new(1_000.0, 2).with_backfill();
+        bf.submit(SimTime::ZERO, RunningCloudlet::new(CloudletId(0), 1_000.0, 1));
+        bf.submit(SimTime::ZERO, RunningCloudlet::new(CloudletId(1), 1_000.0, 2));
+        let tick = bf.submit(SimTime::ZERO, RunningCloudlet::new(CloudletId(2), 100.0, 1));
+        assert_eq!(tick.started, vec![CloudletId(2)], "backfill starts the small job");
+        assert_eq!(bf.running_count(), 2);
+        assert_eq!(bf.waiting_count(), 1);
+        // The blocked 2-PE job still runs eventually.
+        let t = bf.advance(SimTime::new(10_000.0));
+        assert!(t.finished.contains(&CloudletId(1)) || bf.running_count() > 0);
+    }
+
+    #[test]
+    fn backfill_kind_builds() {
+        assert_eq!(
+            SchedulerKind::SpaceSharedBackfill.build(100.0, 2).name(),
+            "space-shared"
+        );
+    }
+
+    #[test]
+    fn drain_empties_both_queues() {
+        let mut s = SpaceShared::new(1_000.0, 1);
+        s.submit(SimTime::ZERO, cl(0, 100.0));
+        s.submit(SimTime::ZERO, cl(1, 100.0));
+        let drained = s.drain();
+        assert_eq!(drained, vec![CloudletId(0), CloudletId(1)]);
+        assert_eq!(s.running_count(), 0);
+        assert_eq!(s.waiting_count(), 0);
+        assert_eq!(s.backlog_mi(), 0.0);
+
+        let mut t = TimeShared::new(1_000.0, 1);
+        t.submit(SimTime::ZERO, cl(2, 50.0));
+        assert_eq!(t.drain(), vec![CloudletId(2)]);
+        assert_eq!(t.running_count(), 0);
+    }
+
+    #[test]
+    fn kind_builds_expected_impl() {
+        assert_eq!(SchedulerKind::SpaceShared.build(100.0, 1).name(), "space-shared");
+        assert_eq!(SchedulerKind::TimeShared.build(100.0, 1).name(), "time-shared");
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_time() {
+        let mut s = SpaceShared::new(1_000.0, 1);
+        s.submit(SimTime::ZERO, cl(0, 100.0));
+        let t = SimTime::new(30.0);
+        let first = s.advance(t);
+        let second = s.advance(t);
+        assert_eq!(first.next_completion, second.next_completion);
+        assert!(second.finished.is_empty());
+    }
+}

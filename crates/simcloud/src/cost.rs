@@ -1,0 +1,89 @@
+//! Processing-cost accounting.
+//!
+//! Implements the paper's Section VI-C-4 metric: each cloudlet is charged
+//! for the CPU time it consumed plus the memory, storage and bandwidth its
+//! VM holds, weighted by the task length (the `T_CLj` factor of Eq. 1).
+
+use crate::characteristics::CostModel;
+use crate::cloudlet::CloudletSpec;
+use crate::vm::VmSpec;
+
+/// Normalization constant for the Eq. 1 length factor.
+///
+/// Eq. 1 multiplies per-resource prices by the raw cloudlet length; we
+/// divide the length by this constant so the resource term and the CPU-time
+/// term have comparable magnitude at the paper's parameter ranges
+/// (lengths 250–20000 MI, prices 0.001–0.05).
+pub const LENGTH_NORM_MI: f64 = 1_000.0;
+
+/// Cost of holding a VM's resources for one normalized task-length unit —
+/// the `(Size_i + M_i + Bw_i)` factor of Eq. 1.
+pub fn resource_rate(cost: &CostModel, vm: &VmSpec) -> f64 {
+    cost.per_storage * vm.size_mb + cost.per_memory * vm.ram_mb + cost.per_bandwidth * vm.bw_mbps
+}
+
+/// Full processing cost of one cloudlet executed on `vm` in a datacenter
+/// with the given `cost` model.
+///
+/// `cpu_seconds` is the simulated execution time. The resource term is
+/// Eq. 1's `(Size + M + Bw) × T_CL` with the length normalized by
+/// [`LENGTH_NORM_MI`].
+pub fn cloudlet_cost(
+    cost: &CostModel,
+    vm: &VmSpec,
+    cloudlet: &CloudletSpec,
+    cpu_seconds: f64,
+) -> f64 {
+    debug_assert!(cpu_seconds >= 0.0);
+    let resource_term = resource_rate(cost, vm) * (cloudlet.length_mi / LENGTH_NORM_MI);
+    let cpu_term = cost.per_processing * cpu_seconds;
+    resource_term + cpu_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_datacenter_costs_nothing() {
+        let c = cloudlet_cost(
+            &CostModel::free(),
+            &VmSpec::default(),
+            &CloudletSpec::default(),
+            12.0,
+        );
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn resource_rate_matches_eq1_terms() {
+        let cost = CostModel::new(0.05, 0.004, 0.05, 3.0);
+        let vm = VmSpec::new(1_000.0, 5_000.0, 512.0, 500.0, 1);
+        // Size = 0.004*5000 = 20, M = 0.05*512 = 25.6, Bw = 0.05*500 = 25.
+        assert!((resource_rate(&cost, &vm) - 70.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_scales_with_length_and_cpu_time() {
+        let cost = CostModel::new(0.01, 0.001, 0.01, 3.0);
+        let vm = VmSpec::default();
+        let short = CloudletSpec::new(1_000.0, 0.0, 0.0, 1);
+        let long = CloudletSpec::new(2_000.0, 0.0, 0.0, 1);
+        let c_short = cloudlet_cost(&cost, &vm, &short, 1.0);
+        let c_long = cloudlet_cost(&cost, &vm, &long, 2.0);
+        assert!(c_long > c_short);
+        // Resource term doubles with length, CPU term doubles with time.
+        let rr = resource_rate(&cost, &vm);
+        assert!((c_short - (rr * 1.0 + 3.0)).abs() < 1e-9);
+        assert!((c_long - (rr * 2.0 + 6.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheaper_datacenter_yields_cheaper_cloudlet() {
+        let cheap = CostModel::new(0.01, 0.001, 0.01, 3.0);
+        let dear = CostModel::new(0.05, 0.004, 0.05, 3.0);
+        let vm = VmSpec::default();
+        let cl = CloudletSpec::new(5_000.0, 300.0, 300.0, 1);
+        assert!(cloudlet_cost(&cheap, &vm, &cl, 5.0) < cloudlet_cost(&dear, &vm, &cl, 5.0));
+    }
+}

@@ -1,0 +1,317 @@
+//! The datacenter entity.
+//!
+//! A datacenter owns hosts, places VMs on them through its allocation
+//! policy, executes cloudlets through per-VM cloudlet schedulers, accounts
+//! processing cost, and reports completions back to the broker.
+
+use crate::characteristics::DatacenterCharacteristics;
+use crate::cloudlet::CloudletStatus;
+use crate::cloudlet_sched::{CloudletScheduler, RunningCloudlet, SchedulerKind, Tick};
+use crate::cost::cloudlet_cost;
+use crate::event::{Event, ScheduledEvent};
+use crate::host::{Host, HostSpec};
+use crate::ids::{DatacenterId, EntityId, HostId, VmId};
+use crate::kernel::{Context, Entity, World};
+use crate::network::transfer_time;
+use crate::time::SimTime;
+use crate::vm_alloc::VmAllocationPolicy;
+
+/// Construction-time description of a datacenter.
+pub struct DatacenterBlueprint {
+    /// Host fleet.
+    pub hosts: Vec<HostSpec>,
+    /// Characteristics, including the cost model.
+    pub characteristics: DatacenterCharacteristics,
+    /// VM-to-host placement policy.
+    pub allocation: Box<dyn VmAllocationPolicy>,
+    /// Per-VM cloudlet execution policy.
+    pub scheduler: SchedulerKind,
+    /// Failure injection: hosts that go down at the given times.
+    pub failures: Vec<(HostId, SimTime)>,
+}
+
+impl DatacenterBlueprint {
+    /// A blueprint with enough uniform hosts for `vm_count` copies of `vm`,
+    /// packing `vms_per_host` on each — the standard scenario shape.
+    pub fn sized_for(
+        vm: &crate::vm::VmSpec,
+        vm_count: usize,
+        vms_per_host: u32,
+        characteristics: DatacenterCharacteristics,
+    ) -> Self {
+        let host_spec = HostSpec::roomy_for(vm, vms_per_host);
+        let host_count = vm_count.div_ceil(vms_per_host as usize).max(1);
+        DatacenterBlueprint {
+            hosts: vec![host_spec; host_count],
+            characteristics,
+            allocation: Box::new(crate::vm_alloc::FirstFit),
+            scheduler: SchedulerKind::SpaceShared,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Adds a host failure at `time`.
+    pub fn with_failure(mut self, host: HostId, time: SimTime) -> Self {
+        self.failures.push((host, time));
+        self
+    }
+}
+
+/// The running datacenter entity.
+pub struct Datacenter {
+    entity: EntityId,
+    /// Logical datacenter identity (used by cost/topology lookups).
+    pub id: DatacenterId,
+    characteristics: DatacenterCharacteristics,
+    hosts: Vec<Host>,
+    allocation: Box<dyn VmAllocationPolicy>,
+    scheduler_kind: SchedulerKind,
+    /// Per-VM schedulers, lazily grown, indexed by `VmId`.
+    vm_scheds: Vec<Option<Box<dyn CloudletScheduler>>>,
+    /// Earliest pending `VmTick` per VM (dedupes timer events).
+    pending_tick: Vec<Option<SimTime>>,
+    /// Cloudlets completed here (diagnostics).
+    completed: u64,
+    /// Broker address, learned from the first cloudlet submission; needed
+    /// by self-sent `VmTick` timers to route completions.
+    broker_hint: Option<EntityId>,
+    /// Failure injection schedule, armed on `Start`.
+    failures: Vec<(HostId, SimTime)>,
+}
+
+impl Datacenter {
+    /// Builds a datacenter from its blueprint.
+    pub fn new(entity: EntityId, id: DatacenterId, blueprint: DatacenterBlueprint) -> Self {
+        assert!(!blueprint.hosts.is_empty(), "datacenter needs hosts");
+        let hosts = blueprint
+            .hosts
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| Host::new(HostId::from_index(i), spec))
+            .collect();
+        Datacenter {
+            entity,
+            id,
+            characteristics: blueprint.characteristics,
+            hosts,
+            allocation: blueprint.allocation,
+            scheduler_kind: blueprint.scheduler,
+            vm_scheds: Vec::new(),
+            pending_tick: Vec::new(),
+            completed: 0,
+            broker_hint: None,
+            failures: blueprint.failures,
+        }
+    }
+
+    /// The datacenter's characteristics (cost model etc.).
+    pub fn characteristics(&self) -> &DatacenterCharacteristics {
+        &self.characteristics
+    }
+
+    /// Cloudlets completed so far.
+    pub fn completed_count(&self) -> u64 {
+        self.completed
+    }
+
+    /// Host fleet view.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    fn slot_mut<T: Default>(vec: &mut Vec<T>, idx: usize) -> &mut T {
+        if vec.len() <= idx {
+            vec.resize_with(idx + 1, T::default);
+        }
+        &mut vec[idx]
+    }
+
+    fn handle_vm_create(
+        &mut self,
+        world: &mut World,
+        ctx: &mut Context<'_>,
+        src: EntityId,
+        vm_id: VmId,
+    ) {
+        let spec = world.vm(vm_id).spec.clone();
+        let placed = self
+            .allocation
+            .select_host(&self.hosts, &spec)
+            .and_then(|host_id| {
+                let host = &mut self.hosts[host_id.index()];
+                host.allocate_vm(vm_id, &spec).then_some(host_id)
+            });
+        let success = match placed {
+            Some(host_id) => {
+                world.vm_mut(vm_id).place(self.id, host_id);
+                *Self::slot_mut(&mut self.vm_scheds, vm_id.index()) =
+                    Some(self.scheduler_kind.build(spec.mips, spec.pes));
+                true
+            }
+            None => {
+                world.vm_mut(vm_id).reject();
+                false
+            }
+        };
+        ctx.send(src, SimTime::ZERO, Event::VmCreateAck { vm: vm_id, success });
+    }
+
+    fn apply_tick(
+        &mut self,
+        world: &mut World,
+        ctx: &mut Context<'_>,
+        vm_id: VmId,
+        tick: Tick,
+        broker: EntityId,
+    ) {
+        let now = ctx.now;
+        for started in tick.started {
+            let cl = world.cloudlet_mut(started);
+            if cl.start_time.is_none() {
+                cl.start_time = Some(now);
+            }
+            cl.status = CloudletStatus::Running;
+        }
+        if !tick.finished.is_empty() {
+            let vm_spec = world.vm(vm_id).spec.clone();
+            for finished in tick.finished {
+                let cl = world.cloudlet_mut(finished);
+                cl.finish_time = Some(now);
+                cl.status = CloudletStatus::Finished;
+                let cpu_seconds = cl
+                    .execution_time()
+                    .map(|t| t.as_secs())
+                    .unwrap_or(0.0);
+                cl.cost = cloudlet_cost(
+                    &self.characteristics.cost,
+                    &vm_spec,
+                    &cl.spec,
+                    cpu_seconds,
+                );
+                self.completed += 1;
+                // The completion notification travels back after the output
+                // file crosses the VM's bandwidth.
+                let out_delay = transfer_time(cl.spec.output_size_mb, vm_spec.bw_mbps);
+                ctx.send(broker, out_delay, Event::CloudletReturn { cloudlet: finished });
+            }
+        }
+        // Arm the next completion timer if it beats the one already armed.
+        if let Some(next) = tick.next_completion {
+            let slot = Self::slot_mut(&mut self.pending_tick, vm_id.index());
+            let stale = slot.is_none_or(|armed| next < armed || armed < now);
+            if stale {
+                *slot = Some(next);
+                ctx.send_self(next.saturating_sub(now), Event::VmTick { vm: vm_id });
+            }
+        }
+    }
+
+    fn handle_cloudlet_submit(
+        &mut self,
+        world: &mut World,
+        ctx: &mut Context<'_>,
+        src: EntityId,
+        cloudlet_id: crate::ids::CloudletId,
+        vm_id: VmId,
+    ) {
+        self.broker_hint = Some(src);
+        let (length, pes) = {
+            let cl = world.cloudlet_mut(cloudlet_id);
+            cl.status = CloudletStatus::Queued;
+            cl.vm = Some(vm_id);
+            (cl.spec.length_mi, cl.spec.pes)
+        };
+        let Some(sched) = self.vm_scheds.get_mut(vm_id.index()).and_then(Option::as_mut)
+        else {
+            // The VM was destroyed (host failure) after the broker bound
+            // the cloudlet — a genuine race, not a programming error.
+            assert_eq!(
+                world.vm(vm_id).status,
+                crate::vm::VmStatus::Destroyed,
+                "cloudlet submitted to VM {vm_id} that was never hosted here"
+            );
+            world.cloudlet_mut(cloudlet_id).status = CloudletStatus::Failed;
+            ctx.send(
+                src,
+                SimTime::ZERO,
+                Event::CloudletFailed { cloudlet: cloudlet_id },
+            );
+            return;
+        };
+        let tick = sched.submit(ctx.now, RunningCloudlet::new(cloudlet_id, length, pes));
+        self.apply_tick(world, ctx, vm_id, tick, src);
+    }
+
+    /// Takes a host down: evicts its VMs, fails their queued/running
+    /// cloudlets and reports each to the broker.
+    fn handle_host_fail(&mut self, world: &mut World, ctx: &mut Context<'_>, host_id: HostId) {
+        let Some(host) = self.hosts.get_mut(host_id.index()) else {
+            return; // unknown host: injection config referenced a ghost
+        };
+        let victims = host.fail();
+        for vm_id in victims {
+            world.vm_mut(vm_id).status = crate::vm::VmStatus::Destroyed;
+            let orphans = self
+                .vm_scheds
+                .get_mut(vm_id.index())
+                .and_then(Option::take)
+                .map(|mut sched| sched.drain())
+                .unwrap_or_default();
+            if let Some(slot) = self.pending_tick.get_mut(vm_id.index()) {
+                *slot = None;
+            }
+            for cloudlet in orphans {
+                world.cloudlet_mut(cloudlet).status = CloudletStatus::Failed;
+                if let Some(broker) = self.broker_hint {
+                    ctx.send(broker, SimTime::ZERO, Event::CloudletFailed { cloudlet });
+                }
+            }
+        }
+    }
+
+    fn handle_vm_tick(&mut self, world: &mut World, ctx: &mut Context<'_>, vm_id: VmId, broker: EntityId) {
+        // Disarm the timer record if this tick is the one we armed.
+        if let Some(slot) = self.pending_tick.get_mut(vm_id.index()) {
+            if slot.is_some_and(|armed| armed <= ctx.now) {
+                *slot = None;
+            }
+        }
+        let Some(sched) = self.vm_scheds.get_mut(vm_id.index()).and_then(Option::as_mut) else {
+            return;
+        };
+        let tick = sched.advance(ctx.now);
+        self.apply_tick(world, ctx, vm_id, tick, broker);
+    }
+}
+
+impl Entity for Datacenter {
+    fn id(&self) -> EntityId {
+        self.entity
+    }
+
+    fn handle(&mut self, world: &mut World, ctx: &mut Context<'_>, ev: ScheduledEvent) {
+        match ev.event {
+            Event::Start => {
+                // Arm the failure-injection schedule.
+                let failures = std::mem::take(&mut self.failures);
+                for (host, time) in failures {
+                    ctx.send_self(time, Event::HostFail { host });
+                }
+            }
+            Event::HostFail { host } => self.handle_host_fail(world, ctx, host),
+            Event::VmCreate { vm } => self.handle_vm_create(world, ctx, ev.src, vm),
+            Event::CloudletSubmit { cloudlet, vm } => {
+                self.handle_cloudlet_submit(world, ctx, ev.src, cloudlet, vm)
+            }
+            // VmTicks are self-sent; a tick can only exist after a cloudlet
+            // submission, which recorded the broker's address.
+            Event::VmTick { vm } => {
+                let broker = self
+                    .broker_hint
+                    .expect("VmTick before any cloudlet submission");
+                self.handle_vm_tick(world, ctx, vm, broker)
+            }
+            other => panic!("datacenter received unexpected event {other:?}"),
+        }
+    }
+}

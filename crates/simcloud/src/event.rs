@@ -1,0 +1,249 @@
+//! Simulation events and the deterministic event queue.
+//!
+//! The kernel advances by repeatedly popping the earliest scheduled event.
+//! Ties on time are broken by insertion sequence number, which makes runs
+//! fully deterministic for a fixed input.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::ids::{CloudletId, EntityId, HostId, VmId};
+use crate::time::SimTime;
+
+/// The payload of a scheduled event.
+///
+/// Events are the only communication channel between kernel entities
+/// (brokers and datacenters), mirroring CloudSim's message-passing model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Kernel start-of-simulation signal, delivered to every entity at t=0.
+    Start,
+    /// Broker asks a datacenter to instantiate a VM.
+    VmCreate {
+        /// The VM to create.
+        vm: VmId,
+    },
+    /// Datacenter acknowledges (or refuses) a VM creation.
+    VmCreateAck {
+        /// The VM the request was about.
+        vm: VmId,
+        /// Whether a host was found.
+        success: bool,
+    },
+    /// Broker submits a cloudlet for execution on a previously created VM.
+    CloudletSubmit {
+        /// The cloudlet to execute.
+        cloudlet: CloudletId,
+        /// The VM the scheduler bound it to.
+        vm: VmId,
+    },
+    /// Datacenter returns a completed cloudlet to its broker.
+    CloudletReturn {
+        /// The finished cloudlet.
+        cloudlet: CloudletId,
+    },
+    /// Datacenter-internal timer: re-evaluate the run-queue of one VM.
+    VmTick {
+        /// The VM whose queue should be settled.
+        vm: VmId,
+    },
+    /// Datacenter returns a cloudlet that can no longer run (its VM was
+    /// destroyed or never existed).
+    CloudletFailed {
+        /// The failed cloudlet.
+        cloudlet: CloudletId,
+    },
+    /// Failure injection: a host goes down, taking its VMs with it.
+    HostFail {
+        /// The failing host (within the receiving datacenter).
+        host: HostId,
+    },
+}
+
+/// An event bound to a destination and a firing time.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent {
+    /// Simulated firing time.
+    pub time: SimTime,
+    /// Monotonic tie-breaker assigned by the queue.
+    pub seq: u64,
+    /// Receiving entity.
+    pub dest: EntityId,
+    /// Sending entity.
+    pub src: EntityId,
+    /// Payload.
+    pub event: Event,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future-event list.
+///
+/// A thin wrapper over `BinaryHeap` that stamps every insertion with a
+/// sequence number so same-time events fire in submission order.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+    pushed: u64,
+    popped: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `event` for `dest` at absolute time `time`.
+    pub fn push(&mut self, time: SimTime, src: EntityId, dest: EntityId, event: Event) {
+        debug_assert!(time.is_valid_clock(), "event scheduled at invalid time");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(ScheduledEvent {
+            time,
+            seq,
+            dest,
+            src,
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        let ev = self.heap.pop();
+        if ev.is_some() {
+            self.popped += 1;
+        }
+        ev
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever pushed (diagnostics).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total events ever popped (diagnostics).
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(q: &mut EventQueue, t: f64) {
+        q.push(SimTime::new(t), EntityId(0), EntityId(1), Event::Start);
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        ev(&mut q, 5.0);
+        ev(&mut q, 1.0);
+        ev(&mut q, 3.0);
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_millis())
+            .collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10u32 {
+            q.push(
+                SimTime::new(2.0),
+                EntityId(0),
+                EntityId(i),
+                Event::Start,
+            );
+        }
+        let dests: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.dest.0).collect();
+        assert_eq!(dests, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        ev(&mut q, 1.0);
+        ev(&mut q, 2.0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::new(1.0)));
+        q.pop();
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.total_popped(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut q = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.peek_time().is_none());
+        assert_eq!(q.total_popped(), 0);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        ev(&mut q, 10.0);
+        ev(&mut q, 4.0);
+        assert_eq!(q.pop().unwrap().time, SimTime::new(4.0));
+        ev(&mut q, 7.0);
+        ev(&mut q, 2.0);
+        assert_eq!(q.pop().unwrap().time, SimTime::new(2.0));
+        assert_eq!(q.pop().unwrap().time, SimTime::new(7.0));
+        assert_eq!(q.pop().unwrap().time, SimTime::new(10.0));
+    }
+}

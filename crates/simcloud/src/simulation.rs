@@ -1,0 +1,786 @@
+//! High-level simulation façade.
+//!
+//! Wires a broker, datacenters, VMs and cloudlets into a kernel, runs it to
+//! completion and returns a [`SimulationOutcome`]. This is the API the
+//! benchmark harness and the examples use:
+//!
+//! ```
+//! use simcloud::prelude::*;
+//!
+//! let vms = vec![VmSpec::homogeneous_default(); 4];
+//! let cloudlets = vec![CloudletSpec::homogeneous_default(); 16];
+//! // Bind cloudlets to VMs cyclically (the paper's Base Test).
+//! let assignment: Vec<VmId> =
+//!     (0..16).map(|i| VmId::from_index(i % 4)).collect();
+//!
+//! let outcome = SimulationBuilder::new()
+//!     .datacenter(DatacenterBlueprint::sized_for(
+//!         &VmSpec::homogeneous_default(),
+//!         4,
+//!         2,
+//!         DatacenterCharacteristics::default(),
+//!     ))
+//!     .vms(vms)
+//!     .cloudlets(cloudlets)
+//!     .assignment(assignment)
+//!     .run()
+//!     .expect("valid scenario");
+//! assert_eq!(outcome.finished_count(), 16);
+//! ```
+
+use crate::broker::Broker;
+use crate::cloudlet::CloudletSpec;
+use crate::datacenter::{Datacenter, DatacenterBlueprint};
+use crate::error::SimError;
+use crate::ids::{DatacenterId, VmId};
+use crate::kernel::{Kernel, World};
+use crate::network::Topology;
+use crate::stats::{CloudletRecord, SimulationOutcome};
+use crate::vm::VmSpec;
+
+/// Builder for a full simulation run.
+pub struct SimulationBuilder {
+    datacenters: Vec<DatacenterBlueprint>,
+    vms: Vec<VmSpec>,
+    cloudlets: Vec<CloudletSpec>,
+    vm_placement: Option<Vec<DatacenterId>>,
+    assignment: Vec<VmId>,
+    arrivals: Option<Vec<crate::time::SimTime>>,
+    dependencies: Option<Vec<Vec<crate::ids::CloudletId>>>,
+    topology: Option<Topology>,
+    max_events: Option<u64>,
+    max_retries: u8,
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimulationBuilder {
+    /// Starts an empty scenario.
+    pub fn new() -> Self {
+        SimulationBuilder {
+            datacenters: Vec::new(),
+            vms: Vec::new(),
+            cloudlets: Vec::new(),
+            vm_placement: None,
+            assignment: Vec::new(),
+            arrivals: None,
+            dependencies: None,
+            topology: None,
+            max_events: None,
+            max_retries: 0,
+        }
+    }
+
+    /// Adds a datacenter.
+    pub fn datacenter(mut self, blueprint: DatacenterBlueprint) -> Self {
+        self.datacenters.push(blueprint);
+        self
+    }
+
+    /// Sets the VM fleet.
+    pub fn vms(mut self, vms: Vec<VmSpec>) -> Self {
+        self.vms = vms;
+        self
+    }
+
+    /// Sets the cloudlet workload.
+    pub fn cloudlets(mut self, cloudlets: Vec<CloudletSpec>) -> Self {
+        self.cloudlets = cloudlets;
+        self
+    }
+
+    /// Explicitly places each VM in a datacenter. Defaults to spreading
+    /// VMs across datacenters cyclically.
+    pub fn vm_placement(mut self, placement: Vec<DatacenterId>) -> Self {
+        self.vm_placement = Some(placement);
+        self
+    }
+
+    /// Sets the cloudlet→VM assignment (a scheduler's output).
+    pub fn assignment(mut self, assignment: Vec<VmId>) -> Self {
+        self.assignment = assignment;
+        self
+    }
+
+    /// Staggers cloudlet arrivals (absolute times from t=0). Defaults to
+    /// batch submission — everything arrives as soon as the fleet is up.
+    pub fn arrivals(mut self, arrivals: Vec<crate::time::SimTime>) -> Self {
+        self.arrivals = Some(arrivals);
+        self
+    }
+
+    /// Declares workflow precedence: `parents[c]` lists the cloudlets
+    /// that must finish before cloudlet `c` is submitted. The graph must
+    /// be acyclic; `run` validates this.
+    pub fn dependencies(mut self, parents: Vec<Vec<crate::ids::CloudletId>>) -> Self {
+        self.dependencies = Some(parents);
+        self
+    }
+
+    /// Sets the network topology. Defaults to zero-latency.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Enables fault tolerance: cloudlets whose VM dies are rebound to a
+    /// surviving VM up to `max_retries` times.
+    pub fn resubmit_failures(mut self, max_retries: u8) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Overrides the kernel's runaway-event guard.
+    pub fn max_events(mut self, max: u64) -> Self {
+        self.max_events = Some(max);
+        self
+    }
+
+    /// Validates the scenario, runs it to completion and collects metrics.
+    pub fn run(self) -> Result<SimulationOutcome, SimError> {
+        if self.datacenters.is_empty() {
+            return Err(SimError::NoDatacenters);
+        }
+        if self.vms.is_empty() {
+            return Err(SimError::NoVms);
+        }
+        let dc_count = self.datacenters.len();
+        let vm_placement = match self.vm_placement {
+            Some(p) => {
+                if p.len() != self.vms.len() {
+                    return Err(SimError::PlacementMismatch {
+                        vms: self.vms.len(),
+                        placements: p.len(),
+                    });
+                }
+                if let Some(bad) = p.iter().find(|d| d.index() >= dc_count) {
+                    return Err(SimError::UnknownDatacenter(*bad));
+                }
+                p
+            }
+            None => (0..self.vms.len())
+                .map(|i| DatacenterId::from_index(i % dc_count))
+                .collect(),
+        };
+        if self.assignment.len() != self.cloudlets.len() {
+            return Err(SimError::AssignmentMismatch {
+                cloudlets: self.cloudlets.len(),
+                assignments: self.assignment.len(),
+            });
+        }
+        if let Some(bad) = self.assignment.iter().find(|v| v.index() >= self.vms.len()) {
+            return Err(SimError::UnknownVm(*bad));
+        }
+        if let Some(parents) = &self.dependencies {
+            validate_dag(parents, self.cloudlets.len())
+                .map_err(|what| SimError::InvalidDependencies { what })?;
+        }
+        if let Some(arrivals) = &self.arrivals {
+            if arrivals.len() != self.cloudlets.len() {
+                return Err(SimError::AssignmentMismatch {
+                    cloudlets: self.cloudlets.len(),
+                    assignments: arrivals.len(),
+                });
+            }
+            if let Some(bad) = arrivals.iter().find(|t| !t.is_valid_clock()) {
+                return Err(SimError::InvalidSpec {
+                    what: format!("arrival time {bad:?} is not a valid clock value"),
+                });
+            }
+        }
+        for (i, vm) in self.vms.iter().enumerate() {
+            vm.validate().map_err(|e| SimError::InvalidSpec {
+                what: format!("vm {i}: {e}"),
+            })?;
+        }
+        for (i, cl) in self.cloudlets.iter().enumerate() {
+            cl.validate().map_err(|e| SimError::InvalidSpec {
+                what: format!("cloudlet {i}: {e}"),
+            })?;
+        }
+
+        let topology = self
+            .topology
+            .unwrap_or_else(|| Topology::flat(dc_count));
+
+        let mut kernel = Kernel::new();
+        if let Some(max) = self.max_events {
+            kernel = kernel.with_max_events(max);
+        }
+        let mut world = World::new(self.vms, self.cloudlets);
+
+        let mut dc_entities = Vec::with_capacity(dc_count);
+        let mut dc_handles = Vec::with_capacity(dc_count);
+        for (i, blueprint) in self.datacenters.into_iter().enumerate() {
+            let entity = kernel.next_entity_id();
+            let dc = Datacenter::new(entity, DatacenterId::from_index(i), blueprint);
+            dc_handles.push(entity);
+            dc_entities.push(entity);
+            kernel.register(Box::new(dc));
+        }
+        let broker_id = kernel.next_entity_id();
+        let mut broker = Broker::new(
+            broker_id,
+            dc_entities,
+            vm_placement,
+            self.assignment,
+            topology,
+        );
+        if let Some(arrivals) = self.arrivals {
+            broker = broker.with_arrivals(arrivals);
+        }
+        if let Some(parents) = self.dependencies {
+            broker = broker.with_dependencies(parents);
+        }
+        if self.max_retries > 0 {
+            broker = broker.with_resubmission(self.max_retries);
+        }
+        kernel.register(Box::new(broker));
+
+        let stats = kernel.run(&mut world);
+        if !stats.drained {
+            return Err(SimError::EventLimitExceeded {
+                processed: stats.events_processed,
+            });
+        }
+
+        // Recover broker counters. The kernel owns the entities; rather
+        // than downcasting we recompute the counters from the world, which
+        // is equivalent and keeps the kernel API minimal.
+        let vms_created = world.vms.iter().filter(|v| v.is_active()).count();
+        let vms_rejected = world
+            .vms
+            .iter()
+            .filter(|v| v.status == crate::vm::VmStatus::Rejected)
+            .count();
+        let cloudlets_failed = world
+            .cloudlets
+            .iter()
+            .filter(|c| c.status == crate::cloudlet::CloudletStatus::Failed)
+            .count();
+
+        let records: Vec<CloudletRecord> = world.cloudlets.iter().map(CloudletRecord::from).collect();
+        Ok(SimulationOutcome {
+            records,
+            end_time: stats.end_time,
+            events_processed: stats.events_processed,
+            vms_created,
+            vms_rejected,
+            cloudlets_failed,
+        })
+    }
+}
+
+/// Checks a parents-list DAG: every reference in range, no cycles
+/// (Kahn's algorithm), correct length.
+fn validate_dag(parents: &[Vec<crate::ids::CloudletId>], cloudlets: usize) -> Result<(), String> {
+    if parents.len() != cloudlets {
+        return Err(format!(
+            "dependency list covers {} cloudlets, expected {cloudlets}",
+            parents.len()
+        ));
+    }
+    let mut indegree = vec![0usize; cloudlets];
+    let mut children = vec![Vec::new(); cloudlets];
+    for (c, ps) in parents.iter().enumerate() {
+        for p in ps {
+            if p.index() >= cloudlets {
+                return Err(format!("cloudlet {c} depends on unknown cloudlet {p}"));
+            }
+            if p.index() == c {
+                return Err(format!("cloudlet {c} depends on itself"));
+            }
+            indegree[c] += 1;
+            children[p.index()].push(c);
+        }
+    }
+    let mut ready: Vec<usize> = (0..cloudlets).filter(|c| indegree[*c] == 0).collect();
+    let mut visited = 0usize;
+    while let Some(c) = ready.pop() {
+        visited += 1;
+        for &child in &children[c] {
+            indegree[child] -= 1;
+            if indegree[child] == 0 {
+                ready.push(child);
+            }
+        }
+    }
+    if visited != cloudlets {
+        return Err(format!(
+            "dependency graph has a cycle ({} of {cloudlets} cloudlets reachable)",
+            visited
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characteristics::DatacenterCharacteristics;
+
+    fn base_assignment(cloudlets: usize, vms: usize) -> Vec<VmId> {
+        (0..cloudlets).map(|i| VmId::from_index(i % vms)).collect()
+    }
+
+    fn quick_run(vms: usize, cloudlets: usize) -> SimulationOutcome {
+        let vm = VmSpec::homogeneous_default();
+        SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                vms,
+                4,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm; vms])
+            .cloudlets(vec![CloudletSpec::homogeneous_default(); cloudlets])
+            .assignment(base_assignment(cloudlets, vms))
+            .run()
+            .expect("valid scenario")
+    }
+
+    #[test]
+    fn all_cloudlets_finish() {
+        let outcome = quick_run(4, 20);
+        assert_eq!(outcome.finished_count(), 20);
+        assert_eq!(outcome.vms_created, 4);
+        assert_eq!(outcome.vms_rejected, 0);
+        assert_eq!(outcome.cloudlets_failed, 0);
+        assert!(outcome.simulation_time_ms().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn homogeneous_cyclic_assignment_is_balanced() {
+        let outcome = quick_run(4, 40);
+        let counts = outcome.per_vm_counts(4);
+        assert_eq!(counts, vec![10, 10, 10, 10]);
+        // Identical tasks on identical VMs: near-zero imbalance.
+        assert!(outcome.time_imbalance().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn execution_time_matches_analytic_model() {
+        // One VM, one cloudlet: exec = length/mips seconds.
+        let vm = VmSpec::homogeneous_default(); // 1000 MIPS
+        let cl = CloudletSpec::new(250.0, 300.0, 300.0, 1); // 0.25s
+        let outcome = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                1,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm])
+            .cloudlets(vec![cl])
+            .assignment(vec![VmId(0)])
+            .run()
+            .unwrap();
+        let exec = outcome.records[0].execution_ms.unwrap();
+        assert!((exec - 250.0).abs() < 1e-6, "expected 250ms, got {exec}");
+    }
+
+    #[test]
+    fn queued_cloudlets_serialize_on_one_vm() {
+        let vm = VmSpec::homogeneous_default();
+        let outcome = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                1,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm])
+            .cloudlets(vec![CloudletSpec::homogeneous_default(); 3])
+            .assignment(vec![VmId(0); 3])
+            .run()
+            .unwrap();
+        // Three 250ms tasks back-to-back: makespan 750ms.
+        let sim = outcome.simulation_time_ms().unwrap();
+        assert!((sim - 750.0).abs() < 1e-6, "expected 750ms, got {sim}");
+    }
+
+    #[test]
+    fn rejected_vms_fail_their_cloudlets() {
+        let vm = VmSpec::homogeneous_default();
+        // Datacenter sized for a single VM, but two requested.
+        let outcome = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                1,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm.clone(), vm])
+            .cloudlets(vec![CloudletSpec::homogeneous_default(); 4])
+            .assignment(vec![VmId(0), VmId(1), VmId(0), VmId(1)])
+            .run()
+            .unwrap();
+        assert_eq!(outcome.vms_created, 1);
+        assert_eq!(outcome.vms_rejected, 1);
+        assert_eq!(outcome.cloudlets_failed, 2);
+        assert_eq!(outcome.finished_count(), 2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let vm = VmSpec::homogeneous_default();
+        assert!(matches!(
+            SimulationBuilder::new().run(),
+            Err(SimError::NoDatacenters)
+        ));
+        assert!(matches!(
+            SimulationBuilder::new()
+                .datacenter(DatacenterBlueprint::sized_for(
+                    &vm,
+                    1,
+                    1,
+                    DatacenterCharacteristics::default()
+                ))
+                .run(),
+            Err(SimError::NoVms)
+        ));
+        // Assignment to a VM that does not exist.
+        let err = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                1,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm])
+            .cloudlets(vec![CloudletSpec::homogeneous_default()])
+            .assignment(vec![VmId(9)])
+            .run();
+        assert!(matches!(err, Err(SimError::UnknownVm(_))));
+    }
+
+    #[test]
+    fn staggered_arrivals_delay_submission() {
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        let cl = CloudletSpec::new(1_000.0, 0.0, 0.0, 1);
+        let outcome = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                2,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm; 2])
+            .cloudlets(vec![cl; 2])
+            .assignment(vec![VmId(0), VmId(1)])
+            .arrivals(vec![
+                crate::time::SimTime::ZERO,
+                crate::time::SimTime::new(5_000.0),
+            ])
+            .run()
+            .unwrap();
+        let first = &outcome.records[0];
+        let second = &outcome.records[1];
+        assert!((first.start.unwrap().as_millis()).abs() < 1e-9);
+        assert!((second.start.unwrap().as_millis() - 5_000.0).abs() < 1e-9);
+        assert_eq!(second.submit.unwrap(), crate::time::SimTime::new(5_000.0));
+        // Makespan spans from the first start to the last finish.
+        assert!((outcome.simulation_time_ms().unwrap() - 6_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrivals_length_mismatch_rejected() {
+        let vm = VmSpec::homogeneous_default();
+        let err = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                1,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm])
+            .cloudlets(vec![CloudletSpec::homogeneous_default(); 2])
+            .assignment(vec![VmId(0); 2])
+            .arrivals(vec![crate::time::SimTime::ZERO])
+            .run();
+        assert!(matches!(err, Err(SimError::AssignmentMismatch { .. })));
+    }
+
+    #[test]
+    fn host_failure_kills_resident_work() {
+        use crate::ids::HostId;
+        use crate::time::SimTime;
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        // Two hosts, one VM each; host 0 dies mid-run.
+        let blueprint = DatacenterBlueprint::sized_for(
+            &vm,
+            2,
+            1,
+            DatacenterCharacteristics::default(),
+        )
+        .with_failure(HostId(0), SimTime::new(500.0));
+        let long = CloudletSpec::new(2_000.0, 0.0, 0.0, 1); // 2s solo
+        let outcome = SimulationBuilder::new()
+            .datacenter(blueprint)
+            .vms(vec![vm; 2])
+            .cloudlets(vec![long; 4])
+            .assignment(vec![VmId(0), VmId(1), VmId(0), VmId(1)])
+            .run()
+            .unwrap();
+        // VM0's two cloudlets die with the host; VM1's two finish.
+        assert_eq!(outcome.finished_count(), 2);
+        assert_eq!(outcome.cloudlets_failed, 2);
+        for r in &outcome.records {
+            match r.vm {
+                Some(VmId(0)) => assert_eq!(r.status, crate::cloudlet::CloudletStatus::Failed),
+                Some(VmId(1)) => assert_eq!(r.status, crate::cloudlet::CloudletStatus::Finished),
+                other => panic!("unexpected vm {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn resubmission_recovers_from_host_failure() {
+        use crate::ids::HostId;
+        use crate::time::SimTime;
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        // Host 0 dies at t=500 while VM0 runs its queue; with resubmission
+        // the orphans move to VM1 and everything still finishes.
+        let blueprint = DatacenterBlueprint::sized_for(
+            &vm,
+            2,
+            1,
+            DatacenterCharacteristics::default(),
+        )
+        .with_failure(HostId(0), SimTime::new(500.0));
+        let outcome = SimulationBuilder::new()
+            .datacenter(blueprint)
+            .vms(vec![vm; 2])
+            .cloudlets(vec![CloudletSpec::new(2_000.0, 0.0, 0.0, 1); 4])
+            .assignment(vec![VmId(0), VmId(1), VmId(0), VmId(1)])
+            .resubmit_failures(3)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.finished_count(), 4, "resubmission saves the work");
+        assert_eq!(outcome.cloudlets_failed, 0);
+        // Anything finishing after the failure must be on the survivor.
+        for r in &outcome.records {
+            if r.finish.unwrap() > SimTime::new(500.0) {
+                assert_eq!(r.vm, Some(VmId(1)), "rescued work runs on VM1");
+            }
+        }
+    }
+
+    #[test]
+    fn resubmission_gives_up_when_no_vm_survives() {
+        use crate::ids::HostId;
+        use crate::time::SimTime;
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        let blueprint = DatacenterBlueprint::sized_for(
+            &vm,
+            1,
+            1,
+            DatacenterCharacteristics::default(),
+        )
+        .with_failure(HostId(0), SimTime::new(100.0));
+        let outcome = SimulationBuilder::new()
+            .datacenter(blueprint)
+            .vms(vec![vm])
+            .cloudlets(vec![CloudletSpec::new(5_000.0, 0.0, 0.0, 1); 2])
+            .assignment(vec![VmId(0); 2])
+            .resubmit_failures(5)
+            .run()
+            .unwrap();
+        assert_eq!(outcome.finished_count(), 0);
+        assert_eq!(outcome.cloudlets_failed, 2);
+    }
+
+    #[test]
+    fn failure_before_submission_fails_cloudlets_cleanly() {
+        use crate::ids::HostId;
+        use crate::time::SimTime;
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        // Host dies at t=100; the cloudlet arrives at t=500, after its VM
+        // is gone — it must fail, not crash the kernel.
+        let blueprint = DatacenterBlueprint::sized_for(
+            &vm,
+            1,
+            1,
+            DatacenterCharacteristics::default(),
+        )
+        .with_failure(HostId(0), SimTime::new(100.0));
+        let outcome = SimulationBuilder::new()
+            .datacenter(blueprint)
+            .vms(vec![vm])
+            .cloudlets(vec![CloudletSpec::new(1_000.0, 0.0, 0.0, 1)])
+            .assignment(vec![VmId(0)])
+            .arrivals(vec![SimTime::new(500.0)])
+            .run()
+            .unwrap();
+        assert_eq!(outcome.finished_count(), 0);
+        assert_eq!(outcome.cloudlets_failed, 1);
+    }
+
+    #[test]
+    fn workflow_chain_serializes_across_vms() {
+        use crate::ids::CloudletId;
+        // Two VMs, three chained 1s tasks on alternating VMs: each child
+        // starts only after its parent finishes, despite idle VMs.
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        let cl = CloudletSpec::new(1_000.0, 0.0, 0.0, 1);
+        let outcome = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                2,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm; 2])
+            .cloudlets(vec![cl; 3])
+            .assignment(vec![VmId(0), VmId(1), VmId(0)])
+            .dependencies(vec![
+                vec![],
+                vec![CloudletId(0)],
+                vec![CloudletId(1)],
+            ])
+            .run()
+            .unwrap();
+        assert_eq!(outcome.finished_count(), 3);
+        let f = |i: usize| outcome.records[i].finish.unwrap().as_millis();
+        let s = |i: usize| outcome.records[i].start.unwrap().as_millis();
+        assert!(s(1) >= f(0));
+        assert!(s(2) >= f(1));
+        // Chain of three 1s tasks: at least 3s of simulated span.
+        assert!(f(2) - s(0) >= 3_000.0 - 1e-6);
+    }
+
+    #[test]
+    fn workflow_diamond_joins_on_slowest_parent() {
+        use crate::ids::CloudletId;
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        // c0 -> {c1 (1s), c2 (3s)} -> c3; all on distinct VMs.
+        let cloudlets = vec![
+            CloudletSpec::new(500.0, 0.0, 0.0, 1),
+            CloudletSpec::new(1_000.0, 0.0, 0.0, 1),
+            CloudletSpec::new(3_000.0, 0.0, 0.0, 1),
+            CloudletSpec::new(500.0, 0.0, 0.0, 1),
+        ];
+        let outcome = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                4,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm; 4])
+            .cloudlets(cloudlets)
+            .assignment((0..4).map(VmId::from_index).collect())
+            .dependencies(vec![
+                vec![],
+                vec![CloudletId(0)],
+                vec![CloudletId(0)],
+                vec![CloudletId(1), CloudletId(2)],
+            ])
+            .run()
+            .unwrap();
+        assert_eq!(outcome.finished_count(), 4);
+        let f = |i: usize| outcome.records[i].finish.unwrap().as_millis();
+        let s = |i: usize| outcome.records[i].start.unwrap().as_millis();
+        // Join waits for the slow branch, not the fast one.
+        assert!(s(3) >= f(2));
+        assert!(f(2) > f(1));
+    }
+
+    #[test]
+    fn cyclic_dependencies_rejected() {
+        use crate::ids::CloudletId;
+        let vm = VmSpec::homogeneous_default();
+        let err = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                1,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm])
+            .cloudlets(vec![CloudletSpec::homogeneous_default(); 2])
+            .assignment(vec![VmId(0); 2])
+            .dependencies(vec![vec![CloudletId(1)], vec![CloudletId(0)]])
+            .run();
+        assert!(matches!(err, Err(SimError::InvalidDependencies { .. })));
+        // Self-loop.
+        let vm = VmSpec::homogeneous_default();
+        let err = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                1,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm])
+            .cloudlets(vec![CloudletSpec::homogeneous_default()])
+            .assignment(vec![VmId(0)])
+            .dependencies(vec![vec![CloudletId(0)]])
+            .run();
+        assert!(matches!(err, Err(SimError::InvalidDependencies { .. })));
+    }
+
+    #[test]
+    fn failed_parent_cascades_to_descendants() {
+        use crate::ids::{CloudletId, HostId};
+        use crate::time::SimTime;
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        // VM0's host dies while c0 runs; c1 (child, on healthy VM1) and
+        // c2 (grandchild) must cascade to Failed; c3 is independent.
+        let blueprint = DatacenterBlueprint::sized_for(
+            &vm,
+            2,
+            1,
+            DatacenterCharacteristics::default(),
+        )
+        .with_failure(HostId(0), SimTime::new(500.0));
+        let outcome = SimulationBuilder::new()
+            .datacenter(blueprint)
+            .vms(vec![vm; 2])
+            .cloudlets(vec![CloudletSpec::new(2_000.0, 0.0, 0.0, 1); 4])
+            .assignment(vec![VmId(0), VmId(1), VmId(1), VmId(1)])
+            .dependencies(vec![
+                vec![],
+                vec![CloudletId(0)],
+                vec![CloudletId(1)],
+                vec![],
+            ])
+            .run()
+            .unwrap();
+        use crate::cloudlet::CloudletStatus;
+        assert_eq!(outcome.records[0].status, CloudletStatus::Failed);
+        assert_eq!(outcome.records[1].status, CloudletStatus::Failed);
+        assert_eq!(outcome.records[2].status, CloudletStatus::Failed);
+        assert_eq!(outcome.records[3].status, CloudletStatus::Finished);
+        assert_eq!(outcome.cloudlets_failed, 3);
+    }
+
+    #[test]
+    fn multi_datacenter_spread() {
+        let vm = VmSpec::homogeneous_default();
+        let outcome = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                2,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                2,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm; 4])
+            .cloudlets(vec![CloudletSpec::homogeneous_default(); 8])
+            .assignment(base_assignment(8, 4))
+            .run()
+            .unwrap();
+        assert_eq!(outcome.vms_created, 4);
+        assert_eq!(outcome.finished_count(), 8);
+    }
+}

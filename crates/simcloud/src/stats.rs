@@ -1,0 +1,325 @@
+//! Simulation outcomes and the paper's evaluation metrics.
+//!
+//! [`SimulationOutcome`] is the data the paper's figures are computed from:
+//! one record per cloudlet plus run-level counters. The metric definitions
+//! follow Section VI-C: simulation time (Eq. 12), degree of time imbalance
+//! (Eq. 13) and processing cost (Section VI-C-4).
+
+use crate::cloudlet::{Cloudlet, CloudletStatus};
+use crate::ids::{CloudletId, VmId};
+use crate::time::SimTime;
+
+/// Final per-cloudlet execution record.
+#[derive(Debug, Clone)]
+pub struct CloudletRecord {
+    /// Which cloudlet this is.
+    pub id: CloudletId,
+    /// VM it ran on (None if it failed before placement).
+    pub vm: Option<VmId>,
+    /// Submission time.
+    pub submit: Option<SimTime>,
+    /// Execution start.
+    pub start: Option<SimTime>,
+    /// Execution finish.
+    pub finish: Option<SimTime>,
+    /// Execution span in milliseconds (finish − start).
+    pub execution_ms: Option<f64>,
+    /// Accrued processing cost.
+    pub cost: f64,
+    /// Final status.
+    pub status: CloudletStatus,
+    /// SLA result: `Some(true/false)` for deadline-carrying cloudlets,
+    /// `None` for best-effort ones.
+    pub met_deadline: Option<bool>,
+}
+
+impl From<&Cloudlet> for CloudletRecord {
+    fn from(cl: &Cloudlet) -> Self {
+        CloudletRecord {
+            id: cl.id,
+            vm: cl.vm,
+            submit: cl.submit_time,
+            start: cl.start_time,
+            finish: cl.finish_time,
+            execution_ms: cl.execution_time().map(|t| t.as_millis()),
+            cost: cl.cost,
+            status: cl.status,
+            met_deadline: cl.met_deadline(),
+        }
+    }
+}
+
+/// Everything measured from one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// One record per cloudlet, in cloudlet-id order.
+    pub records: Vec<CloudletRecord>,
+    /// Final simulated clock.
+    pub end_time: SimTime,
+    /// Kernel events processed.
+    pub events_processed: u64,
+    /// VMs successfully created.
+    pub vms_created: usize,
+    /// VMs refused by their datacenter.
+    pub vms_rejected: usize,
+    /// Cloudlets that never ran.
+    pub cloudlets_failed: usize,
+}
+
+impl SimulationOutcome {
+    /// Cloudlets that finished successfully.
+    pub fn finished(&self) -> impl Iterator<Item = &CloudletRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.status == CloudletStatus::Finished)
+    }
+
+    /// Number of finished cloudlets.
+    pub fn finished_count(&self) -> usize {
+        self.finished().count()
+    }
+
+    /// The paper's Eq. 12: `T_sim = T_maxFinish − T_minStart`, in ms.
+    ///
+    /// `None` when no cloudlet finished.
+    pub fn simulation_time_ms(&self) -> Option<f64> {
+        let mut min_start: Option<f64> = None;
+        let mut max_finish: Option<f64> = None;
+        for r in self.finished() {
+            if let (Some(s), Some(f)) = (r.start, r.finish) {
+                let s = s.as_millis();
+                let f = f.as_millis();
+                min_start = Some(min_start.map_or(s, |m| m.min(s)));
+                max_finish = Some(max_finish.map_or(f, |m| m.max(f)));
+            }
+        }
+        Some(max_finish? - min_start?)
+    }
+
+    /// The paper's Eq. 13: `T_im = (T_max − T_min) / T_avg` over cloudlet
+    /// execution times.
+    ///
+    /// `None` when no cloudlet finished or all execution times are zero.
+    pub fn time_imbalance(&self) -> Option<f64> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in self.finished() {
+            let e = r.execution_ms?;
+            min = min.min(e);
+            max = max.max(e);
+            sum += e;
+            n += 1;
+        }
+        if n == 0 || sum == 0.0 {
+            return None;
+        }
+        let avg = sum / n as f64;
+        Some((max - min) / avg)
+    }
+
+    /// Eq. 13 computed over *turnaround* times (finish − submit) instead
+    /// of execution times. With batch submission this measures the spread
+    /// of completion, which penalizes queueing on overloaded VMs.
+    pub fn turnaround_imbalance(&self) -> Option<f64> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in self.finished() {
+            let (s, f) = (r.submit?, r.finish?);
+            let t = f.saturating_sub(s).as_millis();
+            min = min.min(t);
+            max = max.max(t);
+            sum += t;
+            n += 1;
+        }
+        if n == 0 || sum == 0.0 {
+            return None;
+        }
+        Some((max - min) / (sum / n as f64))
+    }
+
+    /// Total processing cost over all finished cloudlets (Fig. 6d's y-axis).
+    pub fn total_cost(&self) -> f64 {
+        self.finished().map(|r| r.cost).sum()
+    }
+
+    /// Mean processing cost per finished cloudlet.
+    pub fn mean_cost(&self) -> Option<f64> {
+        let n = self.finished_count();
+        (n > 0).then(|| self.total_cost() / n as f64)
+    }
+
+    /// Mean execution time over finished cloudlets, in ms.
+    pub fn mean_execution_ms(&self) -> Option<f64> {
+        let (sum, n) = self
+            .finished()
+            .filter_map(|r| r.execution_ms)
+            .fold((0.0, 0usize), |(s, n), e| (s + e, n + 1));
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Number of deadline-carrying cloudlets that missed their SLA
+    /// (including ones that failed outright).
+    pub fn sla_violations(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.met_deadline == Some(false))
+            .count()
+    }
+
+    /// Fraction of deadline-carrying cloudlets that met their SLA.
+    /// `None` when no cloudlet carries a deadline.
+    pub fn sla_attainment(&self) -> Option<f64> {
+        let (met, total) = self
+            .records
+            .iter()
+            .filter_map(|r| r.met_deadline)
+            .fold((0usize, 0usize), |(m, t), ok| (m + usize::from(ok), t + 1));
+        (total > 0).then(|| met as f64 / total as f64)
+    }
+
+    /// Per-VM busy time in ms: the sum of execution times of the
+    /// cloudlets each VM finished. Under time-sharing, overlapping
+    /// executions make this an *occupancy* figure that can exceed the
+    /// wall window; see [`crate::energy`] for a clamped interpretation.
+    pub fn per_vm_busy_ms(&self, vm_count: usize) -> Vec<f64> {
+        let mut busy = vec![0.0f64; vm_count];
+        for r in self.finished() {
+            if let (Some(vm), Some(exec)) = (r.vm, r.execution_ms) {
+                if vm.index() < vm_count {
+                    busy[vm.index()] += exec;
+                }
+            }
+        }
+        busy
+    }
+
+    /// Per-VM finished-cloudlet counts (load-spread diagnostics).
+    pub fn per_vm_counts(&self, vm_count: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; vm_count];
+        for r in self.finished() {
+            if let Some(vm) = r.vm {
+                if vm.index() < vm_count {
+                    counts[vm.index()] += 1;
+                }
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u32, start: f64, finish: f64, cost: f64) -> CloudletRecord {
+        CloudletRecord {
+            id: CloudletId(id),
+            vm: Some(VmId(id % 2)),
+            submit: Some(SimTime::ZERO),
+            start: Some(SimTime::new(start)),
+            finish: Some(SimTime::new(finish)),
+            execution_ms: Some(finish - start),
+            cost,
+            status: CloudletStatus::Finished,
+            met_deadline: None,
+        }
+    }
+
+    fn outcome(records: Vec<CloudletRecord>) -> SimulationOutcome {
+        SimulationOutcome {
+            records,
+            end_time: SimTime::new(100.0),
+            events_processed: 1,
+            vms_created: 2,
+            vms_rejected: 0,
+            cloudlets_failed: 0,
+        }
+    }
+
+    #[test]
+    fn eq12_simulation_time() {
+        let o = outcome(vec![rec(0, 5.0, 20.0, 1.0), rec(1, 10.0, 50.0, 2.0)]);
+        assert_eq!(o.simulation_time_ms(), Some(45.0));
+    }
+
+    #[test]
+    fn eq13_imbalance() {
+        // exec times 10 and 30 -> (30-10)/20 = 1.0
+        let o = outcome(vec![rec(0, 0.0, 10.0, 0.0), rec(1, 0.0, 30.0, 0.0)]);
+        assert!((o.time_imbalance().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_balanced_run_has_zero_imbalance() {
+        let o = outcome(vec![rec(0, 0.0, 10.0, 0.0), rec(1, 5.0, 15.0, 0.0)]);
+        assert_eq!(o.time_imbalance(), Some(0.0));
+    }
+
+    #[test]
+    fn cost_rollups() {
+        let o = outcome(vec![rec(0, 0.0, 1.0, 3.0), rec(1, 0.0, 1.0, 5.0)]);
+        assert_eq!(o.total_cost(), 8.0);
+        assert_eq!(o.mean_cost(), Some(4.0));
+    }
+
+    #[test]
+    fn unfinished_cloudlets_excluded() {
+        let mut failed = rec(2, 0.0, 0.0, 99.0);
+        failed.status = CloudletStatus::Failed;
+        failed.execution_ms = None;
+        let o = outcome(vec![rec(0, 0.0, 10.0, 1.0), failed]);
+        assert_eq!(o.finished_count(), 1);
+        assert_eq!(o.total_cost(), 1.0);
+        assert_eq!(o.simulation_time_ms(), Some(10.0));
+    }
+
+    #[test]
+    fn empty_outcome_yields_none_metrics() {
+        let o = outcome(vec![]);
+        assert_eq!(o.simulation_time_ms(), None);
+        assert_eq!(o.time_imbalance(), None);
+        assert_eq!(o.mean_cost(), None);
+        assert_eq!(o.mean_execution_ms(), None);
+        assert_eq!(o.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn per_vm_counts_spread() {
+        let o = outcome(vec![rec(0, 0.0, 1.0, 0.0), rec(1, 0.0, 1.0, 0.0), rec(2, 0.0, 1.0, 0.0)]);
+        let counts = o.per_vm_counts(2);
+        assert_eq!(counts, vec![2, 1]);
+    }
+
+    #[test]
+    fn per_vm_busy_accumulates_execution() {
+        // ids 0 and 2 land on vm0, id 1 on vm1 (rec uses id % 2).
+        let o = outcome(vec![
+            rec(0, 0.0, 10.0, 0.0),
+            rec(1, 0.0, 30.0, 0.0),
+            rec(2, 5.0, 15.0, 0.0),
+        ]);
+        let busy = o.per_vm_busy_ms(2);
+        assert!((busy[0] - 20.0).abs() < 1e-12);
+        assert!((busy[1] - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sla_rollups() {
+        let mut hit = rec(0, 0.0, 10.0, 0.0);
+        hit.met_deadline = Some(true);
+        let mut miss = rec(1, 0.0, 99.0, 0.0);
+        miss.met_deadline = Some(false);
+        let best_effort = rec(2, 0.0, 10.0, 0.0);
+        let o = outcome(vec![hit, miss, best_effort]);
+        assert_eq!(o.sla_violations(), 1);
+        assert!((o.sla_attainment().unwrap() - 0.5).abs() < 1e-12);
+        // No deadlines at all -> None.
+        let o2 = outcome(vec![rec(0, 0.0, 1.0, 0.0)]);
+        assert_eq!(o2.sla_attainment(), None);
+        assert_eq!(o2.sla_violations(), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Virtual machines.
+//!
+//! A VM is described by a [`VmSpec`] (the paper's Table III / Table V
+//! fields) and carries runtime placement state once a datacenter accepts it.
+
+use crate::ids::{DatacenterId, HostId, VmId};
+
+/// Static description of a virtual machine, mirroring CloudSim's `Vm`.
+///
+/// Field names follow the paper's Table III:
+/// `vmMips`, `vmSize`, `vmRam`, `vmBw`, `vmPesNumber`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmSpec {
+    /// Million instructions per second *per PE*.
+    pub mips: f64,
+    /// Image size in MB (storage the VM occupies on its host).
+    pub size_mb: f64,
+    /// RAM in MB.
+    pub ram_mb: f64,
+    /// Bandwidth in Mbps.
+    pub bw_mbps: f64,
+    /// Number of processing elements.
+    pub pes: u32,
+}
+
+impl VmSpec {
+    /// Creates a spec, validating every field.
+    pub fn new(mips: f64, size_mb: f64, ram_mb: f64, bw_mbps: f64, pes: u32) -> Self {
+        let spec = VmSpec {
+            mips,
+            size_mb,
+            ram_mb,
+            bw_mbps,
+            pes,
+        };
+        spec.validate().expect("invalid VmSpec");
+        spec
+    }
+
+    /// Checks all fields for physical plausibility.
+    pub fn validate(&self) -> Result<(), String> {
+        fn pos(name: &str, v: f64) -> Result<(), String> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("VmSpec.{name} must be positive and finite, got {v}"))
+            }
+        }
+        pos("mips", self.mips)?;
+        pos("size_mb", self.size_mb)?;
+        pos("ram_mb", self.ram_mb)?;
+        pos("bw_mbps", self.bw_mbps)?;
+        if self.pes == 0 {
+            return Err("VmSpec.pes must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Total compute capacity of the VM in MIPS (all PEs combined).
+    #[inline]
+    pub fn total_mips(&self) -> f64 {
+        self.mips * f64::from(self.pes)
+    }
+
+    /// The paper's homogeneous-scenario VM (Table III).
+    pub fn homogeneous_default() -> Self {
+        VmSpec::new(1_000.0, 5_000.0, 512.0, 500.0, 1)
+    }
+}
+
+impl Default for VmSpec {
+    fn default() -> Self {
+        Self::homogeneous_default()
+    }
+}
+
+/// Lifecycle state of a VM inside the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VmStatus {
+    /// Declared but not yet sent to a datacenter.
+    #[default]
+    Created,
+    /// Creation request in flight.
+    Requested,
+    /// Running on a host.
+    Active,
+    /// Datacenter refused the creation (insufficient host capacity).
+    Rejected,
+    /// Shut down.
+    Destroyed,
+}
+
+/// A VM instance: spec plus runtime placement.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    /// This VM's identity in the world arena.
+    pub id: VmId,
+    /// Static requirements.
+    pub spec: VmSpec,
+    /// Lifecycle state.
+    pub status: VmStatus,
+    /// Datacenter the VM was placed in (once `Active`).
+    pub datacenter: Option<DatacenterId>,
+    /// Host the VM was placed on (once `Active`).
+    pub host: Option<HostId>,
+}
+
+impl Vm {
+    /// Creates a fresh, unplaced VM.
+    pub fn new(id: VmId, spec: VmSpec) -> Self {
+        Vm {
+            id,
+            spec,
+            status: VmStatus::Created,
+            datacenter: None,
+            host: None,
+        }
+    }
+
+    /// Records successful placement.
+    pub fn place(&mut self, dc: DatacenterId, host: HostId) {
+        self.datacenter = Some(dc);
+        self.host = Some(host);
+        self.status = VmStatus::Active;
+    }
+
+    /// Records rejection by the datacenter.
+    pub fn reject(&mut self) {
+        self.status = VmStatus::Rejected;
+    }
+
+    /// True when the VM can accept cloudlets.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.status == VmStatus::Active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_defaults() {
+        let v = VmSpec::homogeneous_default();
+        assert_eq!(v.mips, 1_000.0);
+        assert_eq!(v.size_mb, 5_000.0);
+        assert_eq!(v.ram_mb, 512.0);
+        assert_eq!(v.bw_mbps, 500.0);
+        assert_eq!(v.pes, 1);
+        assert_eq!(v.total_mips(), 1_000.0);
+    }
+
+    #[test]
+    fn total_mips_scales_with_pes() {
+        let v = VmSpec::new(500.0, 1.0, 1.0, 1.0, 4);
+        assert_eq!(v.total_mips(), 2_000.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        assert!(VmSpec {
+            mips: -1.0,
+            ..VmSpec::default()
+        }
+        .validate()
+        .is_err());
+        assert!(VmSpec {
+            pes: 0,
+            ..VmSpec::default()
+        }
+        .validate()
+        .is_err());
+        assert!(VmSpec {
+            bw_mbps: f64::NAN,
+            ..VmSpec::default()
+        }
+        .validate()
+        .is_err());
+        assert!(VmSpec::default().validate().is_ok());
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut vm = Vm::new(VmId(0), VmSpec::default());
+        assert!(!vm.is_active());
+        vm.place(DatacenterId(1), HostId(2));
+        assert!(vm.is_active());
+        assert_eq!(vm.datacenter, Some(DatacenterId(1)));
+        assert_eq!(vm.host, Some(HostId(2)));
+        let mut vm2 = Vm::new(VmId(1), VmSpec::default());
+        vm2.reject();
+        assert_eq!(vm2.status, VmStatus::Rejected);
+        assert!(!vm2.is_active());
+    }
+}

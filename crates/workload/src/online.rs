@@ -1,0 +1,289 @@
+//! Online (multi-round) scheduling.
+//!
+//! The paper's introduction demands schedulers that "adapt to changes
+//! along with defined demand": in a real cloud, cloudlets arrive over
+//! time and the scheduler is re-invoked per batch. This module slices a
+//! scenario's workload into arrival *waves*, runs the scheduler once per
+//! wave (letting it carry state — the Base Test's cursor, ACO's RNG —
+//! across rounds, exactly as a resident scheduler would), and simulates
+//! the merged plan with staggered arrivals.
+
+use biosched_core::assignment::Assignment;
+use biosched_core::problem::SchedulingProblem;
+use biosched_core::scheduler::Scheduler;
+use simcloud::error::SimError;
+use simcloud::ids::VmId;
+use simcloud::rng::stream;
+use simcloud::stats::SimulationOutcome;
+use rand::Rng;
+
+use crate::scenario::Scenario;
+
+/// How a workload is sliced into arrival waves.
+#[derive(Debug, Clone)]
+pub struct WavePlan {
+    /// Arrival time of each wave, in ms from t=0 (ascending).
+    pub wave_times: Vec<f64>,
+    /// Cloudlet indices per wave (a partition of `0..cloudlet_count`).
+    pub waves: Vec<Vec<usize>>,
+}
+
+impl WavePlan {
+    /// Splits `cloudlet_count` cloudlets into `wave_count` equal waves
+    /// arriving every `interval_ms`.
+    pub fn uniform(cloudlet_count: usize, wave_count: usize, interval_ms: f64) -> Self {
+        assert!(wave_count > 0, "need at least one wave");
+        assert!(interval_ms >= 0.0, "interval must be non-negative");
+        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); wave_count];
+        for c in 0..cloudlet_count {
+            waves[c * wave_count / cloudlet_count.max(1)].push(c);
+        }
+        let wave_times = (0..wave_count).map(|w| w as f64 * interval_ms).collect();
+        WavePlan { wave_times, waves }
+    }
+
+    /// Poisson-process arrivals: waves sized by draws with mean
+    /// `mean_wave`, spaced by exponential gaps with mean `mean_gap_ms`.
+    pub fn poisson(
+        cloudlet_count: usize,
+        mean_wave: usize,
+        mean_gap_ms: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(mean_wave > 0);
+        assert!(mean_gap_ms > 0.0);
+        let mut rng = stream(seed, "online/poisson");
+        let mut waves = Vec::new();
+        let mut wave_times = Vec::new();
+        let mut next = 0usize;
+        let mut t = 0.0f64;
+        while next < cloudlet_count {
+            // Wave size ~ 1 + Poisson-ish draw (geometric approximation).
+            let mut size = 1usize;
+            while size < 4 * mean_wave && rng.gen_range(0.0..1.0) < 1.0 - 1.0 / mean_wave as f64
+            {
+                size += 1;
+            }
+            let end = (next + size).min(cloudlet_count);
+            waves.push((next..end).collect());
+            wave_times.push(t);
+            next = end;
+            // Exponential gap via inverse transform.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -mean_gap_ms * u.ln();
+        }
+        WavePlan { wave_times, waves }
+    }
+
+    /// Validates the plan against a workload size.
+    pub fn validate(&self, cloudlet_count: usize) -> Result<(), String> {
+        if self.wave_times.len() != self.waves.len() {
+            return Err("wave_times and waves must align".into());
+        }
+        let mut seen = vec![false; cloudlet_count];
+        for wave in &self.waves {
+            for &c in wave {
+                if c >= cloudlet_count {
+                    return Err(format!("wave references cloudlet {c} out of range"));
+                }
+                if seen[c] {
+                    return Err(format!("cloudlet {c} appears in two waves"));
+                }
+                seen[c] = true;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|s| !s) {
+            return Err(format!("cloudlet {missing} is in no wave"));
+        }
+        if self.wave_times.windows(2).any(|w| w[1] < w[0]) {
+            return Err("wave times must be non-decreasing".into());
+        }
+        Ok(())
+    }
+}
+
+/// Result of an online run: the merged plan plus the simulation outcome.
+#[derive(Debug)]
+pub struct OnlineOutcome {
+    /// The merged cloudlet→VM plan across all waves.
+    pub assignment: Assignment,
+    /// Per-cloudlet arrival times used for the simulation.
+    pub arrivals: Vec<f64>,
+    /// The simulated outcome.
+    pub outcome: SimulationOutcome,
+    /// Number of scheduler invocations (= waves).
+    pub rounds: usize,
+}
+
+/// Runs `scheduler` once per wave and simulates the merged plan.
+///
+/// Each round sees only that wave's cloudlets (with the full, unchanged
+/// fleet), mirroring a broker that binds arrivals as they come. The
+/// scheduler's internal state persists across rounds.
+pub fn run_online(
+    scenario: &Scenario,
+    scheduler: &mut dyn Scheduler,
+    plan: &WavePlan,
+) -> Result<OnlineOutcome, SimError> {
+    plan.validate(scenario.cloudlet_count())
+        .map_err(|what| SimError::InvalidSpec { what })?;
+    let full = scenario.problem();
+    let mut merged: Vec<Option<VmId>> = vec![None; scenario.cloudlet_count()];
+    let mut arrivals = vec![0.0f64; scenario.cloudlet_count()];
+
+    for (wave, &wave_time) in plan.waves.iter().zip(&plan.wave_times) {
+        if wave.is_empty() {
+            continue;
+        }
+        let wave_problem = SchedulingProblem::new(
+            full.vms.clone(),
+            wave.iter().map(|&c| full.cloudlets[c].clone()).collect(),
+            full.datacenters.clone(),
+            full.vm_placement.clone(),
+        )
+        .expect("wave problems inherit scenario consistency");
+        let wave_assignment = scheduler.schedule(&wave_problem);
+        assert_eq!(
+            wave_assignment.len(),
+            wave.len(),
+            "{} returned a partial wave plan",
+            scheduler.name()
+        );
+        for (slot, &cloudlet) in wave.iter().enumerate() {
+            merged[cloudlet] = Some(wave_assignment.vm_for(slot));
+            arrivals[cloudlet] = wave_time;
+        }
+    }
+
+    let assignment = Assignment::new(
+        merged
+            .into_iter()
+            .map(|m| m.expect("plan.validate guarantees full coverage"))
+            .collect(),
+    );
+    let mut staged = scenario.clone();
+    staged.arrivals = Some(arrivals.clone());
+    let outcome = staged.simulate(assignment.clone())?;
+    Ok(OnlineOutcome {
+        assignment,
+        arrivals,
+        outcome,
+        rounds: plan.waves.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heterogeneous::HeterogeneousScenario;
+    use biosched_core::prelude::*;
+
+    fn scenario() -> Scenario {
+        HeterogeneousScenario {
+            vm_count: 10,
+            cloudlet_count: 60,
+            datacenter_count: 2,
+            seed: 4,
+        }
+        .build()
+    }
+
+    #[test]
+    fn uniform_plan_partitions_everything() {
+        let plan = WavePlan::uniform(10, 3, 100.0);
+        assert!(plan.validate(10).is_ok());
+        assert_eq!(plan.waves.iter().map(Vec::len).sum::<usize>(), 10);
+        assert_eq!(plan.wave_times, vec![0.0, 100.0, 200.0]);
+    }
+
+    #[test]
+    fn poisson_plan_covers_everything() {
+        let plan = WavePlan::poisson(100, 8, 500.0, 7);
+        assert!(plan.validate(100).is_ok());
+        assert!(plan.waves.len() > 1, "100 cloudlets should need >1 wave");
+        // Deterministic per seed.
+        let again = WavePlan::poisson(100, 8, 500.0, 7);
+        assert_eq!(plan.wave_times, again.wave_times);
+    }
+
+    #[test]
+    fn plan_validation_catches_errors() {
+        let mut plan = WavePlan::uniform(4, 2, 10.0);
+        plan.waves[1].push(0); // duplicate
+        assert!(plan.validate(4).is_err());
+        let mut plan = WavePlan::uniform(4, 2, 10.0);
+        plan.waves[1].pop(); // missing
+        assert!(plan.validate(4).is_err());
+        let mut plan = WavePlan::uniform(4, 2, 10.0);
+        plan.wave_times = vec![10.0, 0.0]; // decreasing
+        assert!(plan.validate(4).is_err());
+    }
+
+    #[test]
+    fn online_run_completes_all_waves() {
+        let s = scenario();
+        let plan = WavePlan::uniform(s.cloudlet_count(), 4, 2_000.0);
+        let mut scheduler = RoundRobin::new();
+        let result = run_online(&s, &mut scheduler, &plan).unwrap();
+        assert_eq!(result.rounds, 4);
+        assert_eq!(result.outcome.finished_count(), 60);
+        // Later waves cannot start before they arrive.
+        for (c, arrival) in result.arrivals.iter().enumerate() {
+            let start = result.outcome.records[c].start.unwrap().as_millis();
+            assert!(
+                start + 1e-9 >= *arrival,
+                "cloudlet {c} started at {start} before arrival {arrival}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_state_carries_across_waves() {
+        // RoundRobin's cursor persists: wave 2 continues where wave 1
+        // stopped instead of restarting at vm0.
+        let s = scenario();
+        let plan = WavePlan::uniform(s.cloudlet_count(), 2, 0.0);
+        let mut rr = RoundRobin::new();
+        let online = run_online(&s, &mut rr, &plan).unwrap();
+        let mut rr_batch = RoundRobin::new();
+        let batch = rr_batch.schedule(&s.problem());
+        assert_eq!(
+            online.assignment, batch,
+            "two back-to-back RR waves must equal one RR batch"
+        );
+    }
+
+    #[test]
+    fn online_matches_batch_when_single_wave_at_zero() {
+        let s = scenario();
+        let plan = WavePlan::uniform(s.cloudlet_count(), 1, 0.0);
+        let mut scheduler = HoneyBee::new(HboParams::paper(), 5);
+        let online = run_online(&s, &mut scheduler, &plan).unwrap();
+        let mut batch_scheduler = HoneyBee::new(HboParams::paper(), 5);
+        let batch = s
+            .simulate(batch_scheduler.schedule(&s.problem()))
+            .unwrap();
+        assert_eq!(
+            online.outcome.simulation_time_ms(),
+            batch.simulation_time_ms()
+        );
+    }
+
+    #[test]
+    fn staggered_waves_stretch_the_makespan() {
+        let s = scenario();
+        let mut rr1 = RoundRobin::new();
+        let tight = run_online(&s, &mut rr1, &WavePlan::uniform(60, 2, 0.0)).unwrap();
+        let mut rr2 = RoundRobin::new();
+        let sparse =
+            run_online(&s, &mut rr2, &WavePlan::uniform(60, 2, 500_000.0)).unwrap();
+        let span = |o: &OnlineOutcome| {
+            o.outcome
+                .records
+                .iter()
+                .filter_map(|r| Some(r.finish?.as_millis()))
+                .fold(0.0, f64::max)
+        };
+        assert!(span(&sparse) > span(&tight) + 400_000.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Experiment execution: run algorithms over scenario sweeps.
+//!
+//! One *point* = (scenario, algorithm): the scheduler is timed (the
+//! paper's "scheduling time" metric), its assignment is simulated, and the
+//! paper's four metrics are collected. A *sweep* runs a point set in
+//! parallel with rayon, mirroring how the paper varies the VM count along
+//! each figure's x-axis.
+
+use std::time::Instant;
+
+use biosched_core::scheduler::AlgorithmKind;
+use rayon::prelude::*;
+
+use crate::scenario::Scenario;
+
+/// All metrics the paper reports for one (scenario, algorithm) pair.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// Algorithm that produced this point.
+    pub algorithm: AlgorithmKind,
+    /// Number of VMs in the scenario.
+    pub vm_count: usize,
+    /// Number of cloudlets in the scenario.
+    pub cloudlet_count: usize,
+    /// Wall-clock time the scheduler took (Figs. 5/6b).
+    pub scheduling_time_ms: f64,
+    /// Eq. 12 simulated makespan in ms (Figs. 4/6a).
+    pub simulation_time_ms: f64,
+    /// Eq. 13 degree of time imbalance (Fig. 6c).
+    pub imbalance: f64,
+    /// Total processing cost (Fig. 6d).
+    pub total_cost: f64,
+    /// Mean per-cloudlet execution time in ms (diagnostics).
+    pub mean_execution_ms: f64,
+    /// Cloudlets that finished (sanity: should equal `cloudlet_count`).
+    pub finished: usize,
+}
+
+/// Runs one algorithm over one scenario and collects every metric.
+///
+/// Panics if the simulation itself fails — scenario generators are
+/// responsible for producing feasible infrastructure.
+pub fn run_point(scenario: &Scenario, algorithm: AlgorithmKind, seed: u64) -> PointResult {
+    let problem = scenario.problem();
+    let mut scheduler = algorithm.build(seed);
+
+    let started = Instant::now();
+    let assignment = scheduler.schedule(&problem);
+    let scheduling_time_ms = started.elapsed().as_secs_f64() * 1_000.0;
+
+    assignment
+        .validate(&problem)
+        .unwrap_or_else(|e| panic!("{algorithm} produced an invalid assignment: {e}"));
+    let outcome = scenario
+        .simulate(assignment)
+        .unwrap_or_else(|e| panic!("simulation failed for {algorithm}: {e}"));
+
+    PointResult {
+        algorithm,
+        vm_count: scenario.vm_count(),
+        cloudlet_count: scenario.cloudlet_count(),
+        scheduling_time_ms,
+        simulation_time_ms: outcome.simulation_time_ms().unwrap_or(0.0),
+        imbalance: outcome.time_imbalance().unwrap_or(0.0),
+        total_cost: outcome.total_cost(),
+        mean_execution_ms: outcome.mean_execution_ms().unwrap_or(0.0),
+        finished: outcome.finished_count(),
+    }
+}
+
+/// Runs `algorithms` over every scenario produced by `make_scenario` for
+/// the given x-axis `points`, in parallel over points.
+///
+/// Returns one `Vec<PointResult>` per point, ordered like `points`, each
+/// ordered like `algorithms`.
+pub fn sweep<F>(
+    points: &[usize],
+    algorithms: &[AlgorithmKind],
+    seed: u64,
+    make_scenario: F,
+) -> Vec<Vec<PointResult>>
+where
+    F: Fn(usize) -> Scenario + Sync,
+{
+    points
+        .par_iter()
+        .map(|&x| {
+            let scenario = make_scenario(x);
+            algorithms
+                .iter()
+                .map(|&alg| run_point(&scenario, alg, seed))
+                .collect()
+        })
+        .collect()
+}
+
+/// Mean and spread of one metric over repeated seeded runs.
+#[derive(Debug, Clone, Copy)]
+pub struct RepeatedMetric {
+    /// Mean over repetitions.
+    pub mean: f64,
+    /// Half-width of the ~95% confidence interval.
+    pub ci95: f64,
+}
+
+/// A point result aggregated over several seeds.
+#[derive(Debug, Clone)]
+pub struct RepeatedPointResult {
+    /// Algorithm that produced this point.
+    pub algorithm: AlgorithmKind,
+    /// Number of VMs in the scenario.
+    pub vm_count: usize,
+    /// Repetitions aggregated.
+    pub reps: usize,
+    /// Eq. 12 simulated makespan.
+    pub simulation_time_ms: RepeatedMetric,
+    /// Scheduler wall-clock.
+    pub scheduling_time_ms: RepeatedMetric,
+    /// Eq. 13 imbalance.
+    pub imbalance: RepeatedMetric,
+    /// Total processing cost.
+    pub total_cost: RepeatedMetric,
+}
+
+fn summarize(values: &[f64]) -> RepeatedMetric {
+    let n = values.len().max(1) as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = if values.len() > 1 {
+        values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    } else {
+        0.0
+    };
+    RepeatedMetric {
+        mean,
+        ci95: if values.len() > 1 {
+            1.96 * var.sqrt() / n.sqrt()
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Runs one algorithm over `reps` seeded variants of a scenario and
+/// aggregates every metric. `make_scenario(seed)` builds the variant;
+/// seeds are `base_seed..base_seed + reps`, also used for the scheduler.
+pub fn run_point_repeated<F>(
+    algorithm: AlgorithmKind,
+    base_seed: u64,
+    reps: usize,
+    make_scenario: F,
+) -> RepeatedPointResult
+where
+    F: Fn(u64) -> Scenario + Sync,
+{
+    assert!(reps > 0, "need at least one repetition");
+    let results: Vec<PointResult> = (0..reps as u64)
+        .into_par_iter()
+        .map(|r| {
+            let seed = base_seed + r;
+            run_point(&make_scenario(seed), algorithm, seed)
+        })
+        .collect();
+    let pick = |f: fn(&PointResult) -> f64| -> RepeatedMetric {
+        let values: Vec<f64> = results.iter().map(f).collect();
+        summarize(&values)
+    };
+    RepeatedPointResult {
+        algorithm,
+        vm_count: results[0].vm_count,
+        reps,
+        simulation_time_ms: pick(|r| r.simulation_time_ms),
+        scheduling_time_ms: pick(|r| r.scheduling_time_ms),
+        imbalance: pick(|r| r.imbalance),
+        total_cost: pick(|r| r.total_cost),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homogeneous::HomogeneousScenario;
+    use crate::heterogeneous::HeterogeneousScenario;
+
+    #[test]
+    fn run_point_collects_all_metrics() {
+        let scenario = HomogeneousScenario {
+            vm_count: 4,
+            cloudlet_count: 20,
+        }
+        .build();
+        let r = run_point(&scenario, AlgorithmKind::BaseTest, 0);
+        assert_eq!(r.finished, 20);
+        assert_eq!(r.vm_count, 4);
+        assert!(r.simulation_time_ms > 0.0);
+        assert!(r.scheduling_time_ms >= 0.0);
+        assert!(r.mean_execution_ms > 0.0);
+        // Homogeneous + free DC: zero cost, near-zero imbalance.
+        assert_eq!(r.total_cost, 0.0);
+        assert!(r.imbalance < 1e-9);
+    }
+
+    #[test]
+    fn sweep_orders_points_and_algorithms() {
+        let results = sweep(
+            &[2, 4],
+            &[AlgorithmKind::BaseTest, AlgorithmKind::Rbs],
+            1,
+            |vms| {
+                HomogeneousScenario {
+                    vm_count: vms,
+                    cloudlet_count: 8,
+                }
+                .build()
+            },
+        );
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].len(), 2);
+        assert_eq!(results[0][0].vm_count, 2);
+        assert_eq!(results[1][0].vm_count, 4);
+        assert_eq!(results[0][0].algorithm, AlgorithmKind::BaseTest);
+        assert_eq!(results[0][1].algorithm, AlgorithmKind::Rbs);
+    }
+
+    #[test]
+    fn repeated_points_aggregate_with_spread() {
+        let r = run_point_repeated(AlgorithmKind::Rbs, 100, 4, |seed| {
+            HeterogeneousScenario {
+                vm_count: 6,
+                cloudlet_count: 30,
+                datacenter_count: 2,
+                seed,
+            }
+            .build()
+        });
+        assert_eq!(r.reps, 4);
+        assert!(r.simulation_time_ms.mean > 0.0);
+        // Different seeds -> different workloads -> nonzero spread.
+        assert!(r.simulation_time_ms.ci95 > 0.0);
+        assert!(r.total_cost.ci95 >= 0.0);
+    }
+
+    #[test]
+    fn single_rep_has_zero_ci() {
+        let r = run_point_repeated(AlgorithmKind::BaseTest, 7, 1, |seed| {
+            HeterogeneousScenario {
+                vm_count: 4,
+                cloudlet_count: 10,
+                datacenter_count: 2,
+                seed,
+            }
+            .build()
+        });
+        assert_eq!(r.simulation_time_ms.ci95, 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_point_accrues_cost() {
+        let scenario = HeterogeneousScenario {
+            vm_count: 8,
+            cloudlet_count: 40,
+            datacenter_count: 2,
+            seed: 3,
+        }
+        .build();
+        let r = run_point(&scenario, AlgorithmKind::HoneyBee, 3);
+        assert_eq!(r.finished, 40);
+        assert!(r.total_cost > 0.0);
+        assert!(r.imbalance > 0.0, "heterogeneous exec times must spread");
+    }
+}

@@ -1,0 +1,194 @@
+//! Synthetic stress workloads.
+//!
+//! The paper motivates its study with "extreme load and large-scale
+//! environment conditions"; these generators push past the uniform Tables
+//! V/VI distributions to probe the algorithms where uniform workloads
+//! cannot: heavy-tailed task lengths (a few elephants among mice), bimodal
+//! mixes, and skewed fleets (a handful of fast VMs in a sea of slow ones).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use simcloud::cloudlet::CloudletSpec;
+use simcloud::rng::stream;
+use simcloud::vm::VmSpec;
+
+/// Heavy-tailed (bounded Pareto) cloudlet lengths.
+///
+/// Lengths follow a Pareto distribution with shape `alpha` truncated to
+/// `[min_mi, max_mi]` via inverse-transform sampling. `alpha` around 1.1
+/// gives the elephants-and-mice mix typical of cluster traces.
+pub fn pareto_cloudlets(
+    count: usize,
+    min_mi: f64,
+    max_mi: f64,
+    alpha: f64,
+    seed: u64,
+) -> Vec<CloudletSpec> {
+    assert!(min_mi > 0.0 && max_mi > min_mi, "need 0 < min < max");
+    assert!(alpha > 0.0, "Pareto shape must be positive");
+    let mut rng = stream(seed, "traces/pareto");
+    let l = min_mi.powf(alpha);
+    let h = max_mi.powf(alpha);
+    (0..count)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            // Bounded-Pareto inverse CDF.
+            let x = (-(u * h - u * l - h) / (h * l)).powf(-1.0 / alpha);
+            CloudletSpec::new(x.clamp(min_mi, max_mi), 300.0, 300.0, 1)
+        })
+        .collect()
+}
+
+/// Bimodal lengths: a fraction `heavy_share` of cloudlets is `heavy_mi`
+/// long, the rest `light_mi`.
+pub fn bimodal_cloudlets(
+    count: usize,
+    light_mi: f64,
+    heavy_mi: f64,
+    heavy_share: f64,
+    seed: u64,
+) -> Vec<CloudletSpec> {
+    assert!((0.0..=1.0).contains(&heavy_share));
+    let mut rng = stream(seed, "traces/bimodal");
+    (0..count)
+        .map(|_| {
+            let mi = if rng.gen_bool(heavy_share) {
+                heavy_mi
+            } else {
+                light_mi
+            };
+            CloudletSpec::new(mi, 300.0, 300.0, 1)
+        })
+        .collect()
+}
+
+/// A skewed fleet: `fast_count` VMs at `fast_mips`, the rest at
+/// `slow_mips` — the regime where load-blind schedulers fall apart.
+pub fn skewed_fleet(
+    total: usize,
+    fast_count: usize,
+    fast_mips: f64,
+    slow_mips: f64,
+) -> Vec<VmSpec> {
+    assert!(fast_count <= total, "fast_count exceeds fleet size");
+    (0..total)
+        .map(|i| {
+            let mips = if i < fast_count { fast_mips } else { slow_mips };
+            VmSpec::new(mips, 5_000.0, 512.0, 500.0, 1)
+        })
+        .collect()
+}
+
+/// Draws lengths for a "flash crowd": mostly tiny tasks with occasional
+/// bursts of `burst_len` consecutive heavy ones.
+pub fn bursty_cloudlets(
+    count: usize,
+    light_mi: f64,
+    heavy_mi: f64,
+    burst_len: usize,
+    burst_prob: f64,
+    seed: u64,
+) -> Vec<CloudletSpec> {
+    assert!(burst_len > 0);
+    assert!((0.0..=1.0).contains(&burst_prob));
+    let mut rng: StdRng = stream(seed, "traces/bursty");
+    let mut out = Vec::with_capacity(count);
+    let mut burst_remaining = 0usize;
+    for _ in 0..count {
+        if burst_remaining == 0 && rng.gen_bool(burst_prob) {
+            burst_remaining = burst_len;
+        }
+        let mi = if burst_remaining > 0 {
+            burst_remaining -= 1;
+            heavy_mi
+        } else {
+            light_mi
+        };
+        out.push(CloudletSpec::new(mi, 300.0, 300.0, 1));
+    }
+    out
+}
+
+/// Attaches SLA deadlines to a workload: each cloudlet must finish within
+/// `slack × (length_mi / reference_mips)` seconds of submission — i.e.
+/// `slack` times its solo runtime on a reference VM. `slack = 1` is a
+/// hard-real-time demand; larger values loosen the SLA.
+pub fn attach_deadlines(cloudlets: &mut [CloudletSpec], reference_mips: f64, slack: f64) {
+    assert!(reference_mips > 0.0 && slack > 0.0);
+    for cl in cloudlets.iter_mut() {
+        let solo_ms = cl.length_mi / reference_mips * 1_000.0;
+        cl.deadline_ms = Some(solo_ms * slack);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlines_scale_with_length_and_slack() {
+        let mut cls = vec![
+            CloudletSpec::new(1_000.0, 0.0, 0.0, 1),
+            CloudletSpec::new(2_000.0, 0.0, 0.0, 1),
+        ];
+        attach_deadlines(&mut cls, 1_000.0, 3.0);
+        assert_eq!(cls[0].deadline_ms, Some(3_000.0));
+        assert_eq!(cls[1].deadline_ms, Some(6_000.0));
+        for cl in &cls {
+            assert!(cl.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn pareto_respects_bounds_and_is_skewed() {
+        let cls = pareto_cloudlets(2_000, 100.0, 100_000.0, 1.1, 7);
+        assert_eq!(cls.len(), 2_000);
+        assert!(cls
+            .iter()
+            .all(|c| (100.0..=100_000.0).contains(&c.length_mi)));
+        // Heavy tail: mean well above median.
+        let mut lens: Vec<f64> = cls.iter().map(|c| c.length_mi).collect();
+        lens.sort_by(f64::total_cmp);
+        let median = lens[lens.len() / 2];
+        let mean: f64 = lens.iter().sum::<f64>() / lens.len() as f64;
+        assert!(mean > 1.5 * median, "mean {mean} vs median {median}");
+    }
+
+    #[test]
+    fn bimodal_share_is_respected() {
+        let cls = bimodal_cloudlets(4_000, 100.0, 10_000.0, 0.25, 3);
+        let heavy = cls.iter().filter(|c| c.length_mi == 10_000.0).count();
+        let share = heavy as f64 / 4_000.0;
+        assert!((share - 0.25).abs() < 0.05, "share {share}");
+    }
+
+    #[test]
+    fn skewed_fleet_shape() {
+        let fleet = skewed_fleet(10, 2, 4_000.0, 500.0);
+        assert_eq!(fleet.iter().filter(|v| v.mips == 4_000.0).count(), 2);
+        assert_eq!(fleet.iter().filter(|v| v.mips == 500.0).count(), 8);
+    }
+
+    #[test]
+    fn bursts_are_contiguous() {
+        let cls = bursty_cloudlets(500, 100.0, 9_000.0, 5, 0.05, 11);
+        // Every run of heavy tasks must be at least... well, bursts can
+        // merge; just check both classes are present and deterministic.
+        assert!(cls.iter().any(|c| c.length_mi == 9_000.0));
+        assert!(cls.iter().any(|c| c.length_mi == 100.0));
+        let again = bursty_cloudlets(500, 100.0, 9_000.0, 5, 0.05, 11);
+        assert_eq!(cls, again);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            pareto_cloudlets(50, 10.0, 1_000.0, 1.3, 1),
+            pareto_cloudlets(50, 10.0, 1_000.0, 1.3, 1)
+        );
+        assert_ne!(
+            bimodal_cloudlets(50, 1.0, 2.0, 0.5, 1),
+            bimodal_cloudlets(50, 1.0, 2.0, 0.5, 2)
+        );
+    }
+}

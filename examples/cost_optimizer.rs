@@ -1,0 +1,120 @@
+//! Cost-driven placement across priced datacenters (HBO's home turf).
+//!
+//! ```sh
+//! cargo run --release --example cost_optimizer
+//! ```
+//!
+//! Builds a federation of datacenters with very different Table VII
+//! prices, shows where each algorithm places load, and sweeps HBO's
+//! `facLB` load-balance factor to expose its cost-vs-balance trade-off —
+//! the knob behind the paper's Fig. 6d discussion.
+
+use biosched::prelude::*;
+use simcloud::cloudlet_sched::SchedulerKind;
+use simcloud::ids::DatacenterId;
+
+/// Three datacenters: premium, standard and budget tiers.
+fn federation(vms_per_dc: usize, cloudlets: usize, seed: u64) -> Scenario {
+    let tiers = [
+        ("premium", CostModel::new(0.05, 0.004, 0.05, 3.0)),
+        ("standard", CostModel::new(0.03, 0.0025, 0.03, 3.0)),
+        ("budget", CostModel::new(0.01, 0.001, 0.01, 3.0)),
+    ];
+    let mut vms = Vec::new();
+    let mut placement = Vec::new();
+    for (dc, _) in tiers.iter().enumerate() {
+        for i in 0..vms_per_dc {
+            // Premium tier has faster VMs: cost and speed trade off.
+            let mips = match dc {
+                0 => 3_000.0 + 50.0 * i as f64,
+                1 => 1_500.0 + 50.0 * i as f64,
+                _ => 700.0 + 50.0 * i as f64,
+            };
+            vms.push(VmSpec::new(mips, 5_000.0, 512.0, 500.0, 1));
+            placement.push(DatacenterId(dc as u32));
+        }
+    }
+    let mut gen = HeterogeneousScenario {
+        vm_count: 1,
+        cloudlet_count: cloudlets,
+        datacenter_count: 1,
+        seed,
+    }
+    .build();
+    gen.vms = vms;
+    gen.vm_placement = placement;
+    gen.datacenters = tiers
+        .iter()
+        .map(|(_, cost)| DatacenterSetup { cost: *cost })
+        .collect();
+    gen.vm_scheduler = SchedulerKind::TimeShared;
+    gen
+}
+
+fn dc_shares(assignment: &Assignment, scenario: &Scenario) -> [usize; 3] {
+    let mut shares = [0usize; 3];
+    for vm in assignment.as_slice() {
+        shares[scenario.vm_placement[vm.index()].index()] += 1;
+    }
+    shares
+}
+
+fn main() {
+    let scenario = federation(10, 300, 7);
+    let problem = scenario.problem();
+    println!(
+        "federation: 3 datacenters (premium/standard/budget) × 10 VMs, {} cloudlets\n",
+        problem.cloudlet_count()
+    );
+
+    let mut table = Table::new(vec![
+        "algorithm",
+        "premium",
+        "standard",
+        "budget",
+        "makespan (ms)",
+        "total cost",
+    ]);
+    for kind in [
+        AlgorithmKind::BaseTest,
+        AlgorithmKind::AntColony,
+        AlgorithmKind::HoneyBee,
+        AlgorithmKind::Rbs,
+    ] {
+        let assignment = kind.build(7).schedule(&problem);
+        let shares = dc_shares(&assignment, &scenario);
+        let outcome = scenario.simulate(assignment).expect("feasible scenario");
+        table.push_row(vec![
+            kind.label().to_string(),
+            shares[0].to_string(),
+            shares[1].to_string(),
+            shares[2].to_string(),
+            fmt_value(outcome.simulation_time_ms().unwrap_or(0.0)),
+            fmt_value(outcome.total_cost()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("HoneyBee concentrates on the budget tier; AntColony on the premium\n(fast) tier — cost and makespan pull in opposite directions.\n");
+
+    // facLB sweep: how hard may HBO lean on the cheapest datacenter?
+    let mut sweep_table = Table::new(vec!["facLB", "budget share", "makespan (ms)", "cost"]);
+    for fac in [0.4, 0.6, 0.8, 1.0] {
+        let mut hbo = HoneyBee::new(
+            HboParams {
+                fac_lb: fac,
+                ..HboParams::paper()
+            },
+            7,
+        );
+        let assignment = hbo.schedule(&problem);
+        let shares = dc_shares(&assignment, &scenario);
+        let outcome = scenario.simulate(assignment).expect("feasible scenario");
+        sweep_table.push_row(vec![
+            format!("{fac:.1}"),
+            format!("{}%", shares[2] * 100 / problem.cloudlet_count()),
+            fmt_value(outcome.simulation_time_ms().unwrap_or(0.0)),
+            fmt_value(outcome.total_cost()),
+        ]);
+    }
+    println!("HBO facLB sweep (1.0 = everything on the cheapest datacenter):\n{}", sweep_table.render());
+}

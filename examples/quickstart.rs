@@ -1,0 +1,68 @@
+//! Quickstart: schedule one workload with every algorithm and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's heterogeneous scenario at a small scale, runs the
+//! four studied schedulers plus the greedy baselines, simulates each
+//! assignment, and prints the paper's four metrics side by side.
+
+use biosched::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // The paper's Fig. 6 regime: cloudlets ≈ 2× VMs (Section VI-D-2).
+    let scenario = HeterogeneousScenario {
+        vm_count: 150,
+        cloudlet_count: 300,
+        datacenter_count: 4,
+        seed: 42,
+    }
+    .build();
+    let problem = scenario.problem();
+    println!(
+        "scenario: {} VMs ({:.0}–{:.0} MIPS), {} cloudlets, {} datacenters\n",
+        problem.vm_count(),
+        problem.vms.iter().map(|v| v.mips).fold(f64::INFINITY, f64::min),
+        problem.vms.iter().map(|v| v.mips).fold(0.0, f64::max),
+        problem.cloudlet_count(),
+        problem.datacenters.len(),
+    );
+
+    let algorithms = [
+        AlgorithmKind::BaseTest,
+        AlgorithmKind::AntColony,
+        AlgorithmKind::HoneyBee,
+        AlgorithmKind::Rbs,
+        AlgorithmKind::MinMin,
+        AlgorithmKind::MaxMin,
+        AlgorithmKind::Pso,
+        AlgorithmKind::Ga,
+    ];
+
+    let mut table = Table::new(vec![
+        "algorithm",
+        "sched (ms)",
+        "makespan (ms)",
+        "imbalance",
+        "cost",
+    ]);
+    for kind in algorithms {
+        let mut scheduler = kind.build(42);
+        let started = Instant::now();
+        let assignment = scheduler.schedule(&problem);
+        let sched_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        let outcome = scenario.simulate(assignment).expect("feasible scenario");
+        assert_eq!(outcome.finished_count(), problem.cloudlet_count());
+        table.push_row(vec![
+            kind.label().to_string(),
+            fmt_value(sched_ms),
+            fmt_value(outcome.simulation_time_ms().unwrap_or(0.0)),
+            fmt_value(outcome.time_imbalance().unwrap_or(0.0)),
+            fmt_value(outcome.total_cost()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(expect: AntColony lowest makespan, HoneyBee lowest cost,\n Base Test the fastest decision — the paper's headline result)");
+}

@@ -1,0 +1,72 @@
+//! SLA-aware evaluation: deadlines, attainment and the slack frontier.
+//!
+//! ```sh
+//! cargo run --release --example sla_deadlines
+//! ```
+//!
+//! The paper's introduction names "deadlines for hard real-time
+//! applications" and "SLA agreements" among the demands cloud schedulers
+//! must absorb, but its evaluation never measures them. This example
+//! attaches deadlines to the heterogeneous workload and maps each
+//! scheduler's attainment as the SLA tightens — the frontier a provider
+//! would actually price.
+
+use biosched::prelude::*;
+use biosched::workload::traces::attach_deadlines;
+
+fn main() {
+    let slacks = [2.0, 4.0, 8.0, 16.0, 32.0];
+    let algorithms = [
+        AlgorithmKind::BaseTest,
+        AlgorithmKind::AntColony,
+        AlgorithmKind::HoneyBee,
+        AlgorithmKind::Rbs,
+        AlgorithmKind::MaxMin,
+    ];
+
+    let mut table = Table::new(
+        std::iter::once("SLA slack".to_string())
+            .chain(algorithms.iter().map(|a| format!("{} %", a.label())))
+            .collect::<Vec<_>>(),
+    );
+    let mut fig = FigureSeries::new(
+        "SLA attainment vs deadline slack",
+        "slack (x solo runtime)",
+        "attainment",
+        slacks.to_vec(),
+    );
+    let mut per_alg: Vec<Vec<f64>> = vec![Vec::new(); algorithms.len()];
+
+    for slack in slacks {
+        let mut scenario = HeterogeneousScenario {
+            vm_count: 60,
+            cloudlet_count: 240,
+            datacenter_count: 4,
+            seed: 42,
+        }
+        .build();
+        attach_deadlines(&mut scenario.cloudlets, 2_000.0, slack);
+        let problem = scenario.problem();
+        let mut row = vec![format!("{slack}x")];
+        for (ai, kind) in algorithms.iter().enumerate() {
+            let outcome = scenario
+                .simulate(kind.build(42).schedule(&problem))
+                .expect("feasible scenario");
+            let attainment = outcome.sla_attainment().unwrap_or(0.0);
+            per_alg[ai].push(attainment);
+            row.push(format!("{:.1}", attainment * 100.0));
+        }
+        table.push_row(row);
+    }
+    for (ai, kind) in algorithms.iter().enumerate() {
+        fig.push_series(kind.label(), per_alg[ai].clone());
+    }
+
+    println!("{}", fig.render_ascii(64, 14));
+    println!("{}", table.render());
+    println!(
+        "tight SLAs separate the schedulers: load/speed-aware placement\n\
+         (AntColony, MaxMin) holds attainment where blind assignment\n\
+         collapses; at generous slack everyone converges toward 100%."
+    );
+}

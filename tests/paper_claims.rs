@@ -1,0 +1,212 @@
+//! Integration tests pinning the paper's qualitative claims.
+//!
+//! These are the "shape" assertions of the reproduction: who wins on
+//! which metric, per Section VI-D. Sizes are kept moderate so the suite
+//! runs in debug mode; the `repro` binary exercises full figure scales.
+
+use biosched::prelude::*;
+
+fn hetero(vms: usize, cloudlets: usize, seed: u64) -> Scenario {
+    HeterogeneousScenario {
+        vm_count: vms,
+        cloudlet_count: cloudlets,
+        datacenter_count: 4,
+        seed,
+    }
+    .build()
+}
+
+/// Schedules with a cheap ACO configuration (same structure as the paper
+/// config, fewer ants) so debug-mode tests stay fast.
+fn fast_aco(problem: &SchedulingProblem, seed: u64) -> Assignment {
+    AntColony::new(AcoParams::fast(), seed).schedule(problem)
+}
+
+#[test]
+fn heterogeneous_aco_wins_makespan() {
+    // Section VI-D-2 / Fig. 6a: "ACO presents the best performance as the
+    // Cloudlets finished the fastest."
+    let scenario = hetero(60, 150, 42);
+    let problem = scenario.problem();
+    let aco = scenario.simulate(fast_aco(&problem, 42)).unwrap();
+    let base = scenario
+        .simulate(RoundRobin::new().schedule(&problem))
+        .unwrap();
+    let hbo = scenario
+        .simulate(HoneyBee::new(HboParams::paper(), 42).schedule(&problem))
+        .unwrap();
+    let rbs = scenario
+        .simulate(RandomBiasedSampling::new(RbsParams::paper(), 42).schedule(&problem))
+        .unwrap();
+    let m = |o: &SimulationOutcome| o.simulation_time_ms().unwrap();
+    assert!(
+        m(&aco) < m(&base),
+        "ACO {} must beat Base {}",
+        m(&aco),
+        m(&base)
+    );
+    assert!(m(&aco) < m(&hbo), "ACO {} must beat HBO {}", m(&aco), m(&hbo));
+    assert!(m(&aco) < m(&rbs), "ACO {} must beat RBS {}", m(&aco), m(&rbs));
+}
+
+#[test]
+fn heterogeneous_hbo_wins_cost() {
+    // Section VI-D-2 / Fig. 6d: "HBO presents the best price value."
+    let scenario = hetero(100, 200, 7);
+    let problem = scenario.problem();
+    let hbo = scenario
+        .simulate(HoneyBee::new(HboParams::paper(), 7).schedule(&problem))
+        .unwrap();
+    let base = scenario
+        .simulate(RoundRobin::new().schedule(&problem))
+        .unwrap();
+    let rbs = scenario
+        .simulate(RandomBiasedSampling::new(RbsParams::paper(), 7).schedule(&problem))
+        .unwrap();
+    assert!(hbo.total_cost() < base.total_cost());
+    assert!(hbo.total_cost() < rbs.total_cost());
+}
+
+#[test]
+fn homogeneous_all_converge_to_base_test() {
+    // Section VI-D-1 / Fig. 4: "even in the worst case scenario, the
+    // algorithms behave closely to the Base test."
+    let scenario = HomogeneousScenario {
+        vm_count: 20,
+        cloudlet_count: 400,
+    }
+    .build();
+    let problem = scenario.problem();
+    let base = scenario
+        .simulate(RoundRobin::new().schedule(&problem))
+        .unwrap();
+    let base_makespan = base.simulation_time_ms().unwrap();
+    for (name, assignment) in [
+        ("aco", fast_aco(&problem, 1)),
+        (
+            "hbo",
+            HoneyBee::new(HboParams::paper(), 1).schedule(&problem),
+        ),
+        (
+            "rbs",
+            RandomBiasedSampling::new(RbsParams::paper(), 1).schedule(&problem),
+        ),
+    ] {
+        let outcome = scenario.simulate(assignment).unwrap();
+        let makespan = outcome.simulation_time_ms().unwrap();
+        assert!(
+            makespan <= base_makespan * 1.6,
+            "{name} makespan {makespan} strays too far from base {base_makespan}"
+        );
+        assert_eq!(outcome.finished_count(), 400, "{name} must finish all");
+    }
+}
+
+#[test]
+fn base_test_is_fastest_decision() {
+    // Fig. 5 / Fig. 6b: the Base Test needs no computation; the
+    // bio-inspired schedulers pay for their decisions. Wall-clock
+    // comparisons are noisy, so only the widest gap (Base vs ACO) is
+    // asserted, with generous slack.
+    let scenario = hetero(80, 200, 3);
+    let problem = scenario.problem();
+
+    let t0 = std::time::Instant::now();
+    let _ = RoundRobin::new().schedule(&problem);
+    let base_time = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    let _ = fast_aco(&problem, 3);
+    let aco_time = t1.elapsed();
+
+    assert!(
+        aco_time > base_time * 5,
+        "ACO ({aco_time:?}) must take much longer to decide than Base ({base_time:?})"
+    );
+}
+
+#[test]
+fn hbo_prefers_cheapest_datacenter() {
+    // Section III: bees exploit the most profitable source; Fig. 6d's
+    // mechanism is the cheap-DC concentration capped by facLB.
+    let scenario = hetero(80, 400, 9);
+    let problem = scenario.problem();
+    let assignment = HoneyBee::new(HboParams::paper(), 9).schedule(&problem);
+
+    // Identify the cheapest datacenter by the HBO fitness rate.
+    let cheapest = (0..problem.datacenters.len())
+        .min_by(|a, b| {
+            let ra = biosched::core::hbo::best_rate_in_dc(
+                &problem.datacenters[*a].cost,
+                problem.vms.iter(),
+            );
+            let rb = biosched::core::hbo::best_rate_in_dc(
+                &problem.datacenters[*b].cost,
+                problem.vms.iter(),
+            );
+            ra.total_cmp(&rb)
+        })
+        .unwrap();
+    let share = assignment
+        .as_slice()
+        .iter()
+        .filter(|vm| problem.vm_placement[vm.index()].index() == cheapest)
+        .count() as f64
+        / assignment.len() as f64;
+    assert!(
+        share > 0.5,
+        "cheapest DC should receive the majority of cloudlets, got {share}"
+    );
+    assert!(
+        share < 0.85,
+        "facLB must stop total concentration, got {share}"
+    );
+}
+
+#[test]
+fn rbs_balances_but_fluctuates() {
+    // Section VI-D: RBS is "used as a load balancer in networking" but its
+    // WIL randomness produces fluctuation. The NID mechanism keeps
+    // *counts* nearly even (one advertisement round = one cloudlet per
+    // VM); the fluctuation lives in which task lands on which VM, i.e. in
+    // the per-VM load spread.
+    let scenario = hetero(50, 487, 13);
+    let problem = scenario.problem();
+    let assignment = RandomBiasedSampling::new(RbsParams::paper(), 13).schedule(&problem);
+    let counts = assignment.counts_per_vm(50);
+    assert!(counts.iter().all(|c| *c > 0), "no VM starves under RBS");
+    let min = *counts.iter().min().unwrap();
+    let max = *counts.iter().max().unwrap();
+    assert!(max - min <= 2, "counts stay near-even (min={min}, max={max})");
+    // Load (estimated busy time) fluctuates because random WIL pairs long
+    // tasks with arbitrary VMs.
+    let load = assignment.estimated_load_ms(&problem);
+    let lmin = load.iter().copied().fold(f64::INFINITY, f64::min);
+    let lmax = load.iter().copied().fold(0.0, f64::max);
+    assert!(
+        lmax > 1.2 * lmin,
+        "random pairing must spread load (min={lmin}, max={lmax})"
+    );
+}
+
+#[test]
+fn hybrid_tracks_each_specialist() {
+    // Section VII's proposed design, validated against the specialists.
+    let scenario = hetero(60, 150, 21);
+    let problem = scenario.problem();
+
+    let hybrid_cost = scenario
+        .simulate(Hybrid::new(Objective::Cost, 21).schedule(&problem))
+        .unwrap();
+    let base = scenario
+        .simulate(RoundRobin::new().schedule(&problem))
+        .unwrap();
+    assert!(hybrid_cost.total_cost() <= base.total_cost());
+
+    let hybrid_makespan = scenario
+        .simulate(Hybrid::new(Objective::Makespan, 21).schedule(&problem))
+        .unwrap();
+    assert!(
+        hybrid_makespan.simulation_time_ms().unwrap() <= base.simulation_time_ms().unwrap()
+    );
+}

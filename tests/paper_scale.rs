@@ -1,0 +1,53 @@
+//! Paper-scale smoke tests — `#[ignore]`d by default because they take
+//! minutes even in release mode. Run with:
+//!
+//! ```sh
+//! cargo test --release --test paper_scale -- --ignored
+//! ```
+
+use biosched::prelude::*;
+
+/// The paper's largest homogeneous point: 100 000 VMs and 10⁶ cloudlets
+/// through the Base Test and the full discrete-event simulator.
+#[test]
+#[ignore = "paper-scale: ~10^6 cloudlets, minutes in release mode"]
+fn full_scale_homogeneous_base_test() {
+    let scenario = HomogeneousScenario {
+        vm_count: 100_000,
+        cloudlet_count: 1_000_000,
+    }
+    .build();
+    let problem = scenario.problem();
+    let assignment = RoundRobin::new().schedule(&problem);
+    let outcome = scenario.simulate(assignment).expect("feasible");
+    assert_eq!(outcome.finished_count(), 1_000_000);
+    // 10 cloudlets of 250ms per VM, time-shared: 2500ms makespan.
+    let makespan = outcome.simulation_time_ms().unwrap();
+    assert!(
+        (makespan - 2_500.0).abs() < 1.0,
+        "expected ~2500ms, got {makespan}"
+    );
+}
+
+/// ACO at the paper's heterogeneous full scale (950 VMs, 5000 cloudlets).
+#[test]
+#[ignore = "paper-scale: ACO over 5000 cloudlets, ~a minute in release mode"]
+fn full_scale_heterogeneous_aco() {
+    let scenario = HeterogeneousScenario {
+        vm_count: 950,
+        cloudlet_count: 5_000,
+        datacenter_count: 4,
+        seed: 42,
+    }
+    .build();
+    let problem = scenario.problem();
+    let aco = AlgorithmKind::AntColony.build(42).schedule(&problem);
+    let base = RoundRobin::new().schedule(&problem);
+    let aco_outcome = scenario.simulate(aco).expect("feasible");
+    let base_outcome = scenario.simulate(base).expect("feasible");
+    assert_eq!(aco_outcome.finished_count(), 5_000);
+    assert!(
+        aco_outcome.simulation_time_ms().unwrap() < base_outcome.simulation_time_ms().unwrap(),
+        "Fig. 6a's headline must hold at full scale"
+    );
+}

@@ -1,0 +1,115 @@
+//! End-to-end workflow tests: DAG generators → HEFT → discrete-event
+//! simulation, cross-validating the analytic model against the simulator.
+
+use biosched::core::workflow::{heft, heft_estimate_ms};
+use biosched::prelude::*;
+use biosched::workload::workflow;
+
+fn scenario_with(wf: &workflow::Workflow, seed: u64) -> Scenario {
+    let mut scenario = HeterogeneousScenario {
+        vm_count: 10,
+        cloudlet_count: 1,
+        datacenter_count: 2,
+        seed,
+    }
+    .build();
+    wf.install(&mut scenario);
+    scenario
+}
+
+fn simulated_span(outcome: &SimulationOutcome) -> f64 {
+    outcome
+        .records
+        .iter()
+        .filter_map(|r| Some(r.finish?.as_millis()))
+        .fold(0.0, f64::max)
+}
+
+/// On pure-compute chains, HEFT's predicted makespan and the simulator's
+/// measured one must agree to floating-point precision: both model FIFO
+/// VMs, zero staging, and sequential dependencies.
+#[test]
+fn heft_estimate_matches_simulation_on_chains() {
+    let wf = workflow::chain(16, 3_000.0);
+    let scenario = scenario_with(&wf, 5);
+    let problem = scenario.problem();
+    let parents = scenario.dependencies.clone().unwrap();
+    let estimate = heft_estimate_ms(&problem, &parents);
+    let outcome = scenario.simulate(heft(&problem, &parents)).unwrap();
+    let measured = simulated_span(&outcome);
+    assert!(
+        (estimate - measured).abs() < 1e-6 * estimate,
+        "estimate {estimate} vs simulated {measured}"
+    );
+}
+
+/// HEFT beats blind cyclic binding on every generated DAG shape.
+#[test]
+fn heft_beats_base_test_on_dags() {
+    let workflows = [
+        workflow::chain(20, 4_000.0),
+        workflow::fork_join(6, 3, 4_000.0),
+        workflow::layered_random(5, 6, 0.3, (1_000.0, 8_000.0), 11),
+        workflow::pipeline_ensemble(8, 4, 4_000.0, 11),
+    ];
+    for (i, wf) in workflows.iter().enumerate() {
+        let scenario = scenario_with(wf, 13);
+        let problem = scenario.problem();
+        let parents = scenario.dependencies.clone().unwrap();
+        let heft_span = simulated_span(&scenario.simulate(heft(&problem, &parents)).unwrap());
+        let rr_span = simulated_span(
+            &scenario
+                .simulate(RoundRobin::new().schedule(&problem))
+                .unwrap(),
+        );
+        assert!(
+            heft_span <= rr_span,
+            "workflow {i}: HEFT {heft_span} lost to RR {rr_span}"
+        );
+    }
+}
+
+/// The simulator enforces precedence regardless of how bad the plan is:
+/// children never start before their parents finish.
+#[test]
+fn precedence_is_enforced_for_any_plan() {
+    let wf = workflow::layered_random(4, 5, 0.4, (500.0, 5_000.0), 3);
+    let scenario = scenario_with(&wf, 3);
+    let problem = scenario.problem();
+    let parents = scenario.dependencies.clone().unwrap();
+    for plan in [
+        RoundRobin::new().schedule(&problem),
+        RandomBiasedSampling::new(RbsParams::paper(), 3).schedule(&problem),
+    ] {
+        let outcome = scenario.simulate(plan).unwrap();
+        assert_eq!(outcome.finished_count(), wf.len());
+        for (c, ps) in parents.iter().enumerate() {
+            let start = outcome.records[c].start.unwrap().as_millis();
+            for p in ps {
+                let parent_finish = outcome.records[p.index()].finish.unwrap().as_millis();
+                assert!(
+                    start + 1e-9 >= parent_finish,
+                    "task {c} started at {start} before parent {p} finished at {parent_finish}"
+                );
+            }
+        }
+    }
+}
+
+/// The simulated span of any valid plan is bounded below by the
+/// workflow's critical path executed on the fastest VM.
+#[test]
+fn critical_path_lower_bound_holds() {
+    let wf = workflow::fork_join(5, 4, 6_000.0);
+    let scenario = scenario_with(&wf, 17);
+    let problem = scenario.problem();
+    let parents = scenario.dependencies.clone().unwrap();
+    let fastest_mips = problem.vms.iter().map(|v| v.mips).fold(0.0, f64::max);
+    let bound_ms = wf.critical_path_mi() / fastest_mips * 1_000.0;
+    let outcome = scenario.simulate(heft(&problem, &parents)).unwrap();
+    let span = simulated_span(&outcome);
+    assert!(
+        span + 1e-6 >= bound_ms,
+        "span {span} beat the critical-path bound {bound_ms}"
+    );
+}

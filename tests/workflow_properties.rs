@@ -1,0 +1,105 @@
+//! Property-based tests over random DAG workloads: generator validity,
+//! HEFT correctness, and simulator precedence enforcement.
+
+use biosched::core::workflow::{heft, upward_ranks};
+use biosched::prelude::*;
+use biosched::workload::workflow::{self, Workflow};
+use proptest::prelude::*;
+
+/// Random workflow from the generator zoo.
+fn workflow_strategy() -> impl Strategy<Value = Workflow> {
+    prop_oneof![
+        (1usize..20, 100.0f64..5_000.0).prop_map(|(n, len)| workflow::chain(n, len)),
+        (1usize..6, 1usize..4, 100.0f64..5_000.0)
+            .prop_map(|(w, d, len)| workflow::fork_join(w, d, len)),
+        (1usize..5, 1usize..6, 0.0f64..1.0, any::<u64>()).prop_map(|(l, w, p, s)| {
+            workflow::layered_random(l, w, p, (100.0, 5_000.0), s)
+        }),
+        (1usize..6, 1usize..5, 100.0f64..5_000.0, any::<u64>())
+            .prop_map(|(j, st, len, s)| workflow::pipeline_ensemble(j, st, len, s)),
+    ]
+}
+
+fn scenario_for(wf: &Workflow, vms: usize, seed: u64) -> Scenario {
+    let mut scenario = HeterogeneousScenario {
+        vm_count: vms,
+        cloudlet_count: 1,
+        datacenter_count: 2,
+        seed,
+    }
+    .build();
+    wf.install(&mut scenario);
+    scenario
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated workflow is a valid DAG: parents precede children
+    /// in some topological order (upward_ranks would panic on a cycle).
+    #[test]
+    fn generators_produce_acyclic_graphs(wf in workflow_strategy(), vms in 1usize..8) {
+        let scenario = scenario_for(&wf, vms, 1);
+        let problem = scenario.problem();
+        let ranks = upward_ranks(&problem, &wf.parents);
+        prop_assert_eq!(ranks.len(), wf.len());
+        // A parent's rank strictly exceeds each child's (positive task
+        // weights guarantee it).
+        for (c, ps) in wf.parents.iter().enumerate() {
+            for p in ps {
+                prop_assert!(
+                    ranks[p.index()] > ranks[c],
+                    "parent {} rank {} <= child {} rank {}",
+                    p, ranks[p.index()], c, ranks[c]
+                );
+            }
+        }
+    }
+
+    /// HEFT plans are valid and the simulator completes them with
+    /// precedence intact.
+    #[test]
+    fn heft_plans_simulate_with_precedence(wf in workflow_strategy(), seed in 0u64..50) {
+        let scenario = scenario_for(&wf, 6, seed);
+        let problem = scenario.problem();
+        let plan = heft(&problem, &wf.parents);
+        prop_assert!(plan.validate(&problem).is_ok());
+        let outcome = scenario.simulate(plan).expect("feasible");
+        prop_assert_eq!(outcome.finished_count(), wf.len());
+        for (c, ps) in wf.parents.iter().enumerate() {
+            let start = outcome.records[c].start.unwrap();
+            for p in ps {
+                let pf = outcome.records[p.index()].finish.unwrap();
+                prop_assert!(start >= pf, "child {} started before parent {}", c, p);
+            }
+        }
+    }
+
+    /// The critical path bounds the simulated span from below for any
+    /// plan the Base Test produces.
+    #[test]
+    fn critical_path_bounds_any_plan(wf in workflow_strategy(), seed in 0u64..50) {
+        let scenario = scenario_for(&wf, 5, seed);
+        let problem = scenario.problem();
+        let fastest = problem.vms.iter().map(|v| v.mips).fold(0.0, f64::max);
+        let bound_ms = wf.critical_path_mi() / fastest * 1_000.0;
+        let outcome = scenario
+            .simulate(RoundRobin::new().schedule(&problem))
+            .expect("feasible");
+        let span = outcome
+            .records
+            .iter()
+            .filter_map(|r| Some(r.finish?.as_millis()))
+            .fold(0.0, f64::max)
+            - outcome
+                .records
+                .iter()
+                .filter_map(|r| Some(r.start?.as_millis()))
+                .fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            span + 1e-6 >= bound_ms,
+            "span {} beat the critical-path bound {}",
+            span, bound_ms
+        );
+    }
+}
