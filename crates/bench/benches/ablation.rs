@@ -151,7 +151,10 @@ fn bench_population_heuristics(c: &mut Criterion) {
 
     for (name, assignment) in [
         ("aco", AntColony::new(AcoParams::paper(), 1).schedule(&p)),
-        ("pso", ParticleSwarm::new(PsoParams::standard(), 1).schedule(&p)),
+        (
+            "pso",
+            ParticleSwarm::new(PsoParams::standard(), 1).schedule(&p),
+        ),
         ("ga", Genetic::new(GaParams::standard(), 1).schedule(&p)),
     ] {
         eprintln!(
@@ -167,9 +170,7 @@ fn bench_vm_allocation_policies(c: &mut Criterion) {
     use simcloud::host::{Host, HostSpec};
     use simcloud::ids::{HostId, VmId};
     use simcloud::vm::VmSpec;
-    use simcloud::vm_alloc::{
-        BestFit, FirstFit, LeastLoaded, RoundRobinHosts, VmAllocationPolicy,
-    };
+    use simcloud::vm_alloc::{BestFit, FirstFit, LeastLoaded, RoundRobinHosts, VmAllocationPolicy};
 
     let vm = VmSpec::homogeneous_default();
     let make_hosts = || -> Vec<Host> {

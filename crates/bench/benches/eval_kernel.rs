@@ -1,0 +1,157 @@
+//! Evaluation-kernel micro-benchmarks.
+//!
+//! Quantifies what `core::eval` buys over the pre-kernel code paths:
+//!
+//! * `exec_ms`: Eq. 6 lookup through the dense ETC matrix / the cached
+//!   per-VM rates vs recomputing from `SchedulingProblem` every time;
+//! * `rescore`: evaluating single-cloudlet moves with the incremental
+//!   [`LoadTracker`] vs re-scoring the whole plan from scratch, at 1k,
+//!   10k and 100k cloudlets;
+//! * `population`: batch GA/PSO-style population scoring through
+//!   [`evaluate_population`] vs a serial `score_assignment` loop.
+
+use biosched_core::assignment::Assignment;
+use biosched_core::eval::{evaluate_population, EvalCache, LoadTracker};
+use biosched_core::objective::{score_assignment, Objective};
+use biosched_core::problem::SchedulingProblem;
+use biosched_workload::heterogeneous::HeterogeneousScenario;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use simcloud::ids::VmId;
+use std::hint::black_box;
+
+const VMS: usize = 50;
+
+fn problem_with(cloudlets: usize) -> SchedulingProblem {
+    HeterogeneousScenario {
+        vm_count: VMS,
+        cloudlet_count: cloudlets,
+        datacenter_count: 4,
+        seed: 42,
+    }
+    .build()
+    .problem()
+}
+
+/// Full ETC sweep: every (cloudlet, VM) pair once.
+fn bench_exec_ms(c: &mut Criterion) {
+    let problem = problem_with(1_000);
+    let dense = EvalCache::new(&problem);
+    let lite = EvalCache::lite(&problem);
+    let n = problem.cloudlet_count();
+    let v = problem.vm_count();
+
+    let mut group = c.benchmark_group("eval_kernel/exec_ms_1000cl_50vm");
+    group.throughput(Throughput::Elements((n * v) as u64));
+    group.bench_function(BenchmarkId::from_parameter("uncached"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cl in 0..n {
+                for vm in 0..v {
+                    acc += problem.expected_exec_ms(cl, vm);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("cached_lite"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cl in 0..n {
+                for vm in 0..v {
+                    acc += lite.exec_ms(cl, vm);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("cached_dense"), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cl in 0..n {
+                for vm in 0..v {
+                    acc += dense.exec_ms(cl, vm);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// Local-search move evaluation: 64 single-cloudlet moves, scored
+/// incrementally vs by re-scoring the full plan.
+fn bench_rescore(c: &mut Criterion) {
+    for size in [1_000usize, 10_000, 100_000] {
+        let problem = problem_with(size);
+        let v = problem.vm_count();
+        let cache = EvalCache::new(&problem);
+        let base: Vec<VmId> = (0..size).map(|i| VmId::from_index(i % v)).collect();
+        let mut tracker = LoadTracker::new(&cache);
+        for (cl, vm) in base.iter().enumerate() {
+            tracker.assign(&cache, cl, vm.index());
+        }
+        let probes: Vec<(usize, usize)> = (0..64).map(|k| (k * 997 % size, k * 31 % v)).collect();
+
+        let mut group = c.benchmark_group(format!("eval_kernel/rescore_{size}cl"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_function(BenchmarkId::from_parameter("from_scratch"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(cl, vm) in &probes {
+                    let mut plan = base.clone();
+                    plan[cl] = VmId::from_index(vm);
+                    acc += score_assignment(&problem, &Assignment::new(plan), Objective::Makespan);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("incremental"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(cl, vm) in &probes {
+                    let orig = tracker.unassign(&cache, cl);
+                    acc += tracker.score_if(&cache, cl, vm, Objective::Makespan);
+                    tracker.assign(&cache, cl, orig);
+                }
+                black_box(acc)
+            })
+        });
+        group.finish();
+    }
+}
+
+/// GA/PSO-style batch: score a 32-genome population.
+fn bench_population(c: &mut Criterion) {
+    for size in [1_000usize, 10_000] {
+        let problem = problem_with(size);
+        let v = problem.vm_count();
+        let cache = EvalCache::new(&problem);
+        let genomes: Vec<Vec<u32>> = (0..32)
+            .map(|g| (0..size).map(|i| ((i + g * 7) % v) as u32).collect())
+            .collect();
+
+        let mut group = c.benchmark_group(format!("eval_kernel/population32_{size}cl"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements((genomes.len() * size) as u64));
+        group.bench_function(BenchmarkId::from_parameter("serial_from_scratch"), |b| {
+            b.iter(|| {
+                let total: f64 = genomes
+                    .iter()
+                    .map(|g| {
+                        let plan = Assignment::new(g.iter().map(|x| VmId(*x)).collect());
+                        score_assignment(&problem, &plan, Objective::Makespan)
+                    })
+                    .sum();
+                black_box(total)
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("evaluate_population"), |b| {
+            b.iter(|| black_box(evaluate_population(&cache, &genomes, Objective::Makespan)))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_exec_ms, bench_rescore, bench_population);
+criterion_main!(benches);

@@ -69,15 +69,12 @@ fn bench_vm_scaling(c: &mut Criterion) {
         .build()
         .problem();
         for kind in [AlgorithmKind::BaseTest, AlgorithmKind::AntColony] {
-            group.bench_function(
-                BenchmarkId::new(kind.label(), vms),
-                |b| {
-                    b.iter(|| {
-                        let mut scheduler = kind.build(7);
-                        black_box(scheduler.schedule(black_box(&problem)))
-                    })
-                },
-            );
+            group.bench_function(BenchmarkId::new(kind.label(), vms), |b| {
+                b.iter(|| {
+                    let mut scheduler = kind.build(7);
+                    black_box(scheduler.schedule(black_box(&problem)))
+                })
+            });
         }
     }
     group.finish();

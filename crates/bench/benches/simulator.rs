@@ -22,12 +22,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 // Scattered times exercise heap reordering.
                 for i in 0..n {
                     let t = ((i * 2_654_435_761) % 1_000_000) as f64;
-                    q.push(
-                        SimTime::new(t),
-                        EntityId(0),
-                        EntityId(0),
-                        Event::Start,
-                    );
+                    q.push(SimTime::new(t), EntityId(0), EntityId(0), Event::Start);
                 }
                 let mut last = 0.0;
                 while let Some(ev) = q.pop() {

@@ -100,9 +100,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("bad --hetero-cloudlets: {e}"))?;
             }
             "--csv" => {
-                opts.csv_dir = Some(PathBuf::from(
-                    it.next().ok_or("--csv needs a directory")?,
-                ));
+                opts.csv_dir = Some(PathBuf::from(it.next().ok_or("--csv needs a directory")?));
             }
             "--ascii" => opts.ascii = true,
             "--no-ascii" => opts.ascii = false,

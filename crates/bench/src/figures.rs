@@ -87,11 +87,7 @@ pub fn homogeneous_sweep(points: &[usize], scale: usize, seed: u64) -> Vec<Vec<P
 }
 
 /// Runs the heterogeneous sweep behind Figs. 6a–6d.
-pub fn heterogeneous_sweep(
-    points: &[usize],
-    cloudlets: usize,
-    seed: u64,
-) -> Vec<Vec<PointResult>> {
+pub fn heterogeneous_sweep(points: &[usize], cloudlets: usize, seed: u64) -> Vec<Vec<PointResult>> {
     sweep(points, &AlgorithmKind::PAPER_SET, seed, |vms| {
         HeterogeneousScenario {
             vm_count: vms,
@@ -124,8 +120,7 @@ pub fn heterogeneous_sweep_repeated(
                         HeterogeneousScenario {
                             vm_count: vms,
                             cloudlet_count: cloudlets,
-                            datacenter_count:
-                                biosched_workload::heterogeneous::DEFAULT_DATACENTERS,
+                            datacenter_count: biosched_workload::heterogeneous::DEFAULT_DATACENTERS,
                             seed,
                         }
                         .build()

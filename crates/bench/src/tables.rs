@@ -59,7 +59,10 @@ pub fn table_iv() -> Table {
     let mut t = Table::new(vec!["Cloudlet characteristic", "Value"]);
     t.push_row(vec!["cLength".to_string(), c.length_mi.to_string()]);
     t.push_row(vec!["cFileSize".to_string(), c.file_size_mb.to_string()]);
-    t.push_row(vec!["cOutputSize".to_string(), c.output_size_mb.to_string()]);
+    t.push_row(vec![
+        "cOutputSize".to_string(),
+        c.output_size_mb.to_string(),
+    ]);
     t.push_row(vec!["cPesNumber".to_string(), c.pes.to_string()]);
     t
 }

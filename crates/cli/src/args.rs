@@ -23,6 +23,9 @@ pub struct CommonOpts {
     pub sla_slack: Option<f64>,
     /// Optional CSV output path.
     pub csv: Option<String>,
+    /// Worker-thread cap for parallel evaluation (`--threads`); `None`
+    /// defers to `RAYON_NUM_THREADS` or the machine's core count.
+    pub threads: Option<usize>,
 }
 
 impl Default for CommonOpts {
@@ -36,7 +39,27 @@ impl Default for CommonOpts {
             vm_scheduler: SchedulerKind::TimeShared,
             sla_slack: None,
             csv: None,
+            threads: None,
         }
+    }
+}
+
+impl CommonOpts {
+    /// Installs the `--threads` cap as the global rayon thread count.
+    ///
+    /// Precedence is `--threads` > `RAYON_NUM_THREADS` > core count; with
+    /// no cap set this is a no-op so the environment variable still
+    /// applies. Results are thread-count independent (schedulers only
+    /// parallelize RNG-free scoring), so this knob trades wall-clock for
+    /// CPU without changing any output.
+    pub fn apply_thread_limit(&self) -> Result<(), String> {
+        let Some(n) = self.threads else {
+            return Ok(());
+        };
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .map_err(|e| format!("failed to set --threads: {e}"))
     }
 }
 
@@ -107,7 +130,11 @@ pub fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), String
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--vms" => opts.vms = take("--vms")?.parse().map_err(|e| format!("bad --vms: {e}"))?,
+            "--vms" => {
+                opts.vms = take("--vms")?
+                    .parse()
+                    .map_err(|e| format!("bad --vms: {e}"))?
+            }
             "--cloudlets" => {
                 opts.cloudlets = take("--cloudlets")?
                     .parse()
@@ -135,11 +162,21 @@ pub fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), String
                 )
             }
             "--csv" => opts.csv = Some(take("--csv")?),
+            "--threads" => {
+                opts.threads = Some(
+                    take("--threads")?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?,
+                )
+            }
             _ => rest.push(arg.clone()),
         }
     }
     if opts.vms == 0 || opts.cloudlets == 0 || opts.datacenters == 0 {
         return Err("--vms, --cloudlets and --datacenters must be positive".into());
+    }
+    if opts.threads == Some(0) {
+        return Err("--threads must be positive".into());
     }
     Ok((opts, rest))
 }
@@ -200,6 +237,17 @@ mod tests {
         let (opts, rest) = parse_common(&[]).unwrap();
         assert_eq!(opts, CommonOpts::default());
         assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn threads_option() {
+        let (opts, rest) = parse_common(&args("--threads 2")).unwrap();
+        assert_eq!(opts.threads, Some(2));
+        assert!(rest.is_empty());
+        assert!(opts.apply_thread_limit().is_ok());
+        assert_eq!(parse_common(&[]).unwrap().0.threads, None);
+        assert!(parse_common(&args("--threads 0")).is_err());
+        assert!(parse_common(&args("--threads x")).is_err());
     }
 
     #[test]

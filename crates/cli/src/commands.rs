@@ -12,7 +12,9 @@ use biosched_workload::workflow;
 use simcloud::energy::{estimate_energy, PowerModel};
 use simcloud::stats::SimulationOutcome;
 
-use crate::args::{parse_algorithm, parse_algorithm_list, parse_common, parse_usize_list, CommonOpts};
+use crate::args::{
+    parse_algorithm, parse_algorithm_list, parse_common, parse_usize_list, CommonOpts,
+};
 use crate::scenario_builder::{build_scenario, describe_scenario};
 
 /// Help text for all commands.
@@ -38,6 +40,8 @@ scenario options (all commands):
   --space-shared / --time-shared   per-VM execution policy
   --sla-slack F    attach deadlines at F x solo runtime @2000 MIPS
   --csv PATH       also write results as CSV
+  --threads N      cap worker threads for parallel evaluation (default:
+                   RAYON_NUM_THREADS, else all cores; never changes results)
 
 examples:
   biosched run --algorithm aco --vms 100 --cloudlets 1000
@@ -126,13 +130,13 @@ fn emit_table(table: &Table, csv: Option<&str>) -> Result<(), String> {
 /// `biosched run`.
 pub fn cmd_run(args: &[String]) -> Result<(), String> {
     let (opts, rest) = parse_common(args)?;
+    opts.apply_thread_limit()?;
     let mut algorithm = AlgorithmKind::AntColony;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--algorithm" => {
-                algorithm =
-                    parse_algorithm(it.next().ok_or("--algorithm needs a value")?)?
+                algorithm = parse_algorithm(it.next().ok_or("--algorithm needs a value")?)?
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -153,6 +157,7 @@ pub fn cmd_run(args: &[String]) -> Result<(), String> {
 /// `biosched compare`.
 pub fn cmd_compare(args: &[String]) -> Result<(), String> {
     let (opts, rest) = parse_common(args)?;
+    opts.apply_thread_limit()?;
     let mut algorithms = vec![
         AlgorithmKind::BaseTest,
         AlgorithmKind::AntColony,
@@ -163,8 +168,7 @@ pub fn cmd_compare(args: &[String]) -> Result<(), String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--algorithms" => {
-                algorithms =
-                    parse_algorithm_list(it.next().ok_or("--algorithms needs a value")?)?
+                algorithms = parse_algorithm_list(it.next().ok_or("--algorithms needs a value")?)?
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -181,17 +185,15 @@ pub fn cmd_compare(args: &[String]) -> Result<(), String> {
 /// `biosched sweep`.
 pub fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let (opts, rest) = parse_common(args)?;
+    opts.apply_thread_limit()?;
     let mut points = vec![50usize, 150, 250, 350, 450];
     let mut algorithms = AlgorithmKind::PAPER_SET.to_vec();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--points" => {
-                points = parse_usize_list(it.next().ok_or("--points needs a value")?)?
-            }
+            "--points" => points = parse_usize_list(it.next().ok_or("--points needs a value")?)?,
             "--algorithms" => {
-                algorithms =
-                    parse_algorithm_list(it.next().ok_or("--algorithms needs a value")?)?
+                algorithms = parse_algorithm_list(it.next().ok_or("--algorithms needs a value")?)?
             }
             other => return Err(format!("unknown option {other}")),
         }
@@ -211,27 +213,21 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), String> {
     });
     let mut table = Table::new(
         std::iter::once("VMs".to_string())
-            .chain(
-                algorithms
-                    .iter()
-                    .flat_map(|a| {
-                        [
-                            format!("{} makespan", a.label()),
-                            format!("{} cost", a.label()),
-                        ]
-                    }),
-            )
+            .chain(algorithms.iter().flat_map(|a| {
+                [
+                    format!("{} makespan", a.label()),
+                    format!("{} cost", a.label()),
+                ]
+            }))
             .collect::<Vec<_>>(),
     );
     for (x, row) in points.iter().zip(&results) {
         table.push_row(
             std::iter::once(x.to_string())
-                .chain(row.iter().flat_map(|r| {
-                    [
-                        fmt_value(r.simulation_time_ms),
-                        fmt_value(r.total_cost),
-                    ]
-                }))
+                .chain(
+                    row.iter()
+                        .flat_map(|r| [fmt_value(r.simulation_time_ms), fmt_value(r.total_cost)]),
+                )
                 .collect::<Vec<_>>(),
         );
     }
@@ -241,6 +237,7 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), String> {
 /// `biosched workflow`.
 pub fn cmd_workflow(args: &[String]) -> Result<(), String> {
     let (opts, rest) = parse_common(args)?;
+    opts.apply_thread_limit()?;
     let mut shape = "fork-join".to_string();
     let mut tasks = 32usize;
     let mut use_heft = true;
@@ -276,10 +273,12 @@ pub fn cmd_workflow(args: &[String]) -> Result<(), String> {
             (1_000.0, 8_000.0),
             opts.seed,
         ),
-        "ensemble" => {
-            workflow::pipeline_ensemble(tasks.div_ceil(4).max(1), 4, 4_000.0, opts.seed)
+        "ensemble" => workflow::pipeline_ensemble(tasks.div_ceil(4).max(1), 4, 4_000.0, opts.seed),
+        other => {
+            return Err(format!(
+                "unknown shape {other} (chain|fork-join|layered|ensemble)"
+            ))
         }
-        other => return Err(format!("unknown shape {other} (chain|fork-join|layered|ensemble)")),
     };
     let mut scenario = build_scenario(&opts);
     wf.install(&mut scenario);
@@ -318,6 +317,7 @@ pub fn cmd_workflow(args: &[String]) -> Result<(), String> {
 pub fn cmd_online(args: &[String]) -> Result<(), String> {
     use biosched_workload::online::{run_online, WavePlan};
     let (opts, rest) = parse_common(args)?;
+    opts.apply_thread_limit()?;
     let mut algorithm = AlgorithmKind::BaseTest;
     let mut waves = 4usize;
     let mut interval_ms = 5_000.0f64;
@@ -385,6 +385,7 @@ pub fn cmd_online(args: &[String]) -> Result<(), String> {
 /// `biosched describe`.
 pub fn cmd_describe(args: &[String]) -> Result<(), String> {
     let (opts, rest) = parse_common(args)?;
+    opts.apply_thread_limit()?;
     if !rest.is_empty() {
         return Err(format!("unknown option {}", rest[0]));
     }
@@ -392,33 +393,53 @@ pub fn cmd_describe(args: &[String]) -> Result<(), String> {
     println!("{}", describe_scenario(&opts));
     let problem = scenario.problem();
     let mut table = Table::new(vec!["property", "value"]);
-    let mips_min = problem.vms.iter().map(|v| v.mips).fold(f64::INFINITY, f64::min);
+    let mips_min = problem
+        .vms
+        .iter()
+        .map(|v| v.mips)
+        .fold(f64::INFINITY, f64::min);
     let mips_max = problem.vms.iter().map(|v| v.mips).fold(0.0, f64::max);
     let len_min = problem
         .cloudlets
         .iter()
         .map(|c| c.length_mi)
         .fold(f64::INFINITY, f64::min);
-    let len_max = problem.cloudlets.iter().map(|c| c.length_mi).fold(0.0, f64::max);
-    table.push_row(vec!["VM MIPS range".to_string(), format!("{mips_min:.0}–{mips_max:.0}")]);
+    let len_max = problem
+        .cloudlets
+        .iter()
+        .map(|c| c.length_mi)
+        .fold(0.0, f64::max);
+    table.push_row(vec![
+        "VM MIPS range".to_string(),
+        format!("{mips_min:.0}–{mips_max:.0}"),
+    ]);
     table.push_row(vec![
         "cloudlet length range (MI)".to_string(),
         format!("{len_min:.0}–{len_max:.0}"),
     ]);
     table.push_row(vec![
         "total demand (MI)".to_string(),
-        format!("{:.0}", problem.cloudlets.iter().map(|c| c.length_mi).sum::<f64>()),
+        format!(
+            "{:.0}",
+            problem.cloudlets.iter().map(|c| c.length_mi).sum::<f64>()
+        ),
     ]);
     table.push_row(vec![
         "total capacity (MIPS)".to_string(),
-        format!("{:.0}", problem.vms.iter().map(|v| v.total_mips()).sum::<f64>()),
+        format!(
+            "{:.0}",
+            problem.vms.iter().map(|v| v.total_mips()).sum::<f64>()
+        ),
     ]);
     for (i, dc) in problem.datacenters.iter().enumerate() {
         table.push_row(vec![
             format!("dc{i} prices (mem/sto/bw/cpu)"),
             format!(
                 "{:.3}/{:.4}/{:.3}/{:.1}",
-                dc.cost.per_memory, dc.cost.per_storage, dc.cost.per_bandwidth, dc.cost.per_processing
+                dc.cost.per_memory,
+                dc.cost.per_storage,
+                dc.cost.per_bandwidth,
+                dc.cost.per_processing
             ),
         ]);
     }

@@ -45,7 +45,11 @@ pub fn describe_scenario(opts: &CommonOpts) -> String {
         },
         opts.vms,
         opts.cloudlets,
-        if opts.homogeneous { 1 } else { opts.datacenters },
+        if opts.homogeneous {
+            1
+        } else {
+            opts.datacenters
+        },
         match opts.vm_scheduler {
             simcloud::cloudlet_sched::SchedulerKind::TimeShared => "time-shared",
             simcloud::cloudlet_sched::SchedulerKind::SpaceShared => "space-shared",

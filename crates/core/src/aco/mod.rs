@@ -49,6 +49,7 @@ use simcloud::ids::VmId;
 use simcloud::rng::stream;
 
 use crate::assignment::Assignment;
+use crate::eval::{self, EvalCache};
 use crate::problem::SchedulingProblem;
 use crate::scheduler::Scheduler;
 
@@ -83,6 +84,7 @@ impl AntColony {
     fn run(&mut self, problem: &SchedulingProblem, traced: bool) -> (Assignment, Vec<f64>) {
         let c = problem.cloudlet_count();
         let v = problem.vm_count();
+        let cache = EvalCache::new(problem);
         // Clamp: a tour may not revisit VMs, and a tour covering the whole
         // fleet is a bare permutation with no room for preference.
         let fleet_cap = ((v as f64 * self.params.max_vm_fraction).ceil() as usize).max(1);
@@ -93,7 +95,7 @@ impl AntColony {
         while start < c {
             let end = (start + batch).min(c);
             let trace_slot = (traced && start == 0).then_some(&mut trace);
-            map.extend(self.run_colony(problem, start..end, trace_slot));
+            map.extend(self.run_colony(&cache, start..end, trace_slot));
             start = end;
         }
         (Assignment::new(map), trace)
@@ -103,7 +105,7 @@ impl AntColony {
     /// the best tour found.
     fn run_colony(
         &mut self,
-        problem: &SchedulingProblem,
+        cache: &EvalCache,
         slots: Range<usize>,
         mut trace: Option<&mut Vec<f64>>,
     ) -> Vec<VmId> {
@@ -112,7 +114,7 @@ impl AntColony {
 
         for _ in 0..self.params.iterations {
             let seeds: Vec<u64> = (0..self.params.ants).map(|_| self.rng.gen()).collect();
-            let tours = construct_tours(problem, &slots, &pheromone, &self.params, &seeds);
+            let tours = construct_tours(cache, &slots, &pheromone, &self.params, &seeds);
 
             // Local update (Eqs. 9–10): evaporate once, then every ant
             // deposits Q/L_k along its tour.
@@ -148,43 +150,33 @@ impl AntColony {
     }
 }
 
-/// Builds all ant tours for one iteration (parallel over ants when the
-/// `parallel` feature is on; order-preserving either way, so runs are
-/// deterministic).
+/// Builds all ant tours for one iteration through the evaluation kernel's
+/// shared fan-out ([`eval::par_map_if`]): parallel over ants when the
+/// `parallel` feature is on and the batch is big enough to amortize the
+/// fork; order-preserving either way, so runs are deterministic.
 fn construct_tours(
-    problem: &SchedulingProblem,
+    cache: &EvalCache,
     slots: &Range<usize>,
     pheromone: &PheromoneMatrix,
     params: &AcoParams,
     seeds: &[u64],
 ) -> Vec<(Vec<u32>, f64)> {
-    #[cfg(feature = "parallel")]
-    {
-        use rayon::prelude::*;
-        if seeds.len() >= 8 && slots.len() >= 32 {
-            return seeds
-                .par_iter()
-                .map(|&seed| construct_tour(problem, slots.clone(), pheromone, params, seed))
-                .collect();
-        }
-    }
-    seeds
-        .iter()
-        .map(|&seed| construct_tour(problem, slots.clone(), pheromone, params, seed))
-        .collect()
+    eval::par_map_if(slots.len() >= 32, seeds, |&seed| {
+        construct_tour(cache, slots.clone(), pheromone, params, seed)
+    })
 }
 
 /// One ant's tour: for each slot, pick a VM by the Eq. 5 roulette over the
 /// candidate list, respecting the tabu set.
 fn construct_tour(
-    problem: &SchedulingProblem,
+    cache: &EvalCache,
     slots: Range<usize>,
     pheromone: &PheromoneMatrix,
     params: &AcoParams,
     seed: u64,
 ) -> (Vec<u32>, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let v = problem.vm_count();
+    let v = cache.vm_count();
     let b = slots.len();
     debug_assert!(b <= v, "batch must be clamped to the VM count");
 
@@ -233,7 +225,7 @@ fn construct_tour(
         let mut total = 0.0;
         for &j in &candidates {
             let tau = pheromone.get(slot_idx as u32, j);
-            let eta = problem.heuristic(c, j as usize);
+            let eta = cache.heuristic(c, j as usize);
             let w = tau.powf(params.alpha) * eta.powf(params.beta);
             let w = if w.is_finite() { w } else { 0.0 };
             total += w;
@@ -254,7 +246,7 @@ fn construct_tour(
         let j = candidates[pick];
         tabu.insert(j);
         tour.push(j);
-        length += problem.expected_exec_ms(c, j as usize);
+        length += cache.exec_ms(c, j as usize);
     }
     (tour, length)
 }
@@ -447,7 +439,10 @@ mod tests {
         let a = AntColony::new(AcoParams::fast(), 21).schedule(&p);
         assert_eq!(a.len(), 50);
         let counts = a.counts_per_vm(3);
-        assert!(counts.iter().all(|c| *c > 0), "all VMs see work: {counts:?}");
+        assert!(
+            counts.iter().all(|c| *c > 0),
+            "all VMs see work: {counts:?}"
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use simcloud::ids::VmId;
 
+use crate::eval::EvalCache;
 use crate::problem::SchedulingProblem;
 
 /// A complete cloudlet→VM map, in cloudlet-id order.
@@ -76,13 +77,11 @@ impl Assignment {
 
     /// Estimated busy time per VM in ms under Eq. 6, i.e. the sum of
     /// `expected_exec_ms` of every cloudlet bound to that VM. This is the
-    /// quantity greedy/load-aware schedulers balance.
+    /// quantity greedy/load-aware schedulers balance. One-shot convenience
+    /// over [`EvalCache::load_vector`]; repeated callers should build the
+    /// cache themselves.
     pub fn estimated_load_ms(&self, problem: &SchedulingProblem) -> Vec<f64> {
-        let mut load = vec![0.0; problem.vm_count()];
-        for (c, vm) in self.map.iter().enumerate() {
-            load[vm.index()] += problem.expected_exec_ms(c, vm.index());
-        }
-        load
+        EvalCache::lite(problem).load_vector(&self.map)
     }
 
     /// Estimated makespan: the max of [`Assignment::estimated_load_ms`].

@@ -1,0 +1,360 @@
+//! Per-problem evaluation cache for Eq. 6 times and Eq. 1 costs.
+
+use simcloud::cost::LENGTH_NORM_MI;
+use simcloud::ids::VmId;
+
+use crate::objective::Objective;
+use crate::problem::SchedulingProblem;
+
+/// Largest `cloudlets × vms` product for which [`EvalCache::new`] also
+/// materializes the dense ETC (expected-time-to-compute) matrix — 2²³
+/// entries, 64 MB of `f64`. Above the threshold the cache falls back to
+/// recomputing `d(c, v)` on demand from the precomputed per-VM and
+/// per-cloudlet factors; the fallback evaluates the exact expression used
+/// to fill the matrix, so scores are bit-identical either way.
+pub const DENSE_ETC_MAX_ENTRIES: usize = 1 << 23;
+
+/// Immutable evaluation cache, built once per [`SchedulingProblem`].
+///
+/// Holds the raw factors of Eq. 6 (`length`, `pes`, `file_size` per
+/// cloudlet; `mips`, `pes`, `bw` per VM) in flat arrays, the per-VM Eq. 1
+/// rate factors, and — when the problem is small enough — the dense ETC
+/// matrix. All evaluation replicates the floating-point expression order of
+/// [`SchedulingProblem::expected_exec_ms`] and
+/// [`crate::objective::score_assignment`] exactly, so a cached score equals
+/// the uncached one bit for bit.
+pub struct EvalCache {
+    cl_len: Vec<f64>,
+    cl_pes: Vec<u32>,
+    cl_file: Vec<f64>,
+    vm_mips: Vec<f64>,
+    vm_pes: Vec<u32>,
+    vm_bw: Vec<f64>,
+    /// Eq. 1 `(Size + M + Bw)` factor of the datacenter hosting each VM.
+    vm_resource_rate: Vec<f64>,
+    /// `per_processing` price of the datacenter hosting each VM.
+    vm_per_processing: Vec<f64>,
+    /// Row-major `[c * vm_count + v]` Eq. 6 matrix, when materialized.
+    etc: Option<Vec<f64>>,
+}
+
+impl EvalCache {
+    /// Builds the cache, materializing the dense ETC matrix when the
+    /// problem is at most [`DENSE_ETC_MAX_ENTRIES`] pairs.
+    pub fn new(problem: &SchedulingProblem) -> Self {
+        let dense = problem
+            .cloudlet_count()
+            .checked_mul(problem.vm_count())
+            .is_some_and(|entries| entries <= DENSE_ETC_MAX_ENTRIES);
+        Self::with_dense(problem, dense)
+    }
+
+    /// Builds the cache without the dense matrix — per-VM and per-cloudlet
+    /// factors only. Right for one-shot scoring where filling an O(C·V)
+    /// matrix would cost more than it saves.
+    pub fn lite(problem: &SchedulingProblem) -> Self {
+        Self::with_dense(problem, false)
+    }
+
+    /// Builds the cache with explicit control over ETC materialization.
+    pub fn with_dense(problem: &SchedulingProblem, dense: bool) -> Self {
+        let mut cache = EvalCache {
+            cl_len: problem.cloudlets.iter().map(|cl| cl.length_mi).collect(),
+            cl_pes: problem.cloudlets.iter().map(|cl| cl.pes).collect(),
+            cl_file: problem.cloudlets.iter().map(|cl| cl.file_size_mb).collect(),
+            vm_mips: problem.vms.iter().map(|vm| vm.mips).collect(),
+            vm_pes: problem.vms.iter().map(|vm| vm.pes).collect(),
+            vm_bw: problem.vms.iter().map(|vm| vm.bw_mbps).collect(),
+            vm_resource_rate: (0..problem.vm_count())
+                .map(|v| simcloud::cost::resource_rate(problem.cost_of_vm(v), &problem.vms[v]))
+                .collect(),
+            vm_per_processing: (0..problem.vm_count())
+                .map(|v| problem.cost_of_vm(v).per_processing)
+                .collect(),
+            etc: None,
+        };
+        if dense {
+            let v = cache.vm_count();
+            let mut etc = Vec::with_capacity(cache.cloudlet_count() * v);
+            for c in 0..cache.cloudlet_count() {
+                for vm in 0..v {
+                    etc.push(cache.compute_exec_ms(c, vm));
+                }
+            }
+            cache.etc = Some(etc);
+        }
+        cache
+    }
+
+    /// Number of VMs covered.
+    #[inline]
+    pub fn vm_count(&self) -> usize {
+        self.vm_mips.len()
+    }
+
+    /// Number of cloudlets covered.
+    #[inline]
+    pub fn cloudlet_count(&self) -> usize {
+        self.cl_len.len()
+    }
+
+    /// True when the dense ETC matrix is materialized.
+    pub fn has_dense_etc(&self) -> bool {
+        self.etc.is_some()
+    }
+
+    /// Length of cloudlet `c` in MI (Eq. 1's `TCL_j` factor).
+    #[inline]
+    pub fn cloudlet_len_mi(&self, c: usize) -> f64 {
+        self.cl_len[c]
+    }
+
+    /// Eq. 6 from the cached factors — the identical floating-point
+    /// expression [`SchedulingProblem::expected_exec_ms`] evaluates
+    /// (compute over the effective PEs plus input staging over the VM's
+    /// bandwidth, both in ms).
+    #[inline]
+    fn compute_exec_ms(&self, c: usize, v: usize) -> f64 {
+        let compute_ms = self.cl_len[c]
+            / (f64::from(self.cl_pes[c].min(self.vm_pes[v])) * self.vm_mips[v])
+            * 1_000.0;
+        let staging_ms = self.cl_file[c] * 8.0 / self.vm_bw[v] * 1_000.0;
+        compute_ms + staging_ms
+    }
+
+    /// Eq. 6 expected execution time of cloudlet `c` on VM `v`, in ms.
+    /// A dense-matrix lookup when materialized, otherwise recomputed from
+    /// the cached factors — bit-identical either way.
+    #[inline]
+    pub fn exec_ms(&self, c: usize, v: usize) -> f64 {
+        match &self.etc {
+            Some(etc) => etc[c * self.vm_count() + v],
+            None => self.compute_exec_ms(c, v),
+        }
+    }
+
+    /// Eq. 6's heuristic desirability `η = 1 / d`.
+    #[inline]
+    pub fn heuristic(&self, c: usize, v: usize) -> f64 {
+        1.0 / self.exec_ms(c, v)
+    }
+
+    /// Eq. 1 processing cost of cloudlet `c` on VM `v`, using the Eq. 6
+    /// estimate as the CPU time — the exact term
+    /// [`crate::objective::score_assignment`] sums for [`Objective::Cost`].
+    #[inline]
+    pub fn cost(&self, c: usize, v: usize) -> f64 {
+        let cpu_seconds = self.exec_ms(c, v) / 1_000.0;
+        let resource_term = self.vm_resource_rate[v] * (self.cl_len[c] / LENGTH_NORM_MI);
+        let cpu_term = self.vm_per_processing[v] * cpu_seconds;
+        resource_term + cpu_term
+    }
+
+    /// Per-VM estimated busy time of a plan (the quantity load-aware
+    /// schedulers balance), accumulated in cloudlet order like
+    /// [`crate::assignment::Assignment::estimated_load_ms`].
+    pub fn load_vector(&self, plan: &[VmId]) -> Vec<f64> {
+        let mut load = vec![0.0; self.vm_count()];
+        for (c, vm) in plan.iter().enumerate() {
+            load[vm.index()] += self.exec_ms(c, vm.index());
+        }
+        load
+    }
+
+    /// Scores a cloudlet→VM plan under `objective` — lower is better.
+    /// Bit-identical to [`crate::objective::score_assignment`] on the
+    /// problem the cache was built from.
+    pub fn score(&self, plan: &[VmId], objective: Objective) -> f64 {
+        self.score_iter(plan.iter().map(|vm| vm.index()), objective)
+    }
+
+    /// Scores a raw `u32` gene vector (GA chromosomes, ACO tours) without
+    /// converting it into an [`crate::assignment::Assignment`] first.
+    pub fn score_genes(&self, genes: &[u32], objective: Objective) -> f64 {
+        self.score_iter(genes.iter().map(|g| *g as usize), objective)
+    }
+
+    /// Shared scoring core; `vms[i]` is the VM index of cloudlet `i`. The
+    /// iteration order replicates `score_assignment` exactly so results
+    /// match bit for bit.
+    fn score_iter<I: Iterator<Item = usize>>(&self, vms: I, objective: Objective) -> f64 {
+        match objective {
+            Objective::Makespan => {
+                let mut load = vec![0.0; self.vm_count()];
+                for (c, v) in vms.enumerate() {
+                    load[v] += self.exec_ms(c, v);
+                }
+                load.into_iter().fold(0.0, f64::max)
+            }
+            Objective::Cost => {
+                let mut total = 0.0;
+                for (c, v) in vms.enumerate() {
+                    total += self.cost(c, v);
+                }
+                total
+            }
+            Objective::Balance => {
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for (c, v) in vms.enumerate() {
+                    let d = self.exec_ms(c, v);
+                    min = min.min(d);
+                    max = max.max(d);
+                    sum += d;
+                    n += 1;
+                }
+                if n == 0 || sum == 0.0 {
+                    0.0
+                } else {
+                    (max - min) / (sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+    use crate::objective::score_assignment;
+    use simcloud::characteristics::CostModel;
+    use simcloud::cloudlet::CloudletSpec;
+    use simcloud::ids::DatacenterId;
+    use simcloud::vm::VmSpec;
+
+    fn hetero_problem() -> SchedulingProblem {
+        let vms: Vec<VmSpec> = (0..7)
+            .map(|i| {
+                VmSpec::new(
+                    500.0 + 700.0 * (i % 4) as f64,
+                    5_000.0,
+                    512.0,
+                    300.0 + 100.0 * (i % 3) as f64,
+                    1 + (i % 2) as u32,
+                )
+            })
+            .collect();
+        let cloudlets: Vec<CloudletSpec> = (0..23)
+            .map(|i| {
+                CloudletSpec::new(
+                    750.0 + 450.0 * (i % 9) as f64,
+                    if i % 3 == 0 {
+                        0.0
+                    } else {
+                        120.0 + 60.0 * (i % 4) as f64
+                    },
+                    100.0,
+                    1 + (i % 3) as u32,
+                )
+            })
+            .collect();
+        let dcs = vec![
+            crate::problem::DatacenterView {
+                id: DatacenterId(0),
+                cost: CostModel::new(0.05, 0.004, 0.05, 3.0),
+            },
+            crate::problem::DatacenterView {
+                id: DatacenterId(1),
+                cost: CostModel::new(0.01, 0.001, 0.01, 3.0),
+            },
+        ];
+        let placement = (0..7).map(|i| DatacenterId(u32::from(i >= 4))).collect();
+        SchedulingProblem::new(vms, cloudlets, dcs, placement).unwrap()
+    }
+
+    fn some_plan(problem: &SchedulingProblem) -> Vec<VmId> {
+        (0..problem.cloudlet_count())
+            .map(|c| VmId(((c * 5 + 3) % problem.vm_count()) as u32))
+            .collect()
+    }
+
+    #[test]
+    fn exec_ms_is_bit_identical_to_problem() {
+        let p = hetero_problem();
+        for cache in [EvalCache::new(&p), EvalCache::lite(&p)] {
+            for c in 0..p.cloudlet_count() {
+                for v in 0..p.vm_count() {
+                    assert_eq!(
+                        cache.exec_ms(c, v).to_bits(),
+                        p.expected_exec_ms(c, v).to_bits(),
+                        "d({c},{v}) diverged (dense={})",
+                        cache.has_dense_etc()
+                    );
+                    assert_eq!(cache.heuristic(c, v).to_bits(), p.heuristic(c, v).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_matrix_respects_threshold() {
+        let p = hetero_problem();
+        assert!(EvalCache::new(&p).has_dense_etc());
+        assert!(!EvalCache::lite(&p).has_dense_etc());
+        assert!(!EvalCache::with_dense(&p, false).has_dense_etc());
+    }
+
+    #[test]
+    fn scores_are_bit_identical_to_score_assignment() {
+        let p = hetero_problem();
+        let plan = some_plan(&p);
+        let assignment = Assignment::new(plan.clone());
+        for cache in [EvalCache::new(&p), EvalCache::lite(&p)] {
+            for objective in Objective::ALL {
+                assert_eq!(
+                    cache.score(&plan, objective).to_bits(),
+                    score_assignment(&p, &assignment, objective).to_bits(),
+                    "{objective:?} diverged (dense={})",
+                    cache.has_dense_etc()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_genes_matches_score() {
+        let p = hetero_problem();
+        let cache = EvalCache::new(&p);
+        let plan = some_plan(&p);
+        let genes: Vec<u32> = plan.iter().map(|vm| vm.0).collect();
+        for objective in Objective::ALL {
+            assert_eq!(
+                cache.score_genes(&genes, objective).to_bits(),
+                cache.score(&plan, objective).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn load_vector_matches_assignment() {
+        let p = hetero_problem();
+        let cache = EvalCache::new(&p);
+        let plan = some_plan(&p);
+        let expect = Assignment::new(plan.clone()).estimated_load_ms(&p);
+        let got = cache.load_vector(&plan);
+        assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!(g.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn cost_uses_per_datacenter_prices() {
+        let p = hetero_problem();
+        let cache = EvalCache::new(&p);
+        // VM 0 sits in the expensive DC, VM 6 in the cheap one.
+        assert!(cache.cost(0, 0) > cache.cost(0, 6));
+    }
+
+    #[test]
+    fn empty_plan_scores_zero() {
+        let p = hetero_problem();
+        let cache = EvalCache::new(&p);
+        assert_eq!(cache.score(&[], Objective::Balance), 0.0);
+        assert_eq!(cache.score(&[], Objective::Makespan), 0.0);
+        assert_eq!(cache.score(&[], Objective::Cost), 0.0);
+    }
+}

@@ -30,7 +30,8 @@ use simcloud::ids::VmId;
 use simcloud::rng::stream;
 
 use crate::assignment::Assignment;
-use crate::objective::{score_assignment, Objective};
+use crate::eval::{evaluate_population, EvalCache};
+use crate::objective::Objective;
 use crate::problem::SchedulingProblem;
 use crate::scheduler::Scheduler;
 
@@ -130,10 +131,7 @@ impl Genetic {
         &self.params
     }
 
-    fn tournament_pick<'a>(
-        &mut self,
-        population: &'a [(Vec<u32>, f64)],
-    ) -> &'a (Vec<u32>, f64) {
+    fn tournament_pick<'a>(&mut self, population: &'a [(Vec<u32>, f64)]) -> &'a (Vec<u32>, f64) {
         let mut best: Option<&(Vec<u32>, f64)> = None;
         for _ in 0..self.params.tournament {
             let cand = &population[self.rng.gen_range(0..population.len())];
@@ -166,28 +164,29 @@ impl Genetic {
             return (Assignment::new(Vec::new()), trace);
         }
         let objective = self.params.objective;
-        let eval = |genes: &[u32]| -> f64 {
-            score_assignment(problem, &to_assignment(genes), objective)
-        };
+        let cache = EvalCache::new(problem);
 
         // Seed the population with random chromosomes plus one cyclic
         // chromosome — a common warm start that also guarantees the GA
         // never ends worse than the Base Test on homogeneous setups.
-        let mut population: Vec<(Vec<u32>, f64)> = Vec::with_capacity(self.params.population);
-        let cyclic: Vec<u32> = (0..dims).map(|i| (i as u32) % v).collect();
-        let score = eval(&cyclic);
-        population.push((cyclic, score));
-        while population.len() < self.params.population {
-            let genes: Vec<u32> = (0..dims).map(|_| self.rng.gen_range(0..v)).collect();
-            let score = eval(&genes);
-            population.push((genes, score));
+        // Chromosomes are bred sequentially (the RNG stream defines the
+        // schedule) and scored as one batch through the evaluation kernel;
+        // scoring draws no randomness, so results are seed-stable at any
+        // thread count.
+        let mut genomes: Vec<Vec<u32>> = Vec::with_capacity(self.params.population);
+        genomes.push((0..dims).map(|i| (i as u32) % v).collect());
+        while genomes.len() < self.params.population {
+            genomes.push((0..dims).map(|_| self.rng.gen_range(0..v)).collect());
         }
+        let scores = evaluate_population(&cache, &genomes, objective);
+        let mut population: Vec<(Vec<u32>, f64)> = genomes.into_iter().zip(scores).collect();
 
         for _ in 0..self.params.generations {
             population.sort_by(|a, b| a.1.total_cmp(&b.1));
-            let mut next: Vec<(Vec<u32>, f64)> =
-                population[..self.params.elites].to_vec();
-            while next.len() < self.params.population {
+            let mut next: Vec<(Vec<u32>, f64)> = population[..self.params.elites].to_vec();
+            let mut children: Vec<Vec<u32>> =
+                Vec::with_capacity(self.params.population - next.len());
+            while next.len() + children.len() < self.params.population {
                 let parent_a = self.tournament_pick(&population).0.clone();
                 let parent_b = self.tournament_pick(&population).0.clone();
                 let mut child = Vec::with_capacity(dims);
@@ -199,9 +198,10 @@ impl Genetic {
                     }
                     child.push(gene);
                 }
-                let score = eval(&child);
-                next.push((child, score));
+                children.push(child);
             }
+            let scores = evaluate_population(&cache, &children, objective);
+            next.extend(children.into_iter().zip(scores));
             population = next;
             if traced {
                 let best = population
@@ -229,6 +229,7 @@ impl Scheduler for Genetic {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::objective::score_assignment;
     use crate::round_robin::RoundRobin;
     use simcloud::characteristics::CostModel;
     use simcloud::cloudlet::CloudletSpec;

@@ -86,9 +86,6 @@ mod tests {
         let big = VmSpec::new(1.0, 10_000.0, 1.0, 1.0, 1);
         let rate = best_rate_in_dc(&cost, [&small, &big].into_iter());
         assert!((rate - 0.1).abs() < 1e-12);
-        assert_eq!(
-            best_rate_in_dc(&cost, std::iter::empty()),
-            f64::INFINITY
-        );
+        assert_eq!(best_rate_in_dc(&cost, std::iter::empty()), f64::INFINITY);
     }
 }

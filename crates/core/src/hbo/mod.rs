@@ -45,15 +45,13 @@ mod fitness;
 
 pub use fitness::{best_rate_in_dc, dc_cost, fitness};
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use simcloud::ids::VmId;
 use simcloud::rng::stream;
 
 use crate::assignment::Assignment;
+use crate::eval::{EvalCache, MinLoadHeap};
 use crate::problem::SchedulingProblem;
 use crate::scheduler::Scheduler;
 
@@ -99,24 +97,6 @@ impl Default for HboParams {
     }
 }
 
-/// Total order over f64 load values for the per-DC least-loaded heaps.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Load(f64);
-
-impl Eq for Load {}
-
-impl PartialOrd for Load {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Load {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
-
 /// The HBO scheduler.
 pub struct HoneyBee {
     params: HboParams,
@@ -147,6 +127,7 @@ impl Scheduler for HoneyBee {
     fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
         let dc_count = problem.datacenters.len();
         let c = problem.cloudlet_count();
+        let cache = EvalCache::new(problem);
 
         // Forager ranking: datacenters ordered by their cheapest Eq. 1
         // rate. TCL_j scales all datacenters identically, so the ranking
@@ -175,9 +156,9 @@ impl Scheduler for HoneyBee {
         );
 
         // Scout state: per-DC least-loaded heap of (load, vm).
-        let mut heaps: Vec<BinaryHeap<Reverse<(Load, u32)>>> = vec![BinaryHeap::new(); dc_count];
+        let mut heaps: Vec<MinLoadHeap> = vec![MinLoadHeap::new(); dc_count];
         for (v, dc) in problem.vm_placement.iter().enumerate() {
-            heaps[dc.index()].push(Reverse((Load(0.0), v as u32)));
+            heaps[dc.index()].push(0.0, v as u32);
         }
 
         // Cloudlet groups: q foragers, largest total length first.
@@ -187,8 +168,8 @@ impl Scheduler for HoneyBee {
             groups[i % q].push(i);
         }
         groups.sort_by(|a, b| {
-            let la: f64 = a.iter().map(|i| problem.cloudlets[*i].length_mi).sum();
-            let lb: f64 = b.iter().map(|i| problem.cloudlets[*i].length_mi).sum();
+            let la: f64 = a.iter().map(|i| cache.cloudlet_len_mi(*i)).sum();
+            let lb: f64 = b.iter().map(|i| cache.cloudlet_len_mi(*i)).sum();
             lb.total_cmp(&la)
         });
         if self.params.shuffle {
@@ -210,8 +191,7 @@ impl Scheduler for HoneyBee {
                     .find(|d| {
                         // Share the DC would hold *after* taking this
                         // cloudlet must stay within facLB.
-                        let share = (assigned_per_dc[*d] + 1) as f64
-                            / (assigned_total + 1) as f64;
+                        let share = (assigned_per_dc[*d] + 1) as f64 / (assigned_total + 1) as f64;
                         share <= self.params.fac_lb
                     })
                     .unwrap_or_else(|| {
@@ -225,11 +205,10 @@ impl Scheduler for HoneyBee {
                     });
 
                 // Scout choice: least-loaded VM inside the chosen DC.
-                let Reverse((Load(load), vm)) =
-                    heaps[chosen].pop().expect("chosen DC has VMs");
+                let (load, vm) = heaps[chosen].pop().expect("chosen DC has VMs");
                 map[cl_idx] = VmId(vm);
-                let new_load = load + problem.expected_exec_ms(cl_idx, vm as usize);
-                heaps[chosen].push(Reverse((Load(new_load), vm)));
+                let new_load = load + cache.exec_ms(cl_idx, vm as usize);
+                heaps[chosen].push(new_load, vm);
                 assigned_per_dc[chosen] += 1;
                 assigned_total += 1;
             }
@@ -252,9 +231,8 @@ mod tests {
     /// Two datacenters: dc0 expensive, dc1 cheap; 4 VMs in each.
     fn two_dc_problem(cloudlets: usize) -> SchedulingProblem {
         let vms = vec![VmSpec::homogeneous_default(); 8];
-        let placement: Vec<DatacenterId> = (0..8)
-            .map(|i| DatacenterId(u32::from(i >= 4)))
-            .collect();
+        let placement: Vec<DatacenterId> =
+            (0..8).map(|i| DatacenterId(u32::from(i >= 4))).collect();
         SchedulingProblem::new(
             vms,
             vec![CloudletSpec::new(5_000.0, 300.0, 300.0, 1); cloudlets],

@@ -19,6 +19,7 @@ use simcloud::ids::VmId;
 
 use crate::aco::{AcoParams, AntColony};
 use crate::assignment::Assignment;
+use crate::eval::{EvalCache, LoadTracker};
 use crate::hbo::{HboParams, HoneyBee};
 use crate::objective::Objective;
 use crate::problem::SchedulingProblem;
@@ -56,6 +57,7 @@ impl Hybrid {
     fn schedule_balance(problem: &SchedulingProblem) -> Assignment {
         let v = problem.vm_count();
         let c = problem.cloudlet_count();
+        let cache = EvalCache::new(problem);
 
         // Target: median Eq. 6 time over a bounded sample.
         let mut sample = Vec::new();
@@ -63,7 +65,7 @@ impl Hybrid {
         let vm_step = (v / 64).max(1);
         for cl in (0..c).step_by(cl_step) {
             for vm in (0..v).step_by(vm_step) {
-                sample.push(problem.expected_exec_ms(cl, vm));
+                sample.push(cache.exec_ms(cl, vm));
             }
         }
         if sample.is_empty() {
@@ -72,20 +74,20 @@ impl Hybrid {
         sample.sort_by(f64::total_cmp);
         let target = sample[sample.len() / 2];
 
-        let mut load = vec![0.0f64; v];
+        let mut tracker = LoadTracker::new(&cache);
         let mut map = Vec::with_capacity(c);
         for cl in 0..c {
             let mut best_vm = 0usize;
             let mut best_key = (f64::INFINITY, f64::INFINITY);
-            for (vm, vm_load) in load.iter().enumerate() {
-                let d = problem.expected_exec_ms(cl, vm);
+            for (vm, vm_load) in tracker.loads().iter().enumerate() {
+                let d = cache.exec_ms(cl, vm);
                 let key = ((d - target).abs(), *vm_load);
                 if key < best_key {
                     best_key = key;
                     best_vm = vm;
                 }
             }
-            load[best_vm] += problem.expected_exec_ms(cl, best_vm);
+            tracker.assign(&cache, cl, best_vm);
             map.push(VmId::from_index(best_vm));
         }
         Assignment::new(map)

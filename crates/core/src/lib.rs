@@ -38,6 +38,7 @@
 
 pub mod aco;
 pub mod assignment;
+pub mod eval;
 pub mod ga;
 pub mod hbo;
 pub mod hybrid;
@@ -55,14 +56,15 @@ pub mod workflow;
 pub mod prelude {
     pub use crate::aco::{AcoParams, AntColony};
     pub use crate::assignment::Assignment;
+    pub use crate::eval::{evaluate_population, EvalCache, LoadTracker};
     pub use crate::ga::{GaParams, Genetic};
     pub use crate::hbo::{HboParams, HoneyBee};
     pub use crate::hybrid::Hybrid;
     pub use crate::minmax::{MaxMin, MinMin};
-    pub use crate::pso::{ParticleSwarm, PsoParams};
     pub use crate::objective::{score_assignment, Objective};
     pub use crate::portfolio::Portfolio;
     pub use crate::problem::{DatacenterView, SchedulingProblem};
+    pub use crate::pso::{ParticleSwarm, PsoParams};
     pub use crate::rbs::{RandomBiasedSampling, RbsParams};
     pub use crate::round_robin::RoundRobin;
     pub use crate::scheduler::{AlgorithmKind, Scheduler};

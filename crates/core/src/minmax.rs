@@ -14,6 +14,7 @@
 use simcloud::ids::VmId;
 
 use crate::assignment::Assignment;
+use crate::eval::{EvalCache, LoadTracker};
 use crate::problem::SchedulingProblem;
 use crate::scheduler::Scheduler;
 
@@ -26,13 +27,15 @@ enum Mode {
 
 fn schedule_greedy(problem: &SchedulingProblem, mode: Mode) -> Assignment {
     let c = problem.cloudlet_count();
-    let v = problem.vm_count();
-    let mut ready = vec![0.0f64; v];
     let mut map = vec![VmId(0); c];
+    let cache = EvalCache::new(problem);
+    // A VM's ready time is exactly its tracked estimated load: assignments
+    // only ever append work, so completion = load + d.
+    let mut tracker = LoadTracker::new(&cache);
 
     // Cached best (completion, vm) per unassigned cloudlet.
     let mut best: Vec<(f64, usize)> = (0..c)
-        .map(|cl| best_vm(problem, cl, &ready))
+        .map(|cl| best_vm(&cache, cl, tracker.loads()))
         .collect();
     let mut unassigned: Vec<usize> = (0..c).collect();
 
@@ -53,16 +56,16 @@ fn schedule_greedy(problem: &SchedulingProblem, mode: Mode) -> Assignment {
                 .expect("unassigned is non-empty"),
         };
         let cl = unassigned.swap_remove(sel_pos);
-        let (completion, vm) = best[cl];
+        let (_, vm) = best[cl];
         map[cl] = VmId::from_index(vm);
-        ready[vm] = completion;
+        tracker.assign(&cache, cl, vm);
 
         // Only cloudlets whose cached best used `vm` can have changed —
         // every other VM's ready time is untouched and `vm` only got
         // worse, so their cached optimum still stands.
         for &other in &unassigned {
             if best[other].1 == vm {
-                best[other] = best_vm(problem, other, &ready);
+                best[other] = best_vm(&cache, other, tracker.loads());
             }
         }
     }
@@ -70,10 +73,10 @@ fn schedule_greedy(problem: &SchedulingProblem, mode: Mode) -> Assignment {
 }
 
 /// Best (completion time, vm) for a cloudlet given current ready times.
-fn best_vm(problem: &SchedulingProblem, cl: usize, ready: &[f64]) -> (f64, usize) {
+fn best_vm(cache: &EvalCache, cl: usize, ready: &[f64]) -> (f64, usize) {
     let mut best = (f64::INFINITY, 0usize);
     for (vm, r) in ready.iter().enumerate() {
-        let completion = r + problem.expected_exec_ms(cl, vm);
+        let completion = r + cache.exec_ms(cl, vm);
         if completion < best.0 {
             best = (completion, vm);
         }

@@ -8,8 +8,8 @@
 //! tests that verify each algorithm actually optimizes its own objective.
 
 use crate::assignment::Assignment;
+use crate::eval::EvalCache;
 use crate::problem::SchedulingProblem;
-use simcloud::cost::cloudlet_cost;
 
 /// What a scheduler should optimize.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -45,48 +45,19 @@ impl Objective {
 /// * `Makespan` — the largest per-VM estimated busy time.
 /// * `Cost` — total Eq. 1-style processing cost using estimated CPU time.
 /// * `Balance` — the Eq. 13 imbalance over per-cloudlet estimated times.
+///
+/// This is the one-shot convenience wrapper over the evaluation kernel: it
+/// builds a factor-only [`EvalCache`] per call. Callers that score many
+/// assignments against the same problem (every population-based scheduler)
+/// should build the cache once and use [`EvalCache::score`] /
+/// [`crate::eval::evaluate_population`] directly — the results are
+/// bit-identical.
 pub fn score_assignment(
     problem: &SchedulingProblem,
     assignment: &Assignment,
     objective: Objective,
 ) -> f64 {
-    match objective {
-        Objective::Makespan => assignment.estimated_makespan_ms(problem),
-        Objective::Cost => {
-            let mut total = 0.0;
-            for (c, vm) in assignment.as_slice().iter().enumerate() {
-                let v = vm.index();
-                let cpu_seconds = problem.expected_exec_ms(c, v) / 1_000.0;
-                total += cloudlet_cost(
-                    problem.cost_of_vm(v),
-                    &problem.vms[v],
-                    &problem.cloudlets[c],
-                    cpu_seconds,
-                );
-            }
-            total
-        }
-        Objective::Balance => {
-            let mut min = f64::INFINITY;
-            let mut max = f64::NEG_INFINITY;
-            let mut sum = 0.0;
-            let n = assignment.len();
-            if n == 0 {
-                return 0.0;
-            }
-            for (c, vm) in assignment.as_slice().iter().enumerate() {
-                let d = problem.expected_exec_ms(c, vm.index());
-                min = min.min(d);
-                max = max.max(d);
-                sum += d;
-            }
-            if sum == 0.0 {
-                0.0
-            } else {
-                (max - min) / (sum / n as f64)
-            }
-        }
-    }
+    EvalCache::lite(problem).score(assignment.as_slice(), objective)
 }
 
 #[cfg(test)]

@@ -28,7 +28,8 @@
 //! assert!(portfolio.last_winner_name().is_some());
 //! ```
 use crate::assignment::Assignment;
-use crate::objective::{score_assignment, Objective};
+use crate::eval::EvalCache;
+use crate::objective::Objective;
 use crate::problem::SchedulingProblem;
 use crate::scheduler::{AlgorithmKind, Scheduler};
 
@@ -81,11 +82,13 @@ impl Scheduler for Portfolio {
     }
 
     fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
+        // One cache scores every candidate's plan this round.
+        let cache = EvalCache::new(problem);
         let mut best: Option<(usize, f64, Assignment)> = None;
         for (i, candidate) in self.candidates.iter_mut().enumerate() {
             let assignment = candidate.schedule(problem);
             debug_assert!(assignment.validate(problem).is_ok());
-            let score = score_assignment(problem, &assignment, self.objective);
+            let score = cache.score(assignment.as_slice(), self.objective);
             if best.as_ref().is_none_or(|(_, s, _)| score < *s) {
                 best = Some((i, score, assignment));
             }
@@ -101,6 +104,7 @@ mod tests {
     use super::*;
     use crate::aco::{AcoParams, AntColony};
     use crate::hbo::{HboParams, HoneyBee};
+    use crate::objective::score_assignment;
     use crate::round_robin::RoundRobin;
     use simcloud::characteristics::CostModel;
     use simcloud::cloudlet::CloudletSpec;

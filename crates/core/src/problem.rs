@@ -185,13 +185,7 @@ mod tests {
                 cost: CostModel::new(0.01, 0.001, 0.01, 3.0),
             },
         ];
-        SchedulingProblem::new(
-            vms,
-            cloudlets,
-            dcs,
-            vec![DatacenterId(0), DatacenterId(1)],
-        )
-        .unwrap()
+        SchedulingProblem::new(vms, cloudlets, dcs, vec![DatacenterId(0), DatacenterId(1)]).unwrap()
     }
 
     #[test]

@@ -35,7 +35,8 @@ use simcloud::ids::VmId;
 use simcloud::rng::stream;
 
 use crate::assignment::Assignment;
-use crate::objective::{score_assignment, Objective};
+use crate::eval::{evaluate_population, EvalCache};
+use crate::objective::Objective;
 use crate::problem::SchedulingProblem;
 use crate::scheduler::Scheduler;
 
@@ -156,11 +157,6 @@ impl ParticleSwarm {
                 .collect(),
         )
     }
-
-    fn score(&self, problem: &SchedulingProblem, position: &[f64]) -> f64 {
-        let assignment = Self::decode(position, problem.vm_count());
-        score_assignment(problem, &assignment, self.params.objective)
-    }
 }
 
 impl ParticleSwarm {
@@ -179,12 +175,12 @@ impl ParticleSwarm {
             return (Assignment::new(Vec::new()), trace);
         }
         let v_max = (v * self.params.v_max_fraction).max(1.0);
+        let cache = EvalCache::new(problem);
 
         // Initialize the swarm uniformly over the VM range.
         let mut swarm: Vec<Particle> = (0..self.params.particles)
             .map(|_| {
-                let position: Vec<f64> =
-                    (0..dims).map(|_| self.rng.gen_range(0.0..v)).collect();
+                let position: Vec<f64> = (0..dims).map(|_| self.rng.gen_range(0.0..v)).collect();
                 let velocity: Vec<f64> = (0..dims)
                     .map(|_| self.rng.gen_range(-v_max..v_max))
                     .collect();
@@ -196,8 +192,18 @@ impl ParticleSwarm {
                 }
             })
             .collect();
-        for p in &mut swarm {
-            p.best_score = self.score(problem, &p.position);
+        // The initial sweep is order-independent (no RNG in scoring, no
+        // gbest yet), so it batches through the evaluation kernel. The
+        // iteration loop below must stay sequential: gbest updates inside
+        // the particle loop (asynchronous PSO), so particle k sees the best
+        // found by particles 0..k of the same iteration.
+        let decoded: Vec<Assignment> = swarm
+            .iter()
+            .map(|p| Self::decode(&p.position, problem.vm_count()))
+            .collect();
+        let scores = evaluate_population(&cache, &decoded, self.params.objective);
+        for (p, score) in swarm.iter_mut().zip(scores) {
+            p.best_score = score;
         }
 
         let mut global_best = swarm
@@ -222,7 +228,7 @@ impl ParticleSwarm {
                 }
                 let score = {
                     let assignment = Self::decode(&p.position, problem.vm_count());
-                    score_assignment(problem, &assignment, self.params.objective)
+                    cache.score(assignment.as_slice(), self.params.objective)
                 };
                 if score < p.best_score {
                     p.best_score = score;
@@ -253,6 +259,7 @@ impl Scheduler for ParticleSwarm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::objective::score_assignment;
     use crate::round_robin::RoundRobin;
     use simcloud::characteristics::CostModel;
     use simcloud::cloudlet::CloudletSpec;
@@ -327,12 +334,8 @@ mod tests {
             ..PsoParams::standard()
         };
         let a = ParticleSwarm::new(params, 3).schedule(&p);
-        let cheap_share = a
-            .as_slice()
-            .iter()
-            .filter(|vm| vm.index() >= 3)
-            .count() as f64
-            / a.len() as f64;
+        let cheap_share =
+            a.as_slice().iter().filter(|vm| vm.index() >= 3).count() as f64 / a.len() as f64;
         assert!(
             cheap_share > 0.6,
             "cost-driven swarm should favor the cheap DC, got {cheap_share}"
@@ -360,7 +363,10 @@ mod tests {
         .schedule(&p);
         let s_short = score_assignment(&p, &short, Objective::Makespan);
         let s_long = score_assignment(&p, &long, Objective::Makespan);
-        assert!(s_long <= s_short, "long run {s_long} vs short run {s_short}");
+        assert!(
+            s_long <= s_short,
+            "long run {s_long} vs short run {s_short}"
+        );
     }
 
     #[test]

@@ -226,7 +226,10 @@ mod tests {
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
         // Noisy but bounded: nothing starves, nothing hoards.
-        assert!(max <= 3 * min.max(1), "spread too skewed: max={max} min={min}");
+        assert!(
+            max <= 3 * min.max(1),
+            "spread too skewed: max={max} min={min}"
+        );
     }
 
     #[test]

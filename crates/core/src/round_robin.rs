@@ -59,10 +59,7 @@ mod tests {
     fn assigns_cyclically() {
         let p = problem(2, 5);
         let a = RoundRobin::new().schedule(&p);
-        assert_eq!(
-            a.as_slice(),
-            &[VmId(0), VmId(1), VmId(0), VmId(1), VmId(0)]
-        );
+        assert_eq!(a.as_slice(), &[VmId(0), VmId(1), VmId(0), VmId(1), VmId(0)]);
     }
 
     #[test]

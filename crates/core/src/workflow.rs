@@ -29,6 +29,7 @@
 use simcloud::ids::{CloudletId, VmId};
 
 use crate::assignment::Assignment;
+use crate::eval::EvalCache;
 use crate::problem::SchedulingProblem;
 
 /// Upward ranks over mean Eq. 6 execution times.
@@ -37,13 +38,15 @@ use crate::problem::SchedulingProblem;
 /// task's mean expected execution time across the fleet. Higher rank =
 /// closer to the critical path's head.
 pub fn upward_ranks(problem: &SchedulingProblem, parents: &[Vec<CloudletId>]) -> Vec<f64> {
-    let n = problem.cloudlet_count();
+    ranks_with(&EvalCache::new(problem), parents)
+}
+
+fn ranks_with(cache: &EvalCache, parents: &[Vec<CloudletId>]) -> Vec<f64> {
+    let n = cache.cloudlet_count();
     assert_eq!(parents.len(), n, "parents must cover every cloudlet");
-    let v = problem.vm_count();
+    let v = cache.vm_count();
     let mean_w: Vec<f64> = (0..n)
-        .map(|c| {
-            (0..v).map(|vm| problem.expected_exec_ms(c, vm)).sum::<f64>() / v as f64
-        })
+        .map(|c| (0..v).map(|vm| cache.exec_ms(c, vm)).sum::<f64>() / v as f64)
         .collect();
 
     // Process in reverse topological order: children before parents.
@@ -84,9 +87,10 @@ pub fn upward_ranks(problem: &SchedulingProblem, parents: &[Vec<CloudletId>]) ->
 /// the simulator's space-shared queue), so `EFT(c, v) = max(ready[v],
 /// latest parent finish) + d(c, v)`.
 pub fn heft(problem: &SchedulingProblem, parents: &[Vec<CloudletId>]) -> Assignment {
-    let n = problem.cloudlet_count();
-    let v = problem.vm_count();
-    let ranks = upward_ranks(problem, parents);
+    let cache = EvalCache::new(problem);
+    let n = cache.cloudlet_count();
+    let v = cache.vm_count();
+    let ranks = ranks_with(&cache, parents);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|a, b| ranks[*b].total_cmp(&ranks[*a]));
 
@@ -101,7 +105,7 @@ pub fn heft(problem: &SchedulingProblem, parents: &[Vec<CloudletId>]) -> Assignm
         let mut best = (f64::INFINITY, 0usize);
         for (vm, ready) in vm_ready.iter().enumerate() {
             let est = ready.max(parents_done);
-            let eft = est + problem.expected_exec_ms(c, vm);
+            let eft = est + cache.exec_ms(c, vm);
             if eft < best.0 {
                 best = (eft, vm);
             }
@@ -118,11 +122,12 @@ pub fn heft(problem: &SchedulingProblem, parents: &[Vec<CloudletId>]) -> Assignm
 /// predicted finish time. Useful for quick comparisons without running
 /// the simulator.
 pub fn heft_estimate_ms(problem: &SchedulingProblem, parents: &[Vec<CloudletId>]) -> f64 {
-    let n = problem.cloudlet_count();
-    let ranks = upward_ranks(problem, parents);
+    let cache = EvalCache::new(problem);
+    let n = cache.cloudlet_count();
+    let ranks = ranks_with(&cache, parents);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|a, b| ranks[*b].total_cmp(&ranks[*a]));
-    let v = problem.vm_count();
+    let v = cache.vm_count();
     let mut vm_ready = vec![0.0f64; v];
     let mut finish = vec![0.0f64; n];
     for c in order {
@@ -133,7 +138,7 @@ pub fn heft_estimate_ms(problem: &SchedulingProblem, parents: &[Vec<CloudletId>]
         let mut best = f64::INFINITY;
         let mut best_vm = 0usize;
         for (vm, ready) in vm_ready.iter().enumerate() {
-            let eft = ready.max(parents_done) + problem.expected_exec_ms(c, vm);
+            let eft = ready.max(parents_done) + cache.exec_ms(c, vm);
             if eft < best {
                 best = eft;
                 best_vm = vm;
@@ -238,11 +243,7 @@ mod tests {
 
     #[test]
     fn empty_workflow() {
-        let p = SchedulingProblem::single_datacenter(
-            fleet(&[1_000.0]),
-            vec![],
-            CostModel::free(),
-        );
+        let p = SchedulingProblem::single_datacenter(fleet(&[1_000.0]), vec![], CostModel::free());
         let plan = heft(&p, &[]);
         assert!(plan.is_empty());
     }

@@ -12,7 +12,10 @@ pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     let mut sorted = values.to_vec();
     sorted.sort_by(f64::total_cmp);
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());

@@ -123,7 +123,10 @@ impl FigureSeries {
             " ".repeat(width.saturating_sub(8)),
             x_max
         ));
-        out.push_str(&format!("             x: {}   y: {}\n", self.x_label, self.y_label));
+        out.push_str(&format!(
+            "             x: {}   y: {}\n",
+            self.x_label, self.y_label
+        ));
         for (si, (name, _)) in self.series.iter().enumerate() {
             out.push_str(&format!(
                 "             {} {}\n",

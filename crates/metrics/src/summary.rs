@@ -81,7 +81,9 @@ mod tests {
     #[test]
     fn confidence_interval_shrinks_with_n() {
         let small = Summary::of(&[1.0, 3.0]).unwrap();
-        let values: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect();
+        let values: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 3.0 })
+            .collect();
         let large = Summary::of(&values).unwrap();
         assert!(large.ci95_half_width() < small.ci95_half_width());
     }

@@ -65,7 +65,10 @@ impl Broker {
         assignment: Vec<VmId>,
         topology: Topology,
     ) -> Self {
-        assert!(!dc_entities.is_empty(), "broker needs at least one datacenter");
+        assert!(
+            !dc_entities.is_empty(),
+            "broker needs at least one datacenter"
+        );
         for dc in &vm_placement {
             assert!(
                 dc.index() < dc_entities.len(),
@@ -181,7 +184,11 @@ impl Broker {
             let vm = VmId::from_index(idx);
             world.vm_mut(vm).status = crate::vm::VmStatus::Requested;
             let latency = self.topology.latency_to(*dc);
-            ctx.send(self.dc_entities[dc.index()], latency, Event::VmCreate { vm });
+            ctx.send(
+                self.dc_entities[dc.index()],
+                latency,
+                Event::VmCreate { vm },
+            );
         }
     }
 
@@ -270,7 +277,10 @@ impl Broker {
         ctx.send(
             self.dc_entities[dc.index()],
             wait + latency + in_delay,
-            Event::CloudletSubmit { cloudlet, vm: vm_id },
+            Event::CloudletSubmit {
+                cloudlet,
+                vm: vm_id,
+            },
         );
     }
 
@@ -370,7 +380,12 @@ impl Entity for Broker {
 /// Delay before execution for a cloudlet: broker→DC latency + input staging.
 ///
 /// Exposed for analytical tests that want to predict event times.
-pub fn submission_delay(topology: &Topology, dc: DatacenterId, file_size_mb: f64, vm_bw: f64) -> SimTime {
+pub fn submission_delay(
+    topology: &Topology,
+    dc: DatacenterId,
+    file_size_mb: f64,
+    vm_bw: f64,
+) -> SimTime {
     topology.latency_to(dc) + transfer_time(file_size_mb, vm_bw)
 }
 

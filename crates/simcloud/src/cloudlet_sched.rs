@@ -262,7 +262,11 @@ impl TimeShared {
     fn settle(&mut self, now: SimTime, tick: &mut Tick) {
         let dt_ms = now.saturating_sub(self.last_update).as_millis();
         if dt_ms > 0.0 {
-            let rates: Vec<f64> = self.running.iter().map(|c| self.rate_mi_per_ms(c)).collect();
+            let rates: Vec<f64> = self
+                .running
+                .iter()
+                .map(|c| self.rate_mi_per_ms(c))
+                .collect();
             for (cl, rate) in self.running.iter_mut().zip(rates) {
                 cl.remaining_mi -= rate * dt_ms;
             }
@@ -460,8 +464,14 @@ mod tests {
         // Strict FIFO idles the free PE; backfill runs the 1-PE job now.
         let strict = {
             let mut s = SpaceShared::new(1_000.0, 2);
-            s.submit(SimTime::ZERO, RunningCloudlet::new(CloudletId(0), 1_000.0, 1));
-            s.submit(SimTime::ZERO, RunningCloudlet::new(CloudletId(1), 1_000.0, 2));
+            s.submit(
+                SimTime::ZERO,
+                RunningCloudlet::new(CloudletId(0), 1_000.0, 1),
+            );
+            s.submit(
+                SimTime::ZERO,
+                RunningCloudlet::new(CloudletId(1), 1_000.0, 2),
+            );
             let tick = s.submit(SimTime::ZERO, RunningCloudlet::new(CloudletId(2), 100.0, 1));
             assert!(tick.started.is_empty(), "FIFO must not jump the queue");
             s
@@ -469,10 +479,20 @@ mod tests {
         assert_eq!(strict.running_count(), 1);
 
         let mut bf = SpaceShared::new(1_000.0, 2).with_backfill();
-        bf.submit(SimTime::ZERO, RunningCloudlet::new(CloudletId(0), 1_000.0, 1));
-        bf.submit(SimTime::ZERO, RunningCloudlet::new(CloudletId(1), 1_000.0, 2));
+        bf.submit(
+            SimTime::ZERO,
+            RunningCloudlet::new(CloudletId(0), 1_000.0, 1),
+        );
+        bf.submit(
+            SimTime::ZERO,
+            RunningCloudlet::new(CloudletId(1), 1_000.0, 2),
+        );
         let tick = bf.submit(SimTime::ZERO, RunningCloudlet::new(CloudletId(2), 100.0, 1));
-        assert_eq!(tick.started, vec![CloudletId(2)], "backfill starts the small job");
+        assert_eq!(
+            tick.started,
+            vec![CloudletId(2)],
+            "backfill starts the small job"
+        );
         assert_eq!(bf.running_count(), 2);
         assert_eq!(bf.waiting_count(), 1);
         // The blocked 2-PE job still runs eventually.
@@ -507,8 +527,14 @@ mod tests {
 
     #[test]
     fn kind_builds_expected_impl() {
-        assert_eq!(SchedulerKind::SpaceShared.build(100.0, 1).name(), "space-shared");
-        assert_eq!(SchedulerKind::TimeShared.build(100.0, 1).name(), "time-shared");
+        assert_eq!(
+            SchedulerKind::SpaceShared.build(100.0, 1).name(),
+            "space-shared"
+        );
+        assert_eq!(
+            SchedulerKind::TimeShared.build(100.0, 1).name(),
+            "time-shared"
+        );
     }
 
     #[test]

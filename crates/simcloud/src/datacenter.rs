@@ -153,7 +153,11 @@ impl Datacenter {
                 false
             }
         };
-        ctx.send(src, SimTime::ZERO, Event::VmCreateAck { vm: vm_id, success });
+        ctx.send(
+            src,
+            SimTime::ZERO,
+            Event::VmCreateAck { vm: vm_id, success },
+        );
     }
 
     fn apply_tick(
@@ -178,21 +182,18 @@ impl Datacenter {
                 let cl = world.cloudlet_mut(finished);
                 cl.finish_time = Some(now);
                 cl.status = CloudletStatus::Finished;
-                let cpu_seconds = cl
-                    .execution_time()
-                    .map(|t| t.as_secs())
-                    .unwrap_or(0.0);
-                cl.cost = cloudlet_cost(
-                    &self.characteristics.cost,
-                    &vm_spec,
-                    &cl.spec,
-                    cpu_seconds,
-                );
+                let cpu_seconds = cl.execution_time().map(|t| t.as_secs()).unwrap_or(0.0);
+                cl.cost =
+                    cloudlet_cost(&self.characteristics.cost, &vm_spec, &cl.spec, cpu_seconds);
                 self.completed += 1;
                 // The completion notification travels back after the output
                 // file crosses the VM's bandwidth.
                 let out_delay = transfer_time(cl.spec.output_size_mb, vm_spec.bw_mbps);
-                ctx.send(broker, out_delay, Event::CloudletReturn { cloudlet: finished });
+                ctx.send(
+                    broker,
+                    out_delay,
+                    Event::CloudletReturn { cloudlet: finished },
+                );
             }
         }
         // Arm the next completion timer if it beats the one already armed.
@@ -221,7 +222,10 @@ impl Datacenter {
             cl.vm = Some(vm_id);
             (cl.spec.length_mi, cl.spec.pes)
         };
-        let Some(sched) = self.vm_scheds.get_mut(vm_id.index()).and_then(Option::as_mut)
+        let Some(sched) = self
+            .vm_scheds
+            .get_mut(vm_id.index())
+            .and_then(Option::as_mut)
         else {
             // The VM was destroyed (host failure) after the broker bound
             // the cloudlet — a genuine race, not a programming error.
@@ -234,7 +238,9 @@ impl Datacenter {
             ctx.send(
                 src,
                 SimTime::ZERO,
-                Event::CloudletFailed { cloudlet: cloudlet_id },
+                Event::CloudletFailed {
+                    cloudlet: cloudlet_id,
+                },
             );
             return;
         };
@@ -269,14 +275,24 @@ impl Datacenter {
         }
     }
 
-    fn handle_vm_tick(&mut self, world: &mut World, ctx: &mut Context<'_>, vm_id: VmId, broker: EntityId) {
+    fn handle_vm_tick(
+        &mut self,
+        world: &mut World,
+        ctx: &mut Context<'_>,
+        vm_id: VmId,
+        broker: EntityId,
+    ) {
         // Disarm the timer record if this tick is the one we armed.
         if let Some(slot) = self.pending_tick.get_mut(vm_id.index()) {
             if slot.is_some_and(|armed| armed <= ctx.now) {
                 *slot = None;
             }
         }
-        let Some(sched) = self.vm_scheds.get_mut(vm_id.index()).and_then(Option::as_mut) else {
+        let Some(sched) = self
+            .vm_scheds
+            .get_mut(vm_id.index())
+            .and_then(Option::as_mut)
+        else {
             return;
         };
         let tick = sched.advance(ctx.now);

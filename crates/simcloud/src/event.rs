@@ -201,12 +201,7 @@ mod tests {
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
         for i in 0..10u32 {
-            q.push(
-                SimTime::new(2.0),
-                EntityId(0),
-                EntityId(i),
-                Event::Start,
-            );
+            q.push(SimTime::new(2.0), EntityId(0), EntityId(i), Event::Start);
         }
         let dests: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.dest.0).collect();
         assert_eq!(dests, (0..10).collect::<Vec<_>>());

@@ -33,7 +33,10 @@ impl HostSpec {
             "host PE MIPS must be positive"
         );
         for (n, v) in [("ram", ram_mb), ("bw", bw_mbps), ("storage", storage_mb)] {
-            assert!(v.is_finite() && v > 0.0, "host {n} must be positive, got {v}");
+            assert!(
+                v.is_finite() && v > 0.0,
+                "host {n} must be positive, got {v}"
+            );
         }
         HostSpec {
             pes,
@@ -216,7 +219,10 @@ mod tests {
     use super::*;
 
     fn host() -> Host {
-        Host::new(HostId(0), HostSpec::new(4, 1_000.0, 2_048.0, 2_000.0, 20_000.0))
+        Host::new(
+            HostId(0),
+            HostSpec::new(4, 1_000.0, 2_048.0, 2_000.0, 20_000.0),
+        )
     }
 
     #[test]

@@ -307,10 +307,7 @@ mod tests {
 
     #[test]
     fn world_arena_lookup() {
-        let mut world = World::new(
-            vec![VmSpec::default(); 2],
-            vec![CloudletSpec::default(); 3],
-        );
+        let mut world = World::new(vec![VmSpec::default(); 2], vec![CloudletSpec::default(); 3]);
         assert_eq!(world.vms.len(), 2);
         assert_eq!(world.cloudlets.len(), 3);
         assert_eq!(world.vm(VmId(1)).id, VmId(1));

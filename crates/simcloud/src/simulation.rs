@@ -203,9 +203,7 @@ impl SimulationBuilder {
             })?;
         }
 
-        let topology = self
-            .topology
-            .unwrap_or_else(|| Topology::flat(dc_count));
+        let topology = self.topology.unwrap_or_else(|| Topology::flat(dc_count));
 
         let mut kernel = Kernel::new();
         if let Some(max) = self.max_events {
@@ -263,7 +261,8 @@ impl SimulationBuilder {
             .filter(|c| c.status == crate::cloudlet::CloudletStatus::Failed)
             .count();
 
-        let records: Vec<CloudletRecord> = world.cloudlets.iter().map(CloudletRecord::from).collect();
+        let records: Vec<CloudletRecord> =
+            world.cloudlets.iter().map(CloudletRecord::from).collect();
         Ok(SimulationOutcome {
             records,
             end_time: stats.end_time,
@@ -511,13 +510,9 @@ mod tests {
         use crate::time::SimTime;
         let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
         // Two hosts, one VM each; host 0 dies mid-run.
-        let blueprint = DatacenterBlueprint::sized_for(
-            &vm,
-            2,
-            1,
-            DatacenterCharacteristics::default(),
-        )
-        .with_failure(HostId(0), SimTime::new(500.0));
+        let blueprint =
+            DatacenterBlueprint::sized_for(&vm, 2, 1, DatacenterCharacteristics::default())
+                .with_failure(HostId(0), SimTime::new(500.0));
         let long = CloudletSpec::new(2_000.0, 0.0, 0.0, 1); // 2s solo
         let outcome = SimulationBuilder::new()
             .datacenter(blueprint)
@@ -545,13 +540,9 @@ mod tests {
         let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
         // Host 0 dies at t=500 while VM0 runs its queue; with resubmission
         // the orphans move to VM1 and everything still finishes.
-        let blueprint = DatacenterBlueprint::sized_for(
-            &vm,
-            2,
-            1,
-            DatacenterCharacteristics::default(),
-        )
-        .with_failure(HostId(0), SimTime::new(500.0));
+        let blueprint =
+            DatacenterBlueprint::sized_for(&vm, 2, 1, DatacenterCharacteristics::default())
+                .with_failure(HostId(0), SimTime::new(500.0));
         let outcome = SimulationBuilder::new()
             .datacenter(blueprint)
             .vms(vec![vm; 2])
@@ -575,13 +566,9 @@ mod tests {
         use crate::ids::HostId;
         use crate::time::SimTime;
         let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
-        let blueprint = DatacenterBlueprint::sized_for(
-            &vm,
-            1,
-            1,
-            DatacenterCharacteristics::default(),
-        )
-        .with_failure(HostId(0), SimTime::new(100.0));
+        let blueprint =
+            DatacenterBlueprint::sized_for(&vm, 1, 1, DatacenterCharacteristics::default())
+                .with_failure(HostId(0), SimTime::new(100.0));
         let outcome = SimulationBuilder::new()
             .datacenter(blueprint)
             .vms(vec![vm])
@@ -601,13 +588,9 @@ mod tests {
         let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
         // Host dies at t=100; the cloudlet arrives at t=500, after its VM
         // is gone — it must fail, not crash the kernel.
-        let blueprint = DatacenterBlueprint::sized_for(
-            &vm,
-            1,
-            1,
-            DatacenterCharacteristics::default(),
-        )
-        .with_failure(HostId(0), SimTime::new(100.0));
+        let blueprint =
+            DatacenterBlueprint::sized_for(&vm, 1, 1, DatacenterCharacteristics::default())
+                .with_failure(HostId(0), SimTime::new(100.0));
         let outcome = SimulationBuilder::new()
             .datacenter(blueprint)
             .vms(vec![vm])
@@ -637,11 +620,7 @@ mod tests {
             .vms(vec![vm; 2])
             .cloudlets(vec![cl; 3])
             .assignment(vec![VmId(0), VmId(1), VmId(0)])
-            .dependencies(vec![
-                vec![],
-                vec![CloudletId(0)],
-                vec![CloudletId(1)],
-            ])
+            .dependencies(vec![vec![], vec![CloudletId(0)], vec![CloudletId(1)]])
             .run()
             .unwrap();
         assert_eq!(outcome.finished_count(), 3);
@@ -731,13 +710,9 @@ mod tests {
         let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
         // VM0's host dies while c0 runs; c1 (child, on healthy VM1) and
         // c2 (grandchild) must cascade to Failed; c3 is independent.
-        let blueprint = DatacenterBlueprint::sized_for(
-            &vm,
-            2,
-            1,
-            DatacenterCharacteristics::default(),
-        )
-        .with_failure(HostId(0), SimTime::new(500.0));
+        let blueprint =
+            DatacenterBlueprint::sized_for(&vm, 2, 1, DatacenterCharacteristics::default())
+                .with_failure(HostId(0), SimTime::new(500.0));
         let outcome = SimulationBuilder::new()
             .datacenter(blueprint)
             .vms(vec![vm; 2])

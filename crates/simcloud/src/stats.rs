@@ -289,7 +289,11 @@ mod tests {
 
     #[test]
     fn per_vm_counts_spread() {
-        let o = outcome(vec![rec(0, 0.0, 1.0, 0.0), rec(1, 0.0, 1.0, 0.0), rec(2, 0.0, 1.0, 0.0)]);
+        let o = outcome(vec![
+            rec(0, 0.0, 1.0, 0.0),
+            rec(1, 0.0, 1.0, 0.0),
+            rec(2, 0.0, 1.0, 0.0),
+        ]);
         let counts = o.per_vm_counts(2);
         assert_eq!(counts, vec![2, 1]);
     }

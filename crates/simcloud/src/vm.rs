@@ -43,7 +43,9 @@ impl VmSpec {
             if v.is_finite() && v > 0.0 {
                 Ok(())
             } else {
-                Err(format!("VmSpec.{name} must be positive and finite, got {v}"))
+                Err(format!(
+                    "VmSpec.{name} must be positive and finite, got {v}"
+                ))
             }
         }
         pos("mips", self.mips)?;

@@ -186,10 +186,19 @@ mod tests {
     fn round_robin_cycles() {
         let hs = hosts(3);
         let mut p = RoundRobinHosts::default();
-        let picks: Vec<_> = (0..6).map(|_| p.select_host(&hs, &small_vm()).unwrap()).collect();
+        let picks: Vec<_> = (0..6)
+            .map(|_| p.select_host(&hs, &small_vm()).unwrap())
+            .collect();
         assert_eq!(
             picks,
-            vec![HostId(0), HostId(1), HostId(2), HostId(0), HostId(1), HostId(2)]
+            vec![
+                HostId(0),
+                HostId(1),
+                HostId(2),
+                HostId(0),
+                HostId(1),
+                HostId(2)
+            ]
         );
     }
 

@@ -15,12 +15,10 @@ struct RawScenario {
 }
 
 fn raw_scenario() -> impl Strategy<Value = RawScenario> {
-    let vm = (500.0f64..4_000.0, 1u32..=4).prop_map(|(mips, pes)| {
-        VmSpec::new(mips, 5_000.0, 512.0, 500.0, pes)
-    });
-    let cloudlet = (100.0f64..20_000.0, 0.0f64..400.0, 1u32..=4).prop_map(
-        |(len, file, pes)| CloudletSpec::new(len, file, file, pes),
-    );
+    let vm = (500.0f64..4_000.0, 1u32..=4)
+        .prop_map(|(mips, pes)| VmSpec::new(mips, 5_000.0, 512.0, 500.0, pes));
+    let cloudlet = (100.0f64..20_000.0, 0.0f64..400.0, 1u32..=4)
+        .prop_map(|(len, file, pes)| CloudletSpec::new(len, file, file, pes));
     (
         prop::collection::vec(vm, 1..8),
         prop::collection::vec(cloudlet, 1..40),
@@ -29,9 +27,7 @@ fn raw_scenario() -> impl Strategy<Value = RawScenario> {
     )
         .prop_map(|(vms, cloudlets, time_shared, pick)| {
             let assignment = (0..cloudlets.len())
-                .map(|i| {
-                    VmId::from_index(((pick as usize).wrapping_add(i * 7)) % vms.len())
-                })
+                .map(|i| VmId::from_index(((pick as usize).wrapping_add(i * 7)) % vms.len()))
                 .collect();
             RawScenario {
                 vms,

@@ -80,7 +80,9 @@ impl HeterogeneousScenario {
         let mut cl_rng = stream(self.seed, "workload/cloudlets");
         let mut dc_rng = stream(self.seed, "workload/datacenters");
 
-        let vms: Vec<VmSpec> = (0..self.vm_count).map(|_| Self::draw_vm(&mut vm_rng)).collect();
+        let vms: Vec<VmSpec> = (0..self.vm_count)
+            .map(|_| Self::draw_vm(&mut vm_rng))
+            .collect();
         let cloudlets: Vec<CloudletSpec> = (0..self.cloudlet_count)
             .map(|_| Self::draw_cloudlet(&mut cl_rng))
             .collect();
@@ -148,11 +150,7 @@ mod tests {
     fn placement_spreads_across_datacenters() {
         let s = HeterogeneousScenario::paper(40, 2).build();
         for d in 0..DEFAULT_DATACENTERS {
-            let count = s
-                .vm_placement
-                .iter()
-                .filter(|dc| dc.index() == d)
-                .count();
+            let count = s.vm_placement.iter().filter(|dc| dc.index() == d).count();
             assert_eq!(count, 10);
         }
     }

@@ -100,8 +100,14 @@ mod tests {
 
     #[test]
     fn figure_x_axes() {
-        assert_eq!(fig4a_vm_points(), vec![1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000]);
-        assert_eq!(fig4b_vm_points(), vec![10_000, 30_000, 50_000, 70_000, 90_000]);
+        assert_eq!(
+            fig4a_vm_points(),
+            vec![1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000]
+        );
+        assert_eq!(
+            fig4b_vm_points(),
+            vec![10_000, 30_000, 50_000, 70_000, 90_000]
+        );
     }
 
     #[test]

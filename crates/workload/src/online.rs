@@ -11,11 +11,11 @@
 use biosched_core::assignment::Assignment;
 use biosched_core::problem::SchedulingProblem;
 use biosched_core::scheduler::Scheduler;
+use rand::Rng;
 use simcloud::error::SimError;
 use simcloud::ids::VmId;
 use simcloud::rng::stream;
 use simcloud::stats::SimulationOutcome;
-use rand::Rng;
 
 use crate::scenario::Scenario;
 
@@ -44,12 +44,7 @@ impl WavePlan {
 
     /// Poisson-process arrivals: waves sized by draws with mean
     /// `mean_wave`, spaced by exponential gaps with mean `mean_gap_ms`.
-    pub fn poisson(
-        cloudlet_count: usize,
-        mean_wave: usize,
-        mean_gap_ms: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn poisson(cloudlet_count: usize, mean_wave: usize, mean_gap_ms: f64, seed: u64) -> Self {
         assert!(mean_wave > 0);
         assert!(mean_gap_ms > 0.0);
         let mut rng = stream(seed, "online/poisson");
@@ -60,8 +55,7 @@ impl WavePlan {
         while next < cloudlet_count {
             // Wave size ~ 1 + Poisson-ish draw (geometric approximation).
             let mut size = 1usize;
-            while size < 4 * mean_wave && rng.gen_range(0.0..1.0) < 1.0 - 1.0 / mean_wave as f64
-            {
+            while size < 4 * mean_wave && rng.gen_range(0.0..1.0) < 1.0 - 1.0 / mean_wave as f64 {
                 size += 1;
             }
             let end = (next + size).min(cloudlet_count);
@@ -260,9 +254,7 @@ mod tests {
         let mut scheduler = HoneyBee::new(HboParams::paper(), 5);
         let online = run_online(&s, &mut scheduler, &plan).unwrap();
         let mut batch_scheduler = HoneyBee::new(HboParams::paper(), 5);
-        let batch = s
-            .simulate(batch_scheduler.schedule(&s.problem()))
-            .unwrap();
+        let batch = s.simulate(batch_scheduler.schedule(&s.problem())).unwrap();
         assert_eq!(
             online.outcome.simulation_time_ms(),
             batch.simulation_time_ms()
@@ -275,8 +267,7 @@ mod tests {
         let mut rr1 = RoundRobin::new();
         let tight = run_online(&s, &mut rr1, &WavePlan::uniform(60, 2, 0.0)).unwrap();
         let mut rr2 = RoundRobin::new();
-        let sparse =
-            run_online(&s, &mut rr2, &WavePlan::uniform(60, 2, 500_000.0)).unwrap();
+        let sparse = run_online(&s, &mut rr2, &WavePlan::uniform(60, 2, 500_000.0)).unwrap();
         let span = |o: &OnlineOutcome| {
             o.outcome
                 .records

@@ -164,7 +164,9 @@ mod tests {
                     cost: CostModel::free(),
                 },
             ],
-            vm_placement: (0..6).map(|i| DatacenterId(u32::from(i % 2 == 1))).collect(),
+            vm_placement: (0..6)
+                .map(|i| DatacenterId(u32::from(i % 2 == 1)))
+                .collect(),
             vm_scheduler: simcloud::cloudlet_sched::SchedulerKind::TimeShared,
             arrivals: None,
             host_failures: Vec::new(),

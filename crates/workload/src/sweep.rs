@@ -178,8 +178,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::homogeneous::HomogeneousScenario;
     use crate::heterogeneous::HeterogeneousScenario;
+    use crate::homogeneous::HomogeneousScenario;
 
     #[test]
     fn run_point_collects_all_metrics() {

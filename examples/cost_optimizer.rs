@@ -116,5 +116,8 @@ fn main() {
             fmt_value(outcome.total_cost()),
         ]);
     }
-    println!("HBO facLB sweep (1.0 = everything on the cheapest datacenter):\n{}", sweep_table.render());
+    println!(
+        "HBO facLB sweep (1.0 = everything on the cheapest datacenter):\n{}",
+        sweep_table.render()
+    );
 }

@@ -14,9 +14,7 @@ use biosched::prelude::*;
 fn main() {
     let points = [25usize, 75, 150, 300];
     let cloudlets = 400;
-    println!(
-        "sweeping {points:?} VMs × {cloudlets} cloudlets (seed 42)…\n"
-    );
+    println!("sweeping {points:?} VMs × {cloudlets} cloudlets (seed 42)…\n");
     let results = sweep(&points, &AlgorithmKind::PAPER_SET, 42, |vms| {
         HeterogeneousScenario {
             vm_count: vms,
@@ -29,11 +27,9 @@ fn main() {
 
     type Extractor = fn(&PointResult) -> f64;
     let extractors: [(&str, &str, Extractor); 3] = [
-        (
-            "Simulation Time (cf. Fig 6a)",
-            "makespan ms",
-            |r| r.simulation_time_ms,
-        ),
+        ("Simulation Time (cf. Fig 6a)", "makespan ms", |r| {
+            r.simulation_time_ms
+        }),
         ("Degree of Time Imbalance (cf. Fig 6c)", "imbalance", |r| {
             r.imbalance
         }),

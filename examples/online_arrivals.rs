@@ -45,8 +45,7 @@ fn main() {
         AlgorithmKind::Rbs,
     ] {
         let mut scheduler = kind.build(31);
-        let result = run_online(&scenario, scheduler.as_mut(), &plan)
-            .expect("feasible scenario");
+        let result = run_online(&scenario, scheduler.as_mut(), &plan).expect("feasible scenario");
         let last_finish = result
             .outcome
             .records

@@ -24,7 +24,11 @@ fn main() {
     println!(
         "scenario: {} VMs ({:.0}–{:.0} MIPS), {} cloudlets, {} datacenters\n",
         problem.vm_count(),
-        problem.vms.iter().map(|v| v.mips).fold(f64::INFINITY, f64::min),
+        problem
+            .vms
+            .iter()
+            .map(|v| v.mips)
+            .fold(f64::INFINITY, f64::min),
         problem.vms.iter().map(|v| v.mips).fold(0.0, f64::max),
         problem.cloudlet_count(),
         problem.datacenters.len(),

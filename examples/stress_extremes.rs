@@ -18,7 +18,12 @@ use simcloud::ids::DatacenterId;
 fn run_case(name: &str, scenario: &Scenario) {
     let problem = scenario.problem();
     println!("── {name} ──");
-    let mut table = Table::new(vec!["algorithm", "makespan (ms)", "imbalance", "p99 turnaround"]);
+    let mut table = Table::new(vec![
+        "algorithm",
+        "makespan (ms)",
+        "imbalance",
+        "p99 turnaround",
+    ]);
     for kind in AlgorithmKind::PAPER_SET {
         let assignment = kind.build(5).schedule(&problem);
         let outcome = scenario.simulate(assignment).expect("feasible scenario");

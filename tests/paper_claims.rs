@@ -45,8 +45,18 @@ fn heterogeneous_aco_wins_makespan() {
         m(&aco),
         m(&base)
     );
-    assert!(m(&aco) < m(&hbo), "ACO {} must beat HBO {}", m(&aco), m(&hbo));
-    assert!(m(&aco) < m(&rbs), "ACO {} must beat RBS {}", m(&aco), m(&rbs));
+    assert!(
+        m(&aco) < m(&hbo),
+        "ACO {} must beat HBO {}",
+        m(&aco),
+        m(&hbo)
+    );
+    assert!(
+        m(&aco) < m(&rbs),
+        "ACO {} must beat RBS {}",
+        m(&aco),
+        m(&rbs)
+    );
 }
 
 #[test]
@@ -177,7 +187,10 @@ fn rbs_balances_but_fluctuates() {
     assert!(counts.iter().all(|c| *c > 0), "no VM starves under RBS");
     let min = *counts.iter().min().unwrap();
     let max = *counts.iter().max().unwrap();
-    assert!(max - min <= 2, "counts stay near-even (min={min}, max={max})");
+    assert!(
+        max - min <= 2,
+        "counts stay near-even (min={min}, max={max})"
+    );
     // Load (estimated busy time) fluctuates because random WIL pairs long
     // tasks with arbitrary VMs.
     let load = assignment.estimated_load_ms(&problem);
@@ -206,7 +219,5 @@ fn hybrid_tracks_each_specialist() {
     let hybrid_makespan = scenario
         .simulate(Hybrid::new(Objective::Makespan, 21).schedule(&problem))
         .unwrap();
-    assert!(
-        hybrid_makespan.simulation_time_ms().unwrap() <= base.simulation_time_ms().unwrap()
-    );
+    assert!(hybrid_makespan.simulation_time_ms().unwrap() <= base.simulation_time_ms().unwrap());
 }

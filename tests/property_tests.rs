@@ -47,10 +47,7 @@ fn schedulers(seed: u64) -> Vec<(&'static str, Box<dyn Scheduler>)> {
         ),
         ("minmin", Box::new(MinMin::new())),
         ("maxmin", Box::new(MaxMin::new())),
-        (
-            "hybrid",
-            Box::new(Hybrid::new(Objective::Makespan, seed)),
-        ),
+        ("hybrid", Box::new(Hybrid::new(Objective::Makespan, seed))),
     ]
 }
 

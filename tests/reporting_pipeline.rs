@@ -35,7 +35,10 @@ fn sweep_to_figure_to_csv_roundtrip() {
     for (ai, name) in ["Base Test", "RBS"].iter().enumerate() {
         fig.push_series(
             *name,
-            results.iter().map(|row| row[ai].simulation_time_ms).collect(),
+            results
+                .iter()
+                .map(|row| row[ai].simulation_time_ms)
+                .collect(),
         );
     }
     let csv = fig.to_csv();
@@ -81,7 +84,11 @@ fn histograms_and_percentiles_over_real_outcomes() {
     }
     .build();
     let outcome = scenario
-        .simulate(AlgorithmKind::BaseTest.build(5).schedule(&scenario.problem()))
+        .simulate(
+            AlgorithmKind::BaseTest
+                .build(5)
+                .schedule(&scenario.problem()),
+        )
         .unwrap();
     let execs: Vec<f64> = outcome
         .records

@@ -45,12 +45,8 @@ fn space_shared_serial_execution_is_exact() {
 fn time_shared_contention_is_exact() {
     let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
     let scenario_cl = CloudletSpec::new(1_000.0, 0.0, 0.0, 1);
-    let mut blueprint = DatacenterBlueprint::sized_for(
-        &vm,
-        1,
-        1,
-        DatacenterCharacteristics::default(),
-    );
+    let mut blueprint =
+        DatacenterBlueprint::sized_for(&vm, 1, 1, DatacenterCharacteristics::default());
     blueprint.scheduler = SchedulerKind::TimeShared;
     let outcome = SimulationBuilder::new()
         .datacenter(blueprint)
@@ -148,7 +144,9 @@ fn makespan_bounds_execution_times() {
         seed: 8,
     }
     .build();
-    let assignment = AlgorithmKind::HoneyBee.build(8).schedule(&scenario.problem());
+    let assignment = AlgorithmKind::HoneyBee
+        .build(8)
+        .schedule(&scenario.problem());
     let outcome = scenario.simulate(assignment).unwrap();
     let makespan = outcome.simulation_time_ms().unwrap();
     for r in outcome.records.iter() {
@@ -236,7 +234,9 @@ fn sla_attainment_monotone_in_slack() {
             .build();
             attach_deadlines(&mut scenario.cloudlets, 2_000.0, slack);
             let problem = scenario.problem();
-            let outcome = scenario.simulate(kind.build(23).schedule(&problem)).unwrap();
+            let outcome = scenario
+                .simulate(kind.build(23).schedule(&problem))
+                .unwrap();
             let attainment = outcome.sla_attainment().unwrap();
             assert!(
                 attainment >= previous,
@@ -314,12 +314,8 @@ fn per_vm_busy_matches_work_split() {
 fn cost_scales_with_datacenter_prices() {
     let build = |per_processing: f64| {
         let vm = VmSpec::homogeneous_default();
-        let chars = DatacenterCharacteristics::with_cost(CostModel::new(
-            0.0,
-            0.0,
-            0.0,
-            per_processing,
-        ));
+        let chars =
+            DatacenterCharacteristics::with_cost(CostModel::new(0.0, 0.0, 0.0, per_processing));
         SimulationBuilder::new()
             .datacenter(DatacenterBlueprint::sized_for(&vm, 2, 1, chars))
             .vms(vec![vm; 2])

@@ -12,9 +12,8 @@ fn workflow_strategy() -> impl Strategy<Value = Workflow> {
         (1usize..20, 100.0f64..5_000.0).prop_map(|(n, len)| workflow::chain(n, len)),
         (1usize..6, 1usize..4, 100.0f64..5_000.0)
             .prop_map(|(w, d, len)| workflow::fork_join(w, d, len)),
-        (1usize..5, 1usize..6, 0.0f64..1.0, any::<u64>()).prop_map(|(l, w, p, s)| {
-            workflow::layered_random(l, w, p, (100.0, 5_000.0), s)
-        }),
+        (1usize..5, 1usize..6, 0.0f64..1.0, any::<u64>())
+            .prop_map(|(l, w, p, s)| { workflow::layered_random(l, w, p, (100.0, 5_000.0), s) }),
         (1usize..6, 1usize..5, 100.0f64..5_000.0, any::<u64>())
             .prop_map(|(j, st, len, s)| workflow::pipeline_ensemble(j, st, len, s)),
     ]

@@ -1,0 +1,278 @@
+//! Offline vendored stand-in for the `rayon` crate.
+//!
+//! This workspace builds in containers with no reachable cargo registry, so
+//! the slice of the rayon API the codebase uses is reimplemented here over
+//! `std::thread::scope` and wired in via a path dependency (see the root
+//! `Cargo.toml`).
+//!
+//! Provided surface:
+//! - `prelude::*` with [`iter::ParallelIterator`] supporting `map` +
+//!   `collect`/`sum`, `par_iter()` on slices and `Vec`s, and
+//!   `into_par_iter()` on `Vec<T>` and integer ranges.
+//! - [`ThreadPoolBuilder`] with `num_threads(n).build_global()`.
+//! - [`current_num_threads`].
+//!
+//! Semantics preserved from upstream: input order is preserved in the
+//! output, closures run on OS threads (not a fake sequential loop), and the
+//! worker count honours `build_global` first, then `RAYON_NUM_THREADS`,
+//! then the machine's available parallelism. Unlike upstream there is no
+//! persistent pool or work stealing: each parallel stage spawns scoped
+//! threads over contiguous chunks, which is the right trade-off for the
+//! coarse-grained population/sweep workloads in this repository.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads a parallel stage will use.
+pub fn current_num_threads() -> usize {
+    let forced = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(env) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = env.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build_global`].
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool configuration error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global degree of parallelism.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means "derive from the environment".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally. Unlike upstream rayon this can
+    /// be called repeatedly; the latest call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Order-preserving parallel map over an owned `Vec`.
+    fn parallel_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let threads = current_num_threads().min(items.len().max(1));
+        if threads <= 1 || items.len() < 2 {
+            return items.into_iter().map(f).collect();
+        }
+        let len = items.len();
+        let chunk = len.div_ceil(threads);
+        let mut source = items.into_iter();
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        while source.len() > 0 {
+            chunks.push(source.by_ref().take(chunk).collect());
+        }
+        let mut out: Vec<U> = Vec::with_capacity(len);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|part| {
+                    scope.spawn(move || part.into_iter().map(f).collect::<Vec<U>>())
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("parallel worker panicked"));
+            }
+        });
+        out
+    }
+
+    /// A materialized parallel iterator: items are collected up front and
+    /// the (possibly mapped) pipeline is executed across scoped threads at
+    /// the terminal operation.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    /// Lazily mapped parallel iterator.
+    pub struct Map<I, F> {
+        base: I,
+        f: F,
+    }
+
+    pub trait ParallelIterator: Sized {
+        type Item: Send;
+
+        /// Executes the pipeline, preserving input order.
+        fn drive(self) -> Vec<Self::Item>;
+
+        fn map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            U: Send,
+            F: Fn(Self::Item) -> U + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.drive().into_iter().collect()
+        }
+
+        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+            self.drive().into_iter().sum()
+        }
+    }
+
+    impl<T: Send> ParallelIterator for ParIter<T> {
+        type Item = T;
+
+        fn drive(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    impl<I, U, F> ParallelIterator for Map<I, F>
+    where
+        I: ParallelIterator,
+        U: Send,
+        F: Fn(I::Item) -> U + Sync,
+    {
+        type Item = U;
+
+        fn drive(self) -> Vec<U> {
+            parallel_map(self.base.drive(), &self.f)
+        }
+    }
+
+    /// Conversion into a parallel iterator by value.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = ParIter<T>;
+
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    macro_rules! range_into_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for core::ops::Range<$t> {
+                type Item = $t;
+                type Iter = ParIter<$t>;
+
+                fn into_par_iter(self) -> ParIter<$t> {
+                    ParIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+
+    range_into_par_iter!(u32, u64, usize, i32, i64);
+
+    /// Conversion into a parallel iterator over references.
+    pub trait IntoParallelRefIterator<'a> {
+        type Item: Send + 'a;
+        type Iter: ParallelIterator<Item = Self::Item>;
+
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = ParIter<&'a T>;
+
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = ParIter<&'a T>;
+
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(xs, (0..1_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter() {
+        let data: Vec<usize> = (0..97).collect();
+        let out: Vec<usize> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, (1..98).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threads_override() {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(crate::current_num_threads(), 3);
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(crate::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn sum_works() {
+        let s: u64 = (0..100u64).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 4950);
+    }
+}
