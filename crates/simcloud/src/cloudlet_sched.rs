@@ -129,23 +129,26 @@ impl SpaceShared {
 
     /// Runs the clock forward and harvests completions / promotions.
     fn settle(&mut self, now: SimTime, tick: &mut Tick) {
+        // A stale `now` (an out-of-date duplicate tick) must not rewind the
+        // clock or shrink completion predictions below what was already
+        // settled.
+        let now = now.max(self.last_update);
         let dt_ms = now.saturating_sub(self.last_update).as_millis();
         if dt_ms > 0.0 {
             for cl in self.running.iter_mut() {
                 cl.remaining_mi -= self.mips_per_pe * f64::from(cl.pes) / 1_000.0 * dt_ms;
             }
         }
-        self.last_update = self.last_update.max(now);
-        // Harvest finished, preserving order for determinism.
-        let mut i = 0;
-        while i < self.running.len() {
-            if self.running[i].remaining_mi <= DONE_EPS_MI {
-                let done = self.running.remove(i);
-                tick.finished.push(done.id);
+        self.last_update = now;
+        // Harvest finished in one order-preserving pass.
+        self.running.retain(|cl| {
+            if cl.remaining_mi <= DONE_EPS_MI {
+                tick.finished.push(cl.id);
+                false
             } else {
-                i += 1;
+                true
             }
-        }
+        });
         // Promote waiting cloudlets into freed PEs: strict FIFO by
         // default; with backfilling, scan past a blocked head for the
         // first job that fits.
@@ -171,6 +174,7 @@ impl SpaceShared {
     }
 
     fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        let now = now.max(self.last_update);
         self.running
             .iter()
             .map(|cl| {
@@ -260,6 +264,8 @@ impl TimeShared {
     }
 
     fn settle(&mut self, now: SimTime, tick: &mut Tick) {
+        // Same stale-`now` clamp as the space-shared scheduler.
+        let now = now.max(self.last_update);
         let dt_ms = now.saturating_sub(self.last_update).as_millis();
         if dt_ms > 0.0 {
             let rates: Vec<f64> = self
@@ -271,19 +277,19 @@ impl TimeShared {
                 cl.remaining_mi -= rate * dt_ms;
             }
         }
-        self.last_update = self.last_update.max(now);
-        let mut i = 0;
-        while i < self.running.len() {
-            if self.running[i].remaining_mi <= DONE_EPS_MI {
-                let done = self.running.remove(i);
-                tick.finished.push(done.id);
+        self.last_update = now;
+        self.running.retain(|cl| {
+            if cl.remaining_mi <= DONE_EPS_MI {
+                tick.finished.push(cl.id);
+                false
             } else {
-                i += 1;
+                true
             }
-        }
+        });
     }
 
     fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        let now = now.max(self.last_update);
         self.running
             .iter()
             .map(|cl| {
@@ -535,6 +541,25 @@ mod tests {
             SchedulerKind::TimeShared.build(100.0, 1).name(),
             "time-shared"
         );
+    }
+
+    #[test]
+    fn stale_advance_does_not_rewind_progress() {
+        // A duplicate tick carrying an older timestamp must neither re-run
+        // work nor shrink the completion prediction.
+        let mut t = TimeShared::new(1_000.0, 1); // 1 MI/ms
+        t.submit(SimTime::ZERO, cl(0, 100.0));
+        t.advance(SimTime::new(60.0)); // 40 MI left, clock at 60
+        let stale = t.advance(SimTime::new(40.0));
+        assert!(stale.finished.is_empty());
+        assert_eq!(stale.next_completion, Some(SimTime::new(100.0)));
+
+        let mut s = SpaceShared::new(1_000.0, 1);
+        s.submit(SimTime::ZERO, cl(0, 100.0));
+        s.advance(SimTime::new(50.0));
+        let stale = s.advance(SimTime::new(20.0));
+        assert!(stale.finished.is_empty());
+        assert_eq!(stale.next_completion, Some(SimTime::new(100.0)));
     }
 
     #[test]
