@@ -200,7 +200,7 @@ fn bench_vm_allocation_policies(c: &mut Criterion) {
     group.bench_function("first_fit", |b| {
         b.iter(|| {
             let mut hosts = make_hosts();
-            black_box(place_all(&mut FirstFit, &mut hosts, &vm, 256))
+            black_box(place_all(&mut FirstFit::default(), &mut hosts, &vm, 256))
         })
     });
     group.bench_function("best_fit", |b| {

@@ -23,6 +23,8 @@
 //!   --hetero-cloudlets N  heterogeneous workload size (default 1000)
 //!   --csv DIR           also write each figure/table as CSV under DIR
 //!   --ascii / --no-ascii  toggle ASCII charts (default on)
+//!   --engine E          simulation engine: sequential (default) or
+//!                       sharded (identical figures, faster wall-clock)
 //! ```
 
 use std::path::PathBuf;
@@ -31,7 +33,7 @@ use std::process::ExitCode;
 use biosched_bench::convergence::{convergence_figure, ConvergenceConfig};
 use biosched_bench::extended::{extended_comparison, ExtendedConfig};
 use biosched_bench::figures::{
-    figure_from_results, heterogeneous_sweep, homogeneous_sweep, Metric,
+    figure_from_results, heterogeneous_sweep_on, homogeneous_sweep_on, Metric,
 };
 use biosched_bench::tables::all_tables;
 use biosched_metrics::report::{fmt_value, Table};
@@ -39,6 +41,7 @@ use biosched_metrics::series::FigureSeries;
 use biosched_workload::heterogeneous::fig6_vm_points;
 use biosched_workload::homogeneous::{fig4a_vm_points, fig4b_vm_points};
 use biosched_workload::sweep::PointResult;
+use simcloud::simulation::EngineKind;
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -48,11 +51,13 @@ struct Options {
     hetero_cloudlets: usize,
     csv_dir: Option<PathBuf>,
     ascii: bool,
+    engine: EngineKind,
 }
 
 fn usage() -> &'static str {
     "usage: repro <fig4a|fig4b|fig5a|fig5b|fig6|fig6a|fig6b|fig6c|fig6d|fig6-stats|tables|extended|convergence|all> \
-     [--seed N] [--scale N] [--full-scale] [--hetero-cloudlets N] [--csv DIR] [--ascii]"
+     [--seed N] [--scale N] [--full-scale] [--hetero-cloudlets N] [--csv DIR] [--ascii] \
+     [--engine sequential|sharded]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -63,6 +68,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         hetero_cloudlets: 1_000,
         csv_dir: None,
         ascii: true,
+        engine: EngineKind::Sequential,
     };
     let mut it = args.iter();
     match it.next() {
@@ -104,6 +110,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--ascii" => opts.ascii = true,
             "--no-ascii" => opts.ascii = false,
+            "--engine" => {
+                opts.engine = match it
+                    .next()
+                    .ok_or("--engine needs a value")?
+                    .to_ascii_lowercase()
+                    .as_str()
+                {
+                    "sequential" | "seq" => EngineKind::Sequential,
+                    "sharded" => EngineKind::Sharded,
+                    other => return Err(format!("bad --engine: '{other}'")),
+                };
+            }
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
     }
@@ -153,7 +171,7 @@ fn homogeneous(points: Vec<usize>, metric: Metric, title: &str, slug: &str, opts
         opts.scale,
         opts.seed
     );
-    let results = homogeneous_sweep(&points, opts.scale, opts.seed);
+    let results = homogeneous_sweep_on(&points, opts.scale, opts.seed, opts.engine);
     sanity_check(&results);
     let fig = figure_from_results(title, &points, &results, metric);
     emit_figure(&fig, slug, opts);
@@ -167,7 +185,7 @@ fn heterogeneous(metrics: &[(Metric, &str, &str)], opts: &Options) {
         opts.hetero_cloudlets,
         opts.seed
     );
-    let results = heterogeneous_sweep(&points, opts.hetero_cloudlets, opts.seed);
+    let results = heterogeneous_sweep_on(&points, opts.hetero_cloudlets, opts.seed, opts.engine);
     sanity_check(&results);
     for (metric, title, slug) in metrics {
         let fig = figure_from_results(title, &points, &results, *metric);

@@ -14,7 +14,8 @@ use biosched_core::scheduler::AlgorithmKind;
 use biosched_metrics::series::FigureSeries;
 use biosched_workload::heterogeneous::HeterogeneousScenario;
 use biosched_workload::homogeneous::HomogeneousScenario;
-use biosched_workload::sweep::{sweep, PointResult};
+use biosched_workload::sweep::{sweep_on, PointResult};
+use simcloud::simulation::EngineKind;
 
 /// Which metric of a [`PointResult`] a figure plots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,14 +82,34 @@ pub fn figure_from_results(
 /// [`HomogeneousScenario::scaled`]); 1 reproduces the paper exactly.
 /// Returns the raw results for the given VM-count points.
 pub fn homogeneous_sweep(points: &[usize], scale: usize, seed: u64) -> Vec<Vec<PointResult>> {
-    sweep(points, &AlgorithmKind::PAPER_SET, seed, |vms| {
+    homogeneous_sweep_on(points, scale, seed, EngineKind::Sequential)
+}
+
+/// [`homogeneous_sweep`] simulated on a chosen engine.
+pub fn homogeneous_sweep_on(
+    points: &[usize],
+    scale: usize,
+    seed: u64,
+    engine: EngineKind,
+) -> Vec<Vec<PointResult>> {
+    sweep_on(points, &AlgorithmKind::PAPER_SET, seed, engine, |vms| {
         HomogeneousScenario::scaled(vms, scale).build()
     })
 }
 
 /// Runs the heterogeneous sweep behind Figs. 6a–6d.
 pub fn heterogeneous_sweep(points: &[usize], cloudlets: usize, seed: u64) -> Vec<Vec<PointResult>> {
-    sweep(points, &AlgorithmKind::PAPER_SET, seed, |vms| {
+    heterogeneous_sweep_on(points, cloudlets, seed, EngineKind::Sequential)
+}
+
+/// [`heterogeneous_sweep`] simulated on a chosen engine.
+pub fn heterogeneous_sweep_on(
+    points: &[usize],
+    cloudlets: usize,
+    seed: u64,
+    engine: EngineKind,
+) -> Vec<Vec<PointResult>> {
+    sweep_on(points, &AlgorithmKind::PAPER_SET, seed, engine, |vms| {
         HeterogeneousScenario {
             vm_count: vms,
             cloudlet_count: cloudlets,

@@ -3,6 +3,7 @@
 use biosched_core::objective::Objective;
 use biosched_core::scheduler::AlgorithmKind;
 use simcloud::cloudlet_sched::SchedulerKind;
+use simcloud::simulation::EngineKind;
 
 /// Scenario + execution options common to all commands.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +27,10 @@ pub struct CommonOpts {
     /// Worker-thread cap for parallel evaluation (`--threads`); `None`
     /// defers to `RAYON_NUM_THREADS` or the machine's core count.
     pub threads: Option<usize>,
+    /// Simulation engine (`--engine sequential|sharded`). Sharded requests
+    /// fall back to the sequential kernel for ineligible scenarios
+    /// (workflows, host failures, resubmission) with identical results.
+    pub engine: EngineKind,
 }
 
 impl Default for CommonOpts {
@@ -40,6 +45,7 @@ impl Default for CommonOpts {
             sla_slack: None,
             csv: None,
             threads: None,
+            engine: EngineKind::Sequential,
         }
     }
 }
@@ -169,6 +175,17 @@ pub fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), String
                         .map_err(|e| format!("bad --threads: {e}"))?,
                 )
             }
+            "--engine" => {
+                opts.engine = match take("--engine")?.to_ascii_lowercase().as_str() {
+                    "sequential" | "seq" => EngineKind::Sequential,
+                    "sharded" => EngineKind::Sharded,
+                    other => {
+                        return Err(format!(
+                            "bad --engine: '{other}' (try: sequential, sharded)"
+                        ))
+                    }
+                }
+            }
             _ => rest.push(arg.clone()),
         }
     }
@@ -248,6 +265,17 @@ mod tests {
         assert_eq!(parse_common(&[]).unwrap().0.threads, None);
         assert!(parse_common(&args("--threads 0")).is_err());
         assert!(parse_common(&args("--threads x")).is_err());
+    }
+
+    #[test]
+    fn engine_option() {
+        let (opts, rest) = parse_common(&args("--engine sharded")).unwrap();
+        assert_eq!(opts.engine, EngineKind::Sharded);
+        assert!(rest.is_empty());
+        let (opts, _) = parse_common(&args("--engine sequential")).unwrap();
+        assert_eq!(opts.engine, EngineKind::Sequential);
+        assert_eq!(parse_common(&[]).unwrap().0.engine, EngineKind::Sequential);
+        assert!(parse_common(&args("--engine warp")).is_err());
     }
 
     #[test]

@@ -7,9 +7,10 @@ use biosched_core::workflow::heft;
 use biosched_metrics::distribution::percentile;
 use biosched_metrics::report::{fmt_value, Table};
 use biosched_workload::scenario::Scenario;
-use biosched_workload::sweep::sweep;
+use biosched_workload::sweep::sweep_on;
 use biosched_workload::workflow;
 use simcloud::energy::{estimate_energy, PowerModel};
+use simcloud::simulation::EngineKind;
 use simcloud::stats::SimulationOutcome;
 
 use crate::args::{
@@ -42,6 +43,9 @@ scenario options (all commands):
   --csv PATH       also write results as CSV
   --threads N      cap worker threads for parallel evaluation (default:
                    RAYON_NUM_THREADS, else all cores; never changes results)
+  --engine E       simulation engine: sequential (default) or sharded
+                   (parallel per-VM replay; identical results, falls back
+                   to sequential for workflows/failures/resubmission)
 
 examples:
   biosched run --algorithm aco --vms 100 --cloudlets 1000
@@ -57,7 +61,12 @@ struct RunResult {
     outcome: SimulationOutcome,
 }
 
-fn run_one(scenario: &Scenario, kind: AlgorithmKind, seed: u64) -> Result<RunResult, String> {
+fn run_one(
+    scenario: &Scenario,
+    kind: AlgorithmKind,
+    seed: u64,
+    engine: EngineKind,
+) -> Result<RunResult, String> {
     let problem = scenario.problem();
     let mut scheduler = kind.build(seed);
     let started = Instant::now();
@@ -67,7 +76,7 @@ fn run_one(scenario: &Scenario, kind: AlgorithmKind, seed: u64) -> Result<RunRes
         .validate(&problem)
         .map_err(|e| format!("{kind} produced an invalid plan: {e}"))?;
     let outcome = scenario
-        .simulate(assignment)
+        .simulate_on(assignment, engine)
         .map_err(|e| format!("simulation failed: {e}"))?;
     Ok(RunResult {
         name: kind.label().to_string(),
@@ -143,7 +152,7 @@ pub fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let scenario = build_scenario(&opts);
     println!("{}", describe_scenario(&opts));
-    let result = run_one(&scenario, algorithm, opts.seed)?;
+    let result = run_one(&scenario, algorithm, opts.seed, opts.engine)?;
     if result.outcome.finished_count() != scenario.cloudlet_count() {
         println!(
             "warning: only {}/{} cloudlets finished",
@@ -177,7 +186,7 @@ pub fn cmd_compare(args: &[String]) -> Result<(), String> {
     println!("{}", describe_scenario(&opts));
     let results: Result<Vec<RunResult>, String> = algorithms
         .iter()
-        .map(|kind| run_one(&scenario, *kind, opts.seed))
+        .map(|kind| run_one(&scenario, *kind, opts.seed, opts.engine))
         .collect();
     emit_table(&metrics_table(&results?, opts.vms), opts.csv.as_deref())
 }
@@ -205,7 +214,7 @@ pub fn cmd_sweep(args: &[String]) -> Result<(), String> {
         opts.cloudlets
     );
     let base = opts.clone();
-    let results = sweep(&points, &algorithms, opts.seed, move |vms| {
+    let results = sweep_on(&points, &algorithms, opts.seed, opts.engine, move |vms| {
         build_scenario(&CommonOpts {
             vms,
             ..base.clone()
@@ -296,7 +305,7 @@ pub fn cmd_workflow(args: &[String]) -> Result<(), String> {
         AlgorithmKind::BaseTest.build(opts.seed).schedule(&problem)
     };
     let outcome = scenario
-        .simulate(plan)
+        .simulate_on(plan, opts.engine)
         .map_err(|e| format!("simulation failed: {e}"))?;
     let span = outcome
         .records
@@ -480,6 +489,14 @@ mod tests {
     fn run_command_small() {
         cmd_run(&args(
             "--algorithm base --vms 4 --cloudlets 12 --datacenters 2 --seed 1",
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn run_command_sharded_engine() {
+        cmd_run(&args(
+            "--algorithm base --vms 4 --cloudlets 12 --datacenters 2 --engine sharded",
         ))
         .unwrap();
     }

@@ -200,10 +200,82 @@ impl Broker {
             "assignment must cover every cloudlet"
         );
         self.fleet_ready = true;
+        if self.parents.is_none() && self.max_retries == 0 {
+            self.submit_all_batched(world, ctx);
+            return;
+        }
         for idx in 0..self.assignment.len() {
             let ready = self.parents.is_none() || self.pending_parents[idx] == 0;
             if ready {
                 self.submit_one(world, ctx, idx);
+            }
+        }
+    }
+
+    /// The batch-model fast path: cloudlets that reach the same VM at the
+    /// same instant travel in one `CloudletSubmitBatch` event, so the VM's
+    /// scheduler settles once per group instead of once per cloudlet.
+    ///
+    /// Per-VM submission order is unchanged (groups keep cloudlet-index
+    /// order, and distinct delivery times stay distinct events), so this
+    /// is trace-equivalent to the per-cloudlet path. Workflow runs keep
+    /// that path because child submissions depend on return order, and so
+    /// do resubmission runs, where a rebind may interleave with a group.
+    fn submit_all_batched(&mut self, world: &mut World, ctx: &mut Context<'_>) {
+        let mut groups: Vec<(VmId, SimTime, Vec<CloudletId>)> = Vec::new();
+        let mut group_of: std::collections::HashMap<(u32, u64), usize> =
+            std::collections::HashMap::new();
+        for idx in 0..self.assignment.len() {
+            let cloudlet = CloudletId::from_index(idx);
+            let vm_id = self.assignment[idx];
+            let vm = world.vm(vm_id);
+            if !vm.is_active() {
+                // Dead-VM bookkeeping (cascade_failure) sends no events,
+                // so handling it inline preserves event order.
+                self.cascade_failure(world, ctx, cloudlet);
+                continue;
+            }
+            let dc = vm.datacenter.expect("active VM has a datacenter");
+            let latency = self.topology.latency_to(dc);
+            let spec = &world.cloudlets[idx].spec;
+            let in_delay = transfer_time(spec.file_size_mb, vm.spec.bw_mbps);
+            let wait = self
+                .arrivals
+                .as_ref()
+                .map(|a| a[idx].saturating_sub(ctx.now))
+                .unwrap_or(SimTime::ZERO);
+            world.cloudlet_mut(cloudlet).submit_time = Some(ctx.now + wait);
+            let delay = wait + latency + in_delay;
+            let slot = *group_of
+                .entry((vm_id.0, delay.as_millis().to_bits()))
+                .or_insert_with(|| {
+                    groups.push((vm_id, delay, Vec::new()));
+                    groups.len() - 1
+                });
+            groups[slot].2.push(cloudlet);
+        }
+        for (vm_id, delay, mut cloudlets) in groups {
+            let dc = world.vm(vm_id).datacenter.expect("grouped VM is placed");
+            let dest = self.dc_entities[dc.index()];
+            if cloudlets.len() == 1 {
+                let cloudlet = cloudlets.pop().expect("length checked");
+                ctx.send(
+                    dest,
+                    delay,
+                    Event::CloudletSubmit {
+                        cloudlet,
+                        vm: vm_id,
+                    },
+                );
+            } else {
+                ctx.send(
+                    dest,
+                    delay,
+                    Event::CloudletSubmitBatch {
+                        vm: vm_id,
+                        cloudlets,
+                    },
+                );
             }
         }
     }

@@ -62,6 +62,20 @@ pub trait CloudletScheduler: Send {
     /// state change (it may start immediately or queue).
     fn submit(&mut self, now: SimTime, cl: RunningCloudlet) -> Tick;
 
+    /// Binds a whole batch arriving at the same instant, settling the
+    /// clock once for the group instead of once per cloudlet. Equivalent
+    /// to submitting each cloudlet in order at `now`.
+    fn submit_many(&mut self, now: SimTime, cls: Vec<RunningCloudlet>) -> Tick {
+        let mut out = Tick::default();
+        for cl in cls {
+            let t = self.submit(now, cl);
+            out.started.extend(t.started);
+            out.finished.extend(t.finished);
+            out.next_completion = t.next_completion;
+        }
+        out
+    }
+
     /// Advances execution to `now`, collecting completions and starts.
     fn advance(&mut self, now: SimTime) -> Tick;
 
@@ -91,6 +105,15 @@ pub struct SpaceShared {
     running: Vec<RunningCloudlet>,
     waiting: VecDeque<RunningCloudlet>,
     last_update: SimTime,
+    /// PEs held by `running` cloudlets, maintained incrementally so the
+    /// promotion loop does not rescan `running` on every iteration.
+    pes_in_use: u32,
+    /// Set by `submit`: a cloudlet was added after the last harvest pass,
+    /// so a same-time `advance` cannot take the cached fast path.
+    dirty: bool,
+    /// `next_completion` from the last full settle; valid while `!dirty`
+    /// and the clock has not moved past `last_update`.
+    cached_next: Option<SimTime>,
     /// With backfilling, a waiting cloudlet behind a blocked queue head
     /// may start if enough PEs are free — curing the multi-PE
     /// head-of-line blocking strict FIFO suffers.
@@ -107,6 +130,9 @@ impl SpaceShared {
             running: Vec::new(),
             waiting: VecDeque::new(),
             last_update: SimTime::ZERO,
+            pes_in_use: 0,
+            dirty: false,
+            cached_next: None,
             backfill: false,
         }
     }
@@ -115,10 +141,6 @@ impl SpaceShared {
     pub fn with_backfill(mut self) -> Self {
         self.backfill = true;
         self
-    }
-
-    fn pes_in_use(&self) -> u32 {
-        self.running.iter().map(|c| c.pes).sum()
     }
 
     /// Execution rate of one cloudlet in MI per millisecond.
@@ -140,9 +162,12 @@ impl SpaceShared {
             }
         }
         self.last_update = now;
-        // Harvest finished in one order-preserving pass.
+        // Harvest finished in one order-preserving pass, giving their PEs
+        // back as we go.
+        let pes_in_use = &mut self.pes_in_use;
         self.running.retain(|cl| {
             if cl.remaining_mi <= DONE_EPS_MI {
+                *pes_in_use -= cl.pes;
                 tick.finished.push(cl.id);
                 false
             } else {
@@ -153,7 +178,7 @@ impl SpaceShared {
         // default; with backfilling, scan past a blocked head for the
         // first job that fits.
         loop {
-            let free = self.total_pes - self.pes_in_use();
+            let free = self.total_pes - self.pes_in_use;
             if free == 0 {
                 break;
             }
@@ -168,6 +193,7 @@ impl SpaceShared {
             // A cloudlet demanding more PEs than the VM owns is clamped
             // (CloudSim runs it on all available PEs).
             cl.pes = cl.pes.min(self.total_pes);
+            self.pes_in_use += cl.pes;
             tick.started.push(cl.id);
             self.running.push(cl);
         }
@@ -192,14 +218,39 @@ impl CloudletScheduler for SpaceShared {
         self.waiting.push_back(cl);
         // Re-settle to promote immediately if PEs are free.
         self.settle(now, &mut tick);
+        self.dirty = true;
         tick.next_completion = self.next_completion(now);
+        self.cached_next = tick.next_completion;
+        tick
+    }
+
+    fn submit_many(&mut self, now: SimTime, cls: Vec<RunningCloudlet>) -> Tick {
+        let mut tick = Tick::default();
+        self.settle(now, &mut tick);
+        self.waiting.extend(cls);
+        // One promotion pass fills the free PEs in the same FIFO (or
+        // backfill) order the per-cloudlet path would.
+        self.settle(now, &mut tick);
+        self.dirty = true;
+        tick.next_completion = self.next_completion(now);
+        self.cached_next = tick.next_completion;
         tick
     }
 
     fn advance(&mut self, now: SimTime) -> Tick {
+        // A same-time (or stale) advance with no submissions since the
+        // last settle cannot change any state: answer from the cache.
+        if !self.dirty && now <= self.last_update {
+            return Tick {
+                next_completion: self.cached_next,
+                ..Tick::default()
+            };
+        }
         let mut tick = Tick::default();
         self.settle(now, &mut tick);
+        self.dirty = false;
         tick.next_completion = self.next_completion(now);
+        self.cached_next = tick.next_completion;
         tick
     }
 
@@ -220,6 +271,9 @@ impl CloudletScheduler for SpaceShared {
     }
 
     fn drain(&mut self) -> Vec<CloudletId> {
+        self.pes_in_use = 0;
+        self.dirty = false;
+        self.cached_next = None;
         self.running
             .drain(..)
             .map(|c| c.id)
@@ -239,6 +293,12 @@ pub struct TimeShared {
     total_pes: u32,
     running: Vec<RunningCloudlet>,
     last_update: SimTime,
+    /// Set by `submit`: a cloudlet was added after the last harvest pass,
+    /// so a same-time `advance` cannot take the cached fast path.
+    dirty: bool,
+    /// `next_completion` from the last full settle; valid while `!dirty`
+    /// and the clock has not moved past `last_update`.
+    cached_next: Option<SimTime>,
 }
 
 impl TimeShared {
@@ -250,6 +310,8 @@ impl TimeShared {
             total_pes,
             running: Vec::new(),
             last_update: SimTime::ZERO,
+            dirty: false,
+            cached_next: None,
         }
     }
 
@@ -268,12 +330,14 @@ impl TimeShared {
         let now = now.max(self.last_update);
         let dt_ms = now.saturating_sub(self.last_update).as_millis();
         if dt_ms > 0.0 {
-            let rates: Vec<f64> = self
-                .running
-                .iter()
-                .map(|c| self.rate_mi_per_ms(c))
-                .collect();
-            for (cl, rate) in self.running.iter_mut().zip(rates) {
+            // Inline `rate_mi_per_ms`, hoisting the parts shared by every
+            // cloudlet; the arithmetic (and its evaluation order) is
+            // identical, so results match the per-element form bit for bit.
+            let n = self.running.len().max(1) as f64;
+            let total_mips = self.mips_per_pe * f64::from(self.total_pes);
+            let fair = total_mips / n;
+            for cl in self.running.iter_mut() {
+                let rate = fair.min(self.mips_per_pe * f64::from(cl.pes)) / 1_000.0;
                 cl.remaining_mi -= rate * dt_ms;
             }
         }
@@ -306,14 +370,38 @@ impl CloudletScheduler for TimeShared {
         self.settle(now, &mut tick);
         tick.started.push(cl.id);
         self.running.push(cl);
+        self.dirty = true;
         tick.next_completion = self.next_completion(now);
+        self.cached_next = tick.next_completion;
+        tick
+    }
+
+    fn submit_many(&mut self, now: SimTime, cls: Vec<RunningCloudlet>) -> Tick {
+        let mut tick = Tick::default();
+        self.settle(now, &mut tick);
+        for cl in cls {
+            tick.started.push(cl.id);
+            self.running.push(cl);
+        }
+        self.dirty = true;
+        tick.next_completion = self.next_completion(now);
+        self.cached_next = tick.next_completion;
         tick
     }
 
     fn advance(&mut self, now: SimTime) -> Tick {
+        // Same cached fast path as the space-shared scheduler.
+        if !self.dirty && now <= self.last_update {
+            return Tick {
+                next_completion: self.cached_next,
+                ..Tick::default()
+            };
+        }
         let mut tick = Tick::default();
         self.settle(now, &mut tick);
+        self.dirty = false;
         tick.next_completion = self.next_completion(now);
+        self.cached_next = tick.next_completion;
         tick
     }
 
@@ -330,6 +418,8 @@ impl CloudletScheduler for TimeShared {
     }
 
     fn drain(&mut self) -> Vec<CloudletId> {
+        self.dirty = false;
+        self.cached_next = None;
         self.running.drain(..).map(|c| c.id).collect()
     }
 
@@ -560,6 +650,65 @@ mod tests {
         let stale = s.advance(SimTime::new(20.0));
         assert!(stale.finished.is_empty());
         assert_eq!(stale.next_completion, Some(SimTime::new(100.0)));
+    }
+
+    #[test]
+    fn submit_many_matches_sequential_submits_space_shared() {
+        let cls = || vec![cl(0, 100.0), cl(1, 50.0), cl(2, 75.0)];
+        let mut one_by_one = SpaceShared::new(1_000.0, 2);
+        let mut started = Vec::new();
+        let mut last = None;
+        for c in cls() {
+            let t = one_by_one.submit(SimTime::ZERO, c);
+            started.extend(t.started);
+            last = t.next_completion;
+        }
+
+        let mut batched = SpaceShared::new(1_000.0, 2);
+        let tick = batched.submit_many(SimTime::ZERO, cls());
+        assert_eq!(tick.started, started);
+        assert_eq!(tick.next_completion, last);
+        assert_eq!(batched.running_count(), one_by_one.running_count());
+        assert_eq!(batched.waiting_count(), one_by_one.waiting_count());
+
+        // The two instances stay in lockstep through the whole run.
+        for t_ms in [50.0, 100.0, 125.0, 200.0] {
+            let a = one_by_one.advance(SimTime::new(t_ms));
+            let b = batched.advance(SimTime::new(t_ms));
+            assert_eq!(a.finished, b.finished, "at t={t_ms}");
+            assert_eq!(a.started, b.started, "at t={t_ms}");
+            assert_eq!(a.next_completion, b.next_completion, "at t={t_ms}");
+        }
+    }
+
+    #[test]
+    fn submit_many_matches_sequential_submits_time_shared() {
+        let cls = || vec![cl(0, 100.0), cl(1, 40.0)];
+        let mut one_by_one = TimeShared::new(1_000.0, 1);
+        let mut last = None;
+        for c in cls() {
+            last = one_by_one.submit(SimTime::ZERO, c).next_completion;
+        }
+        let mut batched = TimeShared::new(1_000.0, 1);
+        let tick = batched.submit_many(SimTime::ZERO, cls());
+        assert_eq!(tick.started, vec![CloudletId(0), CloudletId(1)]);
+        assert_eq!(tick.next_completion, last);
+        let a = one_by_one.advance(SimTime::new(80.0));
+        let b = batched.advance(SimTime::new(80.0));
+        assert_eq!(a.finished, b.finished);
+        assert_eq!(a.next_completion, b.next_completion);
+    }
+
+    #[test]
+    fn cached_fast_path_survives_interleaved_submit() {
+        // advance → submit (dirty) → same-time advance must re-settle and
+        // still report the fresh prediction, not a stale cache.
+        let mut s = SpaceShared::new(1_000.0, 2);
+        s.submit(SimTime::ZERO, cl(0, 100.0));
+        s.advance(SimTime::new(10.0));
+        s.submit(SimTime::new(10.0), cl(1, 20.0));
+        let t = s.advance(SimTime::new(10.0));
+        assert_eq!(t.next_completion, Some(SimTime::new(30.0)));
     }
 
     #[test]

@@ -44,7 +44,7 @@ impl DatacenterBlueprint {
         DatacenterBlueprint {
             hosts: vec![host_spec; host_count],
             characteristics,
-            allocation: Box::new(crate::vm_alloc::FirstFit),
+            allocation: Box::new(crate::vm_alloc::FirstFit::default()),
             scheduler: SchedulerKind::SpaceShared,
             failures: Vec::new(),
         }
@@ -68,8 +68,6 @@ pub struct Datacenter {
     scheduler_kind: SchedulerKind,
     /// Per-VM schedulers, lazily grown, indexed by `VmId`.
     vm_scheds: Vec<Option<Box<dyn CloudletScheduler>>>,
-    /// Earliest pending `VmTick` per VM (dedupes timer events).
-    pending_tick: Vec<Option<SimTime>>,
     /// Cloudlets completed here (diagnostics).
     completed: u64,
     /// Broker address, learned from the first cloudlet submission; needed
@@ -97,7 +95,6 @@ impl Datacenter {
             allocation: blueprint.allocation,
             scheduler_kind: blueprint.scheduler,
             vm_scheds: Vec::new(),
-            pending_tick: Vec::new(),
             completed: 0,
             broker_hint: None,
             failures: blueprint.failures,
@@ -196,14 +193,10 @@ impl Datacenter {
                 );
             }
         }
-        // Arm the next completion timer if it beats the one already armed.
+        // Arm the next completion timer; the queue coalesces per VM and
+        // only keeps a new deadline if it beats the one already armed.
         if let Some(next) = tick.next_completion {
-            let slot = Self::slot_mut(&mut self.pending_tick, vm_id.index());
-            let stale = slot.is_none_or(|armed| next < armed || armed < now);
-            if stale {
-                *slot = Some(next);
-                ctx.send_self(next.saturating_sub(now), Event::VmTick { vm: vm_id });
-            }
+            ctx.send_vm_tick(vm_id, next.max(now));
         }
     }
 
@@ -248,6 +241,54 @@ impl Datacenter {
         self.apply_tick(world, ctx, vm_id, tick, src);
     }
 
+    /// Same-time group of submissions for one VM: the scheduler settles
+    /// once for the whole batch. Semantics per cloudlet mirror
+    /// [`Self::handle_cloudlet_submit`] exactly.
+    fn handle_cloudlet_submit_batch(
+        &mut self,
+        world: &mut World,
+        ctx: &mut Context<'_>,
+        src: EntityId,
+        vm_id: VmId,
+        cloudlets: Vec<crate::ids::CloudletId>,
+    ) {
+        self.broker_hint = Some(src);
+        let alive = self
+            .vm_scheds
+            .get(vm_id.index())
+            .is_some_and(Option::is_some);
+        if !alive {
+            // The VM died (host failure) while the batch was in flight —
+            // fail each member just as the single-submit path would.
+            assert_eq!(
+                world.vm(vm_id).status,
+                crate::vm::VmStatus::Destroyed,
+                "cloudlet batch submitted to VM {vm_id} that was never hosted here"
+            );
+            for cloudlet in cloudlets {
+                let cl = world.cloudlet_mut(cloudlet);
+                cl.vm = Some(vm_id);
+                cl.status = CloudletStatus::Failed;
+                ctx.send(src, SimTime::ZERO, Event::CloudletFailed { cloudlet });
+            }
+            return;
+        }
+        let batch: Vec<RunningCloudlet> = cloudlets
+            .into_iter()
+            .map(|cloudlet| {
+                let cl = world.cloudlet_mut(cloudlet);
+                cl.status = CloudletStatus::Queued;
+                cl.vm = Some(vm_id);
+                RunningCloudlet::new(cloudlet, cl.spec.length_mi, cl.spec.pes)
+            })
+            .collect();
+        let sched = self.vm_scheds[vm_id.index()]
+            .as_mut()
+            .expect("liveness checked above");
+        let tick = sched.submit_many(ctx.now, batch);
+        self.apply_tick(world, ctx, vm_id, tick, src);
+    }
+
     /// Takes a host down: evicts its VMs, fails their queued/running
     /// cloudlets and reports each to the broker.
     fn handle_host_fail(&mut self, world: &mut World, ctx: &mut Context<'_>, host_id: HostId) {
@@ -263,9 +304,7 @@ impl Datacenter {
                 .and_then(Option::take)
                 .map(|mut sched| sched.drain())
                 .unwrap_or_default();
-            if let Some(slot) = self.pending_tick.get_mut(vm_id.index()) {
-                *slot = None;
-            }
+            ctx.cancel_vm_tick(vm_id);
             for cloudlet in orphans {
                 world.cloudlet_mut(cloudlet).status = CloudletStatus::Failed;
                 if let Some(broker) = self.broker_hint {
@@ -282,12 +321,7 @@ impl Datacenter {
         vm_id: VmId,
         broker: EntityId,
     ) {
-        // Disarm the timer record if this tick is the one we armed.
-        if let Some(slot) = self.pending_tick.get_mut(vm_id.index()) {
-            if slot.is_some_and(|armed| armed <= ctx.now) {
-                *slot = None;
-            }
-        }
+        // The queue disarmed the timer when it delivered this tick.
         let Some(sched) = self
             .vm_scheds
             .get_mut(vm_id.index())
@@ -318,6 +352,9 @@ impl Entity for Datacenter {
             Event::VmCreate { vm } => self.handle_vm_create(world, ctx, ev.src, vm),
             Event::CloudletSubmit { cloudlet, vm } => {
                 self.handle_cloudlet_submit(world, ctx, ev.src, cloudlet, vm)
+            }
+            Event::CloudletSubmitBatch { vm, cloudlets } => {
+                self.handle_cloudlet_submit_batch(world, ctx, ev.src, vm, cloudlets)
             }
             // VmTicks are self-sent; a tick can only exist after a cloudlet
             // submission, which recorded the broker's address.

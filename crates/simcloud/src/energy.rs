@@ -120,6 +120,7 @@ mod tests {
             vms_created: 2,
             vms_rejected: 0,
             cloudlets_failed: 0,
+            engine: crate::simulation::EngineKind::Sequential,
         }
     }
 

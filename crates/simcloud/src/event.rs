@@ -3,9 +3,19 @@
 //! The kernel advances by repeatedly popping the earliest scheduled event.
 //! Ties on time are broken by insertion sequence number, which makes runs
 //! fully deterministic for a fixed input.
+//!
+//! The queue is a *bucketed* future-event list: events sharing a timestamp
+//! live in one append-ordered bucket, buckets are keyed by time in a
+//! `BTreeMap`, and the earliest bucket is held out and drained by cursor.
+//! Discrete-event cloud workloads are tie-heavy — a broker submitting 10⁶
+//! cloudlets lands them on a handful of distinct delivery times — so most
+//! pushes and pops are O(1) appends/reads instead of heap percolations.
+//!
+//! `VmTick` timer events additionally go through [`EventQueue::push_vm_tick`],
+//! which keeps one armed deadline per VM and lazily drops superseded or
+//! cancelled ticks at pop time, so stale duplicates never reach the kernel.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::BTreeMap;
 
 use crate::ids::{CloudletId, EntityId, HostId, VmId};
 use crate::time::SimTime;
@@ -36,6 +46,15 @@ pub enum Event {
         cloudlet: CloudletId,
         /// The VM the scheduler bound it to.
         vm: VmId,
+    },
+    /// Broker submits a batch of cloudlets bound to one VM, all delivered
+    /// at the same time — the VM's scheduler settles once for the whole
+    /// group instead of once per cloudlet.
+    CloudletSubmitBatch {
+        /// The VM the batch is bound to.
+        vm: VmId,
+        /// The cloudlets, in submission order.
+        cloudlets: Vec<CloudletId>,
     },
     /// Datacenter returns a completed cloudlet to its broker.
     CloudletReturn {
@@ -84,31 +103,60 @@ impl PartialEq for ScheduledEvent {
 impl Eq for ScheduledEvent {}
 
 impl PartialOrd for ScheduledEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
 impl Ord for ScheduledEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
     }
 }
 
-/// Deterministic future-event list.
+/// One timestamp's events, appended in seq order and drained by cursor.
+#[derive(Debug, Default)]
+struct Bucket {
+    events: Vec<ScheduledEvent>,
+    cursor: usize,
+}
+
+impl Bucket {
+    fn exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+}
+
+/// Deterministic bucketed future-event list.
 ///
-/// A thin wrapper over `BinaryHeap` that stamps every insertion with a
-/// sequence number so same-time events fire in submission order.
+/// Every insertion is stamped with a sequence number so same-time events
+/// fire in submission order — the (time, seq) determinism contract the
+/// kernel relies on.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
+    /// The earliest bucket, held out of the map while it drains. Pushes at
+    /// its exact timestamp append to it (higher seq ⇒ delivered after), so
+    /// zero-delay sends issued while handling a time-t event still fire in
+    /// insertion order at t.
+    current: Option<(SimTime, Bucket)>,
+    /// Buckets strictly after `current`, keyed by firing time.
+    future: BTreeMap<SimTime, Vec<ScheduledEvent>>,
+    /// Storage of drained buckets kept for reuse. At paper scale a bucket
+    /// holds ~10⁶ events (~64 MB); dropping and reallocating one per
+    /// timestamp turns into mmap/munmap churn that dominates wall-clock,
+    /// so drained allocations are recycled instead.
+    spare: Vec<Vec<ScheduledEvent>>,
+    /// Earliest armed `VmTick` deadline per VM: the lazy-deletion index
+    /// behind tick coalescing. An in-queue tick is delivered only if its
+    /// time still matches this slot.
+    tick_armed: Vec<Option<SimTime>>,
     next_seq: u64,
     pushed: u64,
     popped: u64,
+    pending: usize,
+    coalesced: u64,
 }
 
 impl EventQueue {
@@ -118,52 +166,178 @@ impl EventQueue {
     }
 
     /// Creates an empty queue with pre-reserved capacity.
-    pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-            pushed: 0,
-            popped: 0,
-        }
+    ///
+    /// Bucket storage grows on demand; the hint is kept for API
+    /// compatibility with the former binary-heap implementation.
+    pub fn with_capacity(_cap: usize) -> Self {
+        Self::default()
     }
 
     /// Schedules `event` for `dest` at absolute time `time`.
+    ///
+    /// `VmTick` events must go through [`EventQueue::push_vm_tick`] instead
+    /// so the coalescing index stays consistent.
     pub fn push(&mut self, time: SimTime, src: EntityId, dest: EntityId, event: Event) {
+        debug_assert!(
+            !matches!(event, Event::VmTick { .. }),
+            "VmTick events must be scheduled through push_vm_tick"
+        );
+        self.push_raw(time, src, dest, event);
+    }
+
+    fn push_raw(&mut self, time: SimTime, src: EntityId, dest: EntityId, event: Event) {
         debug_assert!(time.is_valid_clock(), "event scheduled at invalid time");
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
-        self.heap.push(ScheduledEvent {
+        self.pending += 1;
+        let ev = ScheduledEvent {
             time,
             seq,
             dest,
             src,
             event,
-        });
-    }
-
-    /// Removes and returns the earliest event, if any.
-    pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        let ev = self.heap.pop();
-        if ev.is_some() {
-            self.popped += 1;
+        };
+        enum Target {
+            Current,
+            Future,
+            Restage,
         }
-        ev
+        let target = match &self.current {
+            Some((t, _)) if time == *t => Target::Current,
+            Some((t, _)) if time < *t => Target::Restage,
+            _ => Target::Future,
+        };
+        match target {
+            Target::Current => {
+                self.current
+                    .as_mut()
+                    .expect("checked above")
+                    .1
+                    .events
+                    .push(ev);
+            }
+            Target::Future => {
+                let spare = &mut self.spare;
+                self.future
+                    .entry(time)
+                    .or_insert_with(|| spare.pop().unwrap_or_default())
+                    .push(ev);
+            }
+            Target::Restage => {
+                // A push before the bucket being drained (never issued by
+                // entity handlers, whose delays are non-negative): put the
+                // bucket's remainder back so pop re-selects the earliest.
+                let (t, bucket) = self.current.take().expect("checked above");
+                let rest: Vec<ScheduledEvent> = bucket.events[bucket.cursor..].to_vec();
+                if !rest.is_empty() {
+                    self.future.insert(t, rest);
+                }
+                self.future.entry(time).or_default().push(ev);
+            }
+        }
     }
 
-    /// Time of the earliest pending event.
+    /// Schedules (or coalesces) the per-VM settle timer.
+    ///
+    /// Mirrors the classic pending-tick discipline: the new deadline is
+    /// scheduled only if no tick is armed for `vm`, the new deadline is
+    /// earlier than the armed one, or the armed one is already in the past.
+    /// A superseded armed tick stays in the queue and is dropped at pop
+    /// time (lazy deletion), so the earliest armed deadline always fires.
+    pub fn push_vm_tick(
+        &mut self,
+        now: SimTime,
+        src: EntityId,
+        dest: EntityId,
+        vm: VmId,
+        time: SimTime,
+    ) {
+        if self.tick_armed.len() <= vm.index() {
+            self.tick_armed.resize(vm.index() + 1, None);
+        }
+        let slot = &mut self.tick_armed[vm.index()];
+        if slot.is_none_or(|armed| time < armed || armed < now) {
+            *slot = Some(time);
+            self.push_raw(time, src, dest, Event::VmTick { vm });
+        }
+    }
+
+    /// Disarms `vm`'s settle timer; any in-queue tick for it is dropped at
+    /// pop time. Used when the VM is destroyed.
+    pub fn cancel_vm_tick(&mut self, vm: VmId) {
+        if let Some(slot) = self.tick_armed.get_mut(vm.index()) {
+            *slot = None;
+        }
+    }
+
+    /// Removes and returns the earliest deliverable event, if any.
+    ///
+    /// Stale `VmTick`s — superseded by an earlier re-arm or cancelled —
+    /// are dropped silently; the kernel never sees them.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        loop {
+            let ev = self.pop_raw()?;
+            if let Event::VmTick { vm } = ev.event {
+                let armed = self.tick_armed.get(vm.index()).copied().flatten();
+                if armed != Some(ev.time) {
+                    self.coalesced += 1;
+                    continue;
+                }
+                self.tick_armed[vm.index()] = None;
+            }
+            self.popped += 1;
+            return Some(ev);
+        }
+    }
+
+    fn pop_raw(&mut self) -> Option<ScheduledEvent> {
+        loop {
+            if let Some((time, bucket)) = &mut self.current {
+                if !bucket.exhausted() {
+                    let slot = &mut bucket.events[bucket.cursor];
+                    let dummy = ScheduledEvent {
+                        time: *time,
+                        seq: slot.seq,
+                        dest: slot.dest,
+                        src: slot.src,
+                        event: Event::Start,
+                    };
+                    let ev = std::mem::replace(slot, dummy);
+                    bucket.cursor += 1;
+                    self.pending -= 1;
+                    return Some(ev);
+                }
+                if let Some((_, mut bucket)) = self.current.take() {
+                    bucket.events.clear();
+                    if self.spare.len() < 4 {
+                        self.spare.push(bucket.events);
+                    }
+                }
+            }
+            let (t, events) = self.future.pop_first()?;
+            self.current = Some((t, Bucket { events, cursor: 0 }));
+        }
+    }
+
+    /// Time of the earliest pending event (including not-yet-dropped stale
+    /// ticks — this is a diagnostic view of the raw queue).
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        let current = self
+            .current
+            .as_ref()
+            .and_then(|(t, b)| (!b.exhausted()).then_some(*t));
+        current.or_else(|| self.future.keys().next().copied())
     }
 
-    /// Number of pending events.
+    /// Number of pending events (including not-yet-dropped stale ticks).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.pending
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.pending == 0
     }
 
     /// Total events ever pushed (diagnostics).
@@ -171,9 +345,14 @@ impl EventQueue {
         self.pushed
     }
 
-    /// Total events ever popped (diagnostics).
+    /// Total events ever delivered (diagnostics).
     pub fn total_popped(&self) -> u64 {
         self.popped
+    }
+
+    /// Stale `VmTick`s dropped by coalescing (diagnostics).
+    pub fn total_coalesced(&self) -> u64 {
+        self.coalesced
     }
 }
 
@@ -240,5 +419,92 @@ mod tests {
         assert_eq!(q.pop().unwrap().time, SimTime::new(2.0));
         assert_eq!(q.pop().unwrap().time, SimTime::new(7.0));
         assert_eq!(q.pop().unwrap().time, SimTime::new(10.0));
+    }
+
+    #[test]
+    fn same_time_push_while_draining_fires_in_order() {
+        // Zero-delay sends issued while handling a time-t event must fire
+        // at t, after everything already queued there.
+        let mut q = EventQueue::new();
+        q.push(SimTime::new(5.0), EntityId(0), EntityId(1), Event::Start);
+        q.push(SimTime::new(5.0), EntityId(0), EntityId(2), Event::Start);
+        assert_eq!(q.pop().unwrap().dest, EntityId(1));
+        q.push(SimTime::new(5.0), EntityId(0), EntityId(3), Event::Start);
+        assert_eq!(q.pop().unwrap().dest, EntityId(2));
+        assert_eq!(q.pop().unwrap().dest, EntityId(3));
+        assert!(q.pop().is_none());
+    }
+
+    fn tick(q: &mut EventQueue, now: f64, vm: u32, at: f64) {
+        q.push_vm_tick(
+            SimTime::new(now),
+            EntityId(0),
+            EntityId(0),
+            VmId(vm),
+            SimTime::new(at),
+        );
+    }
+
+    #[test]
+    fn superseded_tick_is_dropped_and_earliest_fires() {
+        let mut q = EventQueue::new();
+        tick(&mut q, 0.0, 0, 10.0);
+        // Re-arm earlier: the 10.0 tick is superseded by lazy deletion.
+        tick(&mut q, 0.0, 0, 5.0);
+        let first = q.pop().expect("armed tick fires");
+        assert_eq!(first.time, SimTime::new(5.0));
+        assert!(matches!(first.event, Event::VmTick { vm: VmId(0) }));
+        assert!(q.pop().is_none(), "stale 10.0 tick never delivered");
+        assert_eq!(q.total_coalesced(), 1);
+    }
+
+    #[test]
+    fn later_rearm_is_not_scheduled() {
+        let mut q = EventQueue::new();
+        tick(&mut q, 0.0, 0, 5.0);
+        // A later (or equal) deadline must not supersede an earlier armed
+        // one, and must not enqueue a duplicate at all.
+        tick(&mut q, 0.0, 0, 8.0);
+        tick(&mut q, 0.0, 0, 5.0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().time, SimTime::new(5.0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn rearm_after_delivery_fires_again() {
+        let mut q = EventQueue::new();
+        tick(&mut q, 0.0, 3, 5.0);
+        assert_eq!(q.pop().unwrap().time, SimTime::new(5.0));
+        tick(&mut q, 5.0, 3, 9.0);
+        let ev = q.pop().expect("re-armed tick fires");
+        assert_eq!(ev.time, SimTime::new(9.0));
+        assert!(matches!(ev.event, Event::VmTick { vm: VmId(3) }));
+    }
+
+    #[test]
+    fn cancelled_tick_is_dropped() {
+        let mut q = EventQueue::new();
+        tick(&mut q, 0.0, 1, 7.0);
+        q.cancel_vm_tick(VmId(1));
+        assert!(q.pop().is_none());
+        assert_eq!(q.total_coalesced(), 1);
+    }
+
+    #[test]
+    fn ticks_for_different_vms_are_independent() {
+        let mut q = EventQueue::new();
+        tick(&mut q, 0.0, 0, 6.0);
+        tick(&mut q, 0.0, 1, 4.0);
+        tick(&mut q, 0.0, 0, 2.0); // supersedes vm0's 6.0
+        let order: Vec<(f64, u32)> = std::iter::from_fn(|| q.pop())
+            .map(|e| {
+                let Event::VmTick { vm } = e.event else {
+                    panic!("only ticks queued");
+                };
+                (e.time.as_millis(), vm.0)
+            })
+            .collect();
+        assert_eq!(order, vec![(2.0, 0), (4.0, 1)]);
     }
 }

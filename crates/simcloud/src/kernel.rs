@@ -83,6 +83,24 @@ impl Context<'_> {
     pub fn send_self(&mut self, delay: SimTime, event: Event) {
         self.send(self.self_id, delay, event);
     }
+
+    /// Arms (or coalesces) the self-addressed `VmTick` timer for `vm` at
+    /// absolute time `at`. The queue keeps at most one live deadline per
+    /// VM and lazily drops superseded duplicates.
+    pub fn send_vm_tick(&mut self, vm: crate::ids::VmId, at: SimTime) {
+        debug_assert!(
+            at >= self.now,
+            "cannot arm a tick in the past ({at:?} < {:?})",
+            self.now
+        );
+        self.queue
+            .push_vm_tick(self.now, self.self_id, self.self_id, vm, at);
+    }
+
+    /// Disarms `vm`'s tick timer (used when the VM is destroyed).
+    pub fn cancel_vm_tick(&mut self, vm: crate::ids::VmId) {
+        self.queue.cancel_vm_tick(vm);
+    }
 }
 
 /// A simulation actor: reacts to events, mutates the world, sends events.

@@ -15,7 +15,9 @@
 //!
 //! ## Layers
 //!
-//! * [`kernel`] — event queue, clock, entity dispatch ([`kernel::Kernel`]).
+//! * [`kernel`] — event queue, clock, entity dispatch ([`kernel::Kernel`]),
+//!   plus a sharded per-VM replay engine selected via
+//!   [`simulation::EngineKind`] (trace-equivalent, parallel over VMs).
 //! * Resources — [`pe`], [`host`], [`provisioner`], [`characteristics`].
 //! * Execution — [`cloudlet_sched`] (space/time shared), [`vm_alloc`]
 //!   (VM→host policies), [`datacenter`], [`broker`], [`network`], [`cost`].
@@ -44,6 +46,7 @@ pub mod network;
 pub mod pe;
 pub mod provisioner;
 pub mod rng;
+mod sharded;
 pub mod simulation;
 pub mod stats;
 pub mod time;
@@ -61,7 +64,7 @@ pub mod prelude {
     pub use crate::host::{Host, HostSpec};
     pub use crate::ids::{CloudletId, DatacenterId, HostId, VmId};
     pub use crate::network::Topology;
-    pub use crate::simulation::SimulationBuilder;
+    pub use crate::simulation::{EngineKind, SimulationBuilder};
     pub use crate::stats::{CloudletRecord, SimulationOutcome};
     pub use crate::time::SimTime;
     pub use crate::vm::{Vm, VmSpec, VmStatus};

@@ -1,0 +1,302 @@
+//! The sharded simulation engine.
+//!
+//! For the paper's dominant scenario shape — a pre-computed cloudlet→VM
+//! assignment with no workflow dependencies, no host failures and no
+//! resubmission — every VM's execution timeline is independent of every
+//! other VM's once placement has happened: cloudlets never move between
+//! VMs, and the broker only counts returns. This module exploits that by
+//! replaying the event kernel's per-VM message sequence directly, with the
+//! VM fleet partitioned into contiguous shards that run on rayon workers.
+//!
+//! The replay is *trace-equivalent* to the sequential kernel: it drives
+//! the same [`crate::cloudlet_sched`] state machines with the same
+//! submission batches at the same timestamps, and reproduces the event
+//! queue's per-VM tick coalescing rules (see [`crate::event::EventQueue`])
+//! with a one-slot `armed` deadline. The resulting `CloudletRecord`s are
+//! bit-identical to a sequential run, independent of the shard count —
+//! the engine-equivalence test suite enforces this across seeds, scheduler
+//! flavours and thread counts.
+//!
+//! Scenarios outside the eligible shape (workflows, failure injection,
+//! resubmission) transparently fall back to the sequential kernel in
+//! [`crate::simulation::SimulationBuilder::run`].
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+use crate::characteristics::CostModel;
+use crate::cloudlet::{Cloudlet, CloudletStatus};
+use crate::cloudlet_sched::{RunningCloudlet, SchedulerKind};
+use crate::cost::cloudlet_cost;
+use crate::datacenter::DatacenterBlueprint;
+use crate::host::Host;
+use crate::ids::{CloudletId, DatacenterId, HostId, VmId};
+use crate::kernel::{RunStats, World};
+use crate::network::{transfer_time, Topology};
+use crate::time::SimTime;
+use crate::vm::Vm;
+
+/// Per-datacenter data the per-VM replay needs after placement.
+struct DcInfo {
+    scheduler: SchedulerKind,
+    cost: CostModel,
+}
+
+/// Finished-cloudlet result produced by a shard.
+struct Update {
+    id: CloudletId,
+    start: SimTime,
+    finish: SimTime,
+    cost: f64,
+}
+
+/// Everything a shard reports back for the deterministic merge.
+struct ShardOut {
+    updates: Vec<Update>,
+    /// Latest event the shard's VMs would have put on the kernel clock
+    /// (tick fires and completion returns, including output transfer).
+    last_event: SimTime,
+    /// `VmTick` events the sequential kernel would have delivered.
+    ticks: u64,
+}
+
+/// Runs an eligible scenario on the sharded engine.
+///
+/// The caller ([`crate::simulation::SimulationBuilder::run`]) has already
+/// validated the scenario and checked eligibility: no dependencies, no
+/// host failures, no resubmission.
+pub(crate) fn run(
+    world: &mut World,
+    blueprints: Vec<DatacenterBlueprint>,
+    vm_placement: &[DatacenterId],
+    assignment: &[VmId],
+    arrivals: Option<&[SimTime]>,
+    topology: &Topology,
+) -> RunStats {
+    let dc_count = blueprints.len();
+
+    // ---- Phase 1: VM placement, exactly as the kernel would order it.
+    //
+    // The kernel delivers `VmCreate`s ordered by (arrival time, push
+    // sequence). All of a datacenter's creates share one latency and were
+    // pushed in VM-index order, so each datacenter sees its VMs in index
+    // order — which a single index-order loop over disjoint per-DC state
+    // reproduces.
+    let mut dc_infos = Vec::with_capacity(dc_count);
+    let mut dc_states = Vec::with_capacity(dc_count);
+    for blueprint in blueprints {
+        assert!(!blueprint.hosts.is_empty(), "datacenter needs hosts");
+        let hosts: Vec<Host> = blueprint
+            .hosts
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| Host::new(HostId::from_index(i), spec))
+            .collect();
+        dc_states.push((hosts, blueprint.allocation));
+        dc_infos.push(DcInfo {
+            scheduler: blueprint.scheduler,
+            cost: blueprint.characteristics.cost,
+        });
+    }
+    // The broker submits cloudlets when the last ack lands: each ack
+    // arrives at its datacenter's latency, so readiness is the max.
+    let mut t_ready = SimTime::ZERO;
+    for (idx, dc) in vm_placement.iter().enumerate() {
+        let vm_id = VmId::from_index(idx);
+        world.vm_mut(vm_id).status = crate::vm::VmStatus::Requested;
+        t_ready = t_ready.max(topology.latency_to(*dc));
+        let spec = world.vm(vm_id).spec.clone();
+        let (hosts, allocation) = &mut dc_states[dc.index()];
+        let placed = allocation.select_host(hosts, &spec).and_then(|host_id| {
+            let host = &mut hosts[host_id.index()];
+            host.allocate_vm(vm_id, &spec).then_some(host_id)
+        });
+        match placed {
+            Some(host_id) => world.vm_mut(vm_id).place(*dc, host_id),
+            None => world.vm_mut(vm_id).reject(),
+        }
+    }
+    drop(dc_states);
+
+    // ---- Phase 2: submission grouping, mirroring the broker's batch
+    // path bit for bit (same delay arithmetic, same group keys, same
+    // first-occurrence order).
+    let mut groups: Vec<(VmId, SimTime, Vec<CloudletId>)> = Vec::new();
+    let mut group_of: HashMap<(u32, u64), usize> = HashMap::new();
+    for idx in 0..assignment.len() {
+        let cloudlet = CloudletId::from_index(idx);
+        let vm_id = assignment[idx];
+        let vm = world.vm(vm_id);
+        if !vm.is_active() {
+            world.cloudlet_mut(cloudlet).status = CloudletStatus::Failed;
+            continue;
+        }
+        let dc = vm.datacenter.expect("active VM has a datacenter");
+        let latency = topology.latency_to(dc);
+        let spec = &world.cloudlets[idx].spec;
+        let in_delay = transfer_time(spec.file_size_mb, vm.spec.bw_mbps);
+        let wait = arrivals
+            .map(|a| a[idx].saturating_sub(t_ready))
+            .unwrap_or(SimTime::ZERO);
+        let delay = wait + latency + in_delay;
+        {
+            let cl = world.cloudlet_mut(cloudlet);
+            cl.submit_time = Some(t_ready + wait);
+            cl.vm = Some(vm_id);
+        }
+        let slot = *group_of
+            .entry((vm_id.0, delay.as_millis().to_bits()))
+            .or_insert_with(|| {
+                groups.push((vm_id, t_ready + delay, Vec::new()));
+                groups.len() - 1
+            });
+        groups[slot].2.push(cloudlet);
+    }
+    let group_count = groups.len() as u64;
+
+    // ---- Phase 3: per-VM replay across shards.
+    let vm_count = world.vms.len();
+    let mut per_vm: Vec<Vec<(SimTime, Vec<CloudletId>)>> = vec![Vec::new(); vm_count];
+    for (vm_id, delivery, cls) in groups {
+        per_vm[vm_id.index()].push((delivery, cls));
+    }
+    for subs in &mut per_vm {
+        // Stable by delivery time: equal-time groups (distinct delays that
+        // round to one instant) keep the broker's first-occurrence order.
+        subs.sort_by_key(|g| g.0);
+    }
+
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = vm_count.div_ceil(threads).max(1);
+    let ranges: Vec<(usize, usize)> = (0..vm_count)
+        .step_by(chunk)
+        .map(|lo| (lo, (lo + chunk).min(vm_count)))
+        .collect();
+    let vms = &world.vms;
+    let cloudlets = &world.cloudlets;
+    let per_vm_ref = &per_vm;
+    let dc_infos_ref = &dc_infos;
+    let shard_results: Vec<ShardOut> = ranges
+        .into_par_iter()
+        .map(|(lo, hi)| {
+            let mut out = ShardOut {
+                updates: Vec::new(),
+                last_event: SimTime::ZERO,
+                ticks: 0,
+            };
+            for vi in lo..hi {
+                replay_vm(&vms[vi], &per_vm_ref[vi], cloudlets, dc_infos_ref, &mut out);
+            }
+            out
+        })
+        .collect();
+
+    // ---- Deterministic merge. Shard results cover disjoint cloudlets
+    // (each belongs to exactly one VM), so merge order cannot matter; we
+    // still apply them in shard order.
+    let start_events = dc_count as u64 + 1; // every entity gets a Start
+    let mut events = start_events + 2 * vm_count as u64 + group_count;
+    let mut end_time = t_ready;
+    for shard in shard_results {
+        end_time = end_time.max(shard.last_event);
+        events += shard.ticks + shard.updates.len() as u64;
+        for u in shard.updates {
+            let cl = world.cloudlet_mut(u.id);
+            cl.status = CloudletStatus::Finished;
+            cl.start_time = Some(u.start);
+            cl.finish_time = Some(u.finish);
+            cl.cost = u.cost;
+        }
+    }
+    RunStats {
+        end_time,
+        events_processed: events,
+        drained: true,
+    }
+}
+
+/// Replays one VM's event sequence: submission batches interleaved with
+/// the coalesced tick timer, exactly as the sequential kernel delivers
+/// them.
+fn replay_vm(
+    vm: &Vm,
+    subs: &[(SimTime, Vec<CloudletId>)],
+    cloudlets: &[Cloudlet],
+    dc_infos: &[DcInfo],
+    out: &mut ShardOut,
+) {
+    if subs.is_empty() {
+        return;
+    }
+    let dc = vm.datacenter.expect("VM with submissions is placed");
+    let info = &dc_infos[dc.index()];
+    let mut sched = info.scheduler.build(vm.spec.mips, vm.spec.pes);
+    // The one-slot armed deadline reproduces the event queue's per-VM
+    // coalescing: at most one live tick, superseded only by an earlier
+    // one (see `EventQueue::push_vm_tick`).
+    let mut armed: Option<SimTime> = None;
+    let mut gi = 0usize;
+    let mut starts: HashMap<CloudletId, SimTime> = HashMap::new();
+    loop {
+        // Next event is the earlier of the next submission batch and the
+        // armed tick. On a tie the submission wins: submission events were
+        // pushed when the fleet came up, before any tick could be armed,
+        // so they carry lower sequence numbers.
+        let next_sub = subs.get(gi).map(|g| g.0);
+        let (now, is_sub) = match (next_sub, armed) {
+            (Some(s), Some(a)) => {
+                if s <= a {
+                    (s, true)
+                } else {
+                    (a, false)
+                }
+            }
+            (Some(s), None) => (s, true),
+            (None, Some(a)) => (a, false),
+            (None, None) => break,
+        };
+        out.last_event = out.last_event.max(now);
+        let tick = if is_sub {
+            let batch: Vec<RunningCloudlet> = subs[gi]
+                .1
+                .iter()
+                .map(|&c| {
+                    let cl = &cloudlets[c.index()];
+                    RunningCloudlet::new(c, cl.spec.length_mi, cl.spec.pes)
+                })
+                .collect();
+            gi += 1;
+            sched.submit_many(now, batch)
+        } else {
+            armed = None;
+            out.ticks += 1;
+            sched.advance(now)
+        };
+        for c in &tick.started {
+            starts.insert(*c, now);
+        }
+        for &c in &tick.finished {
+            let start = starts[&c];
+            // Mirrors `Datacenter::apply_tick`: cost from the execution
+            // span, completion notified after the output transfer.
+            let cpu_seconds = now.saturating_sub(start).as_secs();
+            let spec = &cloudlets[c.index()].spec;
+            let cost = cloudlet_cost(&info.cost, &vm.spec, spec, cpu_seconds);
+            let out_delay = transfer_time(spec.output_size_mb, vm.spec.bw_mbps);
+            out.last_event = out.last_event.max(now + out_delay);
+            out.updates.push(Update {
+                id: c,
+                start,
+                finish: now,
+                cost,
+            });
+        }
+        if let Some(p) = tick.next_completion {
+            let t = p.max(now);
+            if armed.is_none_or(|a| t < a || a < now) {
+                armed = Some(t);
+            }
+        }
+    }
+}

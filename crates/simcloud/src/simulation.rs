@@ -38,6 +38,30 @@ use crate::network::Topology;
 use crate::stats::{CloudletRecord, SimulationOutcome};
 use crate::vm::VmSpec;
 
+/// Which execution engine runs the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The reference discrete-event kernel: one global event queue.
+    #[default]
+    Sequential,
+    /// The sharded engine: per-VM timelines replayed across rayon
+    /// workers, trace-equivalent to the sequential kernel. Scenarios it
+    /// cannot express (workflow dependencies, host failures,
+    /// resubmission) transparently fall back to [`Self::Sequential`];
+    /// [`SimulationOutcome::engine`] reports what actually ran.
+    Sharded,
+}
+
+impl EngineKind {
+    /// Engine name for reports and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Sequential => "sequential",
+            EngineKind::Sharded => "sharded",
+        }
+    }
+}
+
 /// Builder for a full simulation run.
 pub struct SimulationBuilder {
     datacenters: Vec<DatacenterBlueprint>,
@@ -50,6 +74,7 @@ pub struct SimulationBuilder {
     topology: Option<Topology>,
     max_events: Option<u64>,
     max_retries: u8,
+    engine: EngineKind,
 }
 
 impl Default for SimulationBuilder {
@@ -72,7 +97,14 @@ impl SimulationBuilder {
             topology: None,
             max_events: None,
             max_retries: 0,
+            engine: EngineKind::Sequential,
         }
+    }
+
+    /// Selects the execution engine. Defaults to the sequential kernel.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Adds a datacenter.
@@ -205,6 +237,26 @@ impl SimulationBuilder {
 
         let topology = self.topology.unwrap_or_else(|| Topology::flat(dc_count));
 
+        // The sharded engine handles the paper's dominant shape — an
+        // independent-cloudlet batch (arrivals allowed) with no failure
+        // injection and no resubmission. Anything else needs the global
+        // event queue; fall back transparently and report what ran.
+        let sharded_eligible = self.dependencies.is_none()
+            && self.max_retries == 0
+            && self.datacenters.iter().all(|d| d.failures.is_empty());
+        if self.engine == EngineKind::Sharded && sharded_eligible {
+            let mut world = World::new(self.vms, self.cloudlets);
+            let stats = crate::sharded::run(
+                &mut world,
+                self.datacenters,
+                &vm_placement,
+                &self.assignment,
+                self.arrivals.as_deref(),
+                &topology,
+            );
+            return Ok(outcome_from_world(&world, stats, EngineKind::Sharded));
+        }
+
         let mut kernel = Kernel::new();
         if let Some(max) = self.max_events {
             kernel = kernel.with_max_events(max);
@@ -246,31 +298,41 @@ impl SimulationBuilder {
             });
         }
 
-        // Recover broker counters. The kernel owns the entities; rather
-        // than downcasting we recompute the counters from the world, which
-        // is equivalent and keeps the kernel API minimal.
-        let vms_created = world.vms.iter().filter(|v| v.is_active()).count();
-        let vms_rejected = world
-            .vms
-            .iter()
-            .filter(|v| v.status == crate::vm::VmStatus::Rejected)
-            .count();
-        let cloudlets_failed = world
-            .cloudlets
-            .iter()
-            .filter(|c| c.status == crate::cloudlet::CloudletStatus::Failed)
-            .count();
+        Ok(outcome_from_world(&world, stats, EngineKind::Sequential))
+    }
+}
 
-        let records: Vec<CloudletRecord> =
-            world.cloudlets.iter().map(CloudletRecord::from).collect();
-        Ok(SimulationOutcome {
-            records,
-            end_time: stats.end_time,
-            events_processed: stats.events_processed,
-            vms_created,
-            vms_rejected,
-            cloudlets_failed,
-        })
+/// Collects run-level counters and per-cloudlet records from the world.
+///
+/// The kernel owns the entities; rather than downcasting the broker we
+/// recompute the counters from the world, which is equivalent and keeps
+/// the kernel API minimal. The sharded engine shares this path, which
+/// guarantees both engines derive their outcome identically.
+fn outcome_from_world(
+    world: &World,
+    stats: crate::kernel::RunStats,
+    engine: EngineKind,
+) -> SimulationOutcome {
+    let vms_created = world.vms.iter().filter(|v| v.is_active()).count();
+    let vms_rejected = world
+        .vms
+        .iter()
+        .filter(|v| v.status == crate::vm::VmStatus::Rejected)
+        .count();
+    let cloudlets_failed = world
+        .cloudlets
+        .iter()
+        .filter(|c| c.status == crate::cloudlet::CloudletStatus::Failed)
+        .count();
+    let records: Vec<CloudletRecord> = world.cloudlets.iter().map(CloudletRecord::from).collect();
+    SimulationOutcome {
+        records,
+        end_time: stats.end_time,
+        events_processed: stats.events_processed,
+        vms_created,
+        vms_rejected,
+        cloudlets_failed,
+        engine,
     }
 }
 

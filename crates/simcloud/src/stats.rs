@@ -64,6 +64,9 @@ pub struct SimulationOutcome {
     pub vms_rejected: usize,
     /// Cloudlets that never ran.
     pub cloudlets_failed: usize,
+    /// Which engine actually executed the run (a sharded request may fall
+    /// back to sequential for ineligible scenarios).
+    pub engine: crate::simulation::EngineKind,
 }
 
 impl SimulationOutcome {
@@ -237,6 +240,7 @@ mod tests {
             vms_created: 2,
             vms_rejected: 0,
             cloudlets_failed: 0,
+            engine: crate::simulation::EngineKind::Sequential,
         }
     }
 

@@ -21,13 +21,56 @@ pub trait VmAllocationPolicy: Send {
     fn name(&self) -> &'static str;
 }
 
+/// Fingerprint of the fit-relevant VmSpec fields, so scans for identical
+/// requirements can share a resume cursor.
+type SpecKey = (u32, u64, u64, u64, u64);
+
+fn spec_key(vm: &VmSpec) -> SpecKey {
+    (
+        vm.pes,
+        vm.mips.to_bits(),
+        vm.ram_mb.to_bits(),
+        vm.bw_mbps.to_bits(),
+        vm.size_mb.to_bits(),
+    )
+}
+
 /// First host that fits, scanning in id order.
+///
+/// Keeps a per-spec resume cursor: host capacity in this simulator only
+/// shrinks (VMs are never released back mid-run, and failed hosts never
+/// recover), so a host that could not fit a given spec once can never fit
+/// it later. Each scan resumes where the previous scan for the same spec
+/// stopped, making a placement phase O(hosts + VMs) instead of
+/// O(hosts × VMs) while returning exactly the hosts a full rescan would.
 #[derive(Debug, Default, Clone)]
-pub struct FirstFit;
+pub struct FirstFit {
+    /// (spec fingerprint, first host index not yet ruled out).
+    cursors: Vec<(SpecKey, usize)>,
+}
 
 impl VmAllocationPolicy for FirstFit {
     fn select_host(&mut self, hosts: &[Host], vm: &VmSpec) -> Option<HostId> {
-        hosts.iter().find(|h| h.is_suitable_for(vm)).map(|h| h.id)
+        let key = spec_key(vm);
+        let slot = match self.cursors.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                self.cursors.push((key, 0));
+                self.cursors.len() - 1
+            }
+        };
+        let start = self.cursors[slot].1.min(hosts.len());
+        match hosts[start..].iter().position(|h| h.is_suitable_for(vm)) {
+            Some(offset) => {
+                let idx = start + offset;
+                self.cursors[slot].1 = idx;
+                Some(hosts[idx].id)
+            }
+            None => {
+                self.cursors[slot].1 = hosts.len();
+                None
+            }
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -146,7 +189,7 @@ mod tests {
     #[test]
     fn first_fit_prefers_low_ids() {
         let hs = hosts(3);
-        let mut p = FirstFit;
+        let mut p = FirstFit::default();
         assert_eq!(p.select_host(&hs, &small_vm()), Some(HostId(0)));
         assert_eq!(p.name(), "first-fit");
     }
@@ -157,7 +200,7 @@ mod tests {
         // Fill host 0 completely.
         let big = VmSpec::new(1_000.0, 10_000.0, 1_024.0, 1_000.0, 2);
         assert!(hs[0].allocate_vm(crate::ids::VmId(99), &big));
-        let mut p = FirstFit;
+        let mut p = FirstFit::default();
         assert_eq!(p.select_host(&hs, &small_vm()), Some(HostId(1)));
     }
 
@@ -221,7 +264,7 @@ mod tests {
     fn all_policies_return_none_when_nothing_fits() {
         let hs = hosts(2);
         let huge = VmSpec::new(1_000.0, 99_999.0, 9_999.0, 9_999.0, 4);
-        assert_eq!(FirstFit.select_host(&hs, &huge), None);
+        assert_eq!(FirstFit::default().select_host(&hs, &huge), None);
         assert_eq!(BestFit.select_host(&hs, &huge), None);
         assert_eq!(LeastLoaded.select_host(&hs, &huge), None);
         assert_eq!(Consolidate.select_host(&hs, &huge), None);

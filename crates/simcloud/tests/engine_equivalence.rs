@@ -1,0 +1,254 @@
+//! Sequential ↔ sharded engine equivalence.
+//!
+//! The sharded engine's contract is *trace equivalence*: for every
+//! eligible scenario it must produce `CloudletRecord`s that are
+//! bit-identical (f64 payloads compared by `to_bits`) to the sequential
+//! kernel's, along with the same end time and event count — across seeds,
+//! both scheduler flavours, homogeneous and heterogeneous fleets, and any
+//! rayon thread count. Ineligible scenarios must fall back to the
+//! sequential kernel and say so.
+
+use rand::Rng;
+use simcloud::datacenter::DatacenterBlueprint;
+use simcloud::prelude::*;
+
+/// Scenario shapes exercised by the equivalence sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Shape {
+    /// One datacenter, identical VMs, batch submission at t=0.
+    Homogeneous,
+    /// Two datacenters with distinct latencies and prices, mixed VM
+    /// sizes, staggered arrivals.
+    Heterogeneous,
+}
+
+struct Scenario {
+    seed: u64,
+    scheduler: SchedulerKind,
+    shape: Shape,
+}
+
+impl Scenario {
+    /// Builds the scenario from scratch (blueprints hold a boxed policy
+    /// and cannot be cloned) and runs it on `engine`.
+    fn run_on(&self, engine: EngineKind) -> SimulationOutcome {
+        let mut rng = simcloud::rng::stream(self.seed, "engine-equivalence");
+        let (vm_count, cloudlet_count) = (12, 160);
+        let vms: Vec<VmSpec> = (0..vm_count)
+            .map(|_| match self.shape {
+                Shape::Homogeneous => VmSpec::new(1_000.0, 10_000.0, 512.0, 1_000.0, 2),
+                Shape::Heterogeneous => VmSpec::new(
+                    rng.gen_range(500.0..2_500.0),
+                    10_000.0,
+                    512.0,
+                    rng.gen_range(100.0..1_000.0),
+                    rng.gen_range(1..=4),
+                ),
+            })
+            .collect();
+        let cloudlets: Vec<CloudletSpec> = (0..cloudlet_count)
+            .map(|_| {
+                let len = rng.gen_range(1_000.0..40_000.0);
+                match self.shape {
+                    Shape::Homogeneous => CloudletSpec::new(len, 0.0, 0.0, 1),
+                    Shape::Heterogeneous => CloudletSpec::new(
+                        len,
+                        rng.gen_range(0.0..300.0),
+                        rng.gen_range(0.0..300.0),
+                        rng.gen_range(1..=3),
+                    ),
+                }
+            })
+            .collect();
+        let assignment: Vec<VmId> = (0..cloudlet_count)
+            .map(|_| VmId::from_index(rng.gen_range(0..vm_count)))
+            .collect();
+        let envelope = VmSpec {
+            mips: vms.iter().map(|v| v.mips).fold(0.0, f64::max),
+            size_mb: 10_000.0,
+            ram_mb: 512.0,
+            bw_mbps: 1_000.0,
+            pes: vms.iter().map(|v| v.pes).max().unwrap(),
+        };
+        let blueprint = |cost: CostModel| {
+            let mut b = DatacenterBlueprint::sized_for(
+                &envelope,
+                vm_count,
+                2,
+                DatacenterCharacteristics {
+                    cost,
+                    ..DatacenterCharacteristics::default()
+                },
+            );
+            b.scheduler = self.scheduler;
+            b
+        };
+        let mut builder = SimulationBuilder::new()
+            .engine(engine)
+            .vms(vms)
+            .cloudlets(cloudlets)
+            .assignment(assignment);
+        builder = match self.shape {
+            Shape::Homogeneous => builder.datacenter(blueprint(CostModel::free())),
+            Shape::Heterogeneous => {
+                let arrivals: Vec<SimTime> = (0..cloudlet_count)
+                    .map(|_| SimTime::new(rng.gen_range(0.0..200.0)))
+                    .collect();
+                let placement: Vec<DatacenterId> = (0..vm_count)
+                    .map(|i| DatacenterId::from_index(i % 2))
+                    .collect();
+                builder
+                    .datacenter(blueprint(CostModel::table_vii_midpoint()))
+                    .datacenter(blueprint(CostModel::new(0.05, 0.001, 0.02, 5.0)))
+                    .vm_placement(placement)
+                    .topology(Topology::with_latencies(vec![1.5, 40.0]))
+                    .arrivals(arrivals)
+            }
+        };
+        builder.run().expect("scenario is feasible by construction")
+    }
+}
+
+fn bits(t: Option<SimTime>) -> Option<u64> {
+    t.map(|t| t.as_millis().to_bits())
+}
+
+/// Asserts two outcomes are byte-identical (modulo the `engine` tag).
+fn assert_identical(a: &SimulationOutcome, b: &SimulationOutcome, label: &str) {
+    assert_eq!(a.records.len(), b.records.len(), "{label}: record count");
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        let id = ra.id;
+        assert_eq!(ra.id, rb.id, "{label}: id order");
+        assert_eq!(ra.vm, rb.vm, "{label}: vm of {id:?}");
+        assert_eq!(ra.status, rb.status, "{label}: status of {id:?}");
+        assert_eq!(
+            bits(ra.submit),
+            bits(rb.submit),
+            "{label}: submit of {id:?}"
+        );
+        assert_eq!(bits(ra.start), bits(rb.start), "{label}: start of {id:?}");
+        assert_eq!(
+            bits(ra.finish),
+            bits(rb.finish),
+            "{label}: finish of {id:?}"
+        );
+        assert_eq!(
+            ra.execution_ms.map(f64::to_bits),
+            rb.execution_ms.map(f64::to_bits),
+            "{label}: execution of {id:?}"
+        );
+        assert_eq!(
+            ra.cost.to_bits(),
+            rb.cost.to_bits(),
+            "{label}: cost of {id:?} ({} vs {})",
+            ra.cost,
+            rb.cost
+        );
+        assert_eq!(ra.met_deadline, rb.met_deadline, "{label}: sla of {id:?}");
+    }
+    assert_eq!(
+        a.end_time.as_millis().to_bits(),
+        b.end_time.as_millis().to_bits(),
+        "{label}: end_time ({} vs {})",
+        a.end_time.as_millis(),
+        b.end_time.as_millis()
+    );
+    assert_eq!(
+        a.events_processed, b.events_processed,
+        "{label}: events_processed"
+    );
+    assert_eq!(a.vms_created, b.vms_created, "{label}: vms_created");
+    assert_eq!(a.vms_rejected, b.vms_rejected, "{label}: vms_rejected");
+    assert_eq!(
+        a.cloudlets_failed, b.cloudlets_failed,
+        "{label}: cloudlets_failed"
+    );
+}
+
+#[test]
+fn sharded_matches_sequential_across_seeds_schedulers_and_shapes() {
+    for seed in [1u64, 7, 42] {
+        for scheduler in [SchedulerKind::SpaceShared, SchedulerKind::TimeShared] {
+            for shape in [Shape::Homogeneous, Shape::Heterogeneous] {
+                let sc = Scenario {
+                    seed,
+                    scheduler,
+                    shape,
+                };
+                let seq = sc.run_on(EngineKind::Sequential);
+                let shd = sc.run_on(EngineKind::Sharded);
+                assert_eq!(seq.engine, EngineKind::Sequential);
+                assert_eq!(
+                    shd.engine,
+                    EngineKind::Sharded,
+                    "eligible scenario must not fall back"
+                );
+                assert!(seq.finished_count() > 0, "scenario must do work");
+                let label = format!("seed {seed} / {scheduler:?} / {shape:?}");
+                assert_identical(&seq, &shd, &label);
+            }
+        }
+    }
+}
+
+/// Shard boundaries move with the worker count; results must not.
+#[test]
+fn sharded_results_are_thread_count_independent() {
+    let sc = Scenario {
+        seed: 99,
+        scheduler: SchedulerKind::SpaceShared,
+        shape: Shape::Heterogeneous,
+    };
+    let reference = sc.run_on(EngineKind::Sequential);
+    for threads in [1usize, 2, 4, 8] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("vendored rayon accepts repeated global builds");
+        let shd = sc.run_on(EngineKind::Sharded);
+        assert_eq!(shd.engine, EngineKind::Sharded);
+        assert_identical(&reference, &shd, &format!("{threads} threads"));
+    }
+}
+
+#[test]
+fn ineligible_scenarios_fall_back_to_sequential() {
+    let vm = VmSpec::new(1_000.0, 10_000.0, 512.0, 1_000.0, 2);
+    let mk = || {
+        let mut b = DatacenterBlueprint::sized_for(&vm, 2, 1, DatacenterCharacteristics::default());
+        b.scheduler = SchedulerKind::SpaceShared;
+        b
+    };
+    let base = |b: DatacenterBlueprint| {
+        SimulationBuilder::new()
+            .engine(EngineKind::Sharded)
+            .datacenter(b)
+            .vms(vec![vm.clone(), vm.clone()])
+            .cloudlets(vec![
+                CloudletSpec::new(5_000.0, 0.0, 0.0, 1),
+                CloudletSpec::new(5_000.0, 0.0, 0.0, 1),
+            ])
+            .assignment(vec![VmId(0), VmId(1)])
+    };
+
+    // Workflow dependencies force the sequential kernel.
+    let with_deps = base(mk())
+        .dependencies(vec![vec![], vec![CloudletId(0)]])
+        .run()
+        .unwrap();
+    assert_eq!(with_deps.engine, EngineKind::Sequential);
+
+    // So does resubmission...
+    let with_retries = base(mk()).resubmit_failures(2).run().unwrap();
+    assert_eq!(with_retries.engine, EngineKind::Sequential);
+
+    // ...and failure injection.
+    let with_failures = base(mk().with_failure(HostId(0), SimTime::new(1.0e9)))
+        .run()
+        .unwrap();
+    assert_eq!(with_failures.engine, EngineKind::Sequential);
+
+    // The fallback still completes the work.
+    assert_eq!(with_retries.finished_count(), 2);
+    assert_eq!(with_failures.finished_count(), 2);
+}

@@ -100,14 +100,27 @@ impl Scenario {
         vec![host; count]
     }
 
-    /// Runs `assignment` through the discrete-event simulator.
+    /// Runs `assignment` through the discrete-event simulator on the
+    /// default (sequential) engine.
     pub fn simulate(&self, assignment: Assignment) -> Result<SimulationOutcome, SimError> {
-        let mut builder = SimulationBuilder::new();
+        self.simulate_on(assignment, simcloud::simulation::EngineKind::Sequential)
+    }
+
+    /// Runs `assignment` on a chosen simulation engine. A sharded request
+    /// falls back to sequential when the scenario is ineligible (workflow
+    /// dependencies, host failures, resubmission); `outcome.engine` says
+    /// which kernel actually ran.
+    pub fn simulate_on(
+        &self,
+        assignment: Assignment,
+        engine: simcloud::simulation::EngineKind,
+    ) -> Result<SimulationOutcome, SimError> {
+        let mut builder = SimulationBuilder::new().engine(engine);
         for (i, dc) in self.datacenters.iter().enumerate() {
             builder = builder.datacenter(DatacenterBlueprint {
                 hosts: self.hosts_for(i),
                 characteristics: DatacenterCharacteristics::with_cost(dc.cost),
-                allocation: Box::new(simcloud::vm_alloc::FirstFit),
+                allocation: Box::new(simcloud::vm_alloc::FirstFit::default()),
                 scheduler: self.vm_scheduler,
                 failures: self
                     .host_failures

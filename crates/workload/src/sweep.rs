@@ -10,6 +10,7 @@ use std::time::Instant;
 
 use biosched_core::scheduler::AlgorithmKind;
 use rayon::prelude::*;
+use simcloud::simulation::EngineKind;
 
 use crate::scenario::Scenario;
 
@@ -41,6 +42,18 @@ pub struct PointResult {
 /// Panics if the simulation itself fails — scenario generators are
 /// responsible for producing feasible infrastructure.
 pub fn run_point(scenario: &Scenario, algorithm: AlgorithmKind, seed: u64) -> PointResult {
+    run_point_on(scenario, algorithm, seed, EngineKind::Sequential)
+}
+
+/// [`run_point`] on a chosen simulation engine. Metrics are identical
+/// across engines (the sharded kernel is trace-equivalent); only
+/// wall-clock differs.
+pub fn run_point_on(
+    scenario: &Scenario,
+    algorithm: AlgorithmKind,
+    seed: u64,
+    engine: EngineKind,
+) -> PointResult {
     let problem = scenario.problem();
     let mut scheduler = algorithm.build(seed);
 
@@ -52,7 +65,7 @@ pub fn run_point(scenario: &Scenario, algorithm: AlgorithmKind, seed: u64) -> Po
         .validate(&problem)
         .unwrap_or_else(|e| panic!("{algorithm} produced an invalid assignment: {e}"));
     let outcome = scenario
-        .simulate(assignment)
+        .simulate_on(assignment, engine)
         .unwrap_or_else(|e| panic!("simulation failed for {algorithm}: {e}"));
 
     PointResult {
@@ -82,13 +95,33 @@ pub fn sweep<F>(
 where
     F: Fn(usize) -> Scenario + Sync,
 {
+    sweep_on(
+        points,
+        algorithms,
+        seed,
+        EngineKind::Sequential,
+        make_scenario,
+    )
+}
+
+/// [`sweep`] with every point simulated on a chosen engine.
+pub fn sweep_on<F>(
+    points: &[usize],
+    algorithms: &[AlgorithmKind],
+    seed: u64,
+    engine: EngineKind,
+    make_scenario: F,
+) -> Vec<Vec<PointResult>>
+where
+    F: Fn(usize) -> Scenario + Sync,
+{
     points
         .par_iter()
         .map(|&x| {
             let scenario = make_scenario(x);
             algorithms
                 .iter()
-                .map(|&alg| run_point(&scenario, alg, seed))
+                .map(|&alg| run_point_on(&scenario, alg, seed, engine))
                 .collect()
         })
         .collect()
