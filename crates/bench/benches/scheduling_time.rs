@@ -4,7 +4,8 @@
 //! one homogeneous point and one heterogeneous point — so relative
 //! scheduler costs (Base ≪ RBS < HBO < ACO) can be verified precisely.
 
-use biosched_core::scheduler::AlgorithmKind;
+use biosched_core::aco::{reference, AcoParams, AntColony};
+use biosched_core::scheduler::{AlgorithmKind, Scheduler};
 use biosched_workload::heterogeneous::HeterogeneousScenario;
 use biosched_workload::homogeneous::HomogeneousScenario;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -80,10 +81,55 @@ fn bench_vm_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_colony_parallelism(c: &mut Criterion) {
+    // The hot-path overhaul's headline comparison at the issue's gate
+    // point (10k cloudlets / 1k VMs): the frozen pre-overhaul loop vs the
+    // optimized path with colonies kept sequential (1 rayon thread) vs
+    // fanned out (4 threads). Assignments are byte-identical across all
+    // three — only wall-clock differs.
+    let problem = HomogeneousScenario {
+        vm_count: 1_000,
+        cloudlet_count: 10_000,
+    }
+    .build()
+    .problem();
+    let set_threads = |n: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("vendored rayon accepts repeated build_global");
+    };
+
+    let mut group = c.benchmark_group("scheduling_time/colony_parallelism_1000vm_10000cl");
+    group.sample_size(10);
+    group.bench_function("reference", |b| {
+        set_threads(1);
+        b.iter(|| {
+            black_box(reference::schedule_reference(
+                &AcoParams::paper(),
+                42,
+                black_box(&problem),
+            ))
+        })
+    });
+    for threads in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("optimized", threads), |b| {
+            set_threads(threads);
+            b.iter(|| {
+                let mut scheduler = AntColony::new(AcoParams::paper(), 42);
+                black_box(scheduler.schedule(black_box(&problem)))
+            })
+        });
+    }
+    set_threads(0);
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_homogeneous,
     bench_heterogeneous,
-    bench_vm_scaling
+    bench_vm_scaling,
+    bench_colony_parallelism
 );
 criterion_main!(benches);

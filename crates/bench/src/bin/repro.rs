@@ -296,7 +296,7 @@ fn main() -> ExitCode {
         "fig6d" => heterogeneous(&fig6_all[3..4], &opts),
         "tables" => print_tables(&opts),
         "fig6-stats" => {
-            use biosched_bench::figures::heterogeneous_sweep_repeated;
+            use biosched_bench::figures::heterogeneous_sweep_repeated_on;
             let points = fig6_vm_points();
             let reps = 5usize;
             println!(
@@ -306,8 +306,13 @@ fn main() -> ExitCode {
                 reps,
                 opts.hetero_cloudlets
             );
-            let results =
-                heterogeneous_sweep_repeated(&points, opts.hetero_cloudlets, opts.seed, reps);
+            let results = heterogeneous_sweep_repeated_on(
+                &points,
+                opts.hetero_cloudlets,
+                opts.seed,
+                reps,
+                opts.engine,
+            );
             let mut t = Table::new(vec![
                 "VMs".to_string(),
                 "algorithm".to_string(),

@@ -1,0 +1,182 @@
+//! Scheduler throughput benchmark: emits `BENCH_schedulers.json`.
+//!
+//! Measures pure scheduling time (no simulation) for every paper
+//! algorithm at 1k/10k-cloudlet scales (the paper's 10:1 cloudlet:VM
+//! ratio) across a set of rayon thread counts, plus the frozen
+//! pre-overhaul ACO (`biosched_core::aco::reference`) as the honest
+//! baseline the hot-path speedup is measured against. While timing, it
+//! also asserts the optimized ACO's assignment is byte-identical to the
+//! reference at every thread count — a CI tripwire on top of the
+//! equivalence tests.
+//!
+//! Thread counts are switched in-process through rayon's global builder
+//! (the vendored shim lets the latest `build_global` win), so one run
+//! covers the whole matrix.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use biosched_core::aco::{reference, AcoParams};
+use biosched_core::problem::SchedulingProblem;
+use biosched_core::scheduler::AlgorithmKind;
+use biosched_workload::homogeneous::HomogeneousScenario;
+
+/// (label, divisor into the paper's 100k-VM / 1M-cloudlet point). "10k"
+/// (1 000 VMs / 10 000 cloudlets) is the issue's acceptance-gate point.
+const SCALES: &[(&str, usize)] = &[("1k", 1_000), ("10k", 100)];
+
+struct Point {
+    algorithm: String,
+    scale: String,
+    vms: usize,
+    cloudlets: usize,
+    threads: usize,
+    sched_ms: f64,
+}
+
+fn set_threads(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("thread pool");
+}
+
+/// Best-of-`reps` wall time of one scheduling run.
+fn time_best<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
+    (0..reps.max(1))
+        .map(|_| run())
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let mut out_path = String::from("BENCH_schedulers.json");
+    let mut thread_counts: Vec<usize> = vec![1, 4];
+    let mut scales: Vec<String> = SCALES.iter().map(|(l, _)| l.to_string()).collect();
+    let mut seed = 42u64;
+    let mut reps = 2usize;
+    while let Some(a) = iter.next() {
+        let mut val = || iter.next().expect("flag value").clone();
+        match a.as_str() {
+            "--out" => out_path = val(),
+            "--threads" => {
+                thread_counts = val()
+                    .split(',')
+                    .map(|t| t.parse().expect("numeric thread count"))
+                    .collect()
+            }
+            "--scales" => scales = val().split(',').map(str::to_string).collect(),
+            "--seed" => seed = val().parse().unwrap(),
+            "--reps" => reps = val().parse().unwrap(),
+            other => panic!(
+                "unknown flag {other} (try: --out F --threads 1,4 --scales 1k,10k --seed N --reps N)"
+            ),
+        }
+    }
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut summary: Vec<(String, usize, f64)> = Vec::new();
+
+    for (label, divisor) in SCALES {
+        if !scales.iter().any(|s| s == label) {
+            continue;
+        }
+        let shape = HomogeneousScenario::scaled(100_000, *divisor);
+        let problem: SchedulingProblem = shape.build().problem();
+        eprintln!(
+            "scale {label}: {} vms / {} cloudlets",
+            shape.vm_count, shape.cloudlet_count
+        );
+
+        for &threads in &thread_counts {
+            set_threads(threads);
+
+            // Frozen pre-overhaul ACO: the baseline, timed on the same
+            // pool so the comparison is at equal parallelism budget.
+            let mut ref_assignment = None;
+            let ref_ms = time_best(reps, || {
+                let t = Instant::now();
+                let a = reference::schedule_reference(&AcoParams::paper(), seed, &problem);
+                let ms = t.elapsed().as_secs_f64() * 1_000.0;
+                ref_assignment = Some(a);
+                ms
+            });
+            let ref_assignment = ref_assignment.expect("reference ran");
+            points.push(Point {
+                algorithm: "AntColony(ref)".into(),
+                scale: label.to_string(),
+                vms: shape.vm_count,
+                cloudlets: shape.cloudlet_count,
+                threads,
+                sched_ms: ref_ms,
+            });
+
+            let mut aco_ms = f64::NAN;
+            for kind in AlgorithmKind::PAPER_SET {
+                let ms = time_best(reps, || {
+                    let mut scheduler = kind.build(seed);
+                    let t = Instant::now();
+                    let a = scheduler.schedule(&problem);
+                    let ms = t.elapsed().as_secs_f64() * 1_000.0;
+                    if kind == AlgorithmKind::AntColony {
+                        assert_eq!(
+                            a, ref_assignment,
+                            "optimized ACO diverged from the reference \
+                             at {threads} threads, scale {label}"
+                        );
+                    }
+                    ms
+                });
+                if kind == AlgorithmKind::AntColony {
+                    aco_ms = ms;
+                }
+                points.push(Point {
+                    algorithm: kind.label().to_string(),
+                    scale: label.to_string(),
+                    vms: shape.vm_count,
+                    cloudlets: shape.cloudlet_count,
+                    threads,
+                    sched_ms: ms,
+                });
+            }
+            let speedup = ref_ms / aco_ms;
+            eprintln!(
+                "  {threads} threads: ACO {aco_ms:.1} ms vs reference {ref_ms:.1} ms \
+                 ({speedup:.1}x)"
+            );
+            summary.push((label.to_string(), threads, speedup));
+        }
+    }
+    set_threads(0);
+
+    let mut json = String::from("{\n  \"bench\": \"schedulers\",\n");
+    json.push_str(&format!(
+        "  \"machine_cores\": {},\n  \"seed\": {seed},\n  \"points\": [\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"algorithm\": \"{}\", \"scale\": \"{}\", \"vms\": {}, \"cloudlets\": {}, \"threads\": {}, \"sched_ms\": {:.3}}}{}\n",
+            p.algorithm,
+            p.scale,
+            p.vms,
+            p.cloudlets,
+            p.threads,
+            p.sched_ms,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"aco_speedup_vs_reference\": [\n");
+    for (i, (scale, threads, speedup)) in summary.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scale\": \"{scale}\", \"threads\": {threads}, \"speedup\": {speedup:.2}}}{}\n",
+            if i + 1 < summary.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(&out_path).expect("output file");
+    f.write_all(json.as_bytes()).expect("write json");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

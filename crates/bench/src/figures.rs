@@ -130,14 +130,26 @@ pub fn heterogeneous_sweep_repeated(
     base_seed: u64,
     reps: usize,
 ) -> Vec<Vec<biosched_workload::sweep::RepeatedPointResult>> {
-    use biosched_workload::sweep::run_point_repeated;
+    heterogeneous_sweep_repeated_on(points, cloudlets, base_seed, reps, EngineKind::Sequential)
+}
+
+/// [`heterogeneous_sweep_repeated`] with every repetition simulated on a
+/// chosen engine.
+pub fn heterogeneous_sweep_repeated_on(
+    points: &[usize],
+    cloudlets: usize,
+    base_seed: u64,
+    reps: usize,
+    engine: EngineKind,
+) -> Vec<Vec<biosched_workload::sweep::RepeatedPointResult>> {
+    use biosched_workload::sweep::run_point_repeated_on;
     points
         .iter()
         .map(|&vms| {
             AlgorithmKind::PAPER_SET
                 .iter()
                 .map(|&alg| {
-                    run_point_repeated(alg, base_seed, reps, |seed| {
+                    run_point_repeated_on(alg, base_seed, reps, engine, |seed| {
                         HeterogeneousScenario {
                             vm_count: vms,
                             cloudlet_count: cloudlets,

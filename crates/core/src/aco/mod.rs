@@ -16,6 +16,21 @@
 //! its (cloudlet, VM) pairs — the scheduling analog of the TSP tour length
 //! the original ACO minimizes (the paper's Eq. 8 rendering is garbled; the
 //! sum interpretation preserves "shorter tour = better schedule").
+//!
+//! # Hot path
+//!
+//! Colonies are mutually independent, so `run` pre-draws every ant seed in
+//! the exact order the old sequential loop consumed them (colony-major,
+//! then iteration, then ant) and fans whole colonies out through
+//! [`eval::par_map_if`] — assignments stay byte-identical per seed at any
+//! thread count. Inside a colony the Eq. 5 weight is read from two caches
+//! instead of calling `powf` per candidate: an η^β block precomputed per
+//! batch ([`EvalCache::eta_pow_block`]) and the τ^α snapshot the slot-major
+//! [`PheromoneMatrix`] refreshes once per iteration. Tabu and
+//! candidate-membership checks are generation-stamped array probes in
+//! per-colony scratch ([`TourScratch`]), so tour construction allocates
+//! nothing but the returned tour. The pre-overhaul loop survives verbatim
+//! in [`reference`] as the equivalence baseline.
 
 //!
 //! ```
@@ -36,11 +51,11 @@
 //! ```
 mod params;
 mod pheromone;
+pub mod reference;
 
 pub use params::AcoParams;
 pub use pheromone::PheromoneMatrix;
 
-use std::collections::HashSet;
 use std::ops::Range;
 
 use rand::rngs::StdRng;
@@ -89,162 +104,327 @@ impl AntColony {
         // fleet is a bare permutation with no room for preference.
         let fleet_cap = ((v as f64 * self.params.max_vm_fraction).ceil() as usize).max(1);
         let batch = self.params.batch_size.min(fleet_cap).max(1);
-        let mut map = Vec::with_capacity(c);
-        let mut trace = Vec::new();
+
+        let mut colonies: Vec<(usize, Range<usize>)> = Vec::with_capacity(c.div_ceil(batch));
         let mut start = 0;
         while start < c {
             let end = (start + batch).min(c);
-            let trace_slot = (traced && start == 0).then_some(&mut trace);
-            map.extend(self.run_colony(&cache, start..end, trace_slot));
+            colonies.push((colonies.len(), start..end));
             start = end;
+        }
+
+        // Pre-draw every ant seed in the order the sequential loop used to
+        // consume them (colony-major, then iteration, then ant): colonies
+        // can then run on any thread count with identical seed streams.
+        let per_colony = self.params.iterations * self.params.ants;
+        let seeds: Vec<u64> = (0..colonies.len() * per_colony)
+            .map(|_| self.rng.gen())
+            .collect();
+
+        // Fan whole colonies out when there are enough to fill the pool;
+        // otherwise keep ant-level parallelism inside each colony (nesting
+        // both would oversubscribe the scoped-thread fan-out).
+        let colonies_parallel = colonies.len() >= eval::MIN_PAR_ITEMS;
+        let params = &self.params;
+        let results = eval::par_map_if(colonies_parallel, &colonies, |(i, slots)| {
+            run_colony(
+                &cache,
+                params,
+                slots.clone(),
+                &seeds[i * per_colony..(i + 1) * per_colony],
+                traced && *i == 0,
+                !colonies_parallel,
+            )
+        });
+
+        let mut map = Vec::with_capacity(c);
+        let mut trace = Vec::new();
+        for (i, (tour, colony_trace)) in results.into_iter().enumerate() {
+            map.extend(tour);
+            if i == 0 {
+                trace = colony_trace;
+            }
         }
         (Assignment::new(map), trace)
     }
+}
 
-    /// Runs one colony over `slots` (global cloudlet indices) and returns
-    /// the best tour found.
-    fn run_colony(
-        &mut self,
-        cache: &EvalCache,
-        slots: Range<usize>,
-        mut trace: Option<&mut Vec<f64>>,
-    ) -> Vec<VmId> {
-        let mut pheromone = PheromoneMatrix::new(self.params.initial_pheromone);
-        let mut best: Option<(Vec<u32>, f64)> = None;
+/// Runs one colony over `slots` (global cloudlet indices). Returns the
+/// best tour found plus, when `traced`, the best length per iteration.
+fn run_colony(
+    cache: &EvalCache,
+    params: &AcoParams,
+    slots: Range<usize>,
+    seeds: &[u64],
+    traced: bool,
+    ants_parallel: bool,
+) -> (Vec<VmId>, Vec<f64>) {
+    let v = cache.vm_count();
+    let k = params.candidates.unwrap_or(v).min(v);
+    // η^β for the whole batch, shared by every ant and iteration; declined
+    // (→ inline fallback) when the block would out-cost the lookups.
+    let expected_lookups = params
+        .ants
+        .saturating_mul(params.iterations)
+        .saturating_mul(slots.len())
+        .saturating_mul(k);
+    let eta_pow = cache.eta_pow_block(slots.clone(), params.beta, expected_lookups);
+    // Fused Eq. 5 weight table (slot-major, τ^α·η^β per edge), refreshed
+    // from the pheromone snapshot each iteration. Same size as the η^β
+    // block, so it exists exactly when that block does.
+    let mut weight_block: Option<Vec<f64>> = eta_pow.as_ref().map(|block| vec![0.0; block.len()]);
 
-        for _ in 0..self.params.iterations {
-            let seeds: Vec<u64> = (0..self.params.ants).map(|_| self.rng.gen()).collect();
-            let tours = construct_tours(cache, &slots, &pheromone, &self.params, &seeds);
+    let mut pheromone = PheromoneMatrix::new(params.initial_pheromone);
+    let mut best: Option<(Vec<u32>, f64)> = None;
+    let mut trace = Vec::new();
+    let mut scratch = TourScratch::new(v);
+    // Mirrors the pre-overhaul per-iteration gate (cheap batches do not
+    // amortize a fork), further gated off when colonies already fan out.
+    let ants_parallel = ants_parallel && slots.len() >= 32;
 
-            // Local update (Eqs. 9–10): evaporate once, then every ant
-            // deposits Q/L_k along its tour.
-            pheromone.evaporate(self.params.rho);
-            for (tour, len) in &tours {
-                let dq = self.params.q / len.max(f64::MIN_POSITIVE);
-                for (i, vm) in tour.iter().enumerate() {
-                    pheromone.deposit(i as u32, *vm, dq);
-                }
+    for iter in 0..params.iterations {
+        let iter_seeds = &seeds[iter * params.ants..(iter + 1) * params.ants];
+        pheromone.prepare_pow(params.alpha);
+        if let (Some(weights), Some(eta)) = (weight_block.as_mut(), eta_pow.as_deref()) {
+            for s in 0..slots.len() {
+                pheromone.fill_weight_row(
+                    s,
+                    &eta[s * v..(s + 1) * v],
+                    &mut weights[s * v..(s + 1) * v],
+                );
             }
+        }
+        let weights_ref = weight_block.as_deref();
+        let tours: Vec<(Vec<u32>, f64)> = if ants_parallel {
+            eval::par_map(iter_seeds, |&seed| {
+                let mut ant_scratch = TourScratch::new(v);
+                construct_tour(
+                    cache,
+                    slots.clone(),
+                    &pheromone,
+                    params,
+                    seed,
+                    weights_ref,
+                    &mut ant_scratch,
+                )
+            })
+        } else {
+            iter_seeds
+                .iter()
+                .map(|&seed| {
+                    construct_tour(
+                        cache,
+                        slots.clone(),
+                        &pheromone,
+                        params,
+                        seed,
+                        weights_ref,
+                        &mut scratch,
+                    )
+                })
+                .collect()
+        };
 
-            // Track the global best and reinforce it (Eq. 11).
-            for (tour, len) in tours {
-                if best.as_ref().is_none_or(|(_, b)| len < *b) {
-                    best = Some((tour, len));
-                }
-            }
-            let (bt, bl) = best.as_ref().expect("ants always produce tours");
-            let dq = self.params.q / bl.max(f64::MIN_POSITIVE);
-            for (i, vm) in bt.iter().enumerate() {
+        // Local update (Eqs. 9–10): evaporate once, then every ant
+        // deposits Q/L_k along its tour.
+        pheromone.evaporate(params.rho);
+        for (tour, len) in &tours {
+            let dq = params.q / len.max(f64::MIN_POSITIVE);
+            for (i, vm) in tour.iter().enumerate() {
                 pheromone.deposit(i as u32, *vm, dq);
-            }
-            if let Some(trace) = trace.as_deref_mut() {
-                trace.push(*bl);
             }
         }
 
-        best.expect("ants always produce tours")
-            .0
-            .into_iter()
-            .map(VmId)
-            .collect()
+        // Track the global best and reinforce it (Eq. 11).
+        for (tour, len) in tours {
+            if best.as_ref().is_none_or(|(_, b)| len < *b) {
+                best = Some((tour, len));
+            }
+        }
+        let (bt, bl) = best.as_ref().expect("ants always produce tours");
+        let dq = params.q / bl.max(f64::MIN_POSITIVE);
+        for (i, vm) in bt.iter().enumerate() {
+            pheromone.deposit(i as u32, *vm, dq);
+        }
+        if traced {
+            trace.push(*bl);
+        }
+    }
+
+    let tour = best
+        .expect("ants always produce tours")
+        .0
+        .into_iter()
+        .map(VmId)
+        .collect();
+    (tour, trace)
+}
+
+/// Reusable per-colony buffers for tour construction. Tabu and candidate
+/// membership are generation-stamped arrays (`stamp[j] == gen` means "in
+/// the set"), so clearing a set between ants or slots is a counter bump
+/// instead of an O(v) wipe or a fresh allocation.
+struct TourScratch {
+    tabu_stamp: Vec<u32>,
+    tabu_gen: u32,
+    cand_stamp: Vec<u32>,
+    cand_gen: u32,
+    candidates: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl TourScratch {
+    fn new(v: usize) -> Self {
+        TourScratch {
+            tabu_stamp: vec![0; v],
+            tabu_gen: 0,
+            cand_stamp: vec![0; v],
+            cand_gen: 0,
+            candidates: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Starts a fresh ant: one bump empties the tabu set.
+    fn begin_ant(&mut self) {
+        if self.tabu_gen == u32::MAX {
+            self.tabu_stamp.fill(0);
+            self.tabu_gen = 0;
+        }
+        self.tabu_gen += 1;
+    }
+
+    /// Starts a fresh slot: one bump empties the candidate set.
+    fn begin_slot(&mut self) {
+        if self.cand_gen == u32::MAX {
+            self.cand_stamp.fill(0);
+            self.cand_gen = 0;
+        }
+        self.cand_gen += 1;
+        self.candidates.clear();
+        self.weights.clear();
+    }
+
+    #[inline]
+    fn is_tabu(&self, j: u32) -> bool {
+        self.tabu_stamp[j as usize] == self.tabu_gen
+    }
+
+    #[inline]
+    fn make_tabu(&mut self, j: u32) {
+        self.tabu_stamp[j as usize] = self.tabu_gen;
+    }
+
+    #[inline]
+    fn in_candidates(&self, j: u32) -> bool {
+        self.cand_stamp[j as usize] == self.cand_gen
+    }
+
+    #[inline]
+    fn push_candidate(&mut self, j: u32) {
+        self.cand_stamp[j as usize] = self.cand_gen;
+        self.candidates.push(j);
     }
 }
 
-/// Builds all ant tours for one iteration through the evaluation kernel's
-/// shared fan-out ([`eval::par_map_if`]): parallel over ants when the
-/// `parallel` feature is on and the batch is big enough to amortize the
-/// fork; order-preserving either way, so runs are deterministic.
-fn construct_tours(
-    cache: &EvalCache,
-    slots: &Range<usize>,
-    pheromone: &PheromoneMatrix,
-    params: &AcoParams,
-    seeds: &[u64],
-) -> Vec<(Vec<u32>, f64)> {
-    eval::par_map_if(slots.len() >= 32, seeds, |&seed| {
-        construct_tour(cache, slots.clone(), pheromone, params, seed)
-    })
-}
-
 /// One ant's tour: for each slot, pick a VM by the Eq. 5 roulette over the
-/// candidate list, respecting the tabu set.
+/// candidate list, respecting the tabu set. RNG draws, weight values and
+/// accumulation order replicate [`reference`] exactly, so picks are
+/// byte-identical to the pre-overhaul loop.
 fn construct_tour(
     cache: &EvalCache,
     slots: Range<usize>,
     pheromone: &PheromoneMatrix,
     params: &AcoParams,
     seed: u64,
+    weight_block: Option<&[f64]>,
+    scratch: &mut TourScratch,
 ) -> (Vec<u32>, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let v = cache.vm_count();
     let b = slots.len();
     debug_assert!(b <= v, "batch must be clamped to the VM count");
 
-    let mut tabu: HashSet<u32> = HashSet::with_capacity(b);
+    scratch.begin_ant();
     let mut tour = Vec::with_capacity(b);
     let mut length = 0.0;
-    let mut candidates: Vec<u32> = Vec::new();
-    let mut weights: Vec<f64> = Vec::new();
 
     for (slot_idx, c) in slots.enumerate() {
-        candidates.clear();
-        weights.clear();
-        let free = v - tabu.len();
+        scratch.begin_slot();
+        // One VM goes tabu per slot, so `slot_idx` counts the tabu set.
+        let free = v - slot_idx;
         let k = params.candidates.unwrap_or(v).min(v);
 
         if k >= free {
             // Few VMs left: enumerate all allowed ones.
-            candidates.extend((0..v as u32).filter(|j| !tabu.contains(j)));
+            for j in 0..v as u32 {
+                if !scratch.is_tabu(j) {
+                    scratch.push_candidate(j);
+                }
+            }
         } else {
             // Sample k distinct allowed VMs.
             let mut attempts = 0;
             let max_attempts = 6 * k;
-            while candidates.len() < k && attempts < max_attempts {
+            while scratch.candidates.len() < k && attempts < max_attempts {
                 attempts += 1;
                 let j = rng.gen_range(0..v) as u32;
-                if !tabu.contains(&j) && !candidates.contains(&j) {
-                    candidates.push(j);
+                if !scratch.is_tabu(j) && !scratch.in_candidates(j) {
+                    scratch.push_candidate(j);
                 }
             }
-            if candidates.is_empty() {
+            if scratch.candidates.is_empty() {
                 // Rejection sampling got unlucky; take the first free VM
                 // scanning from a random start.
                 let start = rng.gen_range(0..v);
                 for off in 0..v {
                     let j = ((start + off) % v) as u32;
-                    if !tabu.contains(&j) {
-                        candidates.push(j);
+                    if !scratch.is_tabu(j) {
+                        scratch.push_candidate(j);
                         break;
                     }
                 }
             }
         }
-        debug_assert!(!candidates.is_empty(), "tabu cannot exhaust all VMs");
+        debug_assert!(
+            !scratch.candidates.is_empty(),
+            "tabu cannot exhaust all VMs"
+        );
 
-        // Eq. 5: p(j) ∝ τ(i,j)^α · η(i,j)^β over allowed candidates.
+        // Eq. 5: p(j) ∝ τ(i,j)^α · η(i,j)^β over allowed candidates — one
+        // read from the fused weight table, or the cached-τ^α × inline-η^β
+        // product at scales where the table was declined (identical bits
+        // either way; see the module docs).
         let mut total = 0.0;
-        for &j in &candidates {
-            let tau = pheromone.get(slot_idx as u32, j);
-            let eta = cache.heuristic(c, j as usize);
-            let w = tau.powf(params.alpha) * eta.powf(params.beta);
+        let weight_row = weight_block.map(|block| &block[slot_idx * v..(slot_idx + 1) * v]);
+        for i in 0..scratch.candidates.len() {
+            let j = scratch.candidates[i];
+            let w = match weight_row {
+                Some(row) => row[j as usize],
+                None => {
+                    pheromone.get_pow(slot_idx as u32, j)
+                        * cache.heuristic(c, j as usize).powf(params.beta)
+                }
+            };
             let w = if w.is_finite() { w } else { 0.0 };
             total += w;
-            weights.push(w);
+            scratch.weights.push(w);
         }
         // ACS pseudo-random-proportional rule: exploit the best edge with
         // probability q0, otherwise spin the roulette.
         let pick = if params.q0 > 0.0 && rng.gen_range(0.0..1.0) < params.q0 {
-            weights
+            scratch
+                .weights
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .expect("candidates are non-empty")
         } else {
-            roulette(&mut rng, &weights, total)
+            roulette(&mut rng, &scratch.weights, total)
         };
-        let j = candidates[pick];
-        tabu.insert(j);
+        let j = scratch.candidates[pick];
+        scratch.make_tabu(j);
         tour.push(j);
         length += cache.exec_ms(c, j as usize);
     }
@@ -469,5 +649,46 @@ mod tests {
             seen.insert(roulette(&mut rng, &[0.0, 0.0], 0.0));
         }
         assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        // The optimized hot path must pick byte-identical tours. (The
+        // cross-thread-count matrix lives in tests/scheduler_equivalence.)
+        for seed in [9u64, 77, 1234] {
+            let p = hetero_problem(14, 90);
+            let new = AntColony::new(AcoParams::fast(), seed).schedule(&p);
+            let old = reference::schedule_reference(&AcoParams::fast(), seed, &p);
+            assert_eq!(new, old, "seed {seed} diverged from the reference");
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_alpha_one_fast_path() {
+        // α = 1 takes the powf-free identity path; the reference calls
+        // powf(τ, 1.0). Both must agree bit for bit.
+        let params = AcoParams {
+            alpha: 1.0,
+            ..AcoParams::fast()
+        };
+        let p = hetero_problem(12, 60);
+        let new = AntColony::new(params.clone(), 5).schedule(&p);
+        let old = reference::schedule_reference(&params, 5, &p);
+        assert_eq!(new, old);
+    }
+
+    #[test]
+    fn matches_reference_when_eta_block_declined() {
+        // One ant × one iteration makes the η^β block unprofitable, so
+        // construct_tour exercises the inline powf fallback.
+        let params = AcoParams {
+            ants: 1,
+            iterations: 1,
+            ..AcoParams::fast()
+        };
+        let p = hetero_problem(20, 55);
+        let new = AntColony::new(params.clone(), 31).schedule(&p);
+        let old = reference::schedule_reference(&params, 31, &p);
+        assert_eq!(new, old);
     }
 }

@@ -1,28 +1,47 @@
-//! Sparse pheromone storage.
+//! Sparse pheromone storage, slot-major.
 //!
 //! The pheromone matrix τ(i, j) spans (batch slot × VM). At paper scale a
 //! dense matrix would be 128 × 100 000 doubles per batch, yet ants only
 //! ever deposit on the edges they walk — a few thousand per batch — so we
 //! store *deviations* from a shared base value sparsely.
 //!
+//! Deposits live in per-slot lanes (a `Vec` of small VM-sorted vectors)
+//! rather than a `HashMap` keyed by (slot, vm): a lane holds at most
+//! ants × iterations entries, so a lookup is a binary probe into a tiny
+//! contiguous slab instead of a hash + bucket walk per candidate. The
+//! lanes also carry a τ^α snapshot ([`PheromoneMatrix::prepare_pow`]),
+//! refreshed once per iteration, so tour construction never calls `powf`
+//! on the hot path: non-deposited edges share one `base^α` scalar and
+//! deposit-touched edges read their cached power.
+//!
 //! Evaporation (Eq. 9's `(1-ρ)τ` term) applies uniformly to both the base
 //! and every deposit, which we implement with a global scale factor instead
 //! of touching every entry.
 
-use std::collections::HashMap;
-
 /// Floor below which pheromone cannot decay, keeping probabilities sane.
 const MIN_PHEROMONE: f64 = 1e-12;
 
-/// τ(i, j) over (slot, VM) edges, stored as base + sparse deposits.
+/// One slot's deposit lane: parallel arrays sorted by VM id.
+#[derive(Debug, Clone, Default)]
+struct Lane {
+    vms: Vec<u32>,
+    /// Raw deposited amounts; the effective deposit is `raw * scale`.
+    raw: Vec<f64>,
+    /// τ^α snapshot of each entry (valid after [`PheromoneMatrix::prepare_pow`]).
+    pow: Vec<f64>,
+}
+
+/// τ(i, j) over (slot, VM) edges, stored as base + slot-major sparse lanes.
 #[derive(Debug, Clone)]
 pub struct PheromoneMatrix {
     /// Evaporated initial level shared by all never-deposited edges.
     base: f64,
-    /// Raw deposited amounts; the effective deposit is `raw * scale`.
-    deposits: HashMap<(u32, u32), f64>,
     /// Global evaporation accumulator applied to deposits.
     scale: f64,
+    /// Per-slot deposit lanes.
+    lanes: Vec<Lane>,
+    /// `base^α` snapshot shared by all never-deposited edges.
+    base_pow: f64,
 }
 
 impl PheromoneMatrix {
@@ -32,19 +51,80 @@ impl PheromoneMatrix {
         assert!(initial > 0.0 && initial.is_finite());
         PheromoneMatrix {
             base: initial,
-            deposits: HashMap::new(),
             scale: 1.0,
+            lanes: Vec::new(),
+            base_pow: f64::NAN,
         }
+    }
+
+    /// Effective τ of a lane entry, replicating the expression the old
+    /// `HashMap`-backed `get` evaluated — bit-identical per edge.
+    #[inline]
+    fn effective(&self, raw: f64) -> f64 {
+        (self.base + raw * self.scale).max(MIN_PHEROMONE)
     }
 
     /// Current pheromone on edge (slot, vm).
     #[inline]
     pub fn get(&self, slot: u32, vm: u32) -> f64 {
-        let extra = self
-            .deposits
-            .get(&(slot, vm))
-            .map_or(0.0, |raw| raw * self.scale);
-        (self.base + extra).max(MIN_PHEROMONE)
+        match self.lanes.get(slot as usize) {
+            Some(lane) => match lane.vms.binary_search(&vm) {
+                Ok(i) => self.effective(lane.raw[i]),
+                Err(_) => self.base.max(MIN_PHEROMONE),
+            },
+            None => self.base.max(MIN_PHEROMONE),
+        }
+    }
+
+    /// τ(slot, vm)^α from the last [`Self::prepare_pow`] snapshot. Must not
+    /// be called before the first snapshot.
+    #[inline]
+    pub fn get_pow(&self, slot: u32, vm: u32) -> f64 {
+        debug_assert!(!self.base_pow.is_nan(), "prepare_pow must run first");
+        match self.lanes.get(slot as usize) {
+            Some(lane) => match lane.vms.binary_search(&vm) {
+                Ok(i) => lane.pow[i],
+                Err(_) => self.base_pow,
+            },
+            None => self.base_pow,
+        }
+    }
+
+    /// Writes one slot's dense Eq. 5 weight row into `out`:
+    /// `out[j] = τ(slot, j)^α · η^β(j)`, with `eta_row[j]` holding the
+    /// η^β factor. Every product is the same two-factor multiply the
+    /// per-candidate expression evaluates, so the row is bit-identical to
+    /// computing `get_pow(slot, j) * eta_row[j]` — but the never-deposited
+    /// majority of columns becomes one vectorized scalar-times-slice pass,
+    /// and the tour hot loop shrinks to a single indexed read. Must be
+    /// called after [`Self::prepare_pow`].
+    pub fn fill_weight_row(&self, slot: usize, eta_row: &[f64], out: &mut [f64]) {
+        debug_assert!(!self.base_pow.is_nan(), "prepare_pow must run first");
+        debug_assert_eq!(eta_row.len(), out.len());
+        for (o, &e) in out.iter_mut().zip(eta_row) {
+            *o = self.base_pow * e;
+        }
+        if let Some(lane) = self.lanes.get(slot) {
+            for (i, &vm) in lane.vms.iter().enumerate() {
+                out[vm as usize] = lane.pow[i] * eta_row[vm as usize];
+            }
+        }
+    }
+
+    /// Snapshots τ^α for the base level and every deposit-touched edge.
+    /// Called once per colony iteration, before tour construction, so the
+    /// per-candidate hot path reads cached powers instead of calling
+    /// `powf`. With α = 1 (a common setting) the snapshot is a plain copy.
+    pub fn prepare_pow(&mut self, alpha: f64) {
+        let base_eff = self.base.max(MIN_PHEROMONE);
+        let pow_of = |tau: f64| if alpha == 1.0 { tau } else { tau.powf(alpha) };
+        self.base_pow = pow_of(base_eff);
+        for slot in 0..self.lanes.len() {
+            for i in 0..self.lanes[slot].raw.len() {
+                let tau = self.effective(self.lanes[slot].raw[i]);
+                self.lanes[slot].pow[i] = pow_of(tau);
+            }
+        }
     }
 
     /// Eq. 9 evaporation: τ ← (1-ρ)τ for every edge.
@@ -55,8 +135,10 @@ impl PheromoneMatrix {
         self.scale *= keep;
         // Renormalize before the scale underflows.
         if self.scale < 1e-100 {
-            for raw in self.deposits.values_mut() {
-                *raw *= self.scale;
+            for lane in &mut self.lanes {
+                for raw in &mut lane.raw {
+                    *raw *= self.scale;
+                }
             }
             self.scale = 1.0;
         }
@@ -65,12 +147,25 @@ impl PheromoneMatrix {
     /// Eq. 7/10 deposit: τ(slot, vm) ← τ(slot, vm) + amount.
     pub fn deposit(&mut self, slot: u32, vm: u32, amount: f64) {
         debug_assert!(amount >= 0.0 && amount.is_finite());
-        *self.deposits.entry((slot, vm)).or_insert(0.0) += amount / self.scale;
+        let slot = slot as usize;
+        if slot >= self.lanes.len() {
+            self.lanes.resize_with(slot + 1, Lane::default);
+        }
+        let lane = &mut self.lanes[slot];
+        let delta = amount / self.scale;
+        match lane.vms.binary_search(&vm) {
+            Ok(i) => lane.raw[i] += delta,
+            Err(i) => {
+                lane.vms.insert(i, vm);
+                lane.raw.insert(i, delta);
+                lane.pow.insert(i, f64::NAN);
+            }
+        }
     }
 
     /// Number of edges carrying explicit deposits (diagnostics).
     pub fn deposited_edges(&self) -> usize {
-        self.deposits.len()
+        self.lanes.iter().map(|lane| lane.vms.len()).sum()
     }
 }
 
@@ -131,5 +226,68 @@ mod tests {
         m.deposit(0, 1, 0.1);
         m.deposit(0, 1, 0.1);
         assert!((m.get(0, 1) - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pow_snapshot_matches_powf_of_get() {
+        let mut m = PheromoneMatrix::new(1.0);
+        m.deposit(0, 3, 0.7);
+        m.deposit(2, 5, 0.2);
+        m.evaporate(0.4);
+        m.deposit(0, 3, 0.1);
+        for alpha in [0.01, 0.5, 2.0] {
+            m.prepare_pow(alpha);
+            for (slot, vm) in [(0u32, 3u32), (0, 4), (2, 5), (7, 7)] {
+                assert_eq!(
+                    m.get_pow(slot, vm).to_bits(),
+                    m.get(slot, vm).powf(alpha).to_bits(),
+                    "α={alpha} edge ({slot},{vm})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pow_snapshot_alpha_one_is_identity() {
+        let mut m = PheromoneMatrix::new(1.3);
+        m.deposit(1, 1, 0.9);
+        m.prepare_pow(1.0);
+        assert_eq!(m.get_pow(1, 1).to_bits(), m.get(1, 1).to_bits());
+        assert_eq!(m.get_pow(1, 2).to_bits(), m.get(1, 2).to_bits());
+    }
+
+    #[test]
+    fn weight_row_matches_per_candidate_products_bitwise() {
+        let mut m = PheromoneMatrix::new(1.0);
+        m.deposit(0, 3, 0.7);
+        m.deposit(2, 5, 0.2);
+        m.evaporate(0.4);
+        m.deposit(3, 7, 0.1);
+        m.prepare_pow(0.01);
+        let eta_row: Vec<f64> = (0..8).map(|j| 1.0 / (1.0 + j as f64)).collect();
+        let mut out = vec![0.0; 8];
+        for slot in 0..4u32 {
+            m.fill_weight_row(slot as usize, &eta_row, &mut out);
+            for vm in 0..8u32 {
+                let expected = m.get_pow(slot, vm) * eta_row[vm as usize];
+                assert_eq!(
+                    out[vm as usize].to_bits(),
+                    expected.to_bits(),
+                    "edge ({slot},{vm})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_stay_sorted_under_out_of_order_deposits() {
+        let mut m = PheromoneMatrix::new(1.0);
+        for vm in [9u32, 1, 5, 3, 7, 1, 9] {
+            m.deposit(0, vm, 0.1);
+        }
+        assert_eq!(m.deposited_edges(), 5);
+        assert!((m.get(0, 1) - 1.2).abs() < 1e-12);
+        assert!((m.get(0, 9) - 1.2).abs() < 1e-12);
+        assert_eq!(m.get(0, 2), 1.0);
     }
 }

@@ -14,6 +14,12 @@ use crate::problem::SchedulingProblem;
 /// to fill the matrix, so scores are bit-identical either way.
 pub const DENSE_ETC_MAX_ENTRIES: usize = 1 << 23;
 
+/// Largest `batch × vms` product for which [`EvalCache::eta_pow_block`]
+/// materializes the η^β block — 2²² entries, 32 MB of `f64` per colony.
+/// Colonies run in parallel, so this scratch is per-thread; above the cap
+/// ACO falls back to computing η^β per candidate (identical values).
+pub const ETA_POW_MAX_ENTRIES: usize = 1 << 22;
+
 /// Immutable evaluation cache, built once per [`SchedulingProblem`].
 ///
 /// Holds the raw factors of Eq. 6 (`length`, `pes`, `file_size` per
@@ -137,6 +143,36 @@ impl EvalCache {
     #[inline]
     pub fn heuristic(&self, c: usize, v: usize) -> f64 {
         1.0 / self.exec_ms(c, v)
+    }
+
+    /// Materializes `η(c, j)^β` for every (cloudlet, VM) pair of a batch —
+    /// the Eq. 5 heuristic factor ACO's tour construction reads per
+    /// candidate. Row-major: entry `(c - slots.start) * vm_count + j`.
+    /// Each entry is exactly `self.heuristic(c, j).powf(beta)`, so a
+    /// precomputed block is bit-identical to the inline expression.
+    ///
+    /// Returns `None` when the block would exceed
+    /// [`ETA_POW_MAX_ENTRIES`] or cost more `powf` calls than the expected
+    /// number of candidate lookups it replaces (`expected_lookups`);
+    /// callers then fall back to the inline per-candidate expression.
+    pub fn eta_pow_block(
+        &self,
+        slots: std::ops::Range<usize>,
+        beta: f64,
+        expected_lookups: usize,
+    ) -> Option<Vec<f64>> {
+        let v = self.vm_count();
+        let entries = slots.len().checked_mul(v)?;
+        if entries == 0 || entries > ETA_POW_MAX_ENTRIES || entries > expected_lookups {
+            return None;
+        }
+        let mut block = Vec::with_capacity(entries);
+        for c in slots {
+            for j in 0..v {
+                block.push(self.heuristic(c, j).powf(beta));
+            }
+        }
+        Some(block)
     }
 
     /// Eq. 1 processing cost of cloudlet `c` on VM `v`, using the Eq. 6
@@ -347,6 +383,35 @@ mod tests {
         let cache = EvalCache::new(&p);
         // VM 0 sits in the expensive DC, VM 6 in the cheap one.
         assert!(cache.cost(0, 0) > cache.cost(0, 6));
+    }
+
+    #[test]
+    fn eta_pow_block_matches_inline_expression() {
+        let p = hetero_problem();
+        let cache = EvalCache::new(&p);
+        let beta = 0.99;
+        let block = cache
+            .eta_pow_block(3..9, beta, usize::MAX)
+            .expect("small block materializes");
+        assert_eq!(block.len(), 6 * p.vm_count());
+        for (i, c) in (3..9).enumerate() {
+            for v in 0..p.vm_count() {
+                assert_eq!(
+                    block[i * p.vm_count() + v].to_bits(),
+                    cache.heuristic(c, v).powf(beta).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eta_pow_block_declines_unprofitable_work() {
+        let p = hetero_problem();
+        let cache = EvalCache::new(&p);
+        // Fewer expected lookups than block entries: not worth it.
+        assert!(cache.eta_pow_block(0..4, 0.99, 3).is_none());
+        // Empty batch never materializes.
+        assert!(cache.eta_pow_block(5..5, 0.99, usize::MAX).is_none());
     }
 
     #[test]

@@ -167,11 +167,16 @@ impl Scheduler for HoneyBee {
         for i in 0..c {
             groups[i % q].push(i);
         }
-        groups.sort_by(|a, b| {
-            let la: f64 = a.iter().map(|i| cache.cloudlet_len_mi(*i)).sum();
-            let lb: f64 = b.iter().map(|i| cache.cloudlet_len_mi(*i)).sum();
-            lb.total_cmp(&la)
-        });
+        // Hoist the per-group length sums out of the comparator: the old
+        // closure recomputed both sums on every comparison (O(C log q)
+        // additions). Same summation order, stable sort — the resulting
+        // permutation is byte-identical.
+        let mut keyed: Vec<(f64, Vec<usize>)> = groups
+            .into_iter()
+            .map(|g| (g.iter().map(|i| cache.cloudlet_len_mi(*i)).sum(), g))
+            .collect();
+        keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut groups: Vec<Vec<usize>> = keyed.into_iter().map(|(_, g)| g).collect();
         if self.params.shuffle {
             for g in &mut groups {
                 g.shuffle(&mut self.rng);

@@ -10,10 +10,13 @@
 //! cyclically (Step 6 of Section V).
 //!
 //! When every group's NID reaches zero the network "re-advertises" all VMs
-//! as free again — the graph is rebuilt, mirroring the dynamic re-sampling
-//! of the original biased random sampling load balancer [20]. The bias of
-//! low-υ groups plus the randomness of ω is what produces the fluctuating
-//! balance the paper observes in Figs. 4 and 6.
+//! as free again — each group's NID is reset in place (the group topology
+//! and cyclic cursors are preserved; nothing is rebuilt), mirroring the
+//! dynamic re-sampling of the original biased random sampling load
+//! balancer [20]. A running free-VM counter detects exhaustion in O(1)
+//! instead of scanning every group per walk step. The bias of low-υ groups
+//! plus the randomness of ω is what produces the fluctuating balance the
+//! paper observes in Figs. 4 and 6.
 
 //!
 //! ```
@@ -136,6 +139,9 @@ impl Scheduler for RandomBiasedSampling {
         let mut map = Vec::with_capacity(problem.cloudlet_count());
         // Where the walk resumes scanning the group ring.
         let mut ring = 0usize;
+        // Free VMs across all groups this advertisement round (Σ NID),
+        // kept incrementally so exhaustion is an O(1) check per walk step.
+        let mut free: usize = groups.iter().map(|g| g.nid).sum();
 
         for _ in 0..problem.cloudlet_count() {
             // Step 3: the cloudlet draws a random walk-in-length.
@@ -144,9 +150,10 @@ impl Scheduler for RandomBiasedSampling {
             // walk terminates: ω only grows, and once ω ≥ q every non-empty
             // group passes; if all NIDs are zero we re-advertise.
             loop {
-                if groups.iter().all(|g| g.nid == 0) {
+                if free == 0 {
                     for g in &mut groups {
                         g.nid = g.vms.len();
+                        free += g.nid;
                     }
                 }
                 let group_count = groups.len();
@@ -157,6 +164,7 @@ impl Scheduler for RandomBiasedSampling {
                     let vm = group.vms[group.cursor % group.vms.len()];
                     group.cursor = (group.cursor + 1) % group.vms.len();
                     group.nid -= 1;
+                    free -= 1;
                     map.push(VmId(vm));
                     break;
                 }

@@ -1,0 +1,154 @@
+//! Scheduler hot-path equivalence: thread counts and the frozen reference.
+//!
+//! The scheduler hot-path overhaul (parallel ACO colonies, powf-free tour
+//! construction, allocation-free scratch) promises **byte-identical
+//! assignments per seed** at any rayon thread count, and byte-identity
+//! with the pre-overhaul implementation preserved verbatim in
+//! `biosched_core::aco::reference`. This test sweeps ≥3 seeds × both
+//! scenario families × thread counts {1, 2, 4, 8} and asserts exactly
+//! that for every scheduler whose hot path was touched (ACO, HBO, RBS).
+//!
+//! Thread counts are switched in-process through rayon's global builder
+//! (the vendored shim allows repeated `build_global` calls; last one
+//! wins). Tests in this binary may race on that global — harmlessly:
+//! thread-count *independence* is precisely the property under test.
+#![cfg(feature = "parallel")]
+
+use biosched_core::aco::{reference, AcoParams, AntColony};
+use biosched_core::problem::SchedulingProblem;
+use biosched_core::scheduler::{AlgorithmKind, Scheduler};
+use rand::Rng;
+use simcloud::characteristics::CostModel;
+use simcloud::cloudlet::CloudletSpec;
+use simcloud::vm::VmSpec;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SEEDS: [u64; 3] = [11, 42, 9001];
+
+/// The two scenario families from the paper's evaluation.
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    /// One uniform fleet, uniform cloudlets.
+    Homogeneous,
+    /// Mixed VM sizes and cloudlet lengths drawn from a seeded stream.
+    Heterogeneous,
+}
+
+fn build_problem(shape: Shape, seed: u64) -> SchedulingProblem {
+    let mut rng = simcloud::rng::stream(seed, "scheduler-equivalence");
+    let (vm_count, cloudlet_count) = (24, 160);
+    let vms: Vec<VmSpec> = (0..vm_count)
+        .map(|_| match shape {
+            Shape::Homogeneous => VmSpec::new(1_000.0, 10_000.0, 512.0, 1_000.0, 1),
+            Shape::Heterogeneous => VmSpec::new(
+                rng.gen_range(500.0..2_500.0),
+                10_000.0,
+                512.0,
+                rng.gen_range(100.0..1_000.0),
+                1,
+            ),
+        })
+        .collect();
+    let cloudlets: Vec<CloudletSpec> = (0..cloudlet_count)
+        .map(|_| {
+            let len = rng.gen_range(1_000.0..40_000.0);
+            match shape {
+                Shape::Homogeneous => CloudletSpec::new(len, 0.0, 0.0, 1),
+                Shape::Heterogeneous => {
+                    CloudletSpec::new(len, rng.gen_range(0.0..300.0), rng.gen_range(0.0..300.0), 1)
+                }
+            }
+        })
+        .collect();
+    SchedulingProblem::single_datacenter(vms, cloudlets, CostModel::default())
+}
+
+fn set_threads(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("vendored rayon accepts repeated build_global");
+}
+
+#[test]
+fn assignments_are_byte_identical_across_thread_counts() {
+    // ACO is the scheduler that actually fans out; HBO and RBS ride along
+    // to prove their hot-path changes (sort-key hoist, free counter) did
+    // not sneak in any thread- or order-sensitivity either.
+    let schedulers = [
+        AlgorithmKind::AntColony,
+        AlgorithmKind::HoneyBee,
+        AlgorithmKind::Rbs,
+    ];
+    for shape in [Shape::Homogeneous, Shape::Heterogeneous] {
+        for seed in SEEDS {
+            let problem = build_problem(shape, seed);
+            for kind in schedulers {
+                set_threads(1);
+                let baseline = kind.build(seed).schedule(&problem);
+                for threads in &THREAD_COUNTS[1..] {
+                    set_threads(*threads);
+                    let got = kind.build(seed).schedule(&problem);
+                    assert_eq!(
+                        baseline, got,
+                        "{kind} diverged at {threads} threads ({shape:?}, seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+    set_threads(0); // restore automatic sizing for other tests
+}
+
+#[test]
+fn aco_matches_frozen_reference_at_every_thread_count() {
+    for shape in [Shape::Homogeneous, Shape::Heterogeneous] {
+        for seed in SEEDS {
+            let problem = build_problem(shape, seed);
+            // The reference is single-path regardless of pool size; run it
+            // before touching the global pool.
+            let expected = reference::schedule_reference(&AcoParams::fast(), seed, &problem);
+            for threads in THREAD_COUNTS {
+                set_threads(threads);
+                let got = AntColony::new(AcoParams::fast(), seed).schedule(&problem);
+                assert_eq!(
+                    expected, got,
+                    "ACO diverged from reference at {threads} threads \
+                     ({shape:?}, seed {seed})"
+                );
+            }
+        }
+    }
+    set_threads(0);
+}
+
+#[test]
+fn aco_paper_params_match_reference() {
+    // The full paper preset (α = 0.01 exercises the powf snapshot path).
+    let problem = build_problem(Shape::Heterogeneous, 7);
+    let expected = reference::schedule_reference(&AcoParams::paper(), 7, &problem);
+    for threads in [1, 4] {
+        set_threads(threads);
+        let got = AntColony::new(AcoParams::paper(), 7).schedule(&problem);
+        assert_eq!(expected, got, "paper params diverged at {threads} threads");
+    }
+    set_threads(0);
+}
+
+#[test]
+fn aco_alpha_one_fast_path_matches_reference() {
+    // α = 1 takes the snapshot's identity fast path; the reference calls
+    // powf(τ, 1.0) — both must agree bit for bit.
+    let params = AcoParams {
+        alpha: 1.0,
+        ..AcoParams::fast()
+    };
+    let problem = build_problem(Shape::Homogeneous, 13);
+    let expected = reference::schedule_reference(&params, 13, &problem);
+    for threads in [1, 4] {
+        set_threads(threads);
+        let got = AntColony::new(params.clone(), 13).schedule(&problem);
+        assert_eq!(expected, got, "α=1 fast path diverged at {threads} threads");
+    }
+    set_threads(0);
+}

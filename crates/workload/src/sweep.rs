@@ -185,12 +185,34 @@ pub fn run_point_repeated<F>(
 where
     F: Fn(u64) -> Scenario + Sync,
 {
+    run_point_repeated_on(
+        algorithm,
+        base_seed,
+        reps,
+        EngineKind::Sequential,
+        make_scenario,
+    )
+}
+
+/// [`run_point_repeated`] with every repetition simulated on a chosen
+/// engine. Metrics are identical across engines (the sharded kernel is
+/// trace-equivalent); only wall-clock differs.
+pub fn run_point_repeated_on<F>(
+    algorithm: AlgorithmKind,
+    base_seed: u64,
+    reps: usize,
+    engine: EngineKind,
+    make_scenario: F,
+) -> RepeatedPointResult
+where
+    F: Fn(u64) -> Scenario + Sync,
+{
     assert!(reps > 0, "need at least one repetition");
     let results: Vec<PointResult> = (0..reps as u64)
         .into_par_iter()
         .map(|r| {
             let seed = base_seed + r;
-            run_point(&make_scenario(seed), algorithm, seed)
+            run_point_on(&make_scenario(seed), algorithm, seed, engine)
         })
         .collect();
     let pick = |f: fn(&PointResult) -> f64| -> RepeatedMetric {
@@ -284,6 +306,30 @@ mod tests {
             .build()
         });
         assert_eq!(r.simulation_time_ms.ci95, 0.0);
+    }
+
+    #[test]
+    fn repeated_metrics_match_across_engines() {
+        let make = |seed| {
+            HeterogeneousScenario {
+                vm_count: 6,
+                cloudlet_count: 30,
+                datacenter_count: 2,
+                seed,
+            }
+            .build()
+        };
+        let seq =
+            run_point_repeated_on(AlgorithmKind::HoneyBee, 5, 3, EngineKind::Sequential, make);
+        let sh = run_point_repeated_on(AlgorithmKind::HoneyBee, 5, 3, EngineKind::Sharded, make);
+        // The sharded kernel is trace-equivalent: every simulated metric
+        // aggregates to the same bits; only wall-clock may differ.
+        assert_eq!(
+            seq.simulation_time_ms.mean.to_bits(),
+            sh.simulation_time_ms.mean.to_bits()
+        );
+        assert_eq!(seq.imbalance.mean.to_bits(), sh.imbalance.mean.to_bits());
+        assert_eq!(seq.total_cost.mean.to_bits(), sh.total_cost.mean.to_bits());
     }
 
     #[test]
