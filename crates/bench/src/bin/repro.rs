@@ -164,7 +164,10 @@ fn emit_figure(fig: &FigureSeries, slug: &str, opts: &Options) {
     }
 }
 
-fn homogeneous(points: Vec<usize>, metric: Metric, title: &str, slug: &str, opts: &Options) {
+/// One homogeneous sweep, any number of figures extracted from it. Figs. 4
+/// and 5 plot different metrics of the *same* experiment, so `all` asks for
+/// both at once instead of re-running the sweep per figure.
+fn homogeneous(points: Vec<usize>, figs: &[(Metric, &str, &str)], opts: &Options) {
     println!(
         "running homogeneous sweep ({} points, scale 1/{}, seed {})…",
         points.len(),
@@ -173,8 +176,10 @@ fn homogeneous(points: Vec<usize>, metric: Metric, title: &str, slug: &str, opts
     );
     let results = homogeneous_sweep_on(&points, opts.scale, opts.seed, opts.engine);
     sanity_check(&results);
-    let fig = figure_from_results(title, &points, &results, metric);
-    emit_figure(&fig, slug, opts);
+    for (metric, title, slug) in figs {
+        let fig = figure_from_results(title, &points, &results, *metric);
+        emit_figure(&fig, slug, opts);
+    }
 }
 
 fn heterogeneous(metrics: &[(Metric, &str, &str)], opts: &Options) {
@@ -237,6 +242,26 @@ fn main() -> ExitCode {
         }
     };
 
+    let fig4a = (
+        Metric::SimulationTime,
+        "Fig 4a — Simulation Time (homogeneous, 1k-9k VMs)",
+        "fig4a_simulation_time",
+    );
+    let fig4b = (
+        Metric::SimulationTime,
+        "Fig 4b — Simulation Time (homogeneous, 10k-90k VMs)",
+        "fig4b_simulation_time",
+    );
+    let fig5a = (
+        Metric::SchedulingTime,
+        "Fig 5a — Scheduling Time (homogeneous, 1k-9k VMs)",
+        "fig5a_scheduling_time",
+    );
+    let fig5b = (
+        Metric::SchedulingTime,
+        "Fig 5b — Scheduling Time (homogeneous, 10k-90k VMs)",
+        "fig5b_scheduling_time",
+    );
     let fig6_all: [(Metric, &str, &str); 4] = [
         (
             Metric::SimulationTime,
@@ -261,34 +286,10 @@ fn main() -> ExitCode {
     ];
 
     match opts.command.as_str() {
-        "fig4a" => homogeneous(
-            fig4a_vm_points(),
-            Metric::SimulationTime,
-            "Fig 4a — Simulation Time (homogeneous, 1k-9k VMs)",
-            "fig4a_simulation_time",
-            &opts,
-        ),
-        "fig4b" => homogeneous(
-            fig4b_vm_points(),
-            Metric::SimulationTime,
-            "Fig 4b — Simulation Time (homogeneous, 10k-90k VMs)",
-            "fig4b_simulation_time",
-            &opts,
-        ),
-        "fig5a" => homogeneous(
-            fig4a_vm_points(),
-            Metric::SchedulingTime,
-            "Fig 5a — Scheduling Time (homogeneous, 1k-9k VMs)",
-            "fig5a_scheduling_time",
-            &opts,
-        ),
-        "fig5b" => homogeneous(
-            fig4b_vm_points(),
-            Metric::SchedulingTime,
-            "Fig 5b — Scheduling Time (homogeneous, 10k-90k VMs)",
-            "fig5b_scheduling_time",
-            &opts,
-        ),
+        "fig4a" => homogeneous(fig4a_vm_points(), &[fig4a], &opts),
+        "fig4b" => homogeneous(fig4b_vm_points(), &[fig4b], &opts),
+        "fig5a" => homogeneous(fig4a_vm_points(), &[fig5a], &opts),
+        "fig5b" => homogeneous(fig4b_vm_points(), &[fig5b], &opts),
         "fig6" => heterogeneous(&fig6_all, &opts),
         "fig6a" => heterogeneous(&fig6_all[0..1], &opts),
         "fig6b" => heterogeneous(&fig6_all[1..2], &opts),
@@ -381,34 +382,10 @@ fn main() -> ExitCode {
         }
         "all" => {
             print_tables(&opts);
-            homogeneous(
-                fig4a_vm_points(),
-                Metric::SimulationTime,
-                "Fig 4a — Simulation Time (homogeneous, 1k-9k VMs)",
-                "fig4a_simulation_time",
-                &opts,
-            );
-            homogeneous(
-                fig4b_vm_points(),
-                Metric::SimulationTime,
-                "Fig 4b — Simulation Time (homogeneous, 10k-90k VMs)",
-                "fig4b_simulation_time",
-                &opts,
-            );
-            homogeneous(
-                fig4a_vm_points(),
-                Metric::SchedulingTime,
-                "Fig 5a — Scheduling Time (homogeneous, 1k-9k VMs)",
-                "fig5a_scheduling_time",
-                &opts,
-            );
-            homogeneous(
-                fig4b_vm_points(),
-                Metric::SchedulingTime,
-                "Fig 5b — Scheduling Time (homogeneous, 10k-90k VMs)",
-                "fig5b_scheduling_time",
-                &opts,
-            );
+            // Figs. 4 and 5 come from the same two sweeps: one run each,
+            // two figures each.
+            homogeneous(fig4a_vm_points(), &[fig4a, fig5a], &opts);
+            homogeneous(fig4b_vm_points(), &[fig4b, fig5b], &opts);
             heterogeneous(&fig6_all, &opts);
         }
         other => {

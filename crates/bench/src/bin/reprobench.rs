@@ -1,0 +1,325 @@
+//! End-to-end repro pipeline benchmark: emits `BENCH_repro.json`.
+//!
+//! Measures what the pipeline overhaul bought on the `repro all` figure
+//! workload along two axes:
+//!
+//! * **Wall clock** — the `legacy` child replays the pre-overhaul
+//!   pipeline (one sweep per figure, so Figs. 4/5 run their homogeneous
+//!   sweeps twice; algorithms serial within a point; a private
+//!   `EvalCache` per scheduler via `Scheduler::schedule`; `RecordMode::Full`)
+//!   against the `overhauled` child running the current pipeline (one
+//!   sweep per axis feeding both figures, flat `(point × algorithm)`
+//!   executor, shared per-point artifacts, `RecordMode::Aggregate`).
+//! * **Peak RSS** — the `mem-full` / `mem-aggregate` children run the
+//!   record-heavy Fig. 4b slice while *holding* every
+//!   [`SimulationOutcome`](simcloud::stats::SimulationOutcome), the
+//!   retention contract `RecordMode` exists for.
+//!
+//! `VmHWM` is monotonic per process, so every configuration runs in its
+//! own child process (the parent re-executes its own binary with
+//! `--child <mode>`); each child prints one JSON line with its wall time
+//! and peak RSS, and the parent assembles the comparison file.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use biosched_bench::figures::{heterogeneous_sweep_on, homogeneous_sweep_on};
+use biosched_bench::rss::peak_rss_kb;
+use biosched_core::eval::EvalCache;
+use biosched_core::scheduler::AlgorithmKind;
+use biosched_workload::heterogeneous::{
+    fig6_vm_points, HeterogeneousScenario, DEFAULT_DATACENTERS,
+};
+use biosched_workload::homogeneous::{fig4a_vm_points, fig4b_vm_points, HomogeneousScenario};
+use rayon::prelude::*;
+use simcloud::simulation::EngineKind;
+use simcloud::stats::RecordMode;
+
+#[derive(Debug, Clone)]
+struct Options {
+    out_path: String,
+    scale: usize,
+    seed: u64,
+    hetero_cloudlets: usize,
+    child: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let mut opts = Options {
+        out_path: "BENCH_repro.json".into(),
+        scale: 10,
+        seed: 42,
+        hetero_cloudlets: 1_000,
+        child: None,
+    };
+    while let Some(a) = iter.next() {
+        let mut val = || iter.next().expect("flag value").clone();
+        match a.as_str() {
+            "--out" => opts.out_path = val(),
+            "--scale" => opts.scale = val().parse().expect("numeric --scale"),
+            "--seed" => opts.seed = val().parse().expect("numeric --seed"),
+            "--hetero-cloudlets" => {
+                opts.hetero_cloudlets = val().parse().expect("numeric --hetero-cloudlets")
+            }
+            "--child" => opts.child = Some(val()),
+            other => panic!(
+                "unknown flag {other} (try: --out F --scale N --seed N --hetero-cloudlets N)"
+            ),
+        }
+    }
+    assert!(opts.scale >= 1, "--scale must be >= 1");
+    opts
+}
+
+/// Pre-overhaul pipeline replica for one homogeneous axis: parallel over
+/// points, serial over algorithms, a fresh problem and private scheduler
+/// cache per (point, algorithm), full per-cloudlet records.
+fn legacy_homogeneous_sweep(points: &[usize], scale: usize, seed: u64) -> usize {
+    points
+        .par_iter()
+        .map(|&vms| {
+            let scenario = HomogeneousScenario::scaled(vms, scale).build();
+            let mut finished = 0usize;
+            for &alg in &AlgorithmKind::PAPER_SET {
+                let problem = scenario.problem();
+                let assignment = alg.build(seed).schedule(&problem);
+                let outcome = scenario
+                    .simulate_on(assignment, EngineKind::Sequential)
+                    .expect("legacy simulation");
+                finished += outcome.finished_count();
+            }
+            finished
+        })
+        .sum()
+}
+
+/// Pre-overhaul heterogeneous sweep replica (same nested shape).
+fn legacy_heterogeneous_sweep(points: &[usize], cloudlets: usize, seed: u64) -> usize {
+    points
+        .par_iter()
+        .map(|&vms| {
+            let scenario = HeterogeneousScenario {
+                vm_count: vms,
+                cloudlet_count: cloudlets,
+                datacenter_count: DEFAULT_DATACENTERS,
+                seed,
+            }
+            .build();
+            let mut finished = 0usize;
+            for &alg in &AlgorithmKind::PAPER_SET {
+                let problem = scenario.problem();
+                let assignment = alg.build(seed).schedule(&problem);
+                let outcome = scenario
+                    .simulate_on(assignment, EngineKind::Sequential)
+                    .expect("legacy simulation");
+                finished += outcome.finished_count();
+            }
+            finished
+        })
+        .sum()
+}
+
+/// The `repro all` figure workload, pre-overhaul: Figs. 4a/5a and 4b/5b
+/// each re-ran their sweep, so both homogeneous axes execute twice.
+fn child_legacy(opts: &Options) -> usize {
+    let mut finished = 0usize;
+    for _ in 0..2 {
+        finished += legacy_homogeneous_sweep(&fig4a_vm_points(), opts.scale, opts.seed);
+        finished += legacy_homogeneous_sweep(&fig4b_vm_points(), opts.scale, opts.seed);
+    }
+    finished += legacy_heterogeneous_sweep(&fig6_vm_points(), opts.hetero_cloudlets, opts.seed);
+    finished
+}
+
+/// The same figure workload on the current pipeline: one flat
+/// shared-artifact sweep per axis feeds both the Fig. 4 and Fig. 5
+/// extraction.
+fn child_overhauled(opts: &Options) -> usize {
+    let mut finished = 0usize;
+    for points in [fig4a_vm_points(), fig4b_vm_points()] {
+        let results = homogeneous_sweep_on(&points, opts.scale, opts.seed, EngineKind::Sequential);
+        finished += results.iter().flatten().map(|r| r.finished).sum::<usize>();
+    }
+    let results = heterogeneous_sweep_on(
+        &fig6_vm_points(),
+        opts.hetero_cloudlets,
+        opts.seed,
+        EngineKind::Sequential,
+    );
+    finished += results.iter().flatten().map(|r| r.finished).sum::<usize>();
+    finished
+}
+
+/// Record-retention slice: the Fig. 4b axis run serially while keeping
+/// every outcome alive, as a CSV-export / drill-down consumer would. In
+/// `Full` mode each outcome retains one `CloudletRecord` per cloudlet; in
+/// `Aggregate` mode it retains O(VMs) folded metrics.
+fn child_mem(opts: &Options, mode: RecordMode) -> usize {
+    let mut held = Vec::new();
+    for &vms in &fig4b_vm_points() {
+        let scenario = HomogeneousScenario::scaled(vms, opts.scale).build();
+        let problem = scenario.problem();
+        let cache = EvalCache::new(&problem);
+        for &alg in &AlgorithmKind::PAPER_SET {
+            let assignment = alg.build(opts.seed).schedule_with_cache(&problem, &cache);
+            let outcome = scenario
+                .simulate_mode(assignment, EngineKind::Sequential, mode)
+                .expect("memory-slice simulation");
+            held.push(outcome);
+        }
+    }
+    held.iter().map(|o| o.finished_count()).sum()
+}
+
+fn run_child(opts: &Options, mode: &str) {
+    let start = Instant::now();
+    let finished = match mode {
+        "legacy" => child_legacy(opts),
+        "overhauled" => child_overhauled(opts),
+        "mem-full" => child_mem(opts, RecordMode::Full),
+        "mem-aggregate" => child_mem(opts, RecordMode::Aggregate),
+        other => panic!("unknown --child mode {other}"),
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1_000.0;
+    assert!(finished > 0, "child {mode} finished zero cloudlets");
+    let rss = peak_rss_kb().map_or_else(|| "null".to_string(), |kb| kb.to_string());
+    eprintln!("child {mode}: {finished} cloudlets finished, {wall_ms:.0} ms, rss {rss} kB");
+    println!("{{\"wall_ms\": {wall_ms:.3}, \"peak_rss_kb\": {rss}, \"finished\": {finished}}}");
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ChildReport {
+    wall_ms: f64,
+    peak_rss_kb: Option<f64>,
+    finished: usize,
+}
+
+fn json_number(line: &str, key: &str) -> Option<f64> {
+    let idx = line.find(&format!("\"{key}\":"))?;
+    let rest = line[idx..].split(':').nth(1)?;
+    let token: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    token.parse().ok()
+}
+
+fn spawn_child(opts: &Options, mode: &str) -> ChildReport {
+    let exe = std::env::current_exe().expect("own binary path");
+    eprintln!("running child {mode}…");
+    let output = std::process::Command::new(exe)
+        .args([
+            "--child",
+            mode,
+            "--scale",
+            &opts.scale.to_string(),
+            "--seed",
+            &opts.seed.to_string(),
+            "--hetero-cloudlets",
+            &opts.hetero_cloudlets.to_string(),
+        ])
+        .output()
+        .expect("spawn child");
+    std::io::stderr()
+        .write_all(&output.stderr)
+        .expect("relay child stderr");
+    assert!(
+        output.status.success(),
+        "child {mode} failed with {:?}",
+        output.status
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.contains("\"wall_ms\""))
+        .unwrap_or_else(|| panic!("child {mode} printed no report: {stdout}"));
+    ChildReport {
+        wall_ms: json_number(line, "wall_ms").expect("wall_ms in child report"),
+        peak_rss_kb: json_number(line, "peak_rss_kb"),
+        finished: json_number(line, "finished").expect("finished in child report") as usize,
+    }
+}
+
+fn fmt_rss(kb: Option<f64>) -> String {
+    kb.map_or_else(|| "null".to_string(), |v| format!("{v:.0}"))
+}
+
+fn main() {
+    let opts = parse_args();
+    if let Some(mode) = &opts.child {
+        run_child(&opts, mode);
+        return;
+    }
+
+    let legacy = spawn_child(&opts, "legacy");
+    let overhauled = spawn_child(&opts, "overhauled");
+    let mem_full = spawn_child(&opts, "mem-full");
+    let mem_aggregate = spawn_child(&opts, "mem-aggregate");
+
+    // The two pipelines must complete identical per-sweep workloads; the
+    // legacy one simply runs the homogeneous half twice.
+    let legacy_unique = overhauled.finished;
+    assert!(
+        legacy.finished > legacy_unique,
+        "legacy child should duplicate homogeneous work ({} vs {})",
+        legacy.finished,
+        legacy_unique
+    );
+    assert_eq!(
+        mem_full.finished, mem_aggregate.finished,
+        "record-mode children must finish identical workloads"
+    );
+
+    let speedup = legacy.wall_ms / overhauled.wall_ms;
+    let rss_ratio = match (mem_full.peak_rss_kb, mem_aggregate.peak_rss_kb) {
+        (Some(f), Some(a)) if a > 0.0 => Some(f / a),
+        _ => None,
+    };
+    eprintln!(
+        "end-to-end: legacy {:.0} ms vs overhauled {:.0} ms ({speedup:.2}x)",
+        legacy.wall_ms, overhauled.wall_ms
+    );
+    if let Some(r) = rss_ratio {
+        eprintln!(
+            "record retention: full {} kB vs aggregate {} kB ({r:.2}x)",
+            fmt_rss(mem_full.peak_rss_kb),
+            fmt_rss(mem_aggregate.peak_rss_kb)
+        );
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"bench\": \"repro\",\n  \"machine_cores\": {cores},\n  \"seed\": {},\n  \
+         \"scale\": {},\n  \"hetero_cloudlets\": {},\n  \"end_to_end\": {{\n    \
+         \"workload\": \"repro all figure sweeps (figs 4, 5, 6)\",\n    \
+         \"legacy\": {{\"wall_ms\": {:.1}, \"peak_rss_kb\": {}, \"finished\": {}}},\n    \
+         \"overhauled\": {{\"wall_ms\": {:.1}, \"peak_rss_kb\": {}, \"finished\": {}}},\n    \
+         \"speedup\": {speedup:.2}\n  }},\n  \"record_memory\": {{\n    \
+         \"workload\": \"fig4b axis, all outcomes held\",\n    \
+         \"full\": {{\"wall_ms\": {:.1}, \"peak_rss_kb\": {}}},\n    \
+         \"aggregate\": {{\"wall_ms\": {:.1}, \"peak_rss_kb\": {}}},\n    \
+         \"rss_ratio\": {}\n  }}\n}}\n",
+        opts.seed,
+        opts.scale,
+        opts.hetero_cloudlets,
+        legacy.wall_ms,
+        fmt_rss(legacy.peak_rss_kb),
+        legacy.finished,
+        overhauled.wall_ms,
+        fmt_rss(overhauled.peak_rss_kb),
+        overhauled.finished,
+        mem_full.wall_ms,
+        fmt_rss(mem_full.peak_rss_kb),
+        mem_aggregate.wall_ms,
+        fmt_rss(mem_aggregate.peak_rss_kb),
+        rss_ratio.map_or_else(|| "null".to_string(), |r| format!("{r:.2}")),
+    );
+    let mut f = std::fs::File::create(&opts.out_path).expect("output file");
+    f.write_all(json.as_bytes()).expect("write json");
+    eprintln!("wrote {}", opts.out_path);
+    print!("{json}");
+}

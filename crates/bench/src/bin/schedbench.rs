@@ -150,9 +150,11 @@ fn main() {
     }
     set_threads(0);
 
+    let peak_rss =
+        biosched_bench::rss::peak_rss_kb().map_or_else(|| "null".to_string(), |kb| kb.to_string());
     let mut json = String::from("{\n  \"bench\": \"schedulers\",\n");
     json.push_str(&format!(
-        "  \"machine_cores\": {},\n  \"seed\": {seed},\n  \"points\": [\n",
+        "  \"machine_cores\": {},\n  \"seed\": {seed},\n  \"peak_rss_kb\": {peak_rss},\n  \"points\": [\n",
         std::thread::available_parallelism().map_or(1, |n| n.get())
     ));
     for (i, p) in points.iter().enumerate() {

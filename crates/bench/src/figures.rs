@@ -142,26 +142,22 @@ pub fn heterogeneous_sweep_repeated_on(
     reps: usize,
     engine: EngineKind,
 ) -> Vec<Vec<biosched_workload::sweep::RepeatedPointResult>> {
-    use biosched_workload::sweep::run_point_repeated_on;
-    points
-        .iter()
-        .map(|&vms| {
-            AlgorithmKind::PAPER_SET
-                .iter()
-                .map(|&alg| {
-                    run_point_repeated_on(alg, base_seed, reps, engine, |seed| {
-                        HeterogeneousScenario {
-                            vm_count: vms,
-                            cloudlet_count: cloudlets,
-                            datacenter_count: biosched_workload::heterogeneous::DEFAULT_DATACENTERS,
-                            seed,
-                        }
-                        .build()
-                    })
-                })
-                .collect()
-        })
-        .collect()
+    biosched_workload::sweep::sweep_repeated_on(
+        points,
+        &AlgorithmKind::PAPER_SET,
+        base_seed,
+        reps,
+        engine,
+        |vms, seed| {
+            HeterogeneousScenario {
+                vm_count: vms,
+                cloudlet_count: cloudlets,
+                datacenter_count: biosched_workload::heterogeneous::DEFAULT_DATACENTERS,
+                seed,
+            }
+            .build()
+        },
+    )
 }
 
 #[cfg(test)]

@@ -4,6 +4,8 @@
 //!
 //! * [`figures`] — sweep runners + figure extraction for Figs. 4, 5, 6a–d.
 //! * [`tables`] — Tables I–VII printed from the implementation's defaults.
+//! * [`rss`] — peak-RSS probe (`VmHWM`) shared by `schedbench` and
+//!   `reprobench`.
 //!
 //! The `repro` binary drives these; the `benches/` directory holds the
 //! criterion micro-benchmarks (scheduling time, simulator throughput, and
@@ -15,4 +17,5 @@
 pub mod convergence;
 pub mod extended;
 pub mod figures;
+pub mod rss;
 pub mod tables;

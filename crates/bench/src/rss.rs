@@ -1,0 +1,58 @@
+//! Peak resident-set-size measurement for the benchmark binaries.
+//!
+//! Linux exposes the high-water mark of a process's resident set as
+//! `VmHWM` in `/proc/self/status`. The counter is monotonic for the
+//! lifetime of the process, so comparing two configurations (e.g.
+//! [`RecordMode::Full`](simcloud::stats::RecordMode) vs
+//! [`RecordMode::Aggregate`](simcloud::stats::RecordMode)) requires one
+//! *child process per configuration* — `reprobench` re-executes its own
+//! binary for exactly that reason. On non-Linux targets the probe
+//! returns `None` and benchmarks report `null`.
+
+/// Peak resident set size of the current process in kilobytes, read from
+/// `VmHWM` in `/proc/self/status`. `None` when the file or field is
+/// unavailable (non-Linux, hardened procfs).
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm_kb(&status)
+}
+
+/// Extracts the `VmHWM` value (kB) from `/proc/<pid>/status` content.
+fn parse_vm_hwm_kb(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vm_hwm_line() {
+        let status = "Name:\tcat\nVmPeak:\t  123 kB\nVmHWM:\t  4568 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm_kb(status), Some(4_568));
+    }
+
+    #[test]
+    fn missing_field_yields_none() {
+        assert_eq!(parse_vm_hwm_kb("Name:\tcat\nThreads:\t1\n"), None);
+    }
+
+    #[test]
+    fn live_probe_reports_nonzero_on_linux() {
+        if !std::path::Path::new("/proc/self/status").exists() {
+            return;
+        }
+        // Any running process has touched at least a few pages.
+        assert!(peak_rss_kb().expect("procfs present") > 0);
+    }
+
+    #[test]
+    fn probe_is_monotone_under_allocation() {
+        let Some(before) = peak_rss_kb() else { return };
+        let big = vec![1u8; 64 << 20];
+        std::hint::black_box(&big);
+        let after = peak_rss_kb().expect("probe still works");
+        assert!(after >= before);
+    }
+}

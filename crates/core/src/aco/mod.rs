@@ -93,13 +93,17 @@ impl AntColony {
     /// length after each iteration of the *first* colony — ACO's
     /// convergence curve (subsequent batches behave statistically alike).
     pub fn schedule_traced(&mut self, problem: &SchedulingProblem) -> (Assignment, Vec<f64>) {
-        self.run(problem, true)
+        self.run(problem, &EvalCache::new(problem), true)
     }
 
-    fn run(&mut self, problem: &SchedulingProblem, traced: bool) -> (Assignment, Vec<f64>) {
+    fn run(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+        traced: bool,
+    ) -> (Assignment, Vec<f64>) {
         let c = problem.cloudlet_count();
         let v = problem.vm_count();
-        let cache = EvalCache::new(problem);
         // Clamp: a tour may not revisit VMs, and a tour covering the whole
         // fleet is a bare permutation with no room for preference.
         let fleet_cap = ((v as f64 * self.params.max_vm_fraction).ceil() as usize).max(1);
@@ -128,7 +132,7 @@ impl AntColony {
         let params = &self.params;
         let results = eval::par_map_if(colonies_parallel, &colonies, |(i, slots)| {
             run_colony(
-                &cache,
+                cache,
                 params,
                 slots.clone(),
                 &seeds[i * per_colony..(i + 1) * per_colony],
@@ -453,7 +457,15 @@ impl Scheduler for AntColony {
     }
 
     fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
-        self.run(problem, false).0
+        self.run(problem, &EvalCache::new(problem), false).0
+    }
+
+    fn schedule_with_cache(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+    ) -> Assignment {
+        self.run(problem, cache, false).0
     }
 }
 

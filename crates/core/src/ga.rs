@@ -153,10 +153,15 @@ impl Genetic {
     /// survey [17] calls GA "slow … due to the time to converge"; this
     /// makes that measurable).
     pub fn schedule_traced(&mut self, problem: &SchedulingProblem) -> (Assignment, Vec<f64>) {
-        self.run(problem, true)
+        self.run(problem, &EvalCache::new(problem), true)
     }
 
-    fn run(&mut self, problem: &SchedulingProblem, traced: bool) -> (Assignment, Vec<f64>) {
+    fn run(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+        traced: bool,
+    ) -> (Assignment, Vec<f64>) {
         let dims = problem.cloudlet_count();
         let v = problem.vm_count() as u32;
         let mut trace = Vec::new();
@@ -164,7 +169,6 @@ impl Genetic {
             return (Assignment::new(Vec::new()), trace);
         }
         let objective = self.params.objective;
-        let cache = EvalCache::new(problem);
 
         // Seed the population with random chromosomes plus one cyclic
         // chromosome — a common warm start that also guarantees the GA
@@ -178,7 +182,7 @@ impl Genetic {
         while genomes.len() < self.params.population {
             genomes.push((0..dims).map(|_| self.rng.gen_range(0..v)).collect());
         }
-        let scores = evaluate_population(&cache, &genomes, objective);
+        let scores = evaluate_population(cache, &genomes, objective);
         let mut population: Vec<(Vec<u32>, f64)> = genomes.into_iter().zip(scores).collect();
 
         for _ in 0..self.params.generations {
@@ -200,7 +204,7 @@ impl Genetic {
                 }
                 children.push(child);
             }
-            let scores = evaluate_population(&cache, &children, objective);
+            let scores = evaluate_population(cache, &children, objective);
             next.extend(children.into_iter().zip(scores));
             population = next;
             if traced {
@@ -222,7 +226,15 @@ impl Scheduler for Genetic {
     }
 
     fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
-        self.run(problem, false).0
+        self.run(problem, &EvalCache::new(problem), false).0
+    }
+
+    fn schedule_with_cache(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+    ) -> Assignment {
+        self.run(problem, cache, false).0
     }
 }
 

@@ -117,17 +117,10 @@ impl HoneyBee {
     pub fn params(&self) -> &HboParams {
         &self.params
     }
-}
 
-impl Scheduler for HoneyBee {
-    fn name(&self) -> &'static str {
-        "honey-bee"
-    }
-
-    fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
+    fn run(&mut self, problem: &SchedulingProblem, cache: &EvalCache) -> Assignment {
         let dc_count = problem.datacenters.len();
         let c = problem.cloudlet_count();
-        let cache = EvalCache::new(problem);
 
         // Forager ranking: datacenters ordered by their cheapest Eq. 1
         // rate. TCL_j scales all datacenters identically, so the ranking
@@ -219,6 +212,24 @@ impl Scheduler for HoneyBee {
             }
         }
         Assignment::new(map)
+    }
+}
+
+impl Scheduler for HoneyBee {
+    fn name(&self) -> &'static str {
+        "honey-bee"
+    }
+
+    fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
+        self.run(problem, &EvalCache::new(problem))
+    }
+
+    fn schedule_with_cache(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+    ) -> Assignment {
+        self.run(problem, cache)
     }
 }
 

@@ -54,10 +54,9 @@ impl Hybrid {
     /// execution time is closest to a global target (the median expected
     /// time over a sample of (cloudlet, VM) pairs), tie-breaking toward
     /// the least-loaded of the qualifying VMs.
-    fn schedule_balance(problem: &SchedulingProblem) -> Assignment {
-        let v = problem.vm_count();
-        let c = problem.cloudlet_count();
-        let cache = EvalCache::new(problem);
+    fn schedule_balance(cache: &EvalCache) -> Assignment {
+        let v = cache.vm_count();
+        let c = cache.cloudlet_count();
 
         // Target: median Eq. 6 time over a bounded sample.
         let mut sample = Vec::new();
@@ -74,7 +73,7 @@ impl Hybrid {
         sample.sort_by(f64::total_cmp);
         let target = sample[sample.len() / 2];
 
-        let mut tracker = LoadTracker::new(&cache);
+        let mut tracker = LoadTracker::new(cache);
         let mut map = Vec::with_capacity(c);
         for cl in 0..c {
             let mut best_vm = 0usize;
@@ -87,7 +86,7 @@ impl Hybrid {
                     best_vm = vm;
                 }
             }
-            tracker.assign(&cache, cl, best_vm);
+            tracker.assign(cache, cl, best_vm);
             map.push(VmId::from_index(best_vm));
         }
         Assignment::new(map)
@@ -109,7 +108,22 @@ impl Scheduler for Hybrid {
         match self.objective {
             Objective::Makespan => self.aco.schedule(problem),
             Objective::Cost => self.hbo.schedule(problem),
-            Objective::Balance => Self::schedule_balance(problem),
+            Objective::Balance => Self::schedule_balance(&EvalCache::new(problem)),
+        }
+    }
+
+    fn schedule_with_cache(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+    ) -> Assignment {
+        if problem.is_homogeneous() && problem.datacenters.len() == 1 {
+            return self.base.schedule(problem);
+        }
+        match self.objective {
+            Objective::Makespan => self.aco.schedule_with_cache(problem, cache),
+            Objective::Cost => self.hbo.schedule_with_cache(problem, cache),
+            Objective::Balance => Self::schedule_balance(cache),
         }
     }
 }

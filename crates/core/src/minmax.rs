@@ -25,17 +25,16 @@ enum Mode {
     Max,
 }
 
-fn schedule_greedy(problem: &SchedulingProblem, mode: Mode) -> Assignment {
-    let c = problem.cloudlet_count();
+fn schedule_greedy(cache: &EvalCache, mode: Mode) -> Assignment {
+    let c = cache.cloudlet_count();
     let mut map = vec![VmId(0); c];
-    let cache = EvalCache::new(problem);
     // A VM's ready time is exactly its tracked estimated load: assignments
     // only ever append work, so completion = load + d.
-    let mut tracker = LoadTracker::new(&cache);
+    let mut tracker = LoadTracker::new(cache);
 
     // Cached best (completion, vm) per unassigned cloudlet.
     let mut best: Vec<(f64, usize)> = (0..c)
-        .map(|cl| best_vm(&cache, cl, tracker.loads()))
+        .map(|cl| best_vm(cache, cl, tracker.loads()))
         .collect();
     let mut unassigned: Vec<usize> = (0..c).collect();
 
@@ -58,14 +57,14 @@ fn schedule_greedy(problem: &SchedulingProblem, mode: Mode) -> Assignment {
         let cl = unassigned.swap_remove(sel_pos);
         let (_, vm) = best[cl];
         map[cl] = VmId::from_index(vm);
-        tracker.assign(&cache, cl, vm);
+        tracker.assign(cache, cl, vm);
 
         // Only cloudlets whose cached best used `vm` can have changed —
         // every other VM's ready time is untouched and `vm` only got
         // worse, so their cached optimum still stands.
         for &other in &unassigned {
             if best[other].1 == vm {
-                best[other] = best_vm(&cache, other, tracker.loads());
+                best[other] = best_vm(cache, other, tracker.loads());
             }
         }
     }
@@ -101,7 +100,15 @@ impl Scheduler for MinMin {
     }
 
     fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
-        schedule_greedy(problem, Mode::Min)
+        schedule_greedy(&EvalCache::new(problem), Mode::Min)
+    }
+
+    fn schedule_with_cache(
+        &mut self,
+        _problem: &SchedulingProblem,
+        cache: &EvalCache,
+    ) -> Assignment {
+        schedule_greedy(cache, Mode::Min)
     }
 }
 
@@ -122,7 +129,15 @@ impl Scheduler for MaxMin {
     }
 
     fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
-        schedule_greedy(problem, Mode::Max)
+        schedule_greedy(&EvalCache::new(problem), Mode::Max)
+    }
+
+    fn schedule_with_cache(
+        &mut self,
+        _problem: &SchedulingProblem,
+        cache: &EvalCache,
+    ) -> Assignment {
+        schedule_greedy(cache, Mode::Max)
     }
 }
 

@@ -82,11 +82,18 @@ impl Scheduler for Portfolio {
     }
 
     fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
-        // One cache scores every candidate's plan this round.
-        let cache = EvalCache::new(problem);
+        // One cache runs and scores every candidate's plan this round.
+        self.schedule_with_cache(problem, &EvalCache::new(problem))
+    }
+
+    fn schedule_with_cache(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+    ) -> Assignment {
         let mut best: Option<(usize, f64, Assignment)> = None;
         for (i, candidate) in self.candidates.iter_mut().enumerate() {
-            let assignment = candidate.schedule(problem);
+            let assignment = candidate.schedule_with_cache(problem, cache);
             debug_assert!(assignment.validate(problem).is_ok());
             let score = cache.score(assignment.as_slice(), self.objective);
             if best.as_ref().is_none_or(|(_, s, _)| score < *s) {

@@ -164,10 +164,15 @@ impl ParticleSwarm {
     /// score after every iteration — the swarm's convergence curve (the
     /// property the survey [30] credits PSO with: fastest convergence).
     pub fn schedule_traced(&mut self, problem: &SchedulingProblem) -> (Assignment, Vec<f64>) {
-        self.run(problem, true)
+        self.run(problem, &EvalCache::new(problem), true)
     }
 
-    fn run(&mut self, problem: &SchedulingProblem, traced: bool) -> (Assignment, Vec<f64>) {
+    fn run(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+        traced: bool,
+    ) -> (Assignment, Vec<f64>) {
         let dims = problem.cloudlet_count();
         let v = problem.vm_count() as f64;
         let mut trace = Vec::new();
@@ -175,7 +180,6 @@ impl ParticleSwarm {
             return (Assignment::new(Vec::new()), trace);
         }
         let v_max = (v * self.params.v_max_fraction).max(1.0);
-        let cache = EvalCache::new(problem);
 
         // Initialize the swarm uniformly over the VM range.
         let mut swarm: Vec<Particle> = (0..self.params.particles)
@@ -201,7 +205,7 @@ impl ParticleSwarm {
             .iter()
             .map(|p| Self::decode(&p.position, problem.vm_count()))
             .collect();
-        let scores = evaluate_population(&cache, &decoded, self.params.objective);
+        let scores = evaluate_population(cache, &decoded, self.params.objective);
         for (p, score) in swarm.iter_mut().zip(scores) {
             p.best_score = score;
         }
@@ -252,7 +256,15 @@ impl Scheduler for ParticleSwarm {
     }
 
     fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
-        self.run(problem, false).0
+        self.run(problem, &EvalCache::new(problem), false).0
+    }
+
+    fn schedule_with_cache(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+    ) -> Assignment {
+        self.run(problem, cache, false).0
     }
 }
 

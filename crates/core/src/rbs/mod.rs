@@ -41,6 +41,7 @@ use simcloud::ids::VmId;
 use simcloud::rng::stream;
 
 use crate::assignment::Assignment;
+use crate::eval::EvalCache;
 use crate::problem::SchedulingProblem;
 use crate::scheduler::Scheduler;
 
@@ -174,6 +175,19 @@ impl Scheduler for RandomBiasedSampling {
             }
         }
         Assignment::new(map)
+    }
+
+    /// RBS never evaluates execution times or costs — the biased random
+    /// walk looks only at group occupancy and the RNG stream — so a shared
+    /// cache changes nothing. The explicit override documents that the
+    /// pass-through is intentional (not an unported scheduler) for the
+    /// sweep's shared-cache path.
+    fn schedule_with_cache(
+        &mut self,
+        problem: &SchedulingProblem,
+        _cache: &EvalCache,
+    ) -> Assignment {
+        self.schedule(problem)
     }
 }
 

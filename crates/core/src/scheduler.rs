@@ -2,6 +2,7 @@
 
 use crate::aco::{AcoParams, AntColony};
 use crate::assignment::Assignment;
+use crate::eval::EvalCache;
 use crate::ga::{GaParams, Genetic};
 use crate::hbo::{HboParams, HoneyBee};
 use crate::hybrid::Hybrid;
@@ -23,6 +24,24 @@ pub trait Scheduler: Send {
 
     /// Computes a complete assignment for `problem`.
     fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment;
+
+    /// Computes a complete assignment reusing a prebuilt [`EvalCache`].
+    ///
+    /// `cache` must have been built from this exact `problem`. The sweep
+    /// pipeline builds one cache per scenario point and shares it across
+    /// every algorithm and repetition at that point; the assignment must be
+    /// byte-identical to what [`Scheduler::schedule`] produces, because
+    /// `EvalCache` construction is deterministic. The default ignores the
+    /// cache and calls `schedule`, so external implementations keep working
+    /// unchanged (they just rebuild their own state as before).
+    fn schedule_with_cache(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+    ) -> Assignment {
+        let _ = cache;
+        self.schedule(problem)
+    }
 }
 
 /// Every algorithm in the study, constructible by name.
@@ -138,6 +157,35 @@ mod tests {
             let a = kind.build(7).schedule(&p);
             let b = kind.build(7).schedule(&p);
             assert_eq!(a, b, "{kind} must be deterministic for a fixed seed");
+        }
+    }
+
+    #[test]
+    fn shared_cache_matches_private_cache_for_every_kind() {
+        let p = small_problem();
+        let cache = EvalCache::new(&p);
+        let kinds = [
+            AlgorithmKind::BaseTest,
+            AlgorithmKind::AntColony,
+            AlgorithmKind::HoneyBee,
+            AlgorithmKind::Rbs,
+            AlgorithmKind::MinMin,
+            AlgorithmKind::MaxMin,
+            AlgorithmKind::Pso,
+            AlgorithmKind::Ga,
+            AlgorithmKind::Hybrid(Objective::Makespan),
+            AlgorithmKind::Hybrid(Objective::Cost),
+            AlgorithmKind::Hybrid(Objective::Balance),
+        ];
+        for kind in kinds {
+            for seed in [7u64, 42, 1_234] {
+                let private = kind.build(seed).schedule(&p);
+                let shared = kind.build(seed).schedule_with_cache(&p, &cache);
+                assert_eq!(
+                    private, shared,
+                    "{kind} seed {seed}: shared-cache path must be byte-identical"
+                );
+            }
         }
     }
 

@@ -38,10 +38,11 @@ use crate::problem::SchedulingProblem;
 /// task's mean expected execution time across the fleet. Higher rank =
 /// closer to the critical path's head.
 pub fn upward_ranks(problem: &SchedulingProblem, parents: &[Vec<CloudletId>]) -> Vec<f64> {
-    ranks_with(&EvalCache::new(problem), parents)
+    upward_ranks_with(&EvalCache::new(problem), parents)
 }
 
-fn ranks_with(cache: &EvalCache, parents: &[Vec<CloudletId>]) -> Vec<f64> {
+/// [`upward_ranks`] over a prebuilt cache (shared-artifact pipelines).
+pub fn upward_ranks_with(cache: &EvalCache, parents: &[Vec<CloudletId>]) -> Vec<f64> {
     let n = cache.cloudlet_count();
     assert_eq!(parents.len(), n, "parents must cover every cloudlet");
     let v = cache.vm_count();
@@ -87,10 +88,14 @@ fn ranks_with(cache: &EvalCache, parents: &[Vec<CloudletId>]) -> Vec<f64> {
 /// the simulator's space-shared queue), so `EFT(c, v) = max(ready[v],
 /// latest parent finish) + d(c, v)`.
 pub fn heft(problem: &SchedulingProblem, parents: &[Vec<CloudletId>]) -> Assignment {
-    let cache = EvalCache::new(problem);
+    heft_with(&EvalCache::new(problem), parents)
+}
+
+/// [`heft`] over a prebuilt cache (shared-artifact pipelines).
+pub fn heft_with(cache: &EvalCache, parents: &[Vec<CloudletId>]) -> Assignment {
     let n = cache.cloudlet_count();
     let v = cache.vm_count();
-    let ranks = ranks_with(&cache, parents);
+    let ranks = upward_ranks_with(cache, parents);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|a, b| ranks[*b].total_cmp(&ranks[*a]));
 
@@ -122,9 +127,13 @@ pub fn heft(problem: &SchedulingProblem, parents: &[Vec<CloudletId>]) -> Assignm
 /// predicted finish time. Useful for quick comparisons without running
 /// the simulator.
 pub fn heft_estimate_ms(problem: &SchedulingProblem, parents: &[Vec<CloudletId>]) -> f64 {
-    let cache = EvalCache::new(problem);
+    heft_estimate_ms_with(&EvalCache::new(problem), parents)
+}
+
+/// [`heft_estimate_ms`] over a prebuilt cache (shared-artifact pipelines).
+pub fn heft_estimate_ms_with(cache: &EvalCache, parents: &[Vec<CloudletId>]) -> f64 {
     let n = cache.cloudlet_count();
-    let ranks = ranks_with(&cache, parents);
+    let ranks = upward_ranks_with(cache, parents);
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|a, b| ranks[*b].total_cmp(&ranks[*a]));
     let v = cache.vm_count();

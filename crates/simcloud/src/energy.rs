@@ -78,21 +78,15 @@ pub fn estimate_energy(
     if window_s <= 0.0 || vm_count == 0 {
         return None;
     }
-    let mut busy_s = vec![0.0f64; vm_count];
-    for r in outcome.finished() {
-        if let (Some(vm), Some(exec)) = (r.vm, r.execution_ms) {
-            if vm.index() < vm_count {
-                busy_s[vm.index()] += exec / 1_000.0;
-            }
-        }
-    }
+    // One fused pass (and the only data Aggregate mode retains per VM).
+    let usage = outcome.per_vm_usage(vm_count);
     let mut idle_joules = 0.0;
     let mut dynamic_joules = 0.0;
     let mut util_sum = 0.0;
-    for b in &busy_s {
+    for b in &usage.busy_ms {
         // A VM cannot be busier than the window; time-shared contention
         // can make the per-cloudlet sum exceed it, so clamp.
-        let busy = b.min(window_s);
+        let busy = (b / 1_000.0).min(window_s);
         idle_joules += model.idle_w * window_s;
         dynamic_joules += (model.peak_w - model.idle_w) * busy;
         util_sum += busy / window_s;
@@ -115,6 +109,7 @@ mod tests {
     fn outcome(records: Vec<CloudletRecord>) -> SimulationOutcome {
         SimulationOutcome {
             records,
+            aggregate: None,
             end_time: SimTime::new(1_000.0),
             events_processed: 1,
             vms_created: 2,

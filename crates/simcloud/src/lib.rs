@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::ids::{CloudletId, DatacenterId, HostId, VmId};
     pub use crate::network::Topology;
     pub use crate::simulation::{EngineKind, SimulationBuilder};
-    pub use crate::stats::{CloudletRecord, SimulationOutcome};
+    pub use crate::stats::{CloudletRecord, RecordMode, SimulationOutcome, VmUsage};
     pub use crate::time::SimTime;
     pub use crate::vm::{Vm, VmSpec, VmStatus};
     pub use crate::vm_alloc::{

@@ -35,7 +35,7 @@ use crate::error::SimError;
 use crate::ids::{DatacenterId, VmId};
 use crate::kernel::{Kernel, World};
 use crate::network::Topology;
-use crate::stats::{CloudletRecord, SimulationOutcome};
+use crate::stats::{AggregateMetrics, CloudletRecord, RecordMode, SimulationOutcome};
 use crate::vm::VmSpec;
 
 /// Which execution engine runs the scenario.
@@ -75,6 +75,7 @@ pub struct SimulationBuilder {
     max_events: Option<u64>,
     max_retries: u8,
     engine: EngineKind,
+    record_mode: RecordMode,
 }
 
 impl Default for SimulationBuilder {
@@ -98,12 +99,22 @@ impl SimulationBuilder {
             max_events: None,
             max_retries: 0,
             engine: EngineKind::Sequential,
+            record_mode: RecordMode::Full,
         }
     }
 
     /// Selects the execution engine. Defaults to the sequential kernel.
     pub fn engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects how per-cloudlet results are retained. Defaults to
+    /// [`RecordMode::Full`]; [`RecordMode::Aggregate`] folds the metrics
+    /// at outcome construction and returns an empty record vector,
+    /// keeping memory O(VMs) instead of O(cloudlets).
+    pub fn record_mode(mut self, mode: RecordMode) -> Self {
+        self.record_mode = mode;
         self
     }
 
@@ -254,7 +265,12 @@ impl SimulationBuilder {
                 self.arrivals.as_deref(),
                 &topology,
             );
-            return Ok(outcome_from_world(&world, stats, EngineKind::Sharded));
+            return Ok(outcome_from_world(
+                &world,
+                stats,
+                EngineKind::Sharded,
+                self.record_mode,
+            ));
         }
 
         let mut kernel = Kernel::new();
@@ -298,7 +314,12 @@ impl SimulationBuilder {
             });
         }
 
-        Ok(outcome_from_world(&world, stats, EngineKind::Sequential))
+        Ok(outcome_from_world(
+            &world,
+            stats,
+            EngineKind::Sequential,
+            self.record_mode,
+        ))
     }
 }
 
@@ -307,11 +328,15 @@ impl SimulationBuilder {
 /// The kernel owns the entities; rather than downcasting the broker we
 /// recompute the counters from the world, which is equivalent and keeps
 /// the kernel API minimal. The sharded engine shares this path, which
-/// guarantees both engines derive their outcome identically.
+/// guarantees both engines derive their outcome identically. Under
+/// [`RecordMode::Aggregate`] the per-cloudlet records are folded into an
+/// [`AggregateMetrics`] in cloudlet-id order (the exact order the record
+/// accessors scan) and never materialized as a vector.
 fn outcome_from_world(
     world: &World,
     stats: crate::kernel::RunStats,
     engine: EngineKind,
+    mode: RecordMode,
 ) -> SimulationOutcome {
     let vms_created = world.vms.iter().filter(|v| v.is_active()).count();
     let vms_rejected = world
@@ -324,9 +349,26 @@ fn outcome_from_world(
         .iter()
         .filter(|c| c.status == crate::cloudlet::CloudletStatus::Failed)
         .count();
-    let records: Vec<CloudletRecord> = world.cloudlets.iter().map(CloudletRecord::from).collect();
+    let (records, aggregate) = match mode {
+        RecordMode::Full => (
+            world
+                .cloudlets
+                .iter()
+                .map(CloudletRecord::from)
+                .collect::<Vec<_>>(),
+            None,
+        ),
+        RecordMode::Aggregate => {
+            let mut agg = AggregateMetrics::new(world.vms.len());
+            for cl in &world.cloudlets {
+                agg.observe(&CloudletRecord::from(cl));
+            }
+            (Vec::new(), Some(agg))
+        }
+    };
     SimulationOutcome {
         records,
+        aggregate,
         end_time: stats.end_time,
         events_processed: stats.events_processed,
         vms_created,

@@ -4,10 +4,139 @@
 //! one record per cloudlet plus run-level counters. The metric definitions
 //! follow Section VI-C: simulation time (Eq. 12), degree of time imbalance
 //! (Eq. 13) and processing cost (Section VI-C-4).
+//!
+//! Two retention modes exist ([`RecordMode`]): `Full` keeps the
+//! per-cloudlet record vector; `Aggregate` folds every metric online into
+//! an [`AggregateMetrics`] at outcome construction and drops the records,
+//! cutting a run's retained memory from O(cloudlets) to O(VMs). Every
+//! metric accessor answers identically (bit-for-bit) in both modes; the
+//! equivalence suite in `crates/workload/tests` pins that contract.
 
 use crate::cloudlet::{Cloudlet, CloudletStatus};
 use crate::ids::{CloudletId, VmId};
 use crate::time::SimTime;
+
+/// How a run's per-cloudlet results are retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordMode {
+    /// Keep one [`CloudletRecord`] per cloudlet (CSV export, diagnostics,
+    /// SLA drill-downs). The default.
+    #[default]
+    Full,
+    /// Fold the paper's metrics online and retain no per-cloudlet vector.
+    Aggregate,
+}
+
+/// Per-VM usage summary: busy time and finished-cloudlet count, computed
+/// in one pass over the records (or read straight off the aggregate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmUsage {
+    /// Sum of execution times of the cloudlets each VM finished, in ms.
+    pub busy_ms: Vec<f64>,
+    /// Finished-cloudlet count per VM.
+    pub counts: Vec<usize>,
+}
+
+/// The paper's metrics folded online, one record at a time, in cloudlet-id
+/// order — the same order the [`SimulationOutcome`] accessors scan the
+/// record vector, so every min/max/sum lands on identical bits.
+#[derive(Debug, Clone)]
+pub struct AggregateMetrics {
+    finished: usize,
+    min_start: Option<f64>,
+    max_finish: Option<f64>,
+    exec_min: f64,
+    exec_max: f64,
+    exec_sum: f64,
+    exec_n: usize,
+    /// A finished cloudlet lacked `execution_ms` (makes Eq. 13 undefined,
+    /// matching the record path's early `None`).
+    exec_missing: bool,
+    turn_min: f64,
+    turn_max: f64,
+    turn_sum: f64,
+    turn_n: usize,
+    turn_missing: bool,
+    total_cost: f64,
+    sla_met: usize,
+    sla_total: usize,
+    per_vm_busy_ms: Vec<f64>,
+    per_vm_counts: Vec<usize>,
+}
+
+impl AggregateMetrics {
+    /// An empty fold over a fleet of `vm_count` VMs.
+    pub fn new(vm_count: usize) -> Self {
+        AggregateMetrics {
+            finished: 0,
+            min_start: None,
+            max_finish: None,
+            exec_min: f64::INFINITY,
+            exec_max: f64::NEG_INFINITY,
+            exec_sum: 0.0,
+            exec_n: 0,
+            exec_missing: false,
+            turn_min: f64::INFINITY,
+            turn_max: f64::NEG_INFINITY,
+            turn_sum: 0.0,
+            turn_n: 0,
+            turn_missing: false,
+            total_cost: 0.0,
+            sla_met: 0,
+            sla_total: 0,
+            per_vm_busy_ms: vec![0.0; vm_count],
+            per_vm_counts: vec![0; vm_count],
+        }
+    }
+
+    /// Folds one cloudlet's final state. Must be called in cloudlet-id
+    /// order to keep the floating-point fold bit-identical to a scan of
+    /// the full record vector.
+    pub fn observe(&mut self, r: &CloudletRecord) {
+        if let Some(ok) = r.met_deadline {
+            self.sla_total += 1;
+            self.sla_met += usize::from(ok);
+        }
+        if r.status != CloudletStatus::Finished {
+            return;
+        }
+        self.finished += 1;
+        if let (Some(s), Some(f)) = (r.start, r.finish) {
+            let s = s.as_millis();
+            let f = f.as_millis();
+            self.min_start = Some(self.min_start.map_or(s, |m| m.min(s)));
+            self.max_finish = Some(self.max_finish.map_or(f, |m| m.max(f)));
+        }
+        match r.execution_ms {
+            Some(e) => {
+                self.exec_min = self.exec_min.min(e);
+                self.exec_max = self.exec_max.max(e);
+                self.exec_sum += e;
+                self.exec_n += 1;
+            }
+            None => self.exec_missing = true,
+        }
+        match (r.submit, r.finish) {
+            (Some(s), Some(f)) => {
+                let t = f.saturating_sub(s).as_millis();
+                self.turn_min = self.turn_min.min(t);
+                self.turn_max = self.turn_max.max(t);
+                self.turn_sum += t;
+                self.turn_n += 1;
+            }
+            _ => self.turn_missing = true,
+        }
+        self.total_cost += r.cost;
+        if let Some(vm) = r.vm {
+            if vm.index() < self.per_vm_counts.len() {
+                self.per_vm_counts[vm.index()] += 1;
+                if let Some(exec) = r.execution_ms {
+                    self.per_vm_busy_ms[vm.index()] += exec;
+                }
+            }
+        }
+    }
+}
 
 /// Final per-cloudlet execution record.
 #[derive(Debug, Clone)]
@@ -52,8 +181,13 @@ impl From<&Cloudlet> for CloudletRecord {
 /// Everything measured from one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimulationOutcome {
-    /// One record per cloudlet, in cloudlet-id order.
+    /// One record per cloudlet, in cloudlet-id order. Empty when the run
+    /// was executed under [`RecordMode::Aggregate`].
     pub records: Vec<CloudletRecord>,
+    /// Metrics folded online at outcome construction. `Some` exactly when
+    /// the run used [`RecordMode::Aggregate`]; accessors read it first and
+    /// fall back to scanning `records`.
+    pub aggregate: Option<AggregateMetrics>,
     /// Final simulated clock.
     pub end_time: SimTime,
     /// Kernel events processed.
@@ -79,13 +213,19 @@ impl SimulationOutcome {
 
     /// Number of finished cloudlets.
     pub fn finished_count(&self) -> usize {
-        self.finished().count()
+        match &self.aggregate {
+            Some(a) => a.finished,
+            None => self.finished().count(),
+        }
     }
 
     /// The paper's Eq. 12: `T_sim = T_maxFinish − T_minStart`, in ms.
     ///
     /// `None` when no cloudlet finished.
     pub fn simulation_time_ms(&self) -> Option<f64> {
+        if let Some(a) = &self.aggregate {
+            return Some(a.max_finish? - a.min_start?);
+        }
         let mut min_start: Option<f64> = None;
         let mut max_finish: Option<f64> = None;
         for r in self.finished() {
@@ -104,6 +244,13 @@ impl SimulationOutcome {
     ///
     /// `None` when no cloudlet finished or all execution times are zero.
     pub fn time_imbalance(&self) -> Option<f64> {
+        if let Some(a) = &self.aggregate {
+            if a.exec_missing || a.exec_n == 0 || a.exec_sum == 0.0 {
+                return None;
+            }
+            let avg = a.exec_sum / a.exec_n as f64;
+            return Some((a.exec_max - a.exec_min) / avg);
+        }
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut sum = 0.0;
@@ -126,6 +273,12 @@ impl SimulationOutcome {
     /// of execution times. With batch submission this measures the spread
     /// of completion, which penalizes queueing on overloaded VMs.
     pub fn turnaround_imbalance(&self) -> Option<f64> {
+        if let Some(a) = &self.aggregate {
+            if a.turn_missing || a.turn_n == 0 || a.turn_sum == 0.0 {
+                return None;
+            }
+            return Some((a.turn_max - a.turn_min) / (a.turn_sum / a.turn_n as f64));
+        }
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut sum = 0.0;
@@ -146,7 +299,10 @@ impl SimulationOutcome {
 
     /// Total processing cost over all finished cloudlets (Fig. 6d's y-axis).
     pub fn total_cost(&self) -> f64 {
-        self.finished().map(|r| r.cost).sum()
+        match &self.aggregate {
+            Some(a) => a.total_cost,
+            None => self.finished().map(|r| r.cost).sum(),
+        }
     }
 
     /// Mean processing cost per finished cloudlet.
@@ -157,6 +313,9 @@ impl SimulationOutcome {
 
     /// Mean execution time over finished cloudlets, in ms.
     pub fn mean_execution_ms(&self) -> Option<f64> {
+        if let Some(a) = &self.aggregate {
+            return (a.exec_n > 0).then(|| a.exec_sum / a.exec_n as f64);
+        }
         let (sum, n) = self
             .finished()
             .filter_map(|r| r.execution_ms)
@@ -167,15 +326,22 @@ impl SimulationOutcome {
     /// Number of deadline-carrying cloudlets that missed their SLA
     /// (including ones that failed outright).
     pub fn sla_violations(&self) -> usize {
-        self.records
-            .iter()
-            .filter(|r| r.met_deadline == Some(false))
-            .count()
+        match &self.aggregate {
+            Some(a) => a.sla_total - a.sla_met,
+            None => self
+                .records
+                .iter()
+                .filter(|r| r.met_deadline == Some(false))
+                .count(),
+        }
     }
 
     /// Fraction of deadline-carrying cloudlets that met their SLA.
     /// `None` when no cloudlet carries a deadline.
     pub fn sla_attainment(&self) -> Option<f64> {
+        if let Some(a) = &self.aggregate {
+            return (a.sla_total > 0).then(|| a.sla_met as f64 / a.sla_total as f64);
+        }
         let (met, total) = self
             .records
             .iter()
@@ -184,33 +350,45 @@ impl SimulationOutcome {
         (total > 0).then(|| met as f64 / total as f64)
     }
 
-    /// Per-VM busy time in ms: the sum of execution times of the
-    /// cloudlets each VM finished. Under time-sharing, overlapping
-    /// executions make this an *occupancy* figure that can exceed the
-    /// wall window; see [`crate::energy`] for a clamped interpretation.
-    pub fn per_vm_busy_ms(&self, vm_count: usize) -> Vec<f64> {
-        let mut busy = vec![0.0f64; vm_count];
-        for r in self.finished() {
-            if let (Some(vm), Some(exec)) = (r.vm, r.execution_ms) {
-                if vm.index() < vm_count {
-                    busy[vm.index()] += exec;
-                }
-            }
+    /// Per-VM busy time and finished-cloudlet counts in one pass over the
+    /// records (the old `per_vm_busy_ms`/`per_vm_counts` pair each
+    /// re-scanned the whole vector). VMs at index ≥ `vm_count` are
+    /// ignored; indexes the run never touched stay zero.
+    pub fn per_vm_usage(&self, vm_count: usize) -> VmUsage {
+        if let Some(a) = &self.aggregate {
+            let mut busy_ms = vec![0.0f64; vm_count];
+            let mut counts = vec![0usize; vm_count];
+            let n = vm_count.min(a.per_vm_busy_ms.len());
+            busy_ms[..n].copy_from_slice(&a.per_vm_busy_ms[..n]);
+            counts[..n].copy_from_slice(&a.per_vm_counts[..n]);
+            return VmUsage { busy_ms, counts };
         }
-        busy
-    }
-
-    /// Per-VM finished-cloudlet counts (load-spread diagnostics).
-    pub fn per_vm_counts(&self, vm_count: usize) -> Vec<usize> {
+        let mut busy_ms = vec![0.0f64; vm_count];
         let mut counts = vec![0usize; vm_count];
         for r in self.finished() {
             if let Some(vm) = r.vm {
                 if vm.index() < vm_count {
                     counts[vm.index()] += 1;
+                    if let Some(exec) = r.execution_ms {
+                        busy_ms[vm.index()] += exec;
+                    }
                 }
             }
         }
-        counts
+        VmUsage { busy_ms, counts }
+    }
+
+    /// Per-VM busy time in ms: the sum of execution times of the
+    /// cloudlets each VM finished. Under time-sharing, overlapping
+    /// executions make this an *occupancy* figure that can exceed the
+    /// wall window; see [`crate::energy`] for a clamped interpretation.
+    pub fn per_vm_busy_ms(&self, vm_count: usize) -> Vec<f64> {
+        self.per_vm_usage(vm_count).busy_ms
+    }
+
+    /// Per-VM finished-cloudlet counts (load-spread diagnostics).
+    pub fn per_vm_counts(&self, vm_count: usize) -> Vec<usize> {
+        self.per_vm_usage(vm_count).counts
     }
 }
 
@@ -235,6 +413,7 @@ mod tests {
     fn outcome(records: Vec<CloudletRecord>) -> SimulationOutcome {
         SimulationOutcome {
             records,
+            aggregate: None,
             end_time: SimTime::new(100.0),
             events_processed: 1,
             vms_created: 2,
@@ -313,6 +492,87 @@ mod tests {
         let busy = o.per_vm_busy_ms(2);
         assert!((busy[0] - 20.0).abs() < 1e-12);
         assert!((busy[1] - 30.0).abs() < 1e-12);
+    }
+
+    fn aggregate_of(records: &[CloudletRecord], vm_count: usize) -> SimulationOutcome {
+        let mut agg = AggregateMetrics::new(vm_count);
+        for r in records {
+            agg.observe(r);
+        }
+        let mut o = outcome(Vec::new());
+        o.aggregate = Some(agg);
+        o
+    }
+
+    #[test]
+    fn aggregate_fold_matches_record_scan_bitwise() {
+        let mut failed = rec(3, 0.0, 0.0, 99.0);
+        failed.status = CloudletStatus::Failed;
+        failed.execution_ms = None;
+        failed.met_deadline = Some(false);
+        let mut hit = rec(4, 2.0, 9.5, 0.25);
+        hit.met_deadline = Some(true);
+        let records = vec![
+            rec(0, 5.0, 20.0, 1.5),
+            rec(1, 10.0, 50.0, 2.25),
+            rec(2, 0.5, 13.0, 0.125),
+            failed,
+            hit,
+        ];
+        let full = outcome(records.clone());
+        let agg = aggregate_of(&records, 2);
+
+        assert_eq!(full.finished_count(), agg.finished_count());
+        assert_eq!(
+            full.simulation_time_ms().map(f64::to_bits),
+            agg.simulation_time_ms().map(f64::to_bits)
+        );
+        assert_eq!(
+            full.time_imbalance().map(f64::to_bits),
+            agg.time_imbalance().map(f64::to_bits)
+        );
+        assert_eq!(
+            full.turnaround_imbalance().map(f64::to_bits),
+            agg.turnaround_imbalance().map(f64::to_bits)
+        );
+        assert_eq!(full.total_cost().to_bits(), agg.total_cost().to_bits());
+        assert_eq!(
+            full.mean_execution_ms().map(f64::to_bits),
+            agg.mean_execution_ms().map(f64::to_bits)
+        );
+        assert_eq!(full.sla_violations(), agg.sla_violations());
+        assert_eq!(full.sla_attainment(), agg.sla_attainment());
+        assert_eq!(full.per_vm_usage(2), agg.per_vm_usage(2));
+        // Asking for more (or fewer) VM slots than the fleet had behaves
+        // like the record scan's index guard.
+        assert_eq!(full.per_vm_usage(4), agg.per_vm_usage(4));
+        assert_eq!(full.per_vm_usage(1), agg.per_vm_usage(1));
+    }
+
+    #[test]
+    fn aggregate_missing_exec_on_finished_voids_imbalance() {
+        let mut odd = rec(1, 0.0, 30.0, 0.0);
+        odd.execution_ms = None;
+        let records = vec![rec(0, 0.0, 10.0, 0.0), odd];
+        let full = outcome(records.clone());
+        let agg = aggregate_of(&records, 2);
+        assert_eq!(full.time_imbalance(), None);
+        assert_eq!(agg.time_imbalance(), None);
+        // mean_execution_ms skips the hole instead (filter_map semantics).
+        assert_eq!(full.mean_execution_ms(), agg.mean_execution_ms());
+    }
+
+    #[test]
+    fn per_vm_usage_fuses_busy_and_counts() {
+        let o = outcome(vec![
+            rec(0, 0.0, 10.0, 0.0),
+            rec(1, 0.0, 30.0, 0.0),
+            rec(2, 5.0, 15.0, 0.0),
+        ]);
+        let usage = o.per_vm_usage(2);
+        assert_eq!(usage.busy_ms, o.per_vm_busy_ms(2));
+        assert_eq!(usage.counts, o.per_vm_counts(2));
+        assert_eq!(usage.counts, vec![2, 1]);
     }
 
     #[test]

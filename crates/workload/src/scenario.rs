@@ -15,7 +15,7 @@ use simcloud::error::SimError;
 use simcloud::host::HostSpec;
 use simcloud::ids::DatacenterId;
 use simcloud::simulation::SimulationBuilder;
-use simcloud::stats::SimulationOutcome;
+use simcloud::stats::{RecordMode, SimulationOutcome};
 use simcloud::vm::VmSpec;
 
 /// How many VMs each simulated host is sized to hold.
@@ -115,7 +115,21 @@ impl Scenario {
         assignment: Assignment,
         engine: simcloud::simulation::EngineKind,
     ) -> Result<SimulationOutcome, SimError> {
-        let mut builder = SimulationBuilder::new().engine(engine);
+        self.simulate_mode(assignment, engine, RecordMode::Full)
+    }
+
+    /// [`Scenario::simulate_on`] with an explicit [`RecordMode`]. The
+    /// sweep pipeline runs in [`RecordMode::Aggregate`] (metrics folded at
+    /// settlement, no per-cloudlet vector); pass [`RecordMode::Full`] when
+    /// the caller needs the records themselves (CSV export, SLA/energy
+    /// drill-downs over individual cloudlets).
+    pub fn simulate_mode(
+        &self,
+        assignment: Assignment,
+        engine: simcloud::simulation::EngineKind,
+        mode: RecordMode,
+    ) -> Result<SimulationOutcome, SimError> {
+        let mut builder = SimulationBuilder::new().engine(engine).record_mode(mode);
         for (i, dc) in self.datacenters.iter().enumerate() {
             builder = builder.datacenter(DatacenterBlueprint {
                 hosts: self.hosts_for(i),
