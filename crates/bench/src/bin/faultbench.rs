@@ -1,0 +1,145 @@
+//! Resilience benchmark: emits `BENCH_faults.json`.
+//!
+//! Runs the seeded chaos campaign — host-failure fractions crossed with
+//! the paper's four schedulers, each point repeated over seeds — through
+//! [`biosched_workload::resilience::resilience_sweep`] and records the
+//! recovery metrics (completion ratio, goodput, retries, wasted work,
+//! MTTR) plus the simulated makespan.
+//!
+//! Every number in the JSON is computed inside the simulation, so the
+//! file is byte-identical no matter how many rayon threads execute the
+//! sweep. CI exploits that: the chaos-smoke job runs this binary under
+//! `RAYON_NUM_THREADS=1` and `=4` and diffs the outputs. Wall-clock time
+//! and peak RSS are reported on stderr only, never in the file.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use biosched_core::scheduler::AlgorithmKind;
+use biosched_workload::heterogeneous::HeterogeneousScenario;
+use biosched_workload::resilience::resilience_sweep;
+use biosched_workload::sweep::RepeatedMetric;
+use simcloud::broker::RecoveryPolicy;
+use simcloud::faults::FaultSpec;
+
+/// Host-failure fractions swept (0 = control row: must be fault-free).
+const FRACTIONS: &[f64] = &[0.0, 0.1, 0.25, 0.5];
+
+/// `{mean, ci95}` with full round-trip precision so equal results
+/// serialize to equal bytes.
+fn metric_json(m: &RepeatedMetric) -> String {
+    format!("{{\"mean\": {:?}, \"ci95\": {:?}}}", m.mean, m.ci95)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    let mut out_path = String::from("BENCH_faults.json");
+    let mut seed = 42u64;
+    let mut reps = 3usize;
+    let mut vms = 40usize;
+    let mut cloudlets = 400usize;
+    let mut threads: Option<usize> = None;
+    while let Some(a) = iter.next() {
+        let mut val = || iter.next().expect("flag value").clone();
+        match a.as_str() {
+            "--out" => out_path = val(),
+            "--seed" => seed = val().parse().unwrap(),
+            "--reps" => reps = val().parse().unwrap(),
+            "--vms" => vms = val().parse().unwrap(),
+            "--cloudlets" => cloudlets = val().parse().unwrap(),
+            "--threads" => threads = Some(val().parse().unwrap()),
+            other => panic!(
+                "unknown flag {other} (try: --out F --seed N --reps N --vms N \
+                 --cloudlets N --threads N)"
+            ),
+        }
+    }
+    if let Some(n) = threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("thread pool");
+    }
+
+    let spec = FaultSpec::default();
+    let policy = RecoveryPolicy {
+        max_attempts: 6,
+        base_backoff_ms: 500.0,
+        backoff_factor: 2.0,
+        max_backoff_ms: 4_000.0,
+    };
+    let algorithms = AlgorithmKind::PAPER_SET;
+    eprintln!(
+        "chaos campaign: {} fractions × {} algorithms × {reps} seeds, \
+         {vms} VMs / {cloudlets} cloudlets, seed {seed}",
+        FRACTIONS.len(),
+        algorithms.len(),
+    );
+
+    let wall = Instant::now();
+    let results = resilience_sweep(FRACTIONS, &algorithms, &spec, policy, seed, reps, |s| {
+        HeterogeneousScenario {
+            vm_count: vms,
+            cloudlet_count: cloudlets,
+            datacenter_count: 4,
+            seed: s,
+        }
+        .build()
+    });
+    let wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
+
+    // Control row sanity: with no faults armed, recovery must be free.
+    for s in &results[0] {
+        assert_eq!(
+            s.completion_ratio.mean, 1.0,
+            "{:?} lost cloudlets without faults",
+            s.algorithm
+        );
+        assert_eq!(
+            s.retries.mean, 0.0,
+            "{:?} retried without faults",
+            s.algorithm
+        );
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"faults\",\n");
+    json.push_str(&format!(
+        "  \"seed\": {seed},\n  \"reps\": {reps},\n  \"vms\": {vms},\n  \
+         \"cloudlets\": {cloudlets},\n  \"datacenters\": 4,\n"
+    ));
+    json.push_str(&format!(
+        "  \"policy\": {{\"max_attempts\": {}, \"base_backoff_ms\": {:?}, \
+         \"backoff_factor\": {:?}, \"max_backoff_ms\": {:?}}},\n",
+        policy.max_attempts, policy.base_backoff_ms, policy.backoff_factor, policy.max_backoff_ms
+    ));
+    json.push_str("  \"points\": [\n");
+    let total = FRACTIONS.len() * algorithms.len();
+    let mut emitted = 0usize;
+    for (f, row) in FRACTIONS.iter().zip(&results) {
+        for s in row {
+            emitted += 1;
+            json.push_str(&format!(
+                "    {{\"fraction\": {f:?}, \"algorithm\": \"{}\", \
+                 \"completion_ratio\": {}, \"goodput\": {}, \"retries\": {}, \
+                 \"wasted_work_ms\": {}, \"mttr_ms\": {}, \"makespan_ms\": {}}}{}\n",
+                s.algorithm.label(),
+                metric_json(&s.completion_ratio),
+                metric_json(&s.goodput),
+                metric_json(&s.retries),
+                metric_json(&s.wasted_work_ms),
+                metric_json(&s.mttr_ms),
+                metric_json(&s.simulation_time_ms),
+                if emitted < total { "," } else { "" }
+            ));
+        }
+    }
+    json.push_str("  ]\n}\n");
+
+    let mut f = std::fs::File::create(&out_path).expect("output file");
+    f.write_all(json.as_bytes()).expect("write json");
+    let peak_rss = biosched_bench::rss::peak_rss_kb()
+        .map_or_else(|| "unknown".to_string(), |kb| kb.to_string());
+    eprintln!("wrote {out_path} ({wall_ms:.0} ms wall, peak RSS {peak_rss} kB)");
+    print!("{json}");
+}

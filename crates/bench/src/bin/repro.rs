@@ -12,6 +12,8 @@
 //!   extended       all nine schedulers x all six metrics (one point)
 //!   convergence    ACO vs PSO vs GA convergence curves
 //!   fig6-stats     Fig. 6 metrics with 5-seed error bars
+//!   resilience     paper metrics + resilience counters vs host-failure
+//!                  rate, with 3-seed error bars (chaos campaign)
 //!   all            every table and figure above
 //!
 //! Options:
@@ -55,7 +57,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: repro <fig4a|fig4b|fig5a|fig5b|fig6|fig6a|fig6b|fig6c|fig6d|fig6-stats|tables|extended|convergence|all> \
+    "usage: repro <fig4a|fig4b|fig5a|fig5b|fig6|fig6a|fig6b|fig6c|fig6d|fig6-stats|resilience|tables|extended|convergence|all> \
      [--seed N] [--scale N] [--full-scale] [--hetero-cloudlets N] [--csv DIR] [--ascii] \
      [--engine sequential|sharded]"
 }
@@ -347,6 +349,84 @@ fn main() -> ExitCode {
             println!("\n{}", t.render());
             if let Some(dir) = &opts.csv_dir {
                 let path = dir.join("fig6_stats.csv");
+                if t.write_csv(&path).is_ok() {
+                    println!("wrote {}", path.display());
+                }
+            }
+        }
+        "resilience" => {
+            use biosched_workload::heterogeneous::HeterogeneousScenario;
+            use biosched_workload::resilience::resilience_sweep;
+            use simcloud::broker::RecoveryPolicy;
+            use simcloud::faults::FaultSpec;
+
+            let fractions = [0.0, 0.1, 0.25, 0.5];
+            let algorithms = biosched_core::scheduler::AlgorithmKind::PAPER_SET;
+            let reps = 3usize;
+            let cloudlets = opts.hetero_cloudlets.min(400);
+            println!(
+                "resilience sweep: {} failure rates × {} algorithms × {} seeds, \
+                 {} cloudlets, seed {}…",
+                fractions.len(),
+                algorithms.len(),
+                reps,
+                cloudlets,
+                opts.seed
+            );
+            let spec = FaultSpec::default();
+            let policy = RecoveryPolicy {
+                max_attempts: 6,
+                base_backoff_ms: 500.0,
+                backoff_factor: 2.0,
+                max_backoff_ms: 4_000.0,
+            };
+            let results = resilience_sweep(
+                &fractions,
+                &algorithms,
+                &spec,
+                policy,
+                opts.seed,
+                reps,
+                |seed| {
+                    HeterogeneousScenario {
+                        vm_count: 40,
+                        cloudlet_count: cloudlets,
+                        datacenter_count: 4,
+                        seed,
+                    }
+                    .build()
+                },
+            );
+            let mut t = Table::new(vec![
+                "host fail rate".to_string(),
+                "algorithm".to_string(),
+                "completion (±CI95)".to_string(),
+                "goodput (±CI95)".to_string(),
+                "retries (±CI95)".to_string(),
+                "wasted ms (±CI95)".to_string(),
+                "MTTR ms (±CI95)".to_string(),
+                "makespan ms (±CI95)".to_string(),
+            ]);
+            for (f, row) in fractions.iter().zip(&results) {
+                for r in row {
+                    let pm = |m: &biosched_workload::sweep::RepeatedMetric| {
+                        format!("{} ±{}", fmt_value(m.mean), fmt_value(m.ci95))
+                    };
+                    t.push_row(vec![
+                        format!("{f:.2}"),
+                        r.algorithm.label().to_string(),
+                        pm(&r.completion_ratio),
+                        pm(&r.goodput),
+                        pm(&r.retries),
+                        pm(&r.wasted_work_ms),
+                        pm(&r.mttr_ms),
+                        pm(&r.simulation_time_ms),
+                    ]);
+                }
+            }
+            println!("\n{}", t.render());
+            if let Some(dir) = &opts.csv_dir {
+                let path = dir.join("resilience.csv");
                 if t.write_csv(&path).is_ok() {
                     println!("wrote {}", path.display());
                 }

@@ -29,8 +29,16 @@ pub struct CommonOpts {
     pub threads: Option<usize>,
     /// Simulation engine (`--engine sequential|sharded`). Sharded requests
     /// fall back to the sequential kernel for ineligible scenarios
-    /// (workflows, host failures, resubmission) with identical results.
+    /// (workflows, legacy resubmission) with identical results; fault
+    /// injection (`--faults`) is rejected outright rather than silently
+    /// falling back.
     pub engine: EngineKind,
+    /// Optional chaos campaign (`--faults hosts=0.25,fail=500..8000,...`),
+    /// turned into a seeded [`simcloud::faults::FaultPlan`] over the
+    /// scenario's fleet and simulated with broker retries.
+    pub faults: Option<simcloud::faults::FaultSpec>,
+    /// Seed for the fault plan (`--fault-seed`); defaults to `--seed`.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for CommonOpts {
@@ -46,6 +54,8 @@ impl Default for CommonOpts {
             csv: None,
             threads: None,
             engine: EngineKind::Sequential,
+            faults: None,
+            fault_seed: None,
         }
     }
 }
@@ -186,6 +196,16 @@ pub fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), String
                     }
                 }
             }
+            "--faults" => {
+                opts.faults = Some(simcloud::faults::FaultSpec::parse(&take("--faults")?)?)
+            }
+            "--fault-seed" => {
+                opts.fault_seed = Some(
+                    take("--fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --fault-seed: {e}"))?,
+                )
+            }
             _ => rest.push(arg.clone()),
         }
     }
@@ -194,6 +214,13 @@ pub fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), String
     }
     if opts.threads == Some(0) {
         return Err("--threads must be positive".into());
+    }
+    if opts.faults.is_some() && opts.engine == EngineKind::Sharded {
+        return Err(
+            "--faults needs the event-driven kernel; drop --engine sharded \
+             (fault timelines cannot replay on the sharded engine)"
+                .into(),
+        );
     }
     Ok((opts, rest))
 }
@@ -276,6 +303,21 @@ mod tests {
         assert_eq!(opts.engine, EngineKind::Sequential);
         assert_eq!(parse_common(&[]).unwrap().0.engine, EngineKind::Sequential);
         assert!(parse_common(&args("--engine warp")).is_err());
+    }
+
+    #[test]
+    fn faults_option() {
+        let (opts, rest) =
+            parse_common(&args("--faults hosts=0.25,fail=500..8000 --fault-seed 9")).unwrap();
+        let spec = opts.faults.expect("spec parsed");
+        assert_eq!(spec.host_fail_fraction, 0.25);
+        assert_eq!(spec.fail_window_ms, (500.0, 8_000.0));
+        assert_eq!(opts.fault_seed, Some(9));
+        assert!(rest.is_empty());
+        assert!(parse_common(&args("--faults hosts=2.0")).is_err());
+        // Chaos timelines need the event-driven kernel.
+        let err = parse_common(&args("--faults hosts=0.2 --engine sharded")).unwrap_err();
+        assert!(err.contains("sharded"), "{err}");
     }
 
     #[test]

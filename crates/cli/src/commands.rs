@@ -45,11 +45,18 @@ scenario options (all commands):
                    RAYON_NUM_THREADS, else all cores; never changes results)
   --engine E       simulation engine: sequential (default) or sharded
                    (parallel per-VM replay; identical results, falls back
-                   to sequential for workflows/failures/resubmission)
+                   to sequential for workflows/resubmission; rejects
+                   fault injection)
+  --faults SPEC    seeded chaos campaign with broker retries, e.g.
+                   hosts=0.25,fail=500..8000,repair=2000..5000,slow=0.4
+                   (keys: hosts fail repair stragglers slow slowstart
+                   slowdur; repair/slowdur accept 'never')
+  --fault-seed N   fault-plan seed (default: --seed)
 
 examples:
   biosched run --algorithm aco --vms 100 --cloudlets 1000
   biosched compare --algorithms base,aco,hbo,rbs --sla-slack 8
+  biosched compare --algorithms base,aco --faults hosts=0.3
   biosched sweep --points 50,250,450 --algorithms base,aco
   biosched workflow --shape fork-join --tasks 32 --scheduler heft"
 }
@@ -75,14 +82,46 @@ fn run_one(
     assignment
         .validate(&problem)
         .map_err(|e| format!("{kind} produced an invalid plan: {e}"))?;
-    let outcome = scenario
-        .simulate_on(assignment, engine)
-        .map_err(|e| format!("simulation failed: {e}"))?;
+    let outcome = if scenario.recovery.is_some() {
+        // Fault-armed scenario: the same scheduler instance re-plans
+        // every retry batch over the surviving fleet.
+        let rescheduler = biosched_workload::resilience::CacheRescheduler::new(scheduler, problem);
+        scenario.simulate_resilient(
+            assignment,
+            engine,
+            simcloud::stats::RecordMode::Full,
+            Box::new(rescheduler),
+        )
+    } else {
+        scenario.simulate_on(assignment, engine)
+    }
+    .map_err(|e| format!("simulation failed: {e}"))?;
     Ok(RunResult {
         name: kind.label().to_string(),
         scheduling_ms,
         outcome,
     })
+}
+
+/// Prints resilience counters after the metrics table when faults ran.
+fn report_resilience(results: &[RunResult]) {
+    for r in results {
+        let res = &r.outcome.resilience;
+        if res.retries == 0 && res.abandoned == 0 && res.wasted_work_ms == 0.0 {
+            continue;
+        }
+        println!(
+            "{}: completion {:.1}%, goodput {:.3}, {} retries, {} abandoned, \
+             {:.0} ms wasted, MTTR {:.0} ms",
+            r.name,
+            r.outcome.completion_ratio().unwrap_or(1.0) * 100.0,
+            r.outcome.goodput().unwrap_or(1.0),
+            res.retries,
+            res.abandoned,
+            res.wasted_work_ms,
+            r.outcome.mean_time_to_recovery_ms().unwrap_or(0.0),
+        );
+    }
 }
 
 fn metrics_table(results: &[RunResult], vm_count: usize) -> Table {
@@ -160,7 +199,10 @@ pub fn cmd_run(args: &[String]) -> Result<(), String> {
             scenario.cloudlet_count()
         );
     }
-    emit_table(&metrics_table(&[result], opts.vms), opts.csv.as_deref())
+    let results = [result];
+    emit_table(&metrics_table(&results, opts.vms), opts.csv.as_deref())?;
+    report_resilience(&results);
+    Ok(())
 }
 
 /// `biosched compare`.
@@ -188,7 +230,10 @@ pub fn cmd_compare(args: &[String]) -> Result<(), String> {
         .iter()
         .map(|kind| run_one(&scenario, *kind, opts.seed, opts.engine))
         .collect();
-    emit_table(&metrics_table(&results?, opts.vms), opts.csv.as_deref())
+    let results = results?;
+    emit_table(&metrics_table(&results, opts.vms), opts.csv.as_deref())?;
+    report_resilience(&results);
+    Ok(())
 }
 
 /// `biosched sweep`.
@@ -499,6 +544,17 @@ mod tests {
             "--algorithm base --vms 4 --cloudlets 12 --datacenters 2 --engine sharded",
         ))
         .unwrap();
+    }
+
+    #[test]
+    fn run_command_with_faults() {
+        cmd_run(&args(
+            "--algorithm base --vms 8 --cloudlets 24 --datacenters 2 --seed 3 \
+             --faults hosts=0.9,fail=100..2000,repair=1000..2000 --fault-seed 5",
+        ))
+        .unwrap();
+        // Chaos + sharded is rejected up front with a clear message.
+        assert!(cmd_run(&args("--faults hosts=0.5 --engine sharded")).is_err());
     }
 
     #[test]

@@ -31,6 +31,14 @@ pub fn build_scenario(opts: &CommonOpts) -> Scenario {
     if let Some(slack) = opts.sla_slack {
         attach_deadlines(&mut scenario.cloudlets, SLA_REFERENCE_MIPS, slack);
     }
+    if let Some(spec) = &opts.faults {
+        biosched_workload::resilience::inject_faults(
+            &mut scenario,
+            spec,
+            opts.fault_seed.unwrap_or(opts.seed),
+            simcloud::broker::RecoveryPolicy::default(),
+        );
+    }
     scenario
 }
 
@@ -58,9 +66,12 @@ pub fn describe_scenario(opts: &CommonOpts) -> String {
             }
         },
         opts.seed,
-        opts.sla_slack
-            .map(|s| format!(", SLA slack {s}x"))
-            .unwrap_or_default(),
+        match (&opts.sla_slack, &opts.faults) {
+            (Some(s), Some(_)) => format!(", SLA slack {s}x, faults armed"),
+            (Some(s), None) => format!(", SLA slack {s}x"),
+            (None, Some(_)) => ", faults armed".to_string(),
+            (None, None) => String::new(),
+        },
     )
 }
 

@@ -14,6 +14,79 @@ use crate::kernel::{Context, Entity, World};
 use crate::network::{transfer_time, Topology};
 use crate::time::SimTime;
 
+/// Retry/backoff policy for broker-level recovery.
+///
+/// A cloudlet whose attempt fails (host death, dead-VM submission) is
+/// queued into the next retry batch; the batch wakes after a capped
+/// exponential backoff and resubmits each member onto a VM chosen by the
+/// installed [`Rescheduler`] (or cyclically over the surviving fleet).
+/// Each cloudlet gets at most `max_attempts` retries before it is
+/// permanently failed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Retries allowed per cloudlet (beyond its first attempt).
+    pub max_attempts: u8,
+    /// Backoff before the first retry batch, in ms.
+    pub base_backoff_ms: f64,
+    /// Multiplier applied per already-spent retry of the batch's oldest
+    /// member.
+    pub backoff_factor: f64,
+    /// Ceiling on the backoff, in ms.
+    pub max_backoff_ms: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 250.0,
+            backoff_factor: 2.0,
+            max_backoff_ms: 4_000.0,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff before a batch whose oldest member has already spent
+    /// `spent` retries: `min(max, base × factor^spent)`.
+    pub fn backoff(&self, spent: u8) -> SimTime {
+        let raw = self.base_backoff_ms * self.backoff_factor.powi(i32::from(spent));
+        SimTime::new(raw.min(self.max_backoff_ms))
+    }
+
+    /// Validates the policy fields.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("RecoveryPolicy.max_attempts must be at least 1".into());
+        }
+        for (name, v, lo) in [
+            ("base_backoff_ms", self.base_backoff_ms, 0.0),
+            ("backoff_factor", self.backoff_factor, 1.0),
+            ("max_backoff_ms", self.max_backoff_ms, 0.0),
+        ] {
+            if !(v.is_finite() && v >= lo) {
+                return Err(format!("RecoveryPolicy.{name} must be >= {lo}, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fault-aware rebinding strategy for retry batches.
+///
+/// Implementations read the current fleet state off the world — which VMs
+/// are [`crate::vm::VmStatus::Active`], and each VM's
+/// [`crate::vm::Vm::rate_factor`] — and return one target VM per cloudlet,
+/// in batch order. Targets that turn out inactive fall back to the
+/// broker's cyclic rebinding, so a rescheduler can never strand work.
+/// `biosched-core` schedulers plug in through this trait (the `workload`
+/// crate adapts [`Rescheduler`] onto `Scheduler::schedule_with_cache`), so
+/// every scheduler kind becomes fault-tolerant with no per-scheduler code.
+pub trait Rescheduler: Send {
+    /// Picks a VM for each cloudlet in `batch` (ascending cloudlet id).
+    fn replan(&mut self, world: &World, now: SimTime, batch: &[CloudletId]) -> Vec<VmId>;
+}
+
 /// The broker entity.
 pub struct Broker {
     entity: EntityId,
@@ -50,6 +123,18 @@ pub struct Broker {
     rebind_cursor: usize,
     /// Cloudlets resubmitted over the whole run (diagnostics).
     resubmissions: u64,
+    /// Batched retry/backoff recovery; `None` keeps the legacy immediate
+    /// rebinding controlled by `max_retries`.
+    recovery: Option<RecoveryPolicy>,
+    /// Fault-aware rebinding for retry batches (falls back to cyclic).
+    rescheduler: Option<Box<dyn Rescheduler>>,
+    /// Failed cloudlets awaiting the next retry batch.
+    retry_pending: Vec<CloudletId>,
+    /// Whether a `RetryWake` timer is in flight.
+    retry_wake_armed: bool,
+    /// First-failure time per cloudlet, cleared on completion (lazily
+    /// allocated); feeds the mean-time-to-recovery metric.
+    first_failed_at: Vec<Option<SimTime>>,
 }
 
 impl Broker {
@@ -95,7 +180,29 @@ impl Broker {
             retries: Vec::new(),
             rebind_cursor: 0,
             resubmissions: 0,
+            recovery: None,
+            rescheduler: None,
+            retry_pending: Vec::new(),
+            retry_wake_armed: false,
+            first_failed_at: Vec::new(),
         }
+    }
+
+    /// Enables batched retry/backoff recovery. Mutually exclusive with
+    /// [`Broker::with_resubmission`] (the legacy immediate rebind).
+    pub fn with_recovery(
+        mut self,
+        policy: RecoveryPolicy,
+        rescheduler: Option<Box<dyn Rescheduler>>,
+    ) -> Self {
+        assert_eq!(
+            self.max_retries, 0,
+            "recovery and legacy resubmission are mutually exclusive"
+        );
+        policy.validate().expect("invalid RecoveryPolicy");
+        self.recovery = Some(policy);
+        self.rescheduler = rescheduler;
+        self
     }
 
     /// Enables fault tolerance: a cloudlet whose VM dies (or never came
@@ -200,7 +307,7 @@ impl Broker {
             "assignment must cover every cloudlet"
         );
         self.fleet_ready = true;
-        if self.parents.is_none() && self.max_retries == 0 {
+        if self.parents.is_none() && self.max_retries == 0 && self.recovery.is_none() {
             self.submit_all_batched(world, ctx);
             return;
         }
@@ -232,7 +339,7 @@ impl Broker {
             if !vm.is_active() {
                 // Dead-VM bookkeeping (cascade_failure) sends no events,
                 // so handling it inline preserves event order.
-                self.cascade_failure(world, ctx, cloudlet);
+                self.cascade_failure(world, cloudlet);
                 continue;
             }
             let dc = vm.datacenter.expect("active VM has a datacenter");
@@ -328,8 +435,12 @@ impl Broker {
         let vm_id = self.assignment[idx];
         let vm = world.vm(vm_id);
         if !vm.is_active() {
-            if !self.try_resubmit(world, ctx, idx) {
-                self.cascade_failure(world, ctx, cloudlet);
+            if self.recovery.is_some() {
+                // Recovery mode: the dead-VM submission becomes a retry
+                // candidate instead of a terminal failure.
+                self.queue_retry(world, ctx, cloudlet);
+            } else if !self.try_resubmit(world, ctx, idx) {
+                self.cascade_failure(world, cloudlet);
             }
             return;
         }
@@ -378,10 +489,124 @@ impl Broker {
         }
     }
 
+    /// Books a failed attempt and queues the cloudlet into the next retry
+    /// batch (or abandons it once its retry budget is spent). The wasted
+    /// execution time of the attempt is charged to the world's resilience
+    /// counters here, at the moment of failure.
+    fn queue_retry(&mut self, world: &mut World, ctx: &mut Context<'_>, cloudlet: CloudletId) {
+        let policy = self.recovery.expect("queue_retry requires recovery");
+        let idx = cloudlet.index();
+        if self.retries.is_empty() {
+            self.retries = vec![0; self.assignment.len()];
+        }
+        if self.first_failed_at.is_empty() {
+            self.first_failed_at = vec![None; self.assignment.len()];
+        }
+        {
+            let cl = world.cloudlet(cloudlet);
+            if let (Some(start), None) = (cl.start_time, cl.finish_time) {
+                world.resilience.wasted_work_ms += ctx.now.saturating_sub(start).as_millis();
+            }
+        }
+        if self.first_failed_at[idx].is_none() {
+            self.first_failed_at[idx] = Some(ctx.now);
+        }
+        if self.retries[idx] >= policy.max_attempts {
+            self.abandon(world, cloudlet);
+            return;
+        }
+        self.retry_pending.push(cloudlet);
+        self.arm_retry_wake(ctx, policy);
+    }
+
+    /// Arms the single in-flight `RetryWake` timer, backed off by the
+    /// retry count of the oldest pending cloudlet.
+    fn arm_retry_wake(&mut self, ctx: &mut Context<'_>, policy: RecoveryPolicy) {
+        if self.retry_wake_armed || self.retry_pending.is_empty() {
+            return;
+        }
+        self.retry_wake_armed = true;
+        let spent = self.retries[self.retry_pending[0].index()];
+        ctx.send_self(policy.backoff(spent), Event::RetryWake);
+    }
+
+    /// A retry batch's backoff expired: replan the pending cloudlets onto
+    /// the surviving fleet and resubmit them.
+    fn flush_retries(&mut self, world: &mut World, ctx: &mut Context<'_>) {
+        let policy = self.recovery.expect("flush_retries requires recovery");
+        if self.retry_pending.is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.retry_pending);
+        batch.sort_unstable_by_key(|c| c.0);
+        batch.dedup();
+        let targets: Vec<Option<VmId>> = match self.rescheduler.as_mut() {
+            Some(rs) => {
+                let picked = rs.replan(world, ctx.now, &batch);
+                assert_eq!(
+                    picked.len(),
+                    batch.len(),
+                    "rescheduler must pick one VM per cloudlet"
+                );
+                picked.into_iter().map(Some).collect()
+            }
+            None => vec![None; batch.len()],
+        };
+        for (i, &cloudlet) in batch.iter().enumerate() {
+            let idx = cloudlet.index();
+            // An inactive pick (or no rescheduler) falls back to cyclic
+            // rebinding over whatever survives.
+            let target = targets[i]
+                .filter(|v| v.index() < world.vms.len() && world.vm(*v).is_active())
+                .or_else(|| self.next_active_vm(world));
+            let Some(vm) = target else {
+                // Nothing alive right now. A scheduled repair may still
+                // bring capacity back, so requeue — but charge the
+                // attempt, which bounds a fleet that never recovers to
+                // `max_attempts` idle wakes per cloudlet.
+                self.retries[idx] += 1;
+                if self.retries[idx] >= policy.max_attempts {
+                    self.abandon(world, cloudlet);
+                } else {
+                    self.retry_pending.push(cloudlet);
+                }
+                continue;
+            };
+            self.retries[idx] += 1;
+            self.resubmissions += 1;
+            world.resilience.retries += 1;
+            self.assignment[idx] = vm;
+            // Fresh life on the new VM: wipe the previous attempt.
+            let cl = world.cloudlet_mut(cloudlet);
+            cl.status = CloudletStatus::Created;
+            cl.vm = None;
+            cl.start_time = None;
+            cl.finish_time = None;
+            self.submit_one(world, ctx, idx);
+        }
+        self.arm_retry_wake(ctx, policy);
+    }
+
+    /// Permanently fails a cloudlet whose retry budget is spent, plus any
+    /// workflow descendants that can now never run.
+    fn abandon(&mut self, world: &mut World, cloudlet: CloudletId) {
+        world.resilience.abandoned += 1;
+        let cl = world.cloudlet_mut(cloudlet);
+        if cl.status != CloudletStatus::Failed {
+            cl.status = CloudletStatus::Failed;
+        }
+        self.cloudlets_failed += 1;
+        if self.parents.is_some() {
+            let children: Vec<u32> = self.children[cloudlet.index()].clone();
+            for child in children {
+                self.cascade_failure(world, CloudletId(child));
+            }
+        }
+    }
+
     /// Marks a cloudlet failed and transitively fails every descendant
     /// that can now never run.
-    fn cascade_failure(&mut self, world: &mut World, ctx: &mut Context<'_>, root: CloudletId) {
-        let _ = ctx; // kept for symmetry; failures need no events here
+    fn cascade_failure(&mut self, world: &mut World, root: CloudletId) {
         let mut stack = vec![root.0];
         while let Some(c) = stack.pop() {
             let cl = world.cloudlet_mut(CloudletId(c));
@@ -422,6 +647,14 @@ impl Entity for Broker {
                     "returned cloudlet must be finished"
                 );
                 self.cloudlets_returned += 1;
+                // Close the recovery window for a cloudlet that had
+                // failed at least once and now completed.
+                if let Some(slot) = self.first_failed_at.get_mut(cloudlet.index()) {
+                    if let Some(t0) = slot.take() {
+                        world.resilience.recovered += 1;
+                        world.resilience.recovery_time_ms += ctx.now.saturating_sub(t0).as_millis();
+                    }
+                }
                 self.on_parent_done(world, ctx, cloudlet);
             }
             Event::CloudletFailed { cloudlet } => {
@@ -430,6 +663,12 @@ impl Entity for Broker {
                     CloudletStatus::Failed,
                     "reported cloudlet must be failed"
                 );
+                // Batched retry/backoff recovery takes precedence; the
+                // legacy path rebinds immediately.
+                if self.recovery.is_some() {
+                    self.queue_retry(world, ctx, cloudlet);
+                    return;
+                }
                 // Fault tolerance first: a surviving VM can take the work.
                 if self.try_resubmit(world, ctx, cloudlet.index()) {
                     return;
@@ -440,9 +679,13 @@ impl Entity for Broker {
                 if self.parents.is_some() {
                     let children: Vec<u32> = self.children[cloudlet.index()].clone();
                     for child in children {
-                        self.cascade_failure(world, ctx, CloudletId(child));
+                        self.cascade_failure(world, CloudletId(child));
                     }
                 }
+            }
+            Event::RetryWake => {
+                self.retry_wake_armed = false;
+                self.flush_retries(world, ctx);
             }
             other => panic!("broker received unexpected event {other:?}"),
         }

@@ -92,6 +92,14 @@ pub trait CloudletScheduler: Send {
     /// or waiting — used when the VM is destroyed (host failure).
     fn drain(&mut self) -> Vec<CloudletId>;
 
+    /// Changes the VM's per-PE rate at time `now` (straggler injection).
+    ///
+    /// Work executed before `now` is settled under the *old* rate first —
+    /// completions that land exactly at `now` are harvested into the
+    /// returned tick — then the new rate applies from `now` on. The tick's
+    /// `next_completion` reflects the new rate.
+    fn set_rate(&mut self, now: SimTime, mips_per_pe: f64) -> Tick;
+
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 }
@@ -281,6 +289,19 @@ impl CloudletScheduler for SpaceShared {
             .collect()
     }
 
+    fn set_rate(&mut self, now: SimTime, mips_per_pe: f64) -> Tick {
+        assert!(mips_per_pe > 0.0, "degraded rate must stay positive");
+        let mut tick = Tick::default();
+        // Settle progress under the old rate, harvesting on-time finishes
+        // and promoting into freed PEs, then switch.
+        self.settle(now, &mut tick);
+        self.mips_per_pe = mips_per_pe;
+        self.dirty = false;
+        tick.next_completion = self.next_completion(now);
+        self.cached_next = tick.next_completion;
+        tick
+    }
+
     fn name(&self) -> &'static str {
         "space-shared"
     }
@@ -421,6 +442,17 @@ impl CloudletScheduler for TimeShared {
         self.dirty = false;
         self.cached_next = None;
         self.running.drain(..).map(|c| c.id).collect()
+    }
+
+    fn set_rate(&mut self, now: SimTime, mips_per_pe: f64) -> Tick {
+        assert!(mips_per_pe > 0.0, "degraded rate must stay positive");
+        let mut tick = Tick::default();
+        self.settle(now, &mut tick);
+        self.mips_per_pe = mips_per_pe;
+        self.dirty = false;
+        tick.next_completion = self.next_completion(now);
+        self.cached_next = tick.next_completion;
+        tick
     }
 
     fn name(&self) -> &'static str {
@@ -709,6 +741,41 @@ mod tests {
         s.submit(SimTime::new(10.0), cl(1, 20.0));
         let t = s.advance(SimTime::new(10.0));
         assert_eq!(t.next_completion, Some(SimTime::new(30.0)));
+    }
+
+    #[test]
+    fn set_rate_settles_old_rate_then_slows() {
+        // 1 MI/ms for 50ms (50 MI done), then halved: the remaining 50 MI
+        // takes 100ms, finishing at t=150 instead of t=100.
+        let mut t = TimeShared::new(1_000.0, 1);
+        t.submit(SimTime::ZERO, cl(0, 100.0));
+        let tick = t.set_rate(SimTime::new(50.0), 500.0);
+        assert!(tick.finished.is_empty());
+        assert_eq!(tick.next_completion, Some(SimTime::new(150.0)));
+        let done = t.advance(SimTime::new(150.0));
+        assert_eq!(done.finished, vec![CloudletId(0)]);
+
+        let mut s = SpaceShared::new(1_000.0, 1);
+        s.submit(SimTime::ZERO, cl(0, 100.0));
+        let tick = s.set_rate(SimTime::new(50.0), 500.0);
+        assert_eq!(tick.next_completion, Some(SimTime::new(150.0)));
+        // Restoring the rate mid-flight speeds the remainder back up:
+        // 25 MI done by t=100 under 0.5 MI/ms, 25 MI left at 1 MI/ms.
+        let tick = s.set_rate(SimTime::new(100.0), 1_000.0);
+        assert_eq!(tick.next_completion, Some(SimTime::new(125.0)));
+    }
+
+    #[test]
+    fn set_rate_harvests_on_time_completions() {
+        let mut s = SpaceShared::new(1_000.0, 1);
+        s.submit(SimTime::ZERO, cl(0, 100.0));
+        s.submit(SimTime::ZERO, cl(1, 40.0));
+        // cl0 finishes exactly at the rate-change instant; cl1 is promoted
+        // and runs at the new (halved) rate: 40 MI / 0.5 = 80ms.
+        let tick = s.set_rate(SimTime::new(100.0), 500.0);
+        assert_eq!(tick.finished, vec![CloudletId(0)]);
+        assert_eq!(tick.started, vec![CloudletId(1)]);
+        assert_eq!(tick.next_completion, Some(SimTime::new(180.0)));
     }
 
     #[test]

@@ -75,6 +75,16 @@ pub struct Datacenter {
     broker_hint: Option<EntityId>,
     /// Failure injection schedule, armed on `Start`.
     failures: Vec<(HostId, SimTime)>,
+    /// Repair schedule from the fault plan, armed on `Start`.
+    repairs: Vec<(HostId, SimTime)>,
+    /// Straggler schedule from the fault plan, armed on `Start`:
+    /// `(vm, time, factor)` with `factor == 1.0` restoring nominal speed.
+    degrades: Vec<(VmId, SimTime, f64)>,
+    /// VMs that died with each host (indexed by host), remembered so a
+    /// repair can re-provision them.
+    dead_vms: Vec<Vec<VmId>>,
+    /// Current straggler factor per VM (lazily grown; missing = 1.0).
+    vm_rate_factor: Vec<f64>,
 }
 
 impl Datacenter {
@@ -98,7 +108,23 @@ impl Datacenter {
             completed: 0,
             broker_hint: None,
             failures: blueprint.failures,
+            repairs: Vec::new(),
+            degrades: Vec::new(),
+            dead_vms: Vec::new(),
+            vm_rate_factor: Vec::new(),
         }
+    }
+
+    /// Installs the fault plan's repair and straggler schedules for this
+    /// datacenter. Called by the simulation builder before the kernel
+    /// starts; both lists are armed as self-addressed events on `Start`.
+    pub fn arm_faults(
+        &mut self,
+        repairs: Vec<(HostId, SimTime)>,
+        degrades: Vec<(VmId, SimTime, f64)>,
+    ) {
+        self.repairs = repairs;
+        self.degrades = degrades;
     }
 
     /// The datacenter's characteristics (cost model etc.).
@@ -141,8 +167,11 @@ impl Datacenter {
         let success = match placed {
             Some(host_id) => {
                 world.vm_mut(vm_id).place(self.id, host_id);
+                // A degrade that fired before creation still applies.
+                let factor = self.rate_factor(vm_id);
+                world.vm_mut(vm_id).rate_factor = factor;
                 *Self::slot_mut(&mut self.vm_scheds, vm_id.index()) =
-                    Some(self.scheduler_kind.build(spec.mips, spec.pes));
+                    Some(self.scheduler_kind.build(spec.mips * factor, spec.pes));
                 true
             }
             None => {
@@ -296,6 +325,8 @@ impl Datacenter {
             return; // unknown host: injection config referenced a ghost
         };
         let victims = host.fail();
+        // Remember who died here so a later repair can re-provision them.
+        Self::slot_mut(&mut self.dead_vms, host_id.index()).extend(victims.iter().copied());
         for vm_id in victims {
             world.vm_mut(vm_id).status = crate::vm::VmStatus::Destroyed;
             let orphans = self
@@ -312,6 +343,83 @@ impl Datacenter {
                 }
             }
         }
+    }
+
+    /// Brings a repaired host back online and re-provisions the VMs that
+    /// died with it, at their current straggler factor. Revived VMs come
+    /// back empty; the broker's retry path discovers them simply by
+    /// reading [`crate::vm::VmStatus::Active`] off the world.
+    fn handle_host_repair(&mut self, world: &mut World, ctx: &mut Context<'_>, host_id: HostId) {
+        let _ = ctx; // repairs re-provision silently; retries find the VM
+        let Some(host) = self.hosts.get_mut(host_id.index()) else {
+            return; // unknown host: injection config referenced a ghost
+        };
+        if !host.is_failed() {
+            return; // repair of a host that never failed is a no-op
+        }
+        host.repair();
+        let victims = self
+            .dead_vms
+            .get_mut(host_id.index())
+            .map(std::mem::take)
+            .unwrap_or_default();
+        for vm_id in victims {
+            if world.vm(vm_id).status != crate::vm::VmStatus::Destroyed {
+                continue; // already revived elsewhere
+            }
+            let spec = world.vm(vm_id).spec.clone();
+            if self.hosts[host_id.index()].allocate_vm(vm_id, &spec) {
+                world.vm_mut(vm_id).place(self.id, host_id);
+                let factor = self.rate_factor(vm_id);
+                world.vm_mut(vm_id).rate_factor = factor;
+                *Self::slot_mut(&mut self.vm_scheds, vm_id.index()) =
+                    Some(self.scheduler_kind.build(spec.mips * factor, spec.pes));
+            }
+        }
+    }
+
+    /// Current straggler factor for `vm` (1.0 when never degraded).
+    fn rate_factor(&self, vm: VmId) -> f64 {
+        self.vm_rate_factor
+            .get(vm.index())
+            .copied()
+            .filter(|f| *f > 0.0)
+            .unwrap_or(1.0)
+    }
+
+    /// Applies a straggler factor to a VM: in-flight work is settled at
+    /// the old rate up to `now`, then the VM runs at `factor × mips`.
+    /// `factor == 1.0` restores nominal speed. A destroyed VM only has
+    /// its factor recorded, so a later repair revives it degraded.
+    fn handle_vm_degrade(
+        &mut self,
+        world: &mut World,
+        ctx: &mut Context<'_>,
+        vm_id: VmId,
+        factor: f64,
+    ) {
+        debug_assert!(
+            factor > 0.0 && factor <= 1.0,
+            "degrade factor must be in (0, 1], got {factor}"
+        );
+        *Self::slot_mut(&mut self.vm_rate_factor, vm_id.index()) = factor;
+        if vm_id.index() < world.vms.len() {
+            world.vm_mut(vm_id).rate_factor = factor;
+        }
+        let mips = world.vm(vm_id).spec.mips * factor;
+        let Some(sched) = self
+            .vm_scheds
+            .get_mut(vm_id.index())
+            .and_then(Option::as_mut)
+        else {
+            return; // destroyed (or never-created) VM: factor recorded only
+        };
+        let tick = sched.set_rate(ctx.now, mips);
+        // Completions landing exactly at the change instant are harvested
+        // by the settle inside set_rate; a tick before any submission is
+        // empty, so the self-entity fallback address is never used.
+        let broker = self.broker_hint.unwrap_or(self.entity);
+        self.apply_tick(world, ctx, vm_id, tick, broker);
     }
 
     fn handle_vm_tick(
@@ -342,13 +450,24 @@ impl Entity for Datacenter {
     fn handle(&mut self, world: &mut World, ctx: &mut Context<'_>, ev: ScheduledEvent) {
         match ev.event {
             Event::Start => {
-                // Arm the failure-injection schedule.
+                // Arm the fault-injection schedules: failures, then
+                // repairs, then straggler intervals, each in plan order.
                 let failures = std::mem::take(&mut self.failures);
                 for (host, time) in failures {
                     ctx.send_self(time, Event::HostFail { host });
                 }
+                let repairs = std::mem::take(&mut self.repairs);
+                for (host, time) in repairs {
+                    ctx.send_self(time, Event::HostRepair { host });
+                }
+                let degrades = std::mem::take(&mut self.degrades);
+                for (vm, time, factor) in degrades {
+                    ctx.send_self(time, Event::VmDegrade { vm, factor });
+                }
             }
             Event::HostFail { host } => self.handle_host_fail(world, ctx, host),
+            Event::HostRepair { host } => self.handle_host_repair(world, ctx, host),
+            Event::VmDegrade { vm, factor } => self.handle_vm_degrade(world, ctx, vm, factor),
             Event::VmCreate { vm } => self.handle_vm_create(world, ctx, ev.src, vm),
             Event::CloudletSubmit { cloudlet, vm } => {
                 self.handle_cloudlet_submit(world, ctx, ev.src, cloudlet, vm)

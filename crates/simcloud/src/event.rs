@@ -77,6 +77,26 @@ pub enum Event {
         /// The failing host (within the receiving datacenter).
         host: HostId,
     },
+    /// Fault injection: a previously failed host comes back. Its PEs are
+    /// repaired and the VMs that died with it are re-provisioned, so the
+    /// capacity rejoins the fleet for subsequent retry batches.
+    HostRepair {
+        /// The repaired host (within the receiving datacenter).
+        host: HostId,
+    },
+    /// Fault injection: a VM starts (or stops) straggling. The VM's
+    /// effective per-PE rate becomes `factor × spec.mips`; `factor == 1.0`
+    /// restores nominal speed. Work already queued keeps running at the
+    /// new rate from the event time onward.
+    VmDegrade {
+        /// The straggling VM.
+        vm: VmId,
+        /// Multiplier on the VM's nominal MIPS, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Broker-internal timer: a retry batch's backoff expired; collect the
+    /// pending failed cloudlets and reschedule them.
+    RetryWake,
 }
 
 /// An event bound to a destination and a firing time.

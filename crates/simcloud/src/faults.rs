@@ -1,0 +1,435 @@
+//! Seeded fault-injection plans.
+//!
+//! A [`FaultPlan`] is a deterministic chaos timeline compiled into the
+//! event queue before a run starts: per-host fail/repair windows and
+//! per-VM straggler (MIPS-degradation) intervals. Plans are either built
+//! explicitly or generated from a [`FaultSpec`] and a seed via
+//! [`FaultPlan::generate`]; the same `(spec, seed)` pair always produces
+//! the same plan, so a faulty run is exactly as reproducible as a healthy
+//! one. An empty plan injects nothing and leaves the event stream
+//! byte-identical to a run without fault injection.
+
+use rand::Rng;
+
+use crate::ids::{DatacenterId, HostId, VmId};
+use crate::rng::stream;
+use crate::time::SimTime;
+
+/// One host outage: the host fails at `fail_at` and, if `repair_at` is
+/// set, comes back online then (its dead VMs are re-provisioned and the
+/// capacity rejoins the fleet). `repair_at == None` is a permanent loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostOutage {
+    /// Datacenter that owns the host.
+    pub datacenter: DatacenterId,
+    /// Host within that datacenter.
+    pub host: HostId,
+    /// When the host goes down.
+    pub fail_at: SimTime,
+    /// When the host comes back, if ever. Must be after `fail_at`.
+    pub repair_at: Option<SimTime>,
+}
+
+/// One straggler interval: the VM's effective per-PE rate becomes
+/// `factor × spec.mips` at `from`, and returns to nominal at `until`
+/// (or stays degraded for the rest of the run when `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmSlowdown {
+    /// The straggling VM.
+    pub vm: VmId,
+    /// Onset of the slowdown.
+    pub from: SimTime,
+    /// Degradation factor in `(0, 1]` applied to the VM's nominal MIPS.
+    pub factor: f64,
+    /// End of the slowdown, if any. Must be after `from`.
+    pub until: Option<SimTime>,
+}
+
+/// A deterministic chaos timeline: everything that will go wrong in a
+/// run, decided up front.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Host fail/repair windows.
+    pub host_outages: Vec<HostOutage>,
+    /// VM straggler intervals.
+    pub vm_slowdowns: Vec<VmSlowdown>,
+}
+
+impl FaultPlan {
+    /// The all-healthy plan: injects nothing.
+    pub fn healthy() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.host_outages.is_empty() && self.vm_slowdowns.is_empty()
+    }
+
+    /// Checks every entry against the fleet shape: datacenter/host/VM
+    /// indices in range, times valid, factors in `(0, 1]`, repairs after
+    /// failures and slowdown ends after their onsets.
+    ///
+    /// `hosts_per_dc[d]` is the host count of datacenter `d`.
+    pub fn validate(&self, hosts_per_dc: &[usize], vms: usize) -> Result<(), String> {
+        for (i, o) in self.host_outages.iter().enumerate() {
+            let Some(&hosts) = hosts_per_dc.get(o.datacenter.index()) else {
+                return Err(format!(
+                    "outage {i} references unknown datacenter {}",
+                    o.datacenter
+                ));
+            };
+            if o.host.index() >= hosts {
+                return Err(format!(
+                    "outage {i} references host {} but datacenter {} has {hosts} hosts",
+                    o.host, o.datacenter
+                ));
+            }
+            if !o.fail_at.is_valid_clock() {
+                return Err(format!("outage {i} has invalid fail time {:?}", o.fail_at));
+            }
+            if let Some(r) = o.repair_at {
+                if !r.is_valid_clock() || r <= o.fail_at {
+                    return Err(format!(
+                        "outage {i} repairs at {r:?}, not after its failure at {:?}",
+                        o.fail_at
+                    ));
+                }
+            }
+        }
+        for (i, s) in self.vm_slowdowns.iter().enumerate() {
+            if s.vm.index() >= vms {
+                return Err(format!(
+                    "slowdown {i} references VM {} but the fleet has {vms} VMs",
+                    s.vm
+                ));
+            }
+            if !s.from.is_valid_clock() {
+                return Err(format!("slowdown {i} has invalid onset {:?}", s.from));
+            }
+            if !(s.factor > 0.0 && s.factor <= 1.0 && s.factor.is_finite()) {
+                return Err(format!(
+                    "slowdown {i} factor must be in (0, 1], got {}",
+                    s.factor
+                ));
+            }
+            if let Some(u) = s.until {
+                if !u.is_valid_clock() || u <= s.from {
+                    return Err(format!(
+                        "slowdown {i} ends at {u:?}, not after its onset at {:?}",
+                        s.from
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates a plan from a [`FaultSpec`] and a seed.
+    ///
+    /// Draw order is fixed — hosts in `(datacenter, host)` order on the
+    /// `"faults/hosts"` stream, then VMs in id order on the
+    /// `"faults/stragglers"` stream — so the plan depends only on
+    /// `(spec, seed)` and the fleet shape, never on thread count or
+    /// iteration timing.
+    pub fn generate(spec: &FaultSpec, seed: u64, hosts_per_dc: &[usize], vms: usize) -> Self {
+        spec.validate().expect("invalid FaultSpec");
+        let mut plan = FaultPlan::default();
+        let mut host_rng = stream(seed, "faults/hosts");
+        for (dc, &hosts) in hosts_per_dc.iter().enumerate() {
+            for host in 0..hosts {
+                let roll: f64 = host_rng.gen_range(0.0..1.0);
+                let fail_at = host_rng.gen_range(spec.fail_window_ms.0..=spec.fail_window_ms.1);
+                let repair_delay = spec
+                    .repair_after_ms
+                    .map(|(lo, hi)| host_rng.gen_range(lo..=hi));
+                if roll < spec.host_fail_fraction {
+                    plan.host_outages.push(HostOutage {
+                        datacenter: DatacenterId::from_index(dc),
+                        host: HostId::from_index(host),
+                        fail_at: SimTime::new(fail_at),
+                        repair_at: repair_delay.map(|d| SimTime::new(fail_at + d)),
+                    });
+                }
+            }
+        }
+        let mut vm_rng = stream(seed, "faults/stragglers");
+        for vm in 0..vms {
+            let roll: f64 = vm_rng.gen_range(0.0..1.0);
+            let from = vm_rng.gen_range(spec.straggler_window_ms.0..=spec.straggler_window_ms.1);
+            let duration = spec
+                .straggler_duration_ms
+                .map(|(lo, hi)| vm_rng.gen_range(lo..=hi));
+            if roll < spec.straggler_fraction {
+                plan.vm_slowdowns.push(VmSlowdown {
+                    vm: VmId::from_index(vm),
+                    from: SimTime::new(from),
+                    factor: spec.straggler_factor,
+                    until: duration.map(|d| SimTime::new(from + d)),
+                });
+            }
+        }
+        plan
+    }
+}
+
+/// Statistical description of a chaos campaign, turned into a concrete
+/// [`FaultPlan`] by [`FaultPlan::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Fraction of hosts (per datacenter, independently) that fail.
+    pub host_fail_fraction: f64,
+    /// Window `(lo, hi)` in ms within which each failure lands.
+    pub fail_window_ms: (f64, f64),
+    /// Repair delay range in ms after the failure; `None` means failed
+    /// hosts never come back.
+    pub repair_after_ms: Option<(f64, f64)>,
+    /// Fraction of VMs that straggle.
+    pub straggler_fraction: f64,
+    /// Degradation factor in `(0, 1]` applied to a straggler's MIPS.
+    pub straggler_factor: f64,
+    /// Window `(lo, hi)` in ms within which each slowdown starts.
+    pub straggler_window_ms: (f64, f64),
+    /// Slowdown duration range in ms; `None` means stragglers never
+    /// recover their nominal speed.
+    pub straggler_duration_ms: Option<(f64, f64)>,
+}
+
+impl Default for FaultSpec {
+    /// A moderate campaign: 20% of hosts fail in the first 10 simulated
+    /// seconds and repair 2–6 s later; 20% of VMs run at half speed for
+    /// 2–8 s starting somewhere in the first 10 s.
+    fn default() -> Self {
+        FaultSpec {
+            host_fail_fraction: 0.2,
+            fail_window_ms: (500.0, 10_000.0),
+            repair_after_ms: Some((2_000.0, 6_000.0)),
+            straggler_fraction: 0.2,
+            straggler_factor: 0.5,
+            straggler_window_ms: (500.0, 10_000.0),
+            straggler_duration_ms: Some((2_000.0, 8_000.0)),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Checks fractions, factors and windows for plausibility.
+    pub fn validate(&self) -> Result<(), String> {
+        fn fraction(name: &str, v: f64) -> Result<(), String> {
+            if v.is_finite() && (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("FaultSpec.{name} must be in [0, 1], got {v}"))
+            }
+        }
+        fn window(name: &str, (lo, hi): (f64, f64)) -> Result<(), String> {
+            if lo.is_finite() && hi.is_finite() && lo >= 0.0 && hi >= lo {
+                Ok(())
+            } else {
+                Err(format!(
+                    "FaultSpec.{name} must be an ascending non-negative range, got {lo}..{hi}"
+                ))
+            }
+        }
+        fraction("host_fail_fraction", self.host_fail_fraction)?;
+        fraction("straggler_fraction", self.straggler_fraction)?;
+        if !(self.straggler_factor.is_finite()
+            && self.straggler_factor > 0.0
+            && self.straggler_factor <= 1.0)
+        {
+            return Err(format!(
+                "FaultSpec.straggler_factor must be in (0, 1], got {}",
+                self.straggler_factor
+            ));
+        }
+        window("fail_window_ms", self.fail_window_ms)?;
+        window("straggler_window_ms", self.straggler_window_ms)?;
+        if let Some(r) = self.repair_after_ms {
+            window("repair_after_ms", r)?;
+            if r.0 <= 0.0 {
+                return Err("FaultSpec.repair_after_ms must start above zero".into());
+            }
+        }
+        if let Some(d) = self.straggler_duration_ms {
+            window("straggler_duration_ms", d)?;
+            if d.0 <= 0.0 {
+                return Err("FaultSpec.straggler_duration_ms must start above zero".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses the CLI `--faults` mini-language: comma-separated
+    /// `key=value` pairs over [`FaultSpec::default`], where ranges are
+    /// written `lo..hi` and `repair`/`slowdur` accept `never`.
+    ///
+    /// Keys: `hosts` (fail fraction), `fail` (failure window, ms),
+    /// `repair` (repair delay range, ms, or `never`), `stragglers`
+    /// (fraction), `slow` (factor), `slowstart` (onset window, ms),
+    /// `slowdur` (duration range, ms, or `never`).
+    ///
+    /// Example: `hosts=0.25,fail=500..8000,repair=2000..5000,slow=0.4`.
+    pub fn parse(input: &str) -> Result<FaultSpec, String> {
+        fn num(key: &str, v: &str) -> Result<f64, String> {
+            v.trim()
+                .parse::<f64>()
+                .map_err(|_| format!("--faults {key}: expected a number, got {v:?}"))
+        }
+        fn range(key: &str, v: &str) -> Result<(f64, f64), String> {
+            let (lo, hi) = v
+                .split_once("..")
+                .ok_or_else(|| format!("--faults {key}: expected lo..hi, got {v:?}"))?;
+            Ok((num(key, lo)?, num(key, hi)?))
+        }
+        let mut spec = FaultSpec::default();
+        for part in input.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("--faults: expected key=value, got {part:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "hosts" => spec.host_fail_fraction = num(key, value)?,
+                "fail" => spec.fail_window_ms = range(key, value)?,
+                "repair" => {
+                    spec.repair_after_ms = if value == "never" {
+                        None
+                    } else {
+                        Some(range(key, value)?)
+                    }
+                }
+                "stragglers" => spec.straggler_fraction = num(key, value)?,
+                "slow" => spec.straggler_factor = num(key, value)?,
+                "slowstart" => spec.straggler_window_ms = range(key, value)?,
+                "slowdur" => {
+                    spec.straggler_duration_ms = if value == "never" {
+                        None
+                    } else {
+                        Some(range(key, value)?)
+                    }
+                }
+                other => return Err(format!("--faults: unknown key {other:?}")),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_plan_is_empty_and_valid() {
+        let plan = FaultPlan::healthy();
+        assert!(plan.is_empty());
+        assert!(plan.validate(&[4, 4], 8).is_ok());
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let spec = FaultSpec::default();
+        let a = FaultPlan::generate(&spec, 42, &[8, 8], 32);
+        let b = FaultPlan::generate(&spec, 42, &[8, 8], 32);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(&spec, 43, &[8, 8], 32);
+        assert_ne!(a, c, "different seeds produce different chaos");
+        a.validate(&[8, 8], 32).expect("generated plans validate");
+    }
+
+    #[test]
+    fn generate_respects_fractions_and_windows() {
+        let spec = FaultSpec {
+            host_fail_fraction: 1.0,
+            straggler_fraction: 1.0,
+            ..FaultSpec::default()
+        };
+        let plan = FaultPlan::generate(&spec, 7, &[4], 6);
+        assert_eq!(plan.host_outages.len(), 4);
+        assert_eq!(plan.vm_slowdowns.len(), 6);
+        for o in &plan.host_outages {
+            let t = o.fail_at.as_millis();
+            assert!((500.0..=10_000.0).contains(&t));
+            let r = o.repair_at.expect("default spec repairs");
+            assert!(r > o.fail_at);
+        }
+        for s in &plan.vm_slowdowns {
+            assert_eq!(s.factor, 0.5);
+            assert!(s.until.expect("default spec recovers") > s.from);
+        }
+        let none = FaultPlan::generate(
+            &FaultSpec {
+                host_fail_fraction: 0.0,
+                straggler_fraction: 0.0,
+                ..FaultSpec::default()
+            },
+            7,
+            &[4],
+            6,
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_bad_entries() {
+        let mut plan = FaultPlan::healthy();
+        plan.host_outages.push(HostOutage {
+            datacenter: DatacenterId(0),
+            host: HostId(9),
+            fail_at: SimTime::new(10.0),
+            repair_at: None,
+        });
+        assert!(plan.validate(&[4], 2).is_err(), "host out of range");
+
+        let mut plan = FaultPlan::healthy();
+        plan.host_outages.push(HostOutage {
+            datacenter: DatacenterId(0),
+            host: HostId(0),
+            fail_at: SimTime::new(100.0),
+            repair_at: Some(SimTime::new(50.0)),
+        });
+        assert!(plan.validate(&[4], 2).is_err(), "repair before failure");
+
+        let mut plan = FaultPlan::healthy();
+        plan.vm_slowdowns.push(VmSlowdown {
+            vm: VmId(0),
+            from: SimTime::new(0.0),
+            factor: 1.5,
+            until: None,
+        });
+        assert!(plan.validate(&[4], 2).is_err(), "factor above 1");
+
+        let mut plan = FaultPlan::healthy();
+        plan.vm_slowdowns.push(VmSlowdown {
+            vm: VmId(5),
+            from: SimTime::new(0.0),
+            factor: 0.5,
+            until: None,
+        });
+        assert!(plan.validate(&[4], 2).is_err(), "vm out of range");
+    }
+
+    #[test]
+    fn spec_parse_roundtrip() {
+        let spec =
+            FaultSpec::parse("hosts=0.25, fail=500..8000, repair=2000..5000, slow=0.4").unwrap();
+        assert_eq!(spec.host_fail_fraction, 0.25);
+        assert_eq!(spec.fail_window_ms, (500.0, 8_000.0));
+        assert_eq!(spec.repair_after_ms, Some((2_000.0, 5_000.0)));
+        assert_eq!(spec.straggler_factor, 0.4);
+        // Untouched keys keep their defaults.
+        assert_eq!(
+            spec.straggler_fraction,
+            FaultSpec::default().straggler_fraction
+        );
+
+        let spec = FaultSpec::parse("repair=never,slowdur=never").unwrap();
+        assert_eq!(spec.repair_after_ms, None);
+        assert_eq!(spec.straggler_duration_ms, None);
+
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::default());
+        assert!(FaultSpec::parse("hosts=2.0").is_err(), "fraction above 1");
+        assert!(FaultSpec::parse("bogus=1").is_err());
+        assert!(FaultSpec::parse("fail=10").is_err(), "not a range");
+    }
+}

@@ -212,6 +212,15 @@ impl Host {
             .iter()
             .all(|p| p.status() == crate::pe::PeStatus::Failed)
     }
+
+    /// Brings a failed host back online: every failed PE returns to the
+    /// free pool. [`Host::fail`] already released all provisions, so the
+    /// host comes back empty and immediately re-admittable.
+    pub fn repair(&mut self) {
+        for pe in &mut self.pes {
+            pe.repair();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +299,20 @@ mod tests {
         assert_eq!(h.vm_count(), 0);
         assert!(!h.is_suitable_for(&vm), "a failed host admits nothing");
         assert!(!h.allocate_vm(VmId(2), &vm));
+    }
+
+    #[test]
+    fn repaired_host_readmits_vms() {
+        let mut h = host();
+        let vm = VmSpec::new(1_000.0, 100.0, 100.0, 100.0, 1);
+        assert!(h.allocate_vm(VmId(0), &vm));
+        h.fail();
+        assert!(h.is_failed());
+        h.repair();
+        assert!(!h.is_failed());
+        assert_eq!(h.free_pes(), 4, "repair frees every PE");
+        assert_eq!(h.available_ram(), 2_048.0, "fail released all provisions");
+        assert!(h.allocate_vm(VmId(1), &vm), "repaired host admits again");
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub struct World {
     pub vms: Vec<Vm>,
     /// All cloudlets, indexed by [`CloudletId`].
     pub cloudlets: Vec<Cloudlet>,
+    /// Run-level recovery counters, accumulated by the broker as faults
+    /// strike and retries land. Stays zeroed on fault-free runs.
+    pub resilience: crate::stats::ResilienceCounters,
 }
 
 impl World {
@@ -33,7 +36,11 @@ impl World {
             .enumerate()
             .map(|(i, s)| Cloudlet::new(CloudletId::from_index(i), s))
             .collect();
-        World { vms, cloudlets }
+        World {
+            vms,
+            cloudlets,
+            resilience: crate::stats::ResilienceCounters::default(),
+        }
     }
 
     /// Immutable VM lookup.

@@ -39,6 +39,7 @@ pub mod datacenter;
 pub mod energy;
 pub mod error;
 pub mod event;
+pub mod faults;
 pub mod host;
 pub mod ids;
 pub mod kernel;
@@ -55,17 +56,21 @@ pub mod vm_alloc;
 
 /// Convenience re-exports for scenario construction.
 pub mod prelude {
+    pub use crate::broker::{RecoveryPolicy, Rescheduler};
     pub use crate::characteristics::{CostModel, DatacenterCharacteristics};
     pub use crate::cloudlet::{Cloudlet, CloudletSpec, CloudletStatus};
     pub use crate::cloudlet_sched::SchedulerKind;
     pub use crate::datacenter::DatacenterBlueprint;
     pub use crate::energy::{estimate_energy, EnergyReport, PowerModel};
     pub use crate::error::SimError;
+    pub use crate::faults::{FaultPlan, FaultSpec, HostOutage, VmSlowdown};
     pub use crate::host::{Host, HostSpec};
     pub use crate::ids::{CloudletId, DatacenterId, HostId, VmId};
     pub use crate::network::Topology;
     pub use crate::simulation::{EngineKind, SimulationBuilder};
-    pub use crate::stats::{CloudletRecord, RecordMode, SimulationOutcome, VmUsage};
+    pub use crate::stats::{
+        CloudletRecord, RecordMode, ResilienceCounters, SimulationOutcome, VmUsage,
+    };
     pub use crate::time::SimTime;
     pub use crate::vm::{Vm, VmSpec, VmStatus};
     pub use crate::vm_alloc::{

@@ -17,9 +17,15 @@
 //! the engine-equivalence test suite enforces this across seeds, scheduler
 //! flavours and thread counts.
 //!
-//! Scenarios outside the eligible shape (workflows, failure injection,
-//! resubmission) transparently fall back to the sequential kernel in
-//! [`crate::simulation::SimulationBuilder::run`].
+//! Scenarios outside the eligible shape split two ways in
+//! [`crate::simulation::SimulationBuilder::run`]: workflow dependencies
+//! and legacy resubmission transparently fall back to the sequential
+//! kernel (the outcome still reports which engine ran), while fault
+//! injection — host failures, a non-empty [`crate::faults::FaultPlan`]
+//! or a recovery policy — is refused outright with
+//! [`crate::error::SimError::Unsupported`], because a fault timeline
+//! rewrites VM capacity mid-flight and a silent engine switch would hide
+//! that the requested parallel replay never happened.
 
 use std::collections::HashMap;
 
@@ -65,7 +71,8 @@ struct ShardOut {
 ///
 /// The caller ([`crate::simulation::SimulationBuilder::run`]) has already
 /// validated the scenario and checked eligibility: no dependencies, no
-/// host failures, no resubmission.
+/// fault injection (host failures, fault plans, recovery), no
+/// resubmission.
 pub(crate) fn run(
     world: &mut World,
     blueprints: Vec<DatacenterBlueprint>,

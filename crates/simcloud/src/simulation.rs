@@ -28,14 +28,16 @@
 //! assert_eq!(outcome.finished_count(), 16);
 //! ```
 
-use crate::broker::Broker;
+use crate::broker::{Broker, RecoveryPolicy, Rescheduler};
 use crate::cloudlet::CloudletSpec;
 use crate::datacenter::{Datacenter, DatacenterBlueprint};
 use crate::error::SimError;
-use crate::ids::{DatacenterId, VmId};
+use crate::faults::FaultPlan;
+use crate::ids::{DatacenterId, HostId, VmId};
 use crate::kernel::{Kernel, World};
 use crate::network::Topology;
 use crate::stats::{AggregateMetrics, CloudletRecord, RecordMode, SimulationOutcome};
+use crate::time::SimTime;
 use crate::vm::VmSpec;
 
 /// Which execution engine runs the scenario.
@@ -46,9 +48,13 @@ pub enum EngineKind {
     Sequential,
     /// The sharded engine: per-VM timelines replayed across rayon
     /// workers, trace-equivalent to the sequential kernel. Scenarios it
-    /// cannot express (workflow dependencies, host failures,
-    /// resubmission) transparently fall back to [`Self::Sequential`];
-    /// [`SimulationOutcome::engine`] reports what actually ran.
+    /// cannot express fall into two classes: workflow dependencies and
+    /// legacy resubmission transparently fall back to
+    /// [`Self::Sequential`] ([`SimulationOutcome::engine`] reports what
+    /// actually ran), while fault injection (host failures, a non-empty
+    /// [`crate::faults::FaultPlan`], recovery) makes
+    /// [`SimulationBuilder::run`] fail loudly with
+    /// [`SimError::Unsupported`] rather than silently diverge.
     Sharded,
 }
 
@@ -76,6 +82,9 @@ pub struct SimulationBuilder {
     max_retries: u8,
     engine: EngineKind,
     record_mode: RecordMode,
+    faults: Option<FaultPlan>,
+    recovery: Option<RecoveryPolicy>,
+    rescheduler: Option<Box<dyn Rescheduler>>,
 }
 
 impl Default for SimulationBuilder {
@@ -100,7 +109,36 @@ impl SimulationBuilder {
             max_retries: 0,
             engine: EngineKind::Sequential,
             record_mode: RecordMode::Full,
+            faults: None,
+            recovery: None,
+            rescheduler: None,
         }
+    }
+
+    /// Installs a seeded chaos timeline ([`FaultPlan`]): host
+    /// fail/repair windows and VM straggler intervals, compiled into the
+    /// event queue before the run starts. An empty plan leaves the run
+    /// byte-identical to one with no plan at all.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Enables broker-level batched retry/backoff recovery: failed
+    /// cloudlets are collected into retry batches, backed off
+    /// exponentially (capped), and resubmitted onto surviving VMs.
+    /// Mutually exclusive with [`SimulationBuilder::resubmit_failures`].
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
+    /// Installs a fault-aware [`Rescheduler`] consulted for each retry
+    /// batch. Without one, retries rebind cyclically over survivors.
+    /// Only meaningful together with [`SimulationBuilder::recovery`].
+    pub fn rescheduler(mut self, rescheduler: Box<dyn Rescheduler>) -> Self {
+        self.rescheduler = Some(rescheduler);
+        self
     }
 
     /// Selects the execution engine. Defaults to the sequential kernel.
@@ -245,16 +283,46 @@ impl SimulationBuilder {
                 what: format!("cloudlet {i}: {e}"),
             })?;
         }
+        if let Some(plan) = &self.faults {
+            let hosts_per_dc: Vec<usize> = self.datacenters.iter().map(|d| d.hosts.len()).collect();
+            plan.validate(&hosts_per_dc, self.vms.len())
+                .map_err(|what| SimError::InvalidSpec {
+                    what: format!("fault plan: {what}"),
+                })?;
+        }
+        if let Some(policy) = &self.recovery {
+            policy.validate().map_err(|what| SimError::InvalidSpec {
+                what: format!("recovery policy: {what}"),
+            })?;
+            if self.max_retries > 0 {
+                return Err(SimError::InvalidSpec {
+                    what: "recovery and resubmit_failures are mutually exclusive".into(),
+                });
+            }
+        }
 
         let topology = self.topology.unwrap_or_else(|| Topology::flat(dc_count));
 
+        // Fault injection cannot be replayed by the sharded engine: an
+        // explicit request fails loudly instead of silently running a
+        // different kernel (or worse, ignoring the faults).
+        let fault_injected = self.datacenters.iter().any(|d| !d.failures.is_empty())
+            || self.faults.as_ref().is_some_and(|p| !p.is_empty())
+            || self.recovery.is_some();
+        if self.engine == EngineKind::Sharded && fault_injected {
+            return Err(SimError::Unsupported {
+                what: "the sharded engine cannot replay fault injection or recovery; \
+                       use EngineKind::Sequential"
+                    .into(),
+            });
+        }
+
         // The sharded engine handles the paper's dominant shape — an
         // independent-cloudlet batch (arrivals allowed) with no failure
-        // injection and no resubmission. Anything else needs the global
-        // event queue; fall back transparently and report what ran.
-        let sharded_eligible = self.dependencies.is_none()
-            && self.max_retries == 0
-            && self.datacenters.iter().all(|d| d.failures.is_empty());
+        // injection and no resubmission. Workflow dependencies and legacy
+        // resubmission need the global event queue; fall back
+        // transparently and report what ran.
+        let sharded_eligible = self.dependencies.is_none() && self.max_retries == 0;
         if self.engine == EngineKind::Sharded && sharded_eligible {
             let mut world = World::new(self.vms, self.cloudlets);
             let stats = crate::sharded::run(
@@ -277,13 +345,43 @@ impl SimulationBuilder {
         if let Some(max) = self.max_events {
             kernel = kernel.with_max_events(max);
         }
+
+        // Compile the fault plan into per-datacenter schedules: failures
+        // ride the blueprint's existing injection list, repairs and
+        // straggler intervals are armed via `Datacenter::arm_faults`. A
+        // slowdown with an end compiles to two `VmDegrade` events (onset
+        // factor, then 1.0 to restore).
+        let mut dc_failures: Vec<Vec<(HostId, SimTime)>> = vec![Vec::new(); dc_count];
+        let mut dc_repairs: Vec<Vec<(HostId, SimTime)>> = vec![Vec::new(); dc_count];
+        let mut dc_degrades: Vec<Vec<(VmId, SimTime, f64)>> = vec![Vec::new(); dc_count];
+        if let Some(plan) = &self.faults {
+            for o in &plan.host_outages {
+                dc_failures[o.datacenter.index()].push((o.host, o.fail_at));
+                if let Some(r) = o.repair_at {
+                    dc_repairs[o.datacenter.index()].push((o.host, r));
+                }
+            }
+            for s in &plan.vm_slowdowns {
+                let dc = vm_placement[s.vm.index()].index();
+                dc_degrades[dc].push((s.vm, s.from, s.factor));
+                if let Some(u) = s.until {
+                    dc_degrades[dc].push((s.vm, u, 1.0));
+                }
+            }
+        }
+
         let mut world = World::new(self.vms, self.cloudlets);
 
         let mut dc_entities = Vec::with_capacity(dc_count);
         let mut dc_handles = Vec::with_capacity(dc_count);
-        for (i, blueprint) in self.datacenters.into_iter().enumerate() {
+        for (i, mut blueprint) in self.datacenters.into_iter().enumerate() {
+            blueprint.failures.append(&mut dc_failures[i]);
             let entity = kernel.next_entity_id();
-            let dc = Datacenter::new(entity, DatacenterId::from_index(i), blueprint);
+            let mut dc = Datacenter::new(entity, DatacenterId::from_index(i), blueprint);
+            dc.arm_faults(
+                std::mem::take(&mut dc_repairs[i]),
+                std::mem::take(&mut dc_degrades[i]),
+            );
             dc_handles.push(entity);
             dc_entities.push(entity);
             kernel.register(Box::new(dc));
@@ -304,6 +402,9 @@ impl SimulationBuilder {
         }
         if self.max_retries > 0 {
             broker = broker.with_resubmission(self.max_retries);
+        }
+        if let Some(policy) = self.recovery {
+            broker = broker.with_recovery(policy, self.rescheduler);
         }
         kernel.register(Box::new(broker));
 
@@ -374,6 +475,7 @@ fn outcome_from_world(
         vms_created,
         vms_rejected,
         cloudlets_failed,
+        resilience: world.resilience,
         engine,
     }
 }
@@ -836,6 +938,329 @@ mod tests {
         assert_eq!(outcome.records[2].status, CloudletStatus::Failed);
         assert_eq!(outcome.records[3].status, CloudletStatus::Finished);
         assert_eq!(outcome.cloudlets_failed, 3);
+    }
+
+    #[test]
+    fn sharded_with_fault_injection_is_unsupported() {
+        use crate::faults::{FaultPlan, HostOutage};
+        use crate::ids::HostId;
+        let vm = VmSpec::homogeneous_default();
+        let base = || {
+            SimulationBuilder::new()
+                .engine(EngineKind::Sharded)
+                .datacenter(DatacenterBlueprint::sized_for(
+                    &vm,
+                    2,
+                    1,
+                    DatacenterCharacteristics::default(),
+                ))
+                .vms(vec![vm.clone(); 2])
+                .cloudlets(vec![CloudletSpec::homogeneous_default(); 4])
+                .assignment(base_assignment(4, 2))
+        };
+        // Blueprint-level failure injection: loud error, not divergence.
+        let vm2 = VmSpec::homogeneous_default();
+        let err = SimulationBuilder::new()
+            .engine(EngineKind::Sharded)
+            .datacenter(
+                DatacenterBlueprint::sized_for(&vm2, 2, 1, DatacenterCharacteristics::default())
+                    .with_failure(HostId(0), SimTime::new(500.0)),
+            )
+            .vms(vec![vm2; 2])
+            .cloudlets(vec![CloudletSpec::homogeneous_default(); 4])
+            .assignment(base_assignment(4, 2))
+            .run();
+        assert!(matches!(err, Err(SimError::Unsupported { .. })));
+        // A non-empty fault plan: same loud error.
+        let mut plan = FaultPlan::healthy();
+        plan.host_outages.push(HostOutage {
+            datacenter: DatacenterId(0),
+            host: HostId(0),
+            fail_at: SimTime::new(500.0),
+            repair_at: None,
+        });
+        let err = base().faults(plan).run();
+        assert!(matches!(err, Err(SimError::Unsupported { .. })));
+        // Recovery alone also needs the event engine.
+        let err = base()
+            .recovery(crate::broker::RecoveryPolicy::default())
+            .run();
+        assert!(matches!(err, Err(SimError::Unsupported { .. })));
+        // An all-healthy plan injects nothing, so sharded still runs.
+        let ok = base().faults(FaultPlan::healthy()).run().unwrap();
+        assert_eq!(ok.engine, EngineKind::Sharded);
+        assert_eq!(ok.finished_count(), 4);
+    }
+
+    #[test]
+    fn healthy_fault_plan_is_byte_identical() {
+        use crate::faults::FaultPlan;
+        let run = |with_plan: bool| {
+            let vm = VmSpec::homogeneous_default();
+            let mut b = SimulationBuilder::new()
+                .datacenter(DatacenterBlueprint::sized_for(
+                    &vm,
+                    4,
+                    2,
+                    DatacenterCharacteristics::default(),
+                ))
+                .vms(vec![vm; 4])
+                .cloudlets(vec![CloudletSpec::homogeneous_default(); 24])
+                .assignment(base_assignment(24, 4));
+            if with_plan {
+                b = b.faults(FaultPlan::healthy());
+            }
+            b.run().unwrap()
+        };
+        let plain = run(false);
+        let healthy = run(true);
+        assert_eq!(plain.events_processed, healthy.events_processed);
+        assert_eq!(plain.resilience, healthy.resilience);
+        for (a, b) in plain.records.iter().zip(&healthy.records) {
+            assert_eq!(a.finish, b.finish);
+            assert_eq!(
+                a.execution_ms.map(f64::to_bits),
+                b.execution_ms.map(f64::to_bits)
+            );
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn vm_degrade_slows_and_recovers() {
+        use crate::faults::{FaultPlan, VmSlowdown};
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        let run = |until: Option<f64>| {
+            let mut plan = FaultPlan::healthy();
+            plan.vm_slowdowns.push(VmSlowdown {
+                vm: VmId(0),
+                from: SimTime::new(500.0),
+                factor: 0.5,
+                until: until.map(SimTime::new),
+            });
+            SimulationBuilder::new()
+                .datacenter(DatacenterBlueprint::sized_for(
+                    &vm,
+                    1,
+                    1,
+                    DatacenterCharacteristics::default(),
+                ))
+                .vms(vec![vm.clone()])
+                .cloudlets(vec![CloudletSpec::new(2_000.0, 0.0, 0.0, 1)])
+                .assignment(vec![VmId(0)])
+                .faults(plan)
+                .run()
+                .unwrap()
+        };
+        // Permanent straggler: 500 MI at full speed, 1500 MI at half
+        // speed -> 500 + 3000 = 3500 ms.
+        let o = run(None);
+        let finish = o.records[0].finish.unwrap().as_millis();
+        assert!(
+            (finish - 3_500.0).abs() < 1e-6,
+            "expected 3500, got {finish}"
+        );
+        // Recovering straggler: degraded for [500, 1500) executes 500 MI,
+        // the remaining 1000 MI run at full speed -> finish at 2500 ms.
+        let o = run(Some(1_500.0));
+        let finish = o.records[0].finish.unwrap().as_millis();
+        assert!(
+            (finish - 2_500.0).abs() < 1e-6,
+            "expected 2500, got {finish}"
+        );
+        assert_eq!(o.finished_count(), 1);
+    }
+
+    #[test]
+    fn host_repair_revives_capacity_for_retries() {
+        use crate::broker::RecoveryPolicy;
+        use crate::faults::{FaultPlan, HostOutage};
+        use crate::ids::HostId;
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        let mut plan = FaultPlan::healthy();
+        plan.host_outages.push(HostOutage {
+            datacenter: DatacenterId(0),
+            host: HostId(0),
+            fail_at: SimTime::new(500.0),
+            repair_at: Some(SimTime::new(1_000.0)),
+        });
+        let outcome = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                1,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm])
+            .cloudlets(vec![CloudletSpec::new(2_000.0, 0.0, 0.0, 1)])
+            .assignment(vec![VmId(0)])
+            .faults(plan)
+            .recovery(RecoveryPolicy {
+                max_attempts: 3,
+                base_backoff_ms: 600.0,
+                backoff_factor: 2.0,
+                max_backoff_ms: 5_000.0,
+            })
+            .run()
+            .unwrap();
+        // The single VM dies at 500 and is revived at 1000; the retry
+        // wakes at 500 + 600 = 1100 and lands on the repaired host.
+        assert_eq!(outcome.finished_count(), 1, "repair saves the work");
+        assert_eq!(outcome.cloudlets_failed, 0);
+        let r = &outcome.records[0];
+        assert!((r.start.unwrap().as_millis() - 1_100.0).abs() < 1e-6);
+        assert!((r.finish.unwrap().as_millis() - 3_100.0).abs() < 1e-6);
+        assert_eq!(outcome.resilience.retries, 1);
+        assert!((outcome.resilience.wasted_work_ms - 500.0).abs() < 1e-6);
+        assert_eq!(outcome.resilience.recovered, 1);
+        assert!((outcome.mean_time_to_recovery_ms().unwrap() - 2_600.0).abs() < 1e-6);
+        assert_eq!(outcome.completion_ratio(), Some(1.0));
+        let g = outcome.goodput().unwrap();
+        assert!((g - 2_000.0 / 2_500.0).abs() < 1e-12, "goodput {g}");
+    }
+
+    #[test]
+    fn recovery_reschedules_onto_survivors() {
+        use crate::broker::RecoveryPolicy;
+        use crate::faults::{FaultPlan, HostOutage};
+        use crate::ids::HostId;
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        let mut plan = FaultPlan::healthy();
+        plan.host_outages.push(HostOutage {
+            datacenter: DatacenterId(0),
+            host: HostId(0),
+            fail_at: SimTime::new(500.0),
+            repair_at: None,
+        });
+        let outcome = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                2,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm; 2])
+            .cloudlets(vec![CloudletSpec::new(2_000.0, 0.0, 0.0, 1); 4])
+            .assignment(vec![VmId(0), VmId(1), VmId(0), VmId(1)])
+            .faults(plan)
+            .recovery(RecoveryPolicy::default())
+            .run()
+            .unwrap();
+        assert_eq!(outcome.finished_count(), 4, "retries save the orphans");
+        assert_eq!(outcome.cloudlets_failed, 0);
+        assert_eq!(outcome.resilience.retries, 2);
+        assert_eq!(outcome.resilience.recovered, 2);
+        assert!(outcome.resilience.wasted_work_ms > 0.0);
+        assert!(outcome.goodput().unwrap() < 1.0);
+        for r in &outcome.records {
+            if r.finish.unwrap() > SimTime::new(500.0) {
+                assert_eq!(r.vm, Some(VmId(1)), "rescued work runs on VM1");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_respects_custom_rescheduler() {
+        use crate::broker::{RecoveryPolicy, Rescheduler};
+        use crate::faults::{FaultPlan, HostOutage};
+        use crate::ids::{CloudletId, HostId};
+        use crate::kernel::World;
+        // Always picks the last VM — distinguishable from the cyclic
+        // fallback, which would hand the orphans to VM1 first.
+        struct LastVm;
+        impl Rescheduler for LastVm {
+            fn replan(&mut self, world: &World, _now: SimTime, batch: &[CloudletId]) -> Vec<VmId> {
+                let last = VmId::from_index(world.vms.len() - 1);
+                vec![last; batch.len()]
+            }
+        }
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        let mut plan = FaultPlan::healthy();
+        plan.host_outages.push(HostOutage {
+            datacenter: DatacenterId(0),
+            host: HostId(0),
+            fail_at: SimTime::new(500.0),
+            repair_at: None,
+        });
+        let outcome = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                3,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm; 3])
+            .cloudlets(vec![CloudletSpec::new(2_000.0, 0.0, 0.0, 1); 3])
+            .assignment(vec![VmId(0), VmId(1), VmId(2)])
+            .faults(plan)
+            .recovery(RecoveryPolicy::default())
+            .rescheduler(Box::new(LastVm))
+            .run()
+            .unwrap();
+        assert_eq!(outcome.finished_count(), 3);
+        assert_eq!(
+            outcome.records[0].vm,
+            Some(VmId(2)),
+            "the rescheduler's pick wins over cyclic rebinding"
+        );
+    }
+
+    #[test]
+    fn recovery_abandons_after_budget() {
+        use crate::broker::RecoveryPolicy;
+        use crate::faults::{FaultPlan, HostOutage};
+        use crate::ids::HostId;
+        let vm = VmSpec::new(1_000.0, 100.0, 128.0, 500.0, 1);
+        let mut plan = FaultPlan::healthy();
+        plan.host_outages.push(HostOutage {
+            datacenter: DatacenterId(0),
+            host: HostId(0),
+            fail_at: SimTime::new(100.0),
+            repair_at: None,
+        });
+        let outcome = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                1,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm])
+            .cloudlets(vec![CloudletSpec::new(5_000.0, 0.0, 0.0, 1); 2])
+            .assignment(vec![VmId(0); 2])
+            .faults(plan)
+            .recovery(RecoveryPolicy {
+                max_attempts: 2,
+                ..RecoveryPolicy::default()
+            })
+            .run()
+            .unwrap();
+        assert_eq!(outcome.finished_count(), 0);
+        assert_eq!(outcome.cloudlets_failed, 2);
+        assert_eq!(outcome.failed_count(), 2);
+        assert_eq!(outcome.resilience.abandoned, 2);
+        assert_eq!(outcome.resilience.recovered, 0);
+        assert_eq!(outcome.completion_ratio(), Some(0.0));
+    }
+
+    #[test]
+    fn recovery_excludes_legacy_resubmission() {
+        use crate::broker::RecoveryPolicy;
+        let vm = VmSpec::homogeneous_default();
+        let err = SimulationBuilder::new()
+            .datacenter(DatacenterBlueprint::sized_for(
+                &vm,
+                1,
+                1,
+                DatacenterCharacteristics::default(),
+            ))
+            .vms(vec![vm])
+            .cloudlets(vec![CloudletSpec::homogeneous_default()])
+            .assignment(vec![VmId(0)])
+            .resubmit_failures(2)
+            .recovery(RecoveryPolicy::default())
+            .run();
+        assert!(matches!(err, Err(SimError::InvalidSpec { .. })));
     }
 
     #[test]

@@ -27,6 +27,30 @@ pub enum RecordMode {
     Aggregate,
 }
 
+/// Run-level recovery counters accumulated while faults strike and the
+/// broker retries orphaned work. All zeros on a fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResilienceCounters {
+    /// Retry submissions performed (one per cloudlet per retry batch).
+    pub retries: u64,
+    /// Milliseconds of execution spent on attempts that later failed.
+    pub wasted_work_ms: f64,
+    /// Cloudlets that failed at least once but eventually finished.
+    pub recovered: u64,
+    /// Sum over recovered cloudlets of (completion − first failure), ms.
+    pub recovery_time_ms: f64,
+    /// Cloudlets permanently failed after exhausting their retry budget.
+    pub abandoned: u64,
+}
+
+impl ResilienceCounters {
+    /// Mean time-to-recovery over recovered cloudlets, in ms. `None`
+    /// when nothing had to recover.
+    pub fn mean_time_to_recovery_ms(&self) -> Option<f64> {
+        (self.recovered > 0).then(|| self.recovery_time_ms / self.recovered as f64)
+    }
+}
+
 /// Per-VM usage summary: busy time and finished-cloudlet count, computed
 /// in one pass over the records (or read straight off the aggregate).
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +67,8 @@ pub struct VmUsage {
 #[derive(Debug, Clone)]
 pub struct AggregateMetrics {
     finished: usize,
+    failed: usize,
+    observed: usize,
     min_start: Option<f64>,
     max_finish: Option<f64>,
     exec_min: f64,
@@ -69,6 +95,8 @@ impl AggregateMetrics {
     pub fn new(vm_count: usize) -> Self {
         AggregateMetrics {
             finished: 0,
+            failed: 0,
+            observed: 0,
             min_start: None,
             max_finish: None,
             exec_min: f64::INFINITY,
@@ -93,9 +121,13 @@ impl AggregateMetrics {
     /// order to keep the floating-point fold bit-identical to a scan of
     /// the full record vector.
     pub fn observe(&mut self, r: &CloudletRecord) {
+        self.observed += 1;
         if let Some(ok) = r.met_deadline {
             self.sla_total += 1;
             self.sla_met += usize::from(ok);
+        }
+        if r.status == CloudletStatus::Failed {
+            self.failed += 1;
         }
         if r.status != CloudletStatus::Finished {
             return;
@@ -198,6 +230,9 @@ pub struct SimulationOutcome {
     pub vms_rejected: usize,
     /// Cloudlets that never ran.
     pub cloudlets_failed: usize,
+    /// Recovery counters accumulated during the run (all zeros on a
+    /// fault-free run).
+    pub resilience: ResilienceCounters,
     /// Which engine actually executed the run (a sharded request may fall
     /// back to sequential for ineligible scenarios).
     pub engine: crate::simulation::EngineKind,
@@ -350,6 +385,52 @@ impl SimulationOutcome {
         (total > 0).then(|| met as f64 / total as f64)
     }
 
+    /// Cloudlets that ended the run in [`CloudletStatus::Failed`],
+    /// answered identically in both record modes.
+    pub fn failed_count(&self) -> usize {
+        match &self.aggregate {
+            Some(a) => a.failed,
+            None => self
+                .records
+                .iter()
+                .filter(|r| r.status == CloudletStatus::Failed)
+                .count(),
+        }
+    }
+
+    /// Cloudlets observed by the run (the workload size), answered
+    /// identically in both record modes.
+    pub fn observed_count(&self) -> usize {
+        match &self.aggregate {
+            Some(a) => a.observed,
+            None => self.records.len(),
+        }
+    }
+
+    /// Fraction of the workload that finished. `None` on an empty run.
+    pub fn completion_ratio(&self) -> Option<f64> {
+        let n = self.observed_count();
+        (n > 0).then(|| self.finished_count() as f64 / n as f64)
+    }
+
+    /// Useful-work fraction: execution time banked by finished cloudlets
+    /// over that plus the execution time lost to failed attempts. `1.0`
+    /// on a fault-free run; `None` when nothing executed at all.
+    pub fn goodput(&self) -> Option<f64> {
+        let useful = match &self.aggregate {
+            Some(a) => a.exec_sum,
+            None => self.finished().filter_map(|r| r.execution_ms).sum(),
+        };
+        let total = useful + self.resilience.wasted_work_ms;
+        (total > 0.0).then(|| useful / total)
+    }
+
+    /// Mean time-to-recovery in ms over cloudlets that failed at least
+    /// once and eventually finished. `None` when nothing had to recover.
+    pub fn mean_time_to_recovery_ms(&self) -> Option<f64> {
+        self.resilience.mean_time_to_recovery_ms()
+    }
+
     /// Per-VM busy time and finished-cloudlet counts in one pass over the
     /// records (the old `per_vm_busy_ms`/`per_vm_counts` pair each
     /// re-scanned the whole vector). VMs at index ≥ `vm_count` are
@@ -419,6 +500,7 @@ mod tests {
             vms_created: 2,
             vms_rejected: 0,
             cloudlets_failed: 0,
+            resilience: ResilienceCounters::default(),
             engine: crate::simulation::EngineKind::Sequential,
         }
     }
@@ -573,6 +655,52 @@ mod tests {
         assert_eq!(usage.busy_ms, o.per_vm_busy_ms(2));
         assert_eq!(usage.counts, o.per_vm_counts(2));
         assert_eq!(usage.counts, vec![2, 1]);
+    }
+
+    #[test]
+    fn failed_and_observed_counts_match_across_modes() {
+        let mut failed = rec(2, 0.0, 0.0, 0.0);
+        failed.status = CloudletStatus::Failed;
+        failed.execution_ms = None;
+        let records = vec![rec(0, 0.0, 10.0, 1.0), rec(1, 0.0, 20.0, 1.0), failed];
+        let full = outcome(records.clone());
+        let agg = aggregate_of(&records, 2);
+        assert_eq!(full.failed_count(), 1);
+        assert_eq!(agg.failed_count(), 1);
+        assert_eq!(full.observed_count(), 3);
+        assert_eq!(agg.observed_count(), 3);
+        assert_eq!(
+            full.completion_ratio().map(f64::to_bits),
+            agg.completion_ratio().map(f64::to_bits)
+        );
+        assert!((full.completion_ratio().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resilience_accessors() {
+        let mut o = outcome(vec![rec(0, 0.0, 100.0, 0.0)]);
+        assert_eq!(o.goodput(), Some(1.0), "fault-free run wastes nothing");
+        assert_eq!(o.mean_time_to_recovery_ms(), None);
+        o.resilience = ResilienceCounters {
+            retries: 3,
+            wasted_work_ms: 100.0,
+            recovered: 2,
+            recovery_time_ms: 500.0,
+            abandoned: 1,
+        };
+        assert!((o.goodput().unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(o.mean_time_to_recovery_ms(), Some(250.0));
+        // Aggregate mode answers goodput from the folded exec sum.
+        let records = vec![rec(0, 0.0, 100.0, 0.0)];
+        let mut agg = aggregate_of(&records, 2);
+        agg.resilience = o.resilience;
+        assert_eq!(
+            agg.goodput().map(f64::to_bits),
+            o.goodput().map(f64::to_bits)
+        );
+        // Empty run: no execution anywhere -> None.
+        let empty = outcome(vec![]);
+        assert_eq!(empty.goodput(), None);
     }
 
     #[test]

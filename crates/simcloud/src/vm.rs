@@ -105,6 +105,10 @@ pub struct Vm {
     pub datacenter: Option<DatacenterId>,
     /// Host the VM was placed on (once `Active`).
     pub host: Option<HostId>,
+    /// Current straggler factor in `(0, 1]`: the VM's effective per-PE
+    /// rate is `rate_factor × spec.mips`. Written by the datacenter on
+    /// fault injection; read by recovery-time reschedulers.
+    pub rate_factor: f64,
 }
 
 impl Vm {
@@ -116,7 +120,14 @@ impl Vm {
             status: VmStatus::Created,
             datacenter: None,
             host: None,
+            rate_factor: 1.0,
         }
+    }
+
+    /// Effective per-PE rate under the current straggler factor.
+    #[inline]
+    pub fn effective_mips(&self) -> f64 {
+        self.spec.mips * self.rate_factor
     }
 
     /// Records successful placement.

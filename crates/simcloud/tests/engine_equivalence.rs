@@ -238,17 +238,19 @@ fn ineligible_scenarios_fall_back_to_sequential() {
         .unwrap();
     assert_eq!(with_deps.engine, EngineKind::Sequential);
 
-    // So does resubmission...
+    // So does resubmission.
     let with_retries = base(mk()).resubmit_failures(2).run().unwrap();
     assert_eq!(with_retries.engine, EngineKind::Sequential);
 
-    // ...and failure injection.
-    let with_failures = base(mk().with_failure(HostId(0), SimTime::new(1.0e9)))
-        .run()
-        .unwrap();
-    assert_eq!(with_failures.engine, EngineKind::Sequential);
-
     // The fallback still completes the work.
     assert_eq!(with_retries.finished_count(), 2);
-    assert_eq!(with_failures.finished_count(), 2);
+
+    // Failure injection, by contrast, refuses loudly: an explicit Sharded
+    // request with chaos events would silently diverge from the timeline
+    // the caller asked for, so it is an error rather than a fallback.
+    let with_failures = base(mk().with_failure(HostId(0), SimTime::new(1.0e9))).run();
+    assert!(matches!(
+        with_failures,
+        Err(simcloud::error::SimError::Unsupported { .. })
+    ));
 }

@@ -103,6 +103,8 @@ impl HeterogeneousScenario {
             arrivals: None,
             host_failures: Vec::new(),
             dependencies: None,
+            faults: None,
+            recovery: None,
         }
     }
 }

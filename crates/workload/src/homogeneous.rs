@@ -72,6 +72,8 @@ impl HomogeneousScenario {
             arrivals: None,
             host_failures: Vec::new(),
             dependencies: None,
+            faults: None,
+            recovery: None,
         }
     }
 }

@@ -12,6 +12,8 @@
 //!   infrastructure, schedulers and the simulator.
 //! * [`sweep`] — rayon-parallel experiment execution collecting the
 //!   paper's four metrics per (scenario, algorithm) point.
+//! * [`resilience`] — fault-injection campaigns: seeded chaos timelines,
+//!   fault-aware rescheduling and resilience metrics with CIs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -19,6 +21,7 @@
 pub mod heterogeneous;
 pub mod homogeneous;
 pub mod online;
+pub mod resilience;
 pub mod scenario;
 pub mod sweep;
 pub mod traces;
@@ -29,6 +32,10 @@ pub mod prelude {
     pub use crate::heterogeneous::{fig6_vm_points, HeterogeneousScenario};
     pub use crate::homogeneous::{fig4a_vm_points, fig4b_vm_points, HomogeneousScenario};
     pub use crate::online::{run_online, OnlineOutcome, WavePlan};
+    pub use crate::resilience::{
+        inject_faults, resilience_sweep, run_resilient_point, CacheRescheduler,
+        ResiliencePointResult, ResilienceSummary,
+    };
     pub use crate::scenario::{DatacenterSetup, Scenario};
     pub use crate::sweep::{run_point, sweep, PointResult};
     pub use crate::workflow::Workflow;

@@ -261,6 +261,98 @@ mod tests {
         );
     }
 
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Every uniform plan is a valid partition of the workload —
+            /// including degenerate shapes like more waves than
+            /// cloudlets or an empty workload.
+            #[test]
+            fn uniform_plans_always_validate(
+                cloudlets in 0usize..200,
+                waves in 1usize..24,
+                interval in 0.0f64..10_000.0,
+            ) {
+                let plan = WavePlan::uniform(cloudlets, waves, interval);
+                prop_assert!(plan.validate(cloudlets).is_ok());
+                prop_assert_eq!(plan.waves.len(), waves);
+                prop_assert_eq!(
+                    plan.waves.iter().map(Vec::len).sum::<usize>(),
+                    cloudlets
+                );
+                // Ascending arrival times, wave-aligned.
+                prop_assert_eq!(plan.wave_times.len(), waves);
+                for w in plan.wave_times.windows(2) {
+                    prop_assert!(w[1] >= w[0]);
+                }
+            }
+
+            /// Poisson plans partition the workload with strictly
+            /// ordered waves for any (size, mean, gap, seed).
+            #[test]
+            fn poisson_plans_always_validate(
+                cloudlets in 1usize..300,
+                mean_wave in 1usize..16,
+                mean_gap in 1.0f64..5_000.0,
+                seed in 0u64..1_000,
+            ) {
+                let plan = WavePlan::poisson(cloudlets, mean_wave, mean_gap, seed);
+                prop_assert!(plan.validate(cloudlets).is_ok());
+                prop_assert!(!plan.waves.is_empty());
+                // Waves cover 0..cloudlets in order, without gaps.
+                let flat: Vec<usize> =
+                    plan.waves.iter().flatten().copied().collect();
+                prop_assert_eq!(flat, (0..cloudlets).collect::<Vec<_>>());
+                for w in plan.wave_times.windows(2) {
+                    prop_assert!(w[1] >= w[0]);
+                }
+                // Same seed, same plan.
+                let again = WavePlan::poisson(cloudlets, mean_wave, mean_gap, seed);
+                prop_assert_eq!(plan.wave_times, again.wave_times);
+                prop_assert_eq!(plan.waves, again.waves);
+            }
+        }
+    }
+
+    #[test]
+    fn online_composes_with_fault_recovery() {
+        // A faulted scenario still runs the multi-round pipeline: the
+        // broker retries orphans (cyclically, absent a rescheduler) while
+        // waves keep arriving.
+        use simcloud::broker::RecoveryPolicy;
+        use simcloud::faults::FaultSpec;
+
+        let mut s = scenario();
+        crate::resilience::inject_faults(
+            &mut s,
+            &FaultSpec {
+                host_fail_fraction: 0.6,
+                repair_after_ms: Some((2_000.0, 4_000.0)),
+                ..FaultSpec::default()
+            },
+            13,
+            RecoveryPolicy {
+                max_attempts: 6,
+                base_backoff_ms: 500.0,
+                backoff_factor: 2.0,
+                max_backoff_ms: 4_000.0,
+            },
+        );
+        let plan = WavePlan::uniform(s.cloudlet_count(), 3, 1_000.0);
+        let mut rr = RoundRobin::new();
+        let result = run_online(&s, &mut rr, &plan).unwrap();
+        assert_eq!(result.rounds, 3);
+        assert_eq!(
+            result.outcome.finished_count() + result.outcome.resilience.abandoned as usize,
+            60,
+            "every cloudlet either finishes or exhausts its retry budget"
+        );
+    }
+
     #[test]
     fn staggered_waves_stretch_the_makespan() {
         let s = scenario();

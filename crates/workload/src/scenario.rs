@@ -52,6 +52,12 @@ pub struct Scenario {
     /// Optional workflow precedence: `parents[c]` must finish before
     /// cloudlet `c` is submitted (see the `workflow` generators).
     pub dependencies: Option<Vec<Vec<simcloud::ids::CloudletId>>>,
+    /// Optional seeded chaos timeline (host outages, VM stragglers). An
+    /// all-healthy plan is trace-identical to no plan at all.
+    pub faults: Option<simcloud::faults::FaultPlan>,
+    /// Optional broker retry/backoff policy. Implies the sequential
+    /// engine; see [`simcloud::broker::RecoveryPolicy`].
+    pub recovery: Option<simcloud::broker::RecoveryPolicy>,
 }
 
 impl Scenario {
@@ -107,9 +113,11 @@ impl Scenario {
     }
 
     /// Runs `assignment` on a chosen simulation engine. A sharded request
-    /// falls back to sequential when the scenario is ineligible (workflow
-    /// dependencies, host failures, resubmission); `outcome.engine` says
-    /// which kernel actually ran.
+    /// falls back to sequential when the scenario has workflow
+    /// dependencies or legacy resubmission (`outcome.engine` says which
+    /// kernel actually ran), and errors with
+    /// [`SimError::Unsupported`] when fault injection is armed — fault
+    /// timelines only replay on the event-driven kernel.
     pub fn simulate_on(
         &self,
         assignment: Assignment,
@@ -129,6 +137,30 @@ impl Scenario {
         engine: simcloud::simulation::EngineKind,
         mode: RecordMode,
     ) -> Result<SimulationOutcome, SimError> {
+        self.builder(assignment, engine, mode).run()
+    }
+
+    /// [`Scenario::simulate_mode`] with a fault-aware [`Rescheduler`]
+    /// handling the broker's retry batches (see [`crate::resilience`]).
+    pub fn simulate_resilient(
+        &self,
+        assignment: Assignment,
+        engine: simcloud::simulation::EngineKind,
+        mode: RecordMode,
+        rescheduler: Box<dyn simcloud::broker::Rescheduler>,
+    ) -> Result<SimulationOutcome, SimError> {
+        self.builder(assignment, engine, mode)
+            .rescheduler(rescheduler)
+            .run()
+    }
+
+    /// Lowers the scenario into a fully configured simulation builder.
+    fn builder(
+        &self,
+        assignment: Assignment,
+        engine: simcloud::simulation::EngineKind,
+        mode: RecordMode,
+    ) -> SimulationBuilder {
         let mut builder = SimulationBuilder::new().engine(engine).record_mode(mode);
         for (i, dc) in self.datacenters.iter().enumerate() {
             builder = builder.datacenter(DatacenterBlueprint {
@@ -155,12 +187,26 @@ impl Scenario {
         if let Some(parents) = &self.dependencies {
             builder = builder.dependencies(parents.clone());
         }
+        if let Some(plan) = &self.faults {
+            builder = builder.faults(plan.clone());
+        }
+        if let Some(policy) = self.recovery {
+            builder = builder.recovery(policy);
+        }
         builder
             .vms(self.vms.clone())
             .cloudlets(self.cloudlets.clone())
             .vm_placement(self.vm_placement.clone())
             .assignment(assignment.into_vec())
-            .run()
+    }
+
+    /// Host count per datacenter, as the simulator will build them —
+    /// the fleet shape [`simcloud::faults::FaultSpec::generate`] samples
+    /// outages over.
+    pub fn host_counts(&self) -> Vec<usize> {
+        (0..self.datacenters.len())
+            .map(|i| self.hosts_for(i).len())
+            .collect()
     }
 
     /// Number of VMs.
@@ -198,6 +244,8 @@ mod tests {
             arrivals: None,
             host_failures: Vec::new(),
             dependencies: None,
+            faults: None,
+            recovery: None,
         }
     }
 

@@ -315,7 +315,7 @@ fn t95(df: usize) -> f64 {
     T95.get(df - 1).copied().unwrap_or(1.96)
 }
 
-fn summarize(values: &[f64]) -> RepeatedMetric {
+pub(crate) fn summarize(values: &[f64]) -> RepeatedMetric {
     let n = values.len().max(1) as f64;
     let mean = values.iter().sum::<f64>() / n;
     let var = if values.len() > 1 {

@@ -131,6 +131,54 @@ fn shared_artifacts_match_standalone_point_runs() {
     }
 }
 
+/// The fault layer's zero-cost contract: an armed-but-empty
+/// [`FaultPlan`] (and its all-healthy builder) must be trace-identical
+/// to no plan at all, on both engines, for every paper metric.
+#[test]
+fn all_healthy_fault_plan_changes_nothing() {
+    use simcloud::faults::FaultPlan;
+    for seed in SEEDS {
+        for (label, scenario) in scenarios(seed) {
+            let assignment = AlgorithmKind::Rbs.build(seed).schedule(&scenario.problem());
+            let mut healthy = scenario.clone();
+            healthy.faults = Some(FaultPlan::healthy());
+            for engine in [EngineKind::Sequential, EngineKind::Sharded] {
+                let plain = scenario
+                    .simulate_mode(assignment.clone(), engine, RecordMode::Full)
+                    .expect("plain simulation");
+                let armed = healthy
+                    .simulate_mode(assignment.clone(), engine, RecordMode::Full)
+                    .expect("all-healthy simulation");
+                let ctx = format!("{label}, seed {seed}, {engine:?}");
+                assert_eq!(plain.engine, armed.engine, "{ctx}: engine choice");
+                assert_eq!(
+                    plain.events_processed, armed.events_processed,
+                    "{ctx}: event count"
+                );
+                assert_eq!(plain.resilience, armed.resilience, "{ctx}: counters");
+                assert_eq!(
+                    bits(plain.simulation_time_ms()),
+                    bits(armed.simulation_time_ms()),
+                    "{ctx}: makespan"
+                );
+                assert_eq!(
+                    plain.total_cost().to_bits(),
+                    armed.total_cost().to_bits(),
+                    "{ctx}: cost"
+                );
+                for (a, b) in plain.records.iter().zip(&armed.records) {
+                    assert_eq!(a.finish, b.finish, "{ctx}: finish times");
+                    assert_eq!(
+                        a.execution_ms.map(f64::to_bits),
+                        b.execution_ms.map(f64::to_bits),
+                        "{ctx}: execution"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The flat executor must regroup its results exactly like the nested
 /// point-by-point loop it replaced.
 #[test]

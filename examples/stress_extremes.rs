@@ -59,6 +59,8 @@ fn main() {
         arrivals: None,
         host_failures: Vec::new(),
         dependencies: None,
+        faults: None,
+        recovery: None,
     };
     run_case("heavy-tailed lengths (bounded Pareto, α=1.1)", &heavy_tail);
 
@@ -74,6 +76,8 @@ fn main() {
         arrivals: None,
         host_failures: Vec::new(),
         dependencies: None,
+        faults: None,
+        recovery: None,
     };
     run_case("skewed fleet (4 fast / 28 slow) + bimodal lengths", &skewed);
 
@@ -89,6 +93,8 @@ fn main() {
         arrivals: None,
         host_failures: Vec::new(),
         dependencies: None,
+        faults: None,
+        recovery: None,
     };
     run_case("flash crowd (bursts of 10 heavy tasks)", &bursty);
 
