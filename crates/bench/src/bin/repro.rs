@@ -366,12 +366,13 @@ fn main() -> ExitCode {
             let cloudlets = opts.hetero_cloudlets.min(400);
             println!(
                 "resilience sweep: {} failure rates × {} algorithms × {} seeds, \
-                 {} cloudlets, seed {}…",
+                 {} cloudlets, seed {}, {:?} engine…",
                 fractions.len(),
                 algorithms.len(),
                 reps,
                 cloudlets,
-                opts.seed
+                opts.seed,
+                opts.engine
             );
             let spec = FaultSpec::default();
             let policy = RecoveryPolicy {
@@ -387,6 +388,7 @@ fn main() -> ExitCode {
                 policy,
                 opts.seed,
                 reps,
+                opts.engine,
                 |seed| {
                     HeterogeneousScenario {
                         vm_count: 40,
@@ -430,6 +432,68 @@ fn main() -> ExitCode {
                 if t.write_csv(&path).is_ok() {
                     println!("wrote {}", path.display());
                 }
+            }
+
+            // Paper-scale spotlight: the harshest fraction at the
+            // paper's nominal fleet (100k VMs / 1M cloudlets, divided
+            // by --scale like the homogeneous figures), planned by the
+            // Base Test binder so the engines — not the optimizers —
+            // set the wall clock. Runs on both engines and checks the
+            // metrics agree to the bit.
+            use biosched_workload::resilience::{inject_faults, run_resilient_point};
+            use std::time::Instant;
+
+            let spot_vms = (100_000 / opts.scale).max(40);
+            let spot_cloudlets = (1_000_000 / opts.scale).max(400);
+            let spot_fraction = *fractions.last().expect("non-empty fractions");
+            println!(
+                "\nspotlight point: {spot_vms} VMs / {spot_cloudlets} cloudlets \
+                 (scale 1/{}), fail fraction {spot_fraction}, Base Test, both engines…",
+                opts.scale
+            );
+            let mut spot = Vec::new();
+            for engine in [EngineKind::Sequential, EngineKind::Sharded] {
+                let mut scenario = HeterogeneousScenario {
+                    vm_count: spot_vms,
+                    cloudlet_count: spot_cloudlets,
+                    datacenter_count: 4,
+                    seed: opts.seed,
+                }
+                .build();
+                let mut spot_spec = spec.clone();
+                spot_spec.host_fail_fraction = spot_fraction;
+                inject_faults(&mut scenario, &spot_spec, opts.seed, policy);
+                let wall = Instant::now();
+                let point = run_resilient_point(
+                    &scenario,
+                    biosched_core::scheduler::AlgorithmKind::BaseTest,
+                    opts.seed,
+                    engine,
+                )
+                .expect("spotlight point");
+                let wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
+                println!(
+                    "  {engine:?}: {wall_ms:.0} ms wall — completion {:.4}, \
+                     goodput {:.4}, {} retries, makespan {} ms",
+                    point.completion_ratio,
+                    point.goodput,
+                    point.retries,
+                    fmt_value(point.simulation_time_ms),
+                );
+                spot.push(point);
+            }
+            if let [a, b] = spot.as_slice() {
+                assert_eq!(
+                    a.completion_ratio.to_bits(),
+                    b.completion_ratio.to_bits(),
+                    "spotlight engines diverged"
+                );
+                assert_eq!(a.retries, b.retries, "spotlight engines diverged");
+                assert_eq!(
+                    a.simulation_time_ms.to_bits(),
+                    b.simulation_time_ms.to_bits(),
+                    "spotlight engines diverged"
+                );
             }
         }
         "convergence" => {

@@ -27,11 +27,12 @@ pub struct CommonOpts {
     /// Worker-thread cap for parallel evaluation (`--threads`); `None`
     /// defers to `RAYON_NUM_THREADS` or the machine's core count.
     pub threads: Option<usize>,
-    /// Simulation engine (`--engine sequential|sharded`). Sharded requests
-    /// fall back to the sequential kernel for ineligible scenarios
-    /// (workflows, legacy resubmission) with identical results; fault
-    /// injection (`--faults`) is rejected outright rather than silently
-    /// falling back.
+    /// Simulation engine (`--engine sequential|sharded`). The sharded
+    /// engine replays every CLI scenario — including fault injection
+    /// (`--faults`) and recovery, which run on its epoch-sharded driver —
+    /// with results bit-identical to the sequential kernel. The one shape
+    /// it hands back (workflow DAGs) is reported on stderr via the
+    /// outcome's explicit fallback record, never switched silently.
     pub engine: EngineKind,
     /// Optional chaos campaign (`--faults hosts=0.25,fail=500..8000,...`),
     /// turned into a seeded [`simcloud::faults::FaultPlan`] over the
@@ -215,13 +216,6 @@ pub fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), String
     if opts.threads == Some(0) {
         return Err("--threads must be positive".into());
     }
-    if opts.faults.is_some() && opts.engine == EngineKind::Sharded {
-        return Err(
-            "--faults needs the event-driven kernel; drop --engine sharded \
-             (fault timelines cannot replay on the sharded engine)"
-                .into(),
-        );
-    }
     Ok((opts, rest))
 }
 
@@ -315,9 +309,11 @@ mod tests {
         assert_eq!(opts.fault_seed, Some(9));
         assert!(rest.is_empty());
         assert!(parse_common(&args("--faults hosts=2.0")).is_err());
-        // Chaos timelines need the event-driven kernel.
-        let err = parse_common(&args("--faults hosts=0.2 --engine sharded")).unwrap_err();
-        assert!(err.contains("sharded"), "{err}");
+        // Chaos timelines replay on the epoch-sharded driver: the
+        // combination is valid.
+        let (opts, _) = parse_common(&args("--faults hosts=0.2 --engine sharded")).unwrap();
+        assert_eq!(opts.engine, EngineKind::Sharded);
+        assert!(opts.faults.is_some());
     }
 
     #[test]

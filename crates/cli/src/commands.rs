@@ -44,9 +44,9 @@ scenario options (all commands):
   --threads N      cap worker threads for parallel evaluation (default:
                    RAYON_NUM_THREADS, else all cores; never changes results)
   --engine E       simulation engine: sequential (default) or sharded
-                   (parallel per-VM replay; identical results, falls back
-                   to sequential for workflows/resubmission; rejects
-                   fault injection)
+                   (parallel per-VM replay, identical results; faults and
+                   recovery run on its epoch driver, workflow DAGs run
+                   sequential with an explicit stderr note)
   --faults SPEC    seeded chaos campaign with broker retries, e.g.
                    hosts=0.25,fail=500..8000,repair=2000..5000,slow=0.4
                    (keys: hosts fail repair stragglers slow slowstart
@@ -96,11 +96,25 @@ fn run_one(
         scenario.simulate_on(assignment, engine)
     }
     .map_err(|e| format!("simulation failed: {e}"))?;
+    note_fallback(&outcome);
     Ok(RunResult {
         name: kind.label().to_string(),
         scheduling_ms,
         outcome,
     })
+}
+
+/// One-line stderr note when the outcome ran on a different engine than
+/// the one requested, so `--engine sharded` users always learn what ran.
+fn note_fallback(outcome: &SimulationOutcome) {
+    if let Some(fb) = &outcome.fallback {
+        eprintln!(
+            "note: requested the {} engine but the run executed on the {} engine: {}",
+            fb.requested.name(),
+            fb.ran.name(),
+            fb.reason
+        );
+    }
 }
 
 /// Prints resilience counters after the metrics table when faults ran.
@@ -352,6 +366,7 @@ pub fn cmd_workflow(args: &[String]) -> Result<(), String> {
     let outcome = scenario
         .simulate_on(plan, opts.engine)
         .map_err(|e| format!("simulation failed: {e}"))?;
+    note_fallback(&outcome);
     let span = outcome
         .records
         .iter()
@@ -553,8 +568,12 @@ mod tests {
              --faults hosts=0.9,fail=100..2000,repair=1000..2000 --fault-seed 5",
         ))
         .unwrap();
-        // Chaos + sharded is rejected up front with a clear message.
-        assert!(cmd_run(&args("--faults hosts=0.5 --engine sharded")).is_err());
+        // Chaos + sharded runs on the epoch driver.
+        cmd_run(&args(
+            "--algorithm base --vms 8 --cloudlets 24 --datacenters 2 --seed 3 \
+             --faults hosts=0.5,fail=100..2000 --engine sharded",
+        ))
+        .unwrap();
     }
 
     #[test]

@@ -142,6 +142,31 @@ impl Datacenter {
         &self.hosts
     }
 
+    /// Lends `vm`'s scheduler to the epoch driver for a parallel replay
+    /// segment; [`Datacenter::put_sched`] returns it afterwards.
+    pub(crate) fn take_sched(&mut self, vm: VmId) -> Option<Box<dyn CloudletScheduler>> {
+        self.vm_scheds.get_mut(vm.index()).and_then(Option::take)
+    }
+
+    /// Returns a scheduler lent out via [`Datacenter::take_sched`].
+    pub(crate) fn put_sched(&mut self, vm: VmId, sched: Box<dyn CloudletScheduler>) {
+        *Self::slot_mut(&mut self.vm_scheds, vm.index()) = Some(sched);
+    }
+
+    /// Pre-seeds the broker address. The kernel learns it from the first
+    /// cloudlet submission; the epoch driver diverts submissions around
+    /// the entity, so it installs the hint up front (observationally
+    /// equivalent: the hint is only read once submissions have landed).
+    pub(crate) fn set_broker_hint(&mut self, broker: EntityId) {
+        self.broker_hint = Some(broker);
+    }
+
+    /// Folds completions harvested by a parallel replay segment into the
+    /// diagnostics counter behind [`Datacenter::completed_count`].
+    pub(crate) fn note_completed(&mut self, n: u64) {
+        self.completed += n;
+    }
+
     fn slot_mut<T: Default>(vec: &mut Vec<T>, idx: usize) -> &mut T {
         if vec.len() <= idx {
             vec.resize_with(idx + 1, T::default);

@@ -283,6 +283,13 @@ impl EventQueue {
         }
     }
 
+    /// The armed `VmTick` deadline for `vm`, if any. The epoch driver
+    /// ([`crate::sharded`]) reads this to seed a VM's local tick state
+    /// before a parallel replay segment.
+    pub(crate) fn armed_tick(&self, vm: VmId) -> Option<SimTime> {
+        self.tick_armed.get(vm.index()).copied().flatten()
+    }
+
     /// Disarms `vm`'s settle timer; any in-queue tick for it is dropped at
     /// pop time. Used when the VM is destroyed.
     pub fn cancel_vm_tick(&mut self, vm: VmId) {

@@ -76,7 +76,18 @@ pub struct Context<'a> {
     queue: &'a mut EventQueue,
 }
 
-impl Context<'_> {
+impl<'a> Context<'a> {
+    /// Builds a context for `self_id` at `now` over `queue`. The epoch
+    /// driver ([`crate::sharded`]) uses this to invoke the real entity
+    /// handlers outside [`Kernel::run`].
+    pub(crate) fn attach(now: SimTime, self_id: EntityId, queue: &'a mut EventQueue) -> Self {
+        Context {
+            now,
+            self_id,
+            queue,
+        }
+    }
+
     /// Schedules `event` for `dest` after `delay`.
     pub fn send(&mut self, dest: EntityId, delay: SimTime, event: Event) {
         debug_assert!(
@@ -145,15 +156,18 @@ impl Default for Kernel {
 }
 
 impl Kernel {
+    /// Default runaway-event guard: large enough for paper-scale runs
+    /// (10^6 cloudlets produce a few events each); small enough to catch
+    /// infinite loops. Shared with the epoch-sharded driver.
+    pub const DEFAULT_MAX_EVENTS: u64 = 200_000_000;
+
     /// Creates an empty kernel with a generous runaway-event guard.
     pub fn new() -> Self {
         Kernel {
             queue: EventQueue::new(),
             clock: SimTime::ZERO,
             entities: Vec::new(),
-            // Large enough for paper-scale runs (10^6 cloudlets produce a
-            // few events each); small enough to catch infinite loops.
-            max_events: 200_000_000,
+            max_events: Self::DEFAULT_MAX_EVENTS,
         }
     }
 

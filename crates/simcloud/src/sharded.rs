@@ -1,44 +1,53 @@
 //! The sharded simulation engine.
 //!
-//! For the paper's dominant scenario shape — a pre-computed cloudlet→VM
-//! assignment with no workflow dependencies, no host failures and no
-//! resubmission — every VM's execution timeline is independent of every
-//! other VM's once placement has happened: cloudlets never move between
-//! VMs, and the broker only counts returns. This module exploits that by
-//! replaying the event kernel's per-VM message sequence directly, with the
-//! VM fleet partitioned into contiguous shards that run on rayon workers.
+//! Two parallel replay paths live here, both bit-identical to the
+//! sequential kernel at any thread count (the engine-equivalence suite
+//! enforces this across seeds, scheduler flavours, fault plans, recovery
+//! policies and resubmission):
 //!
-//! The replay is *trace-equivalent* to the sequential kernel: it drives
-//! the same [`crate::cloudlet_sched`] state machines with the same
-//! submission batches at the same timestamps, and reproduces the event
-//! queue's per-VM tick coalescing rules (see [`crate::event::EventQueue`])
-//! with a one-slot `armed` deadline. The resulting `CloudletRecord`s are
-//! bit-identical to a sequential run, independent of the shard count —
-//! the engine-equivalence test suite enforces this across seeds, scheduler
-//! flavours and thread counts.
+//! 1. **Free-running replay** ([`run`]) for the paper's dominant shape —
+//!    a pre-computed cloudlet→VM assignment with no fault injection, no
+//!    recovery and no resubmission. Every VM's timeline is independent of
+//!    every other VM's once placement has happened, so the fleet is
+//!    partitioned into contiguous shards that replay to completion on
+//!    rayon workers with no synchronisation at all.
 //!
-//! Scenarios outside the eligible shape split two ways in
-//! [`crate::simulation::SimulationBuilder::run`]: workflow dependencies
-//! and legacy resubmission transparently fall back to the sequential
-//! kernel (the outcome still reports which engine ran), while fault
-//! injection — host failures, a non-empty [`crate::faults::FaultPlan`]
-//! or a recovery policy — is refused outright with
-//! [`crate::error::SimError::Unsupported`], because a fault timeline
-//! rewrites VM capacity mid-flight and a silent engine switch would hide
-//! that the requested parallel replay never happened.
+//! 2. **Epoch-sharded replay** ([`run_epochs`]) for fault-injected,
+//!    recovering and resubmitting scenarios. The run alternates between
+//!    *control instants* — host failures and repairs, VM degrades, retry
+//!    wake-ups, submissions landing on dead VMs — handled sequentially by
+//!    the *real* [`crate::broker::Broker`] and [`crate::datacenter`]
+//!    entities, and *bulk epochs* in between, where every VM's local
+//!    events (submissions to live VMs, settle ticks, completions) replay
+//!    in parallel up to the next control instant. Determinism holds
+//!    because the event queue's `(time, seq)` order already sorts every
+//!    control event against everything staged before it, cross-VM effects
+//!    only ever originate at control instants, and the per-VM replay
+//!    reproduces the queue's tick-coalescing rules with a one-slot
+//!    `armed` deadline. See DESIGN.md §"Epoch-sharded replay" for the
+//!    full horizon rule and ordering argument.
+//!
+//! The only shape that still runs on the sequential kernel is a workflow
+//! DAG: a completed cloudlet can release a successor onto any other VM,
+//! which collapses the epoch horizon to single events. That substitution
+//! is *explicit* — [`crate::simulation::SimulationBuilder::run`] records
+//! it in the outcome's `fallback` field instead of switching silently.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use rayon::prelude::*;
 
+use crate::broker::Broker;
 use crate::characteristics::CostModel;
 use crate::cloudlet::{Cloudlet, CloudletStatus};
-use crate::cloudlet_sched::{RunningCloudlet, SchedulerKind};
+use crate::cloudlet_sched::{CloudletScheduler, RunningCloudlet, SchedulerKind};
 use crate::cost::cloudlet_cost;
-use crate::datacenter::DatacenterBlueprint;
+use crate::datacenter::{Datacenter, DatacenterBlueprint};
+use crate::event::{Event, EventQueue, ScheduledEvent};
 use crate::host::Host;
-use crate::ids::{CloudletId, DatacenterId, HostId, VmId};
-use crate::kernel::{RunStats, World};
+use crate::ids::{CloudletId, DatacenterId, EntityId, HostId, VmId};
+use crate::kernel::{Context, Entity, RunStats, World};
 use crate::network::{transfer_time, Topology};
 use crate::time::SimTime;
 use crate::vm::Vm;
@@ -306,4 +315,453 @@ fn replay_vm(
             }
         }
     }
+}
+
+// ====================================================================
+// Epoch-sharded replay: faults, recovery and resubmission.
+// ====================================================================
+
+/// A VM-local delivery diverted from the event queue, awaiting replay.
+enum Staged {
+    /// A delivered `VmTick`: the queue's armed settle deadline fired.
+    /// Folded back into the replay's local `armed` slot rather than kept
+    /// as an inbox entry, so mid-epoch re-arms supersede it exactly like
+    /// the queue's lazy deletion would.
+    Tick,
+    /// A `CloudletSubmit` bound for a live VM.
+    Single(CloudletId),
+    /// A `CloudletSubmitBatch` bound for a live VM.
+    Batch(Vec<CloudletId>),
+}
+
+/// A completion notification produced by a replay segment, pending
+/// delivery to the real broker at an epoch boundary.
+struct PendingReturn {
+    at: SimTime,
+    /// Generation order: stable tie-break for same-instant returns.
+    ord: u64,
+    cloudlet: CloudletId,
+}
+
+impl PartialEq for PendingReturn {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.ord == other.ord
+    }
+}
+impl Eq for PendingReturn {}
+impl PartialOrd for PendingReturn {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingReturn {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.ord.cmp(&other.ord))
+    }
+}
+
+/// Input to one VM's parallel replay segment.
+struct Segment {
+    vm: VmId,
+    dc: usize,
+    /// Submissions staged this epoch, in queue pop (= kernel) order.
+    subs: Vec<(SimTime, Staged)>,
+    /// The queue tick this epoch already popped for the VM, if any.
+    popped_tick: Option<SimTime>,
+    /// The queue's armed-tick slot at flush time (un-popped deadline).
+    armed_before: Option<SimTime>,
+    sched: Box<dyn CloudletScheduler>,
+    cost: CostModel,
+}
+
+/// One finished cloudlet from a replay segment.
+struct FinishedCl {
+    id: CloudletId,
+    finish: SimTime,
+    cost: f64,
+    return_at: SimTime,
+}
+
+/// Everything a replay segment reports back for the sequential commit.
+struct SegmentOut {
+    vm: VmId,
+    dc: usize,
+    sched: Box<dyn CloudletScheduler>,
+    /// Cloudlets delivered to the VM this epoch (status → Queued).
+    queued: Vec<CloudletId>,
+    /// Start transitions, in event order (start time set iff unset).
+    started: Vec<(CloudletId, SimTime)>,
+    finished: Vec<FinishedCl>,
+    /// Submission events delivered (one per staged submit or batch).
+    sub_events: u64,
+    /// `VmTick` events delivered.
+    ticks: u64,
+    /// Latest event time the segment put on the clock (including
+    /// completion returns' output-transfer delay).
+    last_event: SimTime,
+    /// Time of the last event the segment actually processed.
+    last_now: SimTime,
+    armed_before: Option<SimTime>,
+    armed_after: Option<SimTime>,
+}
+
+/// The epoch driver's mutable state.
+struct Driver {
+    queue: EventQueue,
+    clock: SimTime,
+    processed: u64,
+    /// Per-VM staged deliveries awaiting the next epoch flush.
+    inbox: HashMap<VmId, Vec<(SimTime, Staged)>>,
+    returns: BinaryHeap<Reverse<PendingReturn>>,
+    return_ord: u64,
+    broker_id: EntityId,
+}
+
+/// Runs a fault-injected, recovering or resubmitting scenario on the
+/// epoch-sharded engine.
+///
+/// The caller ([`crate::simulation::SimulationBuilder::run`]) has
+/// validated the scenario and built the *real* datacenter and broker
+/// entities exactly as the sequential kernel would. This driver replays
+/// the same event stream: control events (placement, host failures and
+/// repairs, VM degrades, submissions landing on dead VMs, cloudlet
+/// failures, retry wake-ups) are dispatched to the real entity handlers
+/// in queue order, while VM-local deliveries in between are staged and
+/// replayed in parallel at the next control instant. Workflow DAGs are
+/// not eligible (the builder reports an explicit fallback instead).
+pub(crate) fn run_epochs(
+    world: &mut World,
+    dcs: &mut [Datacenter],
+    broker: &mut Broker,
+    max_events: u64,
+) -> RunStats {
+    let broker_id = EntityId::from_index(dcs.len());
+    let mut driver = Driver {
+        queue: EventQueue::new(),
+        clock: SimTime::ZERO,
+        processed: 0,
+        inbox: HashMap::new(),
+        returns: BinaryHeap::new(),
+        return_ord: 0,
+        broker_id,
+    };
+    // Start every entity at t=0 in registration order, as the kernel does.
+    for i in 0..=dcs.len() {
+        let id = EntityId::from_index(i);
+        driver.queue.push(SimTime::ZERO, id, id, Event::Start);
+    }
+    // The kernel learns the broker address from the first submission; the
+    // driver diverts submissions around the entity, so pre-seed the hint
+    // (only ever read once submissions have landed — equivalent).
+    for dc in dcs.iter_mut() {
+        dc.set_broker_hint(broker_id);
+    }
+
+    while let Some(ev) = driver.queue.pop() {
+        match ev.event {
+            Event::VmTick { vm } => {
+                driver.stage(vm, ev.time, Staged::Tick);
+                continue;
+            }
+            Event::CloudletSubmit { cloudlet, vm } if world.vm(vm).is_active() => {
+                driver.stage(vm, ev.time, Staged::Single(cloudlet));
+                continue;
+            }
+            Event::CloudletSubmitBatch { vm, ref cloudlets } if world.vm(vm).is_active() => {
+                let batch = cloudlets.clone();
+                driver.stage(vm, ev.time, Staged::Batch(batch));
+                continue;
+            }
+            _ => {}
+        }
+        // A control event. Everything staged so far was popped before it,
+        // i.e. is kernel-ordered before it: replay up to this instant,
+        // deliver matured completions, then run the real handler on the
+        // merged state.
+        driver.flush(world, dcs, Some(ev.time));
+        driver.deliver_returns(world, broker, Some(ev.time));
+        driver.clock = driver.clock.max(ev.time);
+        driver.processed += 1;
+        if driver.processed > max_events {
+            return RunStats {
+                end_time: driver.clock,
+                events_processed: driver.processed,
+                drained: false,
+            };
+        }
+        let dest = ev.dest;
+        let mut ctx = Context::attach(ev.time, dest, &mut driver.queue);
+        if dest.index() < dcs.len() {
+            dcs[dest.index()].handle(world, &mut ctx, ev);
+        } else {
+            broker.handle(world, &mut ctx, ev);
+        }
+    }
+    // Queue drained: replay whatever is still staged to completion, then
+    // deliver the remaining returns (which push nothing further — the
+    // broker's return handler only folds counters when there is no DAG).
+    driver.flush(world, dcs, None);
+    driver.deliver_returns(world, broker, None);
+    debug_assert!(driver.queue.is_empty(), "epoch driver left events behind");
+    let drained = driver.processed <= max_events;
+    RunStats {
+        end_time: driver.clock,
+        events_processed: driver.processed,
+        drained,
+    }
+}
+
+impl Driver {
+    fn stage(&mut self, vm: VmId, time: SimTime, staged: Staged) {
+        self.inbox.entry(vm).or_default().push((time, staged));
+    }
+
+    /// Replays every staged VM up to `horizon` (exclusive; `None` = to
+    /// completion), commits the results to the world in a deterministic
+    /// order and reconciles each VM's armed tick with the queue.
+    fn flush(&mut self, world: &mut World, dcs: &mut [Datacenter], horizon: Option<SimTime>) {
+        if self.inbox.is_empty() {
+            return;
+        }
+        let mut keys: Vec<VmId> = self.inbox.keys().copied().collect();
+        keys.sort_unstable_by_key(|vm| vm.index());
+        let mut segs: Vec<Segment> = Vec::with_capacity(keys.len());
+        for vm in keys {
+            let mut entries = self.inbox.remove(&vm).expect("key just listed");
+            let mut popped_tick = None;
+            entries.retain(|(t, s)| {
+                if matches!(s, Staged::Tick) {
+                    popped_tick = Some(*t);
+                    false
+                } else {
+                    true
+                }
+            });
+            let dc = world
+                .vm(vm)
+                .datacenter
+                .expect("staged deliveries imply placement")
+                .index();
+            let sched = dcs[dc]
+                .take_sched(vm)
+                .expect("staged deliveries imply a live scheduler");
+            segs.push(Segment {
+                vm,
+                dc,
+                subs: entries,
+                popped_tick,
+                armed_before: self.queue.armed_tick(vm),
+                sched,
+                cost: dcs[dc].characteristics().cost,
+            });
+        }
+        let vms = &world.vms;
+        let cloudlets = &world.cloudlets;
+        let outs: Vec<SegmentOut> = if segs.len() > 1 {
+            segs.into_par_iter()
+                .map(|s| replay_segment(s, vms, cloudlets, horizon))
+                .collect()
+        } else {
+            segs.into_iter()
+                .map(|s| replay_segment(s, vms, cloudlets, horizon))
+                .collect()
+        };
+        for out in outs {
+            self.processed += out.ticks + out.sub_events;
+            self.clock = self.clock.max(out.last_event);
+            let dc_id = EntityId::from_index(out.dc);
+            dcs[out.dc].put_sched(out.vm, out.sched);
+            dcs[out.dc].note_completed(out.finished.len() as u64);
+            if out.armed_after != out.armed_before {
+                self.queue.cancel_vm_tick(out.vm);
+                if let Some(t) = out.armed_after {
+                    self.queue
+                        .push_vm_tick(out.last_now, dc_id, dc_id, out.vm, t);
+                }
+            }
+            // Commit in the kernel's per-cloudlet transition order:
+            // delivery (Queued) → start (Running) → finish.
+            for &c in &out.queued {
+                let cl = world.cloudlet_mut(c);
+                cl.status = CloudletStatus::Queued;
+                cl.vm = Some(out.vm);
+            }
+            for &(c, t) in &out.started {
+                let cl = world.cloudlet_mut(c);
+                if cl.start_time.is_none() {
+                    cl.start_time = Some(t);
+                }
+                cl.status = CloudletStatus::Running;
+            }
+            for f in out.finished {
+                let cl = world.cloudlet_mut(f.id);
+                cl.finish_time = Some(f.finish);
+                cl.status = CloudletStatus::Finished;
+                cl.cost = f.cost;
+                self.returns.push(Reverse(PendingReturn {
+                    at: f.return_at,
+                    ord: self.return_ord,
+                    cloudlet: f.id,
+                }));
+                self.return_ord += 1;
+            }
+        }
+    }
+
+    /// Delivers matured completion notifications to the real broker, in
+    /// (time, generation) order. With no workflow DAG the return handler
+    /// only folds counters, so delivering at epoch granularity instead of
+    /// interleaved with bulk ticks is unobservable.
+    fn deliver_returns(
+        &mut self,
+        world: &mut World,
+        broker: &mut Broker,
+        horizon: Option<SimTime>,
+    ) {
+        while let Some(Reverse(head)) = self.returns.peek() {
+            if horizon.is_some_and(|h| head.at >= h) {
+                break;
+            }
+            let Reverse(r) = self.returns.pop().expect("peeked entry pops");
+            self.processed += 1;
+            self.clock = self.clock.max(r.at);
+            let ev = ScheduledEvent {
+                time: r.at,
+                seq: 0,
+                dest: self.broker_id,
+                src: self.broker_id,
+                event: Event::CloudletReturn {
+                    cloudlet: r.cloudlet,
+                },
+            };
+            let mut ctx = Context::attach(r.at, self.broker_id, &mut self.queue);
+            broker.handle(world, &mut ctx, ev);
+        }
+    }
+}
+
+/// Replays one VM's staged deliveries (plus its local settle timer) up to
+/// the epoch horizon, mirroring `Datacenter::handle_cloudlet_submit`,
+/// `handle_vm_tick` and `apply_tick` against a private scheduler.
+fn replay_segment(
+    seg: Segment,
+    vms: &[Vm],
+    cloudlets: &[Cloudlet],
+    horizon: Option<SimTime>,
+) -> SegmentOut {
+    let Segment {
+        vm,
+        dc,
+        subs,
+        popped_tick,
+        armed_before,
+        mut sched,
+        cost,
+    } = seg;
+    let vm_spec = &vms[vm.index()].spec;
+    let mut out = SegmentOut {
+        vm,
+        dc,
+        sched: SchedulerKind::SpaceShared.build(1.0, 1), // placeholder, replaced below
+        queued: Vec::new(),
+        started: Vec::new(),
+        finished: Vec::new(),
+        sub_events: 0,
+        ticks: 0,
+        last_event: SimTime::ZERO,
+        last_now: SimTime::ZERO,
+        armed_before,
+        armed_after: None,
+    };
+    // The armed deadline: either the slot still in the queue (>= horizon)
+    // or the tick this epoch already popped — never both, since popping
+    // clears the slot and nothing re-arms it until the flush.
+    let mut armed = armed_before.or(popped_tick);
+    let mut local_starts: HashMap<CloudletId, SimTime> = HashMap::new();
+    let mut si = 0usize;
+    loop {
+        // Next event: earliest of the staged submissions and the armed
+        // tick; a tie goes to the submission (kernel: a tick armed during
+        // an earlier bulk phase would win, but a same-instant submit and
+        // settle commute on the scheduler, so the states agree).
+        let next_sub = subs.get(si).map(|g| g.0);
+        let (now, is_sub) = match (next_sub, armed) {
+            (Some(s), Some(a)) if a < s => (a, false),
+            (Some(s), _) => (s, true),
+            (None, Some(a)) => (a, false),
+            (None, None) => break,
+        };
+        if !is_sub && horizon.is_some_and(|h| now >= h) && popped_tick != Some(now) {
+            // The deadline survives past this epoch; hand it back to the
+            // queue. (A tick chosen over a remaining submission is always
+            // strictly below the horizon, so this only fires when the
+            // submissions are exhausted.)
+            break;
+        }
+        out.last_now = now;
+        out.last_event = out.last_event.max(now);
+        let tick = if is_sub {
+            let (_, staged) = &subs[si];
+            si += 1;
+            out.sub_events += 1;
+            match staged {
+                Staged::Single(c) => {
+                    out.queued.push(*c);
+                    let spec = &cloudlets[c.index()].spec;
+                    sched.submit(now, RunningCloudlet::new(*c, spec.length_mi, spec.pes))
+                }
+                Staged::Batch(cls) => {
+                    out.queued.extend(cls.iter().copied());
+                    let batch: Vec<RunningCloudlet> = cls
+                        .iter()
+                        .map(|&c| {
+                            let spec = &cloudlets[c.index()].spec;
+                            RunningCloudlet::new(c, spec.length_mi, spec.pes)
+                        })
+                        .collect();
+                    sched.submit_many(now, batch)
+                }
+                Staged::Tick => unreachable!("ticks are folded into the armed deadline"),
+            }
+        } else {
+            armed = None;
+            out.ticks += 1;
+            sched.advance(now)
+        };
+        for &c in &tick.started {
+            local_starts.entry(c).or_insert(now);
+            out.started.push((c, now));
+        }
+        for &c in &tick.finished {
+            let cl = &cloudlets[c.index()];
+            // Mirrors `Datacenter::apply_tick`: the effective start is the
+            // earliest recorded one (world from earlier epochs, else this
+            // segment), cost from the execution span, completion notified
+            // after the output transfer.
+            let start = cl.start_time.or_else(|| local_starts.get(&c).copied());
+            let cpu_seconds = start
+                .map(|s| now.saturating_sub(s).as_secs())
+                .unwrap_or(0.0);
+            let cl_cost = cloudlet_cost(&cost, vm_spec, &cl.spec, cpu_seconds);
+            let out_delay = transfer_time(cl.spec.output_size_mb, vm_spec.bw_mbps);
+            out.last_event = out.last_event.max(now + out_delay);
+            out.finished.push(FinishedCl {
+                id: c,
+                finish: now,
+                cost: cl_cost,
+                return_at: now + out_delay,
+            });
+        }
+        if let Some(p) = tick.next_completion {
+            let t = p.max(now);
+            if armed.is_none_or(|a| t < a || a < now) {
+                armed = Some(t);
+            }
+        }
+    }
+    out.armed_after = armed;
+    out.sched = sched;
+    out
 }

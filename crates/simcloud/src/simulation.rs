@@ -47,15 +47,28 @@ pub enum EngineKind {
     #[default]
     Sequential,
     /// The sharded engine: per-VM timelines replayed across rayon
-    /// workers, trace-equivalent to the sequential kernel. Scenarios it
-    /// cannot express fall into two classes: workflow dependencies and
-    /// legacy resubmission transparently fall back to
-    /// [`Self::Sequential`] ([`SimulationOutcome::engine`] reports what
-    /// actually ran), while fault injection (host failures, a non-empty
-    /// [`crate::faults::FaultPlan`], recovery) makes
-    /// [`SimulationBuilder::run`] fail loudly with
-    /// [`SimError::Unsupported`] rather than silently diverge.
+    /// workers, trace-equivalent to the sequential kernel. Plain batch
+    /// scenarios run free (no synchronisation at all); fault injection,
+    /// recovery and resubmission run on the epoch-sharded driver, which
+    /// interleaves sequential control instants with parallel bulk
+    /// replay. The one remaining shape it cannot express — a workflow
+    /// DAG, whose completions release work onto arbitrary other VMs —
+    /// runs on [`Self::Sequential`] instead, reported explicitly in
+    /// [`SimulationOutcome::fallback`] (never a silent switch).
     Sharded,
+}
+
+/// An explicit record that a run executed on a different engine than the
+/// one requested. Carried on [`SimulationOutcome::fallback`] so callers
+/// (and the CLI, which prints a one-line note) always learn what ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineFallback {
+    /// The engine the builder was asked for.
+    pub requested: EngineKind,
+    /// The engine that actually executed the scenario.
+    pub ran: EngineKind,
+    /// Why the substitution happened.
+    pub reason: &'static str,
 }
 
 impl EngineKind {
@@ -303,49 +316,6 @@ impl SimulationBuilder {
 
         let topology = self.topology.unwrap_or_else(|| Topology::flat(dc_count));
 
-        // Fault injection cannot be replayed by the sharded engine: an
-        // explicit request fails loudly instead of silently running a
-        // different kernel (or worse, ignoring the faults).
-        let fault_injected = self.datacenters.iter().any(|d| !d.failures.is_empty())
-            || self.faults.as_ref().is_some_and(|p| !p.is_empty())
-            || self.recovery.is_some();
-        if self.engine == EngineKind::Sharded && fault_injected {
-            return Err(SimError::Unsupported {
-                what: "the sharded engine cannot replay fault injection or recovery; \
-                       use EngineKind::Sequential"
-                    .into(),
-            });
-        }
-
-        // The sharded engine handles the paper's dominant shape — an
-        // independent-cloudlet batch (arrivals allowed) with no failure
-        // injection and no resubmission. Workflow dependencies and legacy
-        // resubmission need the global event queue; fall back
-        // transparently and report what ran.
-        let sharded_eligible = self.dependencies.is_none() && self.max_retries == 0;
-        if self.engine == EngineKind::Sharded && sharded_eligible {
-            let mut world = World::new(self.vms, self.cloudlets);
-            let stats = crate::sharded::run(
-                &mut world,
-                self.datacenters,
-                &vm_placement,
-                &self.assignment,
-                self.arrivals.as_deref(),
-                &topology,
-            );
-            return Ok(outcome_from_world(
-                &world,
-                stats,
-                EngineKind::Sharded,
-                self.record_mode,
-            ));
-        }
-
-        let mut kernel = Kernel::new();
-        if let Some(max) = self.max_events {
-            kernel = kernel.with_max_events(max);
-        }
-
         // Compile the fault plan into per-datacenter schedules: failures
         // ride the blueprint's existing injection list, repairs and
         // straggler intervals are armed via `Datacenter::arm_faults`. A
@@ -370,23 +340,66 @@ impl SimulationBuilder {
             }
         }
 
+        // Engine routing. Three paths:
+        //   1. Plain batch on the sharded engine → free-running replay
+        //      (no synchronisation; the paper's dominant shape).
+        //   2. Fault-injected / recovering / resubmitting on the sharded
+        //      engine → epoch-sharded replay over the real entities.
+        //   3. Everything else (and all workflow DAGs) → the sequential
+        //      kernel. A sharded request with a DAG records an explicit
+        //      [`EngineFallback`] on the outcome.
+        let fault_shaped = self.datacenters.iter().any(|d| !d.failures.is_empty())
+            || dc_failures.iter().any(|f| !f.is_empty())
+            || dc_repairs.iter().any(|r| !r.is_empty())
+            || dc_degrades.iter().any(|d| !d.is_empty())
+            || self.recovery.is_some()
+            || self.max_retries > 0;
+        if self.engine == EngineKind::Sharded && self.dependencies.is_none() && !fault_shaped {
+            let mut world = World::new(self.vms, self.cloudlets);
+            let stats = crate::sharded::run(
+                &mut world,
+                self.datacenters,
+                &vm_placement,
+                &self.assignment,
+                self.arrivals.as_deref(),
+                &topology,
+            );
+            return Ok(outcome_from_world(
+                &world,
+                stats,
+                EngineKind::Sharded,
+                self.record_mode,
+                None,
+            ));
+        }
+        let epoch_sharded = self.engine == EngineKind::Sharded && self.dependencies.is_none();
+        let fallback =
+            (self.engine == EngineKind::Sharded && !epoch_sharded).then_some(EngineFallback {
+                requested: EngineKind::Sharded,
+                ran: EngineKind::Sequential,
+                reason: "workflow dependencies collapse the epoch horizon to single events; \
+                         the run executed on the sequential kernel",
+            });
+
         let mut world = World::new(self.vms, self.cloudlets);
 
+        // Both remaining paths drive the same entities, built with dense
+        // ids (datacenters first, broker last) — exactly the ids
+        // `Kernel::register` would hand out in this order.
+        let mut dcs = Vec::with_capacity(dc_count);
         let mut dc_entities = Vec::with_capacity(dc_count);
-        let mut dc_handles = Vec::with_capacity(dc_count);
         for (i, mut blueprint) in self.datacenters.into_iter().enumerate() {
             blueprint.failures.append(&mut dc_failures[i]);
-            let entity = kernel.next_entity_id();
+            let entity = crate::ids::EntityId::from_index(i);
             let mut dc = Datacenter::new(entity, DatacenterId::from_index(i), blueprint);
             dc.arm_faults(
                 std::mem::take(&mut dc_repairs[i]),
                 std::mem::take(&mut dc_degrades[i]),
             );
-            dc_handles.push(entity);
             dc_entities.push(entity);
-            kernel.register(Box::new(dc));
+            dcs.push(dc);
         }
-        let broker_id = kernel.next_entity_id();
+        let broker_id = crate::ids::EntityId::from_index(dc_count);
         let mut broker = Broker::new(
             broker_id,
             dc_entities,
@@ -406,20 +419,38 @@ impl SimulationBuilder {
         if let Some(policy) = self.recovery {
             broker = broker.with_recovery(policy, self.rescheduler);
         }
-        kernel.register(Box::new(broker));
 
-        let stats = kernel.run(&mut world);
+        let stats = if epoch_sharded {
+            let max_events = self.max_events.unwrap_or(Kernel::DEFAULT_MAX_EVENTS);
+            crate::sharded::run_epochs(&mut world, &mut dcs, &mut broker, max_events)
+        } else {
+            let mut kernel = Kernel::new();
+            if let Some(max) = self.max_events {
+                kernel = kernel.with_max_events(max);
+            }
+            for dc in dcs {
+                kernel.register(Box::new(dc));
+            }
+            kernel.register(Box::new(broker));
+            kernel.run(&mut world)
+        };
         if !stats.drained {
             return Err(SimError::EventLimitExceeded {
                 processed: stats.events_processed,
             });
         }
 
+        let engine = if epoch_sharded {
+            EngineKind::Sharded
+        } else {
+            EngineKind::Sequential
+        };
         Ok(outcome_from_world(
             &world,
             stats,
-            EngineKind::Sequential,
+            engine,
             self.record_mode,
+            fallback,
         ))
     }
 }
@@ -438,6 +469,7 @@ fn outcome_from_world(
     stats: crate::kernel::RunStats,
     engine: EngineKind,
     mode: RecordMode,
+    fallback: Option<EngineFallback>,
 ) -> SimulationOutcome {
     let vms_created = world.vms.iter().filter(|v| v.is_active()).count();
     let vms_rejected = world
@@ -477,6 +509,7 @@ fn outcome_from_world(
         cloudlets_failed,
         resilience: world.resilience,
         engine,
+        fallback,
     }
 }
 
@@ -941,7 +974,7 @@ mod tests {
     }
 
     #[test]
-    fn sharded_with_fault_injection_is_unsupported() {
+    fn sharded_runs_fault_injection_on_epoch_driver() {
         use crate::faults::{FaultPlan, HostOutage};
         use crate::ids::HostId;
         let vm = VmSpec::homogeneous_default();
@@ -958,9 +991,9 @@ mod tests {
                 .cloudlets(vec![CloudletSpec::homogeneous_default(); 4])
                 .assignment(base_assignment(4, 2))
         };
-        // Blueprint-level failure injection: loud error, not divergence.
+        // Blueprint-level failure injection runs sharded, no fallback.
         let vm2 = VmSpec::homogeneous_default();
-        let err = SimulationBuilder::new()
+        let ok = SimulationBuilder::new()
             .engine(EngineKind::Sharded)
             .datacenter(
                 DatacenterBlueprint::sized_for(&vm2, 2, 1, DatacenterCharacteristics::default())
@@ -969,9 +1002,11 @@ mod tests {
             .vms(vec![vm2; 2])
             .cloudlets(vec![CloudletSpec::homogeneous_default(); 4])
             .assignment(base_assignment(4, 2))
-            .run();
-        assert!(matches!(err, Err(SimError::Unsupported { .. })));
-        // A non-empty fault plan: same loud error.
+            .run()
+            .unwrap();
+        assert_eq!(ok.engine, EngineKind::Sharded);
+        assert_eq!(ok.fallback, None);
+        // A non-empty fault plan: same.
         let mut plan = FaultPlan::healthy();
         plan.host_outages.push(HostOutage {
             datacenter: DatacenterId(0),
@@ -979,17 +1014,36 @@ mod tests {
             fail_at: SimTime::new(500.0),
             repair_at: None,
         });
-        let err = base().faults(plan).run();
-        assert!(matches!(err, Err(SimError::Unsupported { .. })));
-        // Recovery alone also needs the event engine.
-        let err = base()
+        let ok = base().faults(plan).run().unwrap();
+        assert_eq!(ok.engine, EngineKind::Sharded);
+        assert_eq!(ok.fallback, None);
+        // Recovery alone also stays on the sharded engine.
+        let ok = base()
             .recovery(crate::broker::RecoveryPolicy::default())
-            .run();
-        assert!(matches!(err, Err(SimError::Unsupported { .. })));
-        // An all-healthy plan injects nothing, so sharded still runs.
+            .run()
+            .unwrap();
+        assert_eq!(ok.engine, EngineKind::Sharded);
+        assert_eq!(ok.fallback, None);
+        // An all-healthy plan injects nothing: the free-running path.
         let ok = base().faults(FaultPlan::healthy()).run().unwrap();
         assert_eq!(ok.engine, EngineKind::Sharded);
+        assert_eq!(ok.fallback, None);
         assert_eq!(ok.finished_count(), 4);
+        // A workflow DAG is the one explicit fallback.
+        let ok = base()
+            .dependencies(vec![
+                vec![],
+                vec![crate::ids::CloudletId(0)],
+                vec![],
+                vec![],
+            ])
+            .run()
+            .unwrap();
+        assert_eq!(ok.engine, EngineKind::Sequential);
+        let fb = ok.fallback.expect("DAG on sharded records a fallback");
+        assert_eq!(fb.requested, EngineKind::Sharded);
+        assert_eq!(fb.ran, EngineKind::Sequential);
+        assert!(fb.reason.contains("workflow"));
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! The sharded engine's contract is *trace equivalence*: for every
 //! eligible scenario it must produce `CloudletRecord`s that are
 //! bit-identical (f64 payloads compared by `to_bits`) to the sequential
-//! kernel's, along with the same end time and event count — across seeds,
-//! both scheduler flavours, homogeneous and heterogeneous fleets, and any
-//! rayon thread count. Ineligible scenarios must fall back to the
-//! sequential kernel and say so.
+//! kernel's, along with the same end time, event count and
+//! `ResilienceCounters` — across seeds, both scheduler flavours,
+//! homogeneous and heterogeneous fleets, fault plans, recovery policies,
+//! resubmission, both record modes and any rayon thread count. The one
+//! ineligible shape (a workflow DAG) must run on the sequential kernel
+//! and report an explicit `EngineFallback` on the outcome.
 
 use rand::Rng;
 use simcloud::datacenter::DatacenterBlueprint;
@@ -163,6 +165,80 @@ fn assert_identical(a: &SimulationOutcome, b: &SimulationOutcome, label: &str) {
         a.cloudlets_failed, b.cloudlets_failed,
         "{label}: cloudlets_failed"
     );
+    assert_resilience_identical(a, b, label);
+}
+
+/// Asserts the recovery counters match bit for bit.
+fn assert_resilience_identical(a: &SimulationOutcome, b: &SimulationOutcome, label: &str) {
+    let (ra, rb) = (&a.resilience, &b.resilience);
+    assert_eq!(ra.retries, rb.retries, "{label}: retries");
+    assert_eq!(ra.recovered, rb.recovered, "{label}: recovered");
+    assert_eq!(ra.abandoned, rb.abandoned, "{label}: abandoned");
+    assert_eq!(
+        ra.wasted_work_ms.to_bits(),
+        rb.wasted_work_ms.to_bits(),
+        "{label}: wasted_work_ms ({} vs {})",
+        ra.wasted_work_ms,
+        rb.wasted_work_ms
+    );
+    assert_eq!(
+        ra.recovery_time_ms.to_bits(),
+        rb.recovery_time_ms.to_bits(),
+        "{label}: recovery_time_ms ({} vs {})",
+        ra.recovery_time_ms,
+        rb.recovery_time_ms
+    );
+}
+
+/// Asserts two aggregate-mode outcomes agree on every accessor the
+/// aggregate can answer (the fold itself is private).
+fn assert_aggregate_identical(a: &SimulationOutcome, b: &SimulationOutcome, label: &str) {
+    let f = |v: Option<f64>| v.map(f64::to_bits);
+    assert_eq!(a.finished_count(), b.finished_count(), "{label}: finished");
+    assert_eq!(a.failed_count(), b.failed_count(), "{label}: failed");
+    assert_eq!(a.observed_count(), b.observed_count(), "{label}: observed");
+    assert_eq!(
+        f(a.simulation_time_ms()),
+        f(b.simulation_time_ms()),
+        "{label}: simulation_time_ms"
+    );
+    assert_eq!(
+        f(a.mean_execution_ms()),
+        f(b.mean_execution_ms()),
+        "{label}: mean_execution_ms"
+    );
+    assert_eq!(
+        f(a.time_imbalance()),
+        f(b.time_imbalance()),
+        "{label}: time_imbalance"
+    );
+    assert_eq!(
+        f(a.turnaround_imbalance()),
+        f(b.turnaround_imbalance()),
+        "{label}: turnaround_imbalance"
+    );
+    assert_eq!(
+        a.total_cost().to_bits(),
+        b.total_cost().to_bits(),
+        "{label}: total_cost"
+    );
+    assert_eq!(a.sla_violations(), b.sla_violations(), "{label}: sla");
+    assert_eq!(f(a.goodput()), f(b.goodput()), "{label}: goodput");
+    let (ua, ub) = (a.per_vm_usage(10), b.per_vm_usage(10));
+    assert_eq!(ua.counts, ub.counts, "{label}: per-VM counts");
+    let busy_a: Vec<u64> = ua.busy_ms.iter().map(|v| v.to_bits()).collect();
+    let busy_b: Vec<u64> = ub.busy_ms.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(busy_a, busy_b, "{label}: per-VM busy_ms");
+    assert_eq!(
+        a.end_time.as_millis().to_bits(),
+        b.end_time.as_millis().to_bits(),
+        "{label}: end_time"
+    );
+    assert_eq!(
+        a.events_processed, b.events_processed,
+        "{label}: events_processed"
+    );
+    assert_resilience_identical(a, b, label);
 }
 
 #[test]
@@ -212,7 +288,7 @@ fn sharded_results_are_thread_count_independent() {
 }
 
 #[test]
-fn ineligible_scenarios_fall_back_to_sequential() {
+fn workflow_dag_reports_explicit_fallback_everything_else_runs_sharded() {
     let vm = VmSpec::new(1_000.0, 10_000.0, 512.0, 1_000.0, 2);
     let mk = || {
         let mut b = DatacenterBlueprint::sized_for(&vm, 2, 1, DatacenterCharacteristics::default());
@@ -231,26 +307,197 @@ fn ineligible_scenarios_fall_back_to_sequential() {
             .assignment(vec![VmId(0), VmId(1)])
     };
 
-    // Workflow dependencies force the sequential kernel.
+    // Workflow dependencies are the one shape that runs on the sequential
+    // kernel — recorded explicitly, never a silent switch.
     let with_deps = base(mk())
         .dependencies(vec![vec![], vec![CloudletId(0)]])
         .run()
         .unwrap();
     assert_eq!(with_deps.engine, EngineKind::Sequential);
+    let fb = with_deps.fallback.expect("DAG must report the fallback");
+    assert_eq!(fb.requested, EngineKind::Sharded);
+    assert_eq!(fb.ran, EngineKind::Sequential);
+    assert!(!fb.reason.is_empty());
+    assert_eq!(with_deps.finished_count(), 2);
 
-    // So does resubmission.
+    // Resubmission stays on the sharded engine (epoch driver).
     let with_retries = base(mk()).resubmit_failures(2).run().unwrap();
-    assert_eq!(with_retries.engine, EngineKind::Sequential);
-
-    // The fallback still completes the work.
+    assert_eq!(with_retries.engine, EngineKind::Sharded);
+    assert_eq!(with_retries.fallback, None);
     assert_eq!(with_retries.finished_count(), 2);
 
-    // Failure injection, by contrast, refuses loudly: an explicit Sharded
-    // request with chaos events would silently diverge from the timeline
-    // the caller asked for, so it is an error rather than a fallback.
-    let with_failures = base(mk().with_failure(HostId(0), SimTime::new(1.0e9))).run();
-    assert!(matches!(
-        with_failures,
-        Err(simcloud::error::SimError::Unsupported { .. })
-    ));
+    // So does failure injection.
+    let with_failures = base(mk().with_failure(HostId(0), SimTime::new(1.0e9)))
+        .run()
+        .unwrap();
+    assert_eq!(with_failures.engine, EngineKind::Sharded);
+    assert_eq!(with_failures.fallback, None);
+}
+
+/// Which resilience machinery a matrix scenario arms on top of the fault
+/// plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Resilience {
+    /// Host outages, a repair and VM slowdowns; failures are final.
+    Faults,
+    /// Broker-level retry with backoff and cyclic rebinding.
+    Recovery,
+    /// Legacy resubmission (`resubmit_failures`).
+    Resubmission,
+    /// Faults plus a workflow DAG — the explicit sequential fallback.
+    Workflow,
+}
+
+/// Builds and runs one fault-injected matrix scenario: 10 VMs on 5 hosts,
+/// 120 mixed cloudlets, two host outages (one repaired), two slowdowns
+/// (one bounded).
+fn resilient_outcome(
+    seed: u64,
+    res: Resilience,
+    engine: EngineKind,
+    mode: RecordMode,
+) -> SimulationOutcome {
+    use simcloud::faults::{FaultPlan, HostOutage, VmSlowdown};
+    let mut rng = simcloud::rng::stream(seed, "resilience-equivalence");
+    let (vm_count, cloudlet_count) = (10usize, 120usize);
+    let vm = VmSpec::new(1_000.0, 10_000.0, 512.0, 1_000.0, 2);
+    let cloudlets: Vec<CloudletSpec> = (0..cloudlet_count)
+        .map(|_| {
+            CloudletSpec::new(
+                rng.gen_range(1_000.0..40_000.0),
+                rng.gen_range(0.0..200.0),
+                rng.gen_range(0.0..200.0),
+                rng.gen_range(1..=2),
+            )
+        })
+        .collect();
+    let assignment: Vec<VmId> = (0..cloudlet_count)
+        .map(|_| VmId::from_index(rng.gen_range(0..vm_count)))
+        .collect();
+    let mut plan = FaultPlan::healthy();
+    // Host 0 (VMs 0–1) dies mid-run and comes back; host 2 (VMs 4–5)
+    // dies for good; VM 9 limps for a while, VM 7 for the rest of the
+    // run. Cloudlets run 1–40 s, so every event lands on live work.
+    plan.host_outages.push(HostOutage {
+        datacenter: DatacenterId(0),
+        host: HostId(0),
+        fail_at: SimTime::new(8_000.0),
+        repair_at: Some(SimTime::new(20_000.0)),
+    });
+    plan.host_outages.push(HostOutage {
+        datacenter: DatacenterId(0),
+        host: HostId(2),
+        fail_at: SimTime::new(15_000.0),
+        repair_at: None,
+    });
+    plan.vm_slowdowns.push(VmSlowdown {
+        vm: VmId(9),
+        from: SimTime::new(5_000.0),
+        factor: 0.5,
+        until: Some(SimTime::new(30_000.0)),
+    });
+    plan.vm_slowdowns.push(VmSlowdown {
+        vm: VmId(7),
+        from: SimTime::new(12_000.0),
+        factor: 0.25,
+        until: None,
+    });
+    let mut builder = SimulationBuilder::new()
+        .engine(engine)
+        .record_mode(mode)
+        .datacenter(DatacenterBlueprint::sized_for(
+            &vm,
+            vm_count,
+            2,
+            DatacenterCharacteristics::default(),
+        ))
+        .vms(vec![vm; vm_count])
+        .cloudlets(cloudlets)
+        .assignment(assignment)
+        .faults(plan);
+    builder = match res {
+        Resilience::Faults => builder,
+        Resilience::Recovery => builder.recovery(simcloud::broker::RecoveryPolicy::default()),
+        Resilience::Resubmission => builder.resubmit_failures(2),
+        Resilience::Workflow => {
+            // Sparse chains: every 7th cloudlet waits for one 3 back.
+            let deps: Vec<Vec<CloudletId>> = (0..cloudlet_count)
+                .map(|i| {
+                    if i % 7 == 3 && i >= 3 {
+                        vec![CloudletId::from_index(i - 3)]
+                    } else {
+                        vec![]
+                    }
+                })
+                .collect();
+            builder.dependencies(deps)
+        }
+    };
+    builder.run().expect("matrix scenario is feasible")
+}
+
+/// The tentpole obligation: faults × recovery × resubmission × workflows,
+/// across thread counts, seeds and both record modes, every sharded run
+/// bit-identical to the sequential kernel (including the resilience
+/// counters), and only the DAG shape reporting a fallback.
+#[test]
+fn resilience_matrix_matches_sequential_across_threads_seeds_and_modes() {
+    let variants = [
+        Resilience::Faults,
+        Resilience::Recovery,
+        Resilience::Resubmission,
+        Resilience::Workflow,
+    ];
+    for threads in [1usize, 2, 4, 8] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("vendored rayon accepts repeated global builds");
+        for seed in [5u64, 17, 83] {
+            let mut faults_finished = None;
+            for res in variants {
+                for mode in [RecordMode::Full, RecordMode::Aggregate] {
+                    let label = format!("{threads} threads / seed {seed} / {res:?} / {mode:?}");
+                    let seq = resilient_outcome(seed, res, EngineKind::Sequential, mode);
+                    let shd = resilient_outcome(seed, res, EngineKind::Sharded, mode);
+                    assert_eq!(seq.engine, EngineKind::Sequential);
+                    assert_eq!(seq.fallback, None, "{label}: sequential never falls back");
+                    if res == Resilience::Workflow {
+                        assert_eq!(shd.engine, EngineKind::Sequential, "{label}");
+                        assert!(shd.fallback.is_some(), "{label}: DAG reports fallback");
+                    } else {
+                        assert_eq!(shd.engine, EngineKind::Sharded, "{label}: no fallback");
+                        assert_eq!(shd.fallback, None, "{label}");
+                    }
+                    // The plan must actually bite, in the way each
+                    // variant is supposed to react to it.
+                    match res {
+                        Resilience::Faults => {
+                            assert!(seq.finished_count() < 120, "{label}: no work lost");
+                            faults_finished = Some(seq.finished_count());
+                        }
+                        Resilience::Recovery => {
+                            assert!(seq.resilience.retries > 0, "{label}: nothing retried");
+                        }
+                        Resilience::Resubmission => {
+                            // Rebinding rescues work the bare plan loses
+                            // (legacy resubmission counts on the broker,
+                            // not in the resilience counters).
+                            assert!(
+                                seq.finished_count() > faults_finished.expect("Faults ran first"),
+                                "{label}: resubmission rescued nothing"
+                            );
+                        }
+                        Resilience::Workflow => {
+                            assert!(seq.finished_count() < 120, "{label}: no work lost");
+                        }
+                    }
+                    match mode {
+                        RecordMode::Full => assert_identical(&seq, &shd, &label),
+                        RecordMode::Aggregate => assert_aggregate_identical(&seq, &shd, &label),
+                    }
+                }
+            }
+        }
+    }
 }

@@ -148,11 +148,14 @@ pub struct ResiliencePointResult {
 /// instance re-plans every retry batch via [`CacheRescheduler`]. The
 /// scenario must carry a [`RecoveryPolicy`] (see [`inject_faults`]);
 /// an un-faulted scenario degenerates to a plain [`crate::sweep`] point
-/// with perfect resilience metrics.
+/// with perfect resilience metrics. Both engines produce bit-identical
+/// results; [`EngineKind::Sharded`] replays the bulk of the timeline in
+/// parallel between fault instants.
 pub fn run_resilient_point(
     scenario: &Scenario,
     algorithm: AlgorithmKind,
     seed: u64,
+    engine: EngineKind,
 ) -> Result<ResiliencePointResult, SimError> {
     let problem = scenario.problem();
     let cache = EvalCache::new(&problem);
@@ -164,7 +167,7 @@ pub fn run_resilient_point(
     let rescheduler = CacheRescheduler::new(scheduler, problem);
     let outcome = scenario.simulate_resilient(
         assignment,
-        EngineKind::Sequential,
+        engine,
         RecordMode::Aggregate,
         Box::new(rescheduler),
     )?;
@@ -218,6 +221,7 @@ pub struct ResilienceSummary {
 /// [`run_resilient_point`]. Reps use seeds `base_seed..base_seed + reps`
 /// as one flat rayon work list; results come back `[fraction][algorithm]`
 /// with CIs over reps. Deterministic for fixed seeds at any thread count.
+#[allow(clippy::too_many_arguments)]
 pub fn resilience_sweep<F>(
     fail_fractions: &[f64],
     algorithms: &[AlgorithmKind],
@@ -225,6 +229,7 @@ pub fn resilience_sweep<F>(
     policy: RecoveryPolicy,
     base_seed: u64,
     reps: usize,
+    engine: EngineKind,
     make_scenario: F,
 ) -> Vec<Vec<ResilienceSummary>>
 where
@@ -243,7 +248,7 @@ where
             let mut spec = spec.clone();
             spec.host_fail_fraction = fail_fractions[fi];
             inject_faults(&mut scenario, &spec, seed, policy);
-            run_resilient_point(&scenario, algorithms[ai], seed)
+            run_resilient_point(&scenario, algorithms[ai], seed, engine)
                 .unwrap_or_else(|e| panic!("resilience point failed: {e}"))
         })
         .collect();
@@ -311,19 +316,30 @@ mod tests {
     }
 
     #[test]
-    fn resilient_point_is_deterministic() {
+    fn resilient_point_is_deterministic_and_engine_independent() {
         let mut s = scenario(3);
         inject_faults(&mut s, &gentle_spec(0.3), 7, patient_policy());
-        let a = run_resilient_point(&s, AlgorithmKind::AntColony, 3).unwrap();
-        let b = run_resilient_point(&s, AlgorithmKind::AntColony, 3).unwrap();
-        assert_eq!(a.completion_ratio.to_bits(), b.completion_ratio.to_bits());
-        assert_eq!(a.goodput.to_bits(), b.goodput.to_bits());
-        assert_eq!(a.wasted_work_ms.to_bits(), b.wasted_work_ms.to_bits());
-        assert_eq!(a.retries, b.retries);
-        assert_eq!(
-            a.simulation_time_ms.to_bits(),
-            b.simulation_time_ms.to_bits()
-        );
+        let a =
+            run_resilient_point(&s, AlgorithmKind::AntColony, 3, EngineKind::Sequential).unwrap();
+        let b =
+            run_resilient_point(&s, AlgorithmKind::AntColony, 3, EngineKind::Sequential).unwrap();
+        let c = run_resilient_point(&s, AlgorithmKind::AntColony, 3, EngineKind::Sharded).unwrap();
+        for other in [&b, &c] {
+            assert_eq!(
+                a.completion_ratio.to_bits(),
+                other.completion_ratio.to_bits()
+            );
+            assert_eq!(a.goodput.to_bits(), other.goodput.to_bits());
+            assert_eq!(a.wasted_work_ms.to_bits(), other.wasted_work_ms.to_bits());
+            assert_eq!(a.retries, other.retries);
+            assert_eq!(a.abandoned, other.abandoned);
+            assert_eq!(a.mttr_ms.to_bits(), other.mttr_ms.to_bits());
+            assert_eq!(a.finished, other.finished);
+            assert_eq!(
+                a.simulation_time_ms.to_bits(),
+                other.simulation_time_ms.to_bits()
+            );
+        }
     }
 
     #[test]
@@ -344,7 +360,7 @@ mod tests {
             }
             .build();
             inject_faults(&mut s, &gentle_spec(0.9), 11, patient_policy());
-            let r = run_resilient_point(&s, algorithm, 11).unwrap();
+            let r = run_resilient_point(&s, algorithm, 11, EngineKind::Sharded).unwrap();
             assert!(
                 r.completion_ratio >= 0.99,
                 "{algorithm} lost work under gentle chaos: {}",
@@ -360,14 +376,16 @@ mod tests {
     fn faulted_run_reports_resilience_costs() {
         let mut s = scenario(5);
         inject_faults(&mut s, &gentle_spec(0.6), 5, patient_policy());
-        let r = run_resilient_point(&s, AlgorithmKind::BaseTest, 5).unwrap();
+        let r =
+            run_resilient_point(&s, AlgorithmKind::BaseTest, 5, EngineKind::Sequential).unwrap();
         if r.retries > 0 {
             assert!(r.goodput <= 1.0);
             assert!(r.mttr_ms > 0.0 || r.wasted_work_ms >= 0.0);
         }
         // The same workload unfaulted is perfectly resilient.
         let clean = scenario(5);
-        let c = run_resilient_point(&clean, AlgorithmKind::BaseTest, 5).unwrap();
+        let c = run_resilient_point(&clean, AlgorithmKind::BaseTest, 5, EngineKind::Sequential)
+            .unwrap();
         assert_eq!(c.completion_ratio, 1.0);
         assert_eq!(c.goodput, 1.0);
         assert_eq!(c.retries, 0);
@@ -417,6 +435,7 @@ mod tests {
             patient_policy(),
             21,
             3,
+            EngineKind::Sequential,
             scenario,
         );
         assert_eq!(summaries.len(), 2);

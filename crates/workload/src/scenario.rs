@@ -55,8 +55,9 @@ pub struct Scenario {
     /// Optional seeded chaos timeline (host outages, VM stragglers). An
     /// all-healthy plan is trace-identical to no plan at all.
     pub faults: Option<simcloud::faults::FaultPlan>,
-    /// Optional broker retry/backoff policy. Implies the sequential
-    /// engine; see [`simcloud::broker::RecoveryPolicy`].
+    /// Optional broker retry/backoff policy; see
+    /// [`simcloud::broker::RecoveryPolicy`]. Runs on either engine (the
+    /// sharded engine executes retries between replay epochs).
     pub recovery: Option<simcloud::broker::RecoveryPolicy>,
 }
 
@@ -112,12 +113,11 @@ impl Scenario {
         self.simulate_on(assignment, simcloud::simulation::EngineKind::Sequential)
     }
 
-    /// Runs `assignment` on a chosen simulation engine. A sharded request
-    /// falls back to sequential when the scenario has workflow
-    /// dependencies or legacy resubmission (`outcome.engine` says which
-    /// kernel actually ran), and errors with
-    /// [`SimError::Unsupported`] when fault injection is armed — fault
-    /// timelines only replay on the event-driven kernel.
+    /// Runs `assignment` on a chosen simulation engine. The sharded
+    /// engine replays every scenario shape — fault plans, recovery and
+    /// resubmission included — bit-identically to the sequential kernel.
+    /// The one exception is a workflow DAG, which runs on the sequential
+    /// kernel with the substitution recorded in `outcome.fallback`.
     pub fn simulate_on(
         &self,
         assignment: Assignment,
