@@ -40,6 +40,10 @@ pub struct CommonOpts {
     pub faults: Option<simcloud::faults::FaultSpec>,
     /// Seed for the fault plan (`--fault-seed`); defaults to `--seed`.
     pub fault_seed: Option<u64>,
+    /// Scheduler knob overrides (`--sched-params candidates=32,shards=4`),
+    /// parsed by [`biosched_core::tuning::SchedTuning::parse`]. Unknown
+    /// keys and incoherent combinations are hard errors, never clamped.
+    pub sched_params: biosched_core::tuning::SchedTuning,
 }
 
 impl Default for CommonOpts {
@@ -57,6 +61,7 @@ impl Default for CommonOpts {
             engine: EngineKind::Sequential,
             faults: None,
             fault_seed: None,
+            sched_params: biosched_core::tuning::SchedTuning::default(),
         }
     }
 }
@@ -207,6 +212,11 @@ pub fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), String
                         .map_err(|e| format!("bad --fault-seed: {e}"))?,
                 )
             }
+            "--sched-params" => {
+                opts.sched_params =
+                    biosched_core::tuning::SchedTuning::parse(&take("--sched-params")?)
+                        .map_err(|e| format!("bad --sched-params: {e}"))?
+            }
             _ => rest.push(arg.clone()),
         }
     }
@@ -314,6 +324,24 @@ mod tests {
         let (opts, _) = parse_common(&args("--faults hosts=0.2 --engine sharded")).unwrap();
         assert_eq!(opts.engine, EngineKind::Sharded);
         assert!(opts.faults.is_some());
+    }
+
+    #[test]
+    fn sched_params_option() {
+        let (opts, rest) = parse_common(&args(
+            "--sched-params candidates=16,sampling=prefix,shards=2",
+        ))
+        .unwrap();
+        assert_eq!(opts.sched_params.candidates, Some(Some(16)));
+        assert!(opts.sched_params.shards.is_some());
+        assert!(rest.is_empty());
+        // Errors propagate instead of clamping.
+        assert!(parse_common(&args("--sched-params candidates=0")).is_err());
+        assert!(parse_common(&args("--sched-params warp=9")).is_err());
+        assert_eq!(
+            parse_common(&[]).unwrap().0.sched_params,
+            biosched_core::tuning::SchedTuning::default()
+        );
     }
 
     #[test]

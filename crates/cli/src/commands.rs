@@ -52,6 +52,12 @@ scenario options (all commands):
                    (keys: hosts fail repair stragglers slow slowstart
                    slowdur; repair/slowdur accept 'never')
   --fault-seed N   fault-plan seed (default: --seed)
+  --sched-params S scheduler knob overrides, comma-separated key=value:
+                   candidates=N|full strategy=random|topeta
+                   sampling=linear|prefix|alias ants=N iterations=N
+                   batch=N q0=F (AntColony only), shards=N|dc (any
+                   algorithm; divide-and-conquer over VM shards).
+                   Bad keys/values are errors, never silently clamped
 
 examples:
   biosched run --algorithm aco --vms 100 --cloudlets 1000
@@ -71,11 +77,12 @@ struct RunResult {
 fn run_one(
     scenario: &Scenario,
     kind: AlgorithmKind,
+    tuning: &biosched_core::tuning::SchedTuning,
     seed: u64,
     engine: EngineKind,
 ) -> Result<RunResult, String> {
     let problem = scenario.problem();
-    let mut scheduler = kind.build(seed);
+    let mut scheduler = tuning.build(kind, seed)?;
     let started = Instant::now();
     let assignment = scheduler.schedule(&problem);
     let scheduling_ms = started.elapsed().as_secs_f64() * 1_000.0;
@@ -205,7 +212,13 @@ pub fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let scenario = build_scenario(&opts);
     println!("{}", describe_scenario(&opts));
-    let result = run_one(&scenario, algorithm, opts.seed, opts.engine)?;
+    let result = run_one(
+        &scenario,
+        algorithm,
+        &opts.sched_params,
+        opts.seed,
+        opts.engine,
+    )?;
     if result.outcome.finished_count() != scenario.cloudlet_count() {
         println!(
             "warning: only {}/{} cloudlets finished",
@@ -242,7 +255,7 @@ pub fn cmd_compare(args: &[String]) -> Result<(), String> {
     println!("{}", describe_scenario(&opts));
     let results: Result<Vec<RunResult>, String> = algorithms
         .iter()
-        .map(|kind| run_one(&scenario, *kind, opts.seed, opts.engine))
+        .map(|kind| run_one(&scenario, *kind, &opts.sched_params, opts.seed, opts.engine))
         .collect();
     let results = results?;
     emit_table(&metrics_table(&results, opts.vms), opts.csv.as_deref())?;
@@ -361,7 +374,9 @@ pub fn cmd_workflow(args: &[String]) -> Result<(), String> {
     let plan = if use_heft {
         heft(&problem, &wf.parents)
     } else {
-        AlgorithmKind::BaseTest.build(opts.seed).schedule(&problem)
+        opts.sched_params
+            .build(AlgorithmKind::BaseTest, opts.seed)?
+            .schedule(&problem)
     };
     let outcome = scenario
         .simulate_on(plan, opts.engine)
@@ -430,7 +445,7 @@ pub fn cmd_online(args: &[String]) -> Result<(), String> {
     } else {
         WavePlan::uniform(scenario.cloudlet_count(), waves, interval_ms)
     };
-    let mut scheduler = algorithm.build(opts.seed);
+    let mut scheduler = opts.sched_params.build(algorithm, opts.seed)?;
     let result = run_online(&scenario, scheduler.as_mut(), &plan)
         .map_err(|e| format!("online run failed: {e}"))?;
     let last_finish = result

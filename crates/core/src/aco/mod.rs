@@ -53,7 +53,7 @@ mod params;
 mod pheromone;
 pub mod reference;
 
-pub use params::AcoParams;
+pub use params::{AcoParams, CandidateStrategy, SamplingMode};
 pub use pheromone::PheromoneMatrix;
 
 use std::ops::Range;
@@ -64,9 +64,21 @@ use simcloud::ids::VmId;
 use simcloud::rng::stream;
 
 use crate::assignment::Assignment;
-use crate::eval::{self, EvalCache};
+use crate::eval::{self, CandidateBlock, EvalCache};
 use crate::problem::SchedulingProblem;
 use crate::scheduler::Scheduler;
+
+/// Minimum estimated per-run work (`colonies × iterations × ants × batch
+/// × k` weight-row reads) before colony construction fans out over
+/// threads. Below it the fork/join overhead outweighs the work — the 1k
+/// scale regressed ~2× at 4 threads before this cutover — so small
+/// problems stay serial regardless of the worker-pool size.
+const PAR_MIN_WORK: u64 = 1 << 26;
+
+/// Tabu rejection-sampling budget of the candidate-list fast path: draw
+/// from the unconditioned row distribution up to this many times before
+/// switching to the exact non-tabu conditional roulette.
+const MAX_TABU_RESAMPLES: usize = 8;
 
 /// The ACO scheduler.
 pub struct AntColony {
@@ -125,20 +137,44 @@ impl AntColony {
             .map(|_| self.rng.gen())
             .collect();
 
-        // Fan whole colonies out when there are enough to fill the pool;
-        // otherwise keep ant-level parallelism inside each colony (nesting
-        // both would oversubscribe the scoped-thread fan-out).
-        let colonies_parallel = colonies.len() >= eval::MIN_PAR_ITEMS;
+        // Candidate-list fast path: engages only when the list is a strict
+        // subset of the fleet, so any run with k ≥ #VMs takes the legacy
+        // reference-equivalent machinery unchanged.
+        let k = self.params.candidates.unwrap_or(v).min(v);
+        let use_topk = self.params.strategy == params::CandidateStrategy::TopEta && k < v;
+
+        // Fan whole colonies out when there are enough to fill the pool
+        // AND the total work amortizes the fork — otherwise run serially
+        // (ant-level parallelism inside a colony is gated the same way).
+        let per_colony_work = (self.params.iterations as u64)
+            .saturating_mul(self.params.ants as u64)
+            .saturating_mul(batch as u64)
+            .saturating_mul(k as u64);
+        let total_work = per_colony_work.saturating_mul(colonies.len() as u64);
+        let colonies_parallel = colonies.len() >= eval::MIN_PAR_ITEMS && total_work >= PAR_MIN_WORK;
+        let ants_parallel = !colonies_parallel && per_colony_work >= PAR_MIN_WORK;
         let params = &self.params;
         let results = eval::par_map_if(colonies_parallel, &colonies, |(i, slots)| {
-            run_colony(
-                cache,
-                params,
-                slots.clone(),
-                &seeds[i * per_colony..(i + 1) * per_colony],
-                traced && *i == 0,
-                !colonies_parallel,
-            )
+            let colony_seeds = &seeds[i * per_colony..(i + 1) * per_colony];
+            if use_topk {
+                run_colony_topk(
+                    cache,
+                    params,
+                    slots.clone(),
+                    colony_seeds,
+                    traced && *i == 0,
+                    k,
+                )
+            } else {
+                run_colony(
+                    cache,
+                    params,
+                    slots.clone(),
+                    colony_seeds,
+                    traced && *i == 0,
+                    ants_parallel,
+                )
+            }
         });
 
         let mut map = Vec::with_capacity(c);
@@ -229,29 +265,9 @@ fn run_colony(
                 .collect()
         };
 
-        // Local update (Eqs. 9–10): evaporate once, then every ant
-        // deposits Q/L_k along its tour.
-        pheromone.evaporate(params.rho);
-        for (tour, len) in &tours {
-            let dq = params.q / len.max(f64::MIN_POSITIVE);
-            for (i, vm) in tour.iter().enumerate() {
-                pheromone.deposit(i as u32, *vm, dq);
-            }
-        }
-
-        // Track the global best and reinforce it (Eq. 11).
-        for (tour, len) in tours {
-            if best.as_ref().is_none_or(|(_, b)| len < *b) {
-                best = Some((tour, len));
-            }
-        }
-        let (bt, bl) = best.as_ref().expect("ants always produce tours");
-        let dq = params.q / bl.max(f64::MIN_POSITIVE);
-        for (i, vm) in bt.iter().enumerate() {
-            pheromone.deposit(i as u32, *vm, dq);
-        }
+        let best_len = apply_pheromone_updates(&mut pheromone, params, tours, &mut best);
         if traced {
-            trace.push(*bl);
+            trace.push(best_len);
         }
     }
 
@@ -262,6 +278,453 @@ fn run_colony(
         .map(VmId)
         .collect();
     (tour, trace)
+}
+
+/// The per-iteration pheromone bookkeeping both colony bodies share: local
+/// update (Eqs. 9–10 — evaporate once, every ant deposits Q/L_k along its
+/// tour), global-best tracking and the Eq. 11 best-tour reinforcement.
+/// Returns the best tour length so far (the traced convergence value).
+fn apply_pheromone_updates(
+    pheromone: &mut PheromoneMatrix,
+    params: &AcoParams,
+    tours: Vec<(Vec<u32>, f64)>,
+    best: &mut Option<(Vec<u32>, f64)>,
+) -> f64 {
+    pheromone.evaporate(params.rho);
+    for (tour, len) in &tours {
+        let dq = params.q / len.max(f64::MIN_POSITIVE);
+        for (i, vm) in tour.iter().enumerate() {
+            pheromone.deposit(i as u32, *vm, dq);
+        }
+    }
+
+    for (tour, len) in tours {
+        if best.as_ref().is_none_or(|(_, b)| len < *b) {
+            *best = Some((tour, len));
+        }
+    }
+    let (bt, bl) = best.as_ref().expect("ants always produce tours");
+    let dq = params.q / bl.max(f64::MIN_POSITIVE);
+    for (i, vm) in bt.iter().enumerate() {
+        pheromone.deposit(i as u32, *vm, dq);
+    }
+    *bl
+}
+
+/// Candidate-list fast path: one colony over `slots` with the per-batch
+/// [`CandidateBlock`] replacing full-fleet rows. Engaged only when
+/// `k < #VMs` (see [`AntColony::run`]); makes no bitwise-equivalence
+/// claims against [`reference`] — the quality gate lives in `schedbench`.
+fn run_colony_topk(
+    cache: &EvalCache,
+    params: &AcoParams,
+    slots: Range<usize>,
+    seeds: &[u64],
+    traced: bool,
+    k: usize,
+) -> (Vec<VmId>, Vec<f64>) {
+    let v = cache.vm_count();
+    let block = cache.candidate_block(slots.clone(), k, params.beta);
+    let mut pheromone = PheromoneMatrix::new(params.initial_pheromone);
+    let mut best: Option<(Vec<u32>, f64)> = None;
+    let mut trace = Vec::new();
+    let mut scratch = TourScratch::new(v);
+    let mut rows = match params.sampling {
+        SamplingMode::Alias => None,
+        SamplingMode::Linear | SamplingMode::PrefixSum => {
+            Some(CandidateRows::new(slots.len(), block.k()))
+        }
+    };
+    let mut alias = match params.sampling {
+        SamplingMode::Alias => Some(AliasTables::build(&block)),
+        SamplingMode::Linear | SamplingMode::PrefixSum => None,
+    };
+
+    for iter in 0..params.iterations {
+        let iter_seeds = &seeds[iter * params.ants..(iter + 1) * params.ants];
+        pheromone.prepare_pow(params.alpha);
+        if let Some(rows) = rows.as_mut() {
+            rows.refresh(&pheromone, &block);
+        }
+        if let Some(alias) = alias.as_mut() {
+            alias.refresh(&pheromone, &block);
+        }
+        let tours: Vec<(Vec<u32>, f64)> = iter_seeds
+            .iter()
+            .map(|&seed| {
+                construct_tour_topk(
+                    cache,
+                    slots.clone(),
+                    &pheromone,
+                    params,
+                    seed,
+                    &block,
+                    rows.as_ref(),
+                    alias.as_ref(),
+                    &mut scratch,
+                )
+            })
+            .collect();
+
+        let best_len = apply_pheromone_updates(&mut pheromone, params, tours, &mut best);
+        if traced {
+            trace.push(best_len);
+        }
+    }
+
+    let tour = best
+        .expect("ants always produce tours")
+        .0
+        .into_iter()
+        .map(VmId)
+        .collect();
+    (tour, trace)
+}
+
+/// Per-iteration fused Eq. 5 weight rows of the candidate-list fast path:
+/// slot-major k-wide `τ^α·η^β` rows plus their running prefix sums, so a
+/// draw is either an O(k) roulette or an O(log k) binary search.
+struct CandidateRows {
+    k: usize,
+    weights: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl CandidateRows {
+    fn new(slots: usize, k: usize) -> Self {
+        CandidateRows {
+            k,
+            weights: vec![0.0; slots * k],
+            prefix: vec![0.0; slots * k],
+        }
+    }
+
+    /// Rebuilds every row from the current pheromone snapshot (call after
+    /// [`PheromoneMatrix::prepare_pow`]). Non-finite products clip to 0,
+    /// like the legacy path.
+    fn refresh(&mut self, pheromone: &PheromoneMatrix, block: &CandidateBlock) {
+        let k = self.k;
+        for s in 0..block.slot_count() {
+            let row = block.row(s);
+            let eta = block.eta_row(s);
+            let mut acc = 0.0;
+            for r in 0..k {
+                let w = pheromone.get_pow(s as u32, row[r]) * eta[r];
+                let w = if w.is_finite() { w } else { 0.0 };
+                self.weights[s * k + r] = w;
+                acc += w;
+                self.prefix[s * k + r] = acc;
+            }
+        }
+    }
+
+    #[inline]
+    fn weight_row(&self, s: usize) -> &[f64] {
+        &self.weights[s * self.k..(s + 1) * self.k]
+    }
+
+    #[inline]
+    fn prefix_row(&self, s: usize) -> &[f64] {
+        &self.prefix[s * self.k..(s + 1) * self.k]
+    }
+}
+
+/// O(log k) roulette over a non-decreasing prefix-sum row: the smallest
+/// index whose prefix strictly exceeds `spin` — exactly the index a linear
+/// left-to-right scan (`spin < prefix[i]`) of the same row returns. A spin
+/// at or beyond the total clamps to the last index.
+pub fn prefix_pick(prefix: &[f64], spin: f64) -> usize {
+    debug_assert!(!prefix.is_empty());
+    prefix.partition_point(|&p| p <= spin).min(prefix.len() - 1)
+}
+
+/// Static Vose alias tables over the per-slot η^β mass plus sparse
+/// per-iteration τ-deposit deltas. Eq. 5's row weight factors as
+/// `τ^α·η^β = base^α·η^β + (τ^α − base^α)·η^β`: evaporation rescales the
+/// base uniformly (the *shape* of the first term never changes, so its
+/// alias table is built once per batch), and the second term is non-zero
+/// only on deposited edges — a short per-slot list. Sampling draws from
+/// the two-part mixture without ever rebuilding a dense row.
+struct AliasTables {
+    k: usize,
+    /// Vose acceptance probability per `[slot * k + rank]` cell.
+    prob: Vec<f64>,
+    /// Vose alias rank per cell.
+    alias: Vec<u32>,
+    /// Slots whose η^β mass was finite and positive (usable static part).
+    static_ok: Vec<bool>,
+    /// Candidate VMs of each slot, sorted ascending, with their ranks —
+    /// O(log k) vm→rank lookups during delta extraction.
+    sorted_vm: Vec<u32>,
+    sorted_rank: Vec<u32>,
+    /// Per-iteration mixture state (refreshed after `prepare_pow`).
+    base_total: Vec<f64>,
+    delta_rank: Vec<Vec<u32>>,
+    delta_w: Vec<Vec<f64>>,
+    delta_total: Vec<f64>,
+}
+
+impl AliasTables {
+    fn build(block: &CandidateBlock) -> Self {
+        let k = block.k();
+        let b = block.slot_count();
+        let mut prob = vec![1.0; b * k];
+        let mut alias = vec![0u32; b * k];
+        let mut static_ok = vec![false; b];
+        let mut sorted_vm = Vec::with_capacity(b * k);
+        let mut sorted_rank = Vec::with_capacity(b * k);
+        let mut small: Vec<u32> = Vec::with_capacity(k);
+        let mut large: Vec<u32> = Vec::with_capacity(k);
+        let mut scaled = vec![0.0; k];
+        for s in 0..b {
+            let eta = block.eta_row(s);
+            let sum = block.eta_sum(s);
+            let mut pairs: Vec<(u32, u32)> = block
+                .row(s)
+                .iter()
+                .enumerate()
+                .map(|(r, &vm)| (vm, r as u32))
+                .collect();
+            pairs.sort_unstable();
+            for (vm, r) in pairs {
+                sorted_vm.push(vm);
+                sorted_rank.push(r);
+            }
+            if !(sum.is_finite() && sum > 0.0) {
+                // Degenerate slot: no static mass; deltas (or the exact
+                // fallback in tour construction) carry the distribution.
+                for r in 0..k {
+                    alias[s * k + r] = r as u32;
+                }
+                continue;
+            }
+            static_ok[s] = true;
+            // Vose's algorithm: partition ranks by scaled weight, pair
+            // small cells with large donors.
+            small.clear();
+            large.clear();
+            for r in 0..k {
+                scaled[r] = eta[r] * k as f64 / sum;
+                if scaled[r] < 1.0 {
+                    small.push(r as u32);
+                } else {
+                    large.push(r as u32);
+                }
+            }
+            while !small.is_empty() && !large.is_empty() {
+                let s_rank = small.pop().expect("checked non-empty") as usize;
+                let l_rank = *large.last().expect("checked non-empty") as usize;
+                prob[s * k + s_rank] = scaled[s_rank];
+                alias[s * k + s_rank] = l_rank as u32;
+                scaled[l_rank] -= 1.0 - scaled[s_rank];
+                if scaled[l_rank] < 1.0 {
+                    large.pop();
+                    small.push(l_rank as u32);
+                }
+            }
+            for &r in small.iter().chain(large.iter()) {
+                prob[s * k + r as usize] = 1.0;
+                alias[s * k + r as usize] = r;
+            }
+        }
+        AliasTables {
+            k,
+            prob,
+            alias,
+            static_ok,
+            sorted_vm,
+            sorted_rank,
+            base_total: vec![0.0; b],
+            delta_rank: vec![Vec::new(); b],
+            delta_w: vec![Vec::new(); b],
+            delta_total: vec![0.0; b],
+        }
+    }
+
+    /// Rebuilds the mixture state from the current pheromone snapshot
+    /// (call after [`PheromoneMatrix::prepare_pow`]).
+    fn refresh(&mut self, pheromone: &PheromoneMatrix, block: &CandidateBlock) {
+        let k = self.k;
+        let base_pow = pheromone.base_pow();
+        for s in 0..block.slot_count() {
+            self.base_total[s] = if self.static_ok[s] {
+                base_pow * block.eta_sum(s)
+            } else {
+                0.0
+            };
+            self.delta_rank[s].clear();
+            self.delta_w[s].clear();
+            self.delta_total[s] = 0.0;
+        }
+        pheromone.for_each_deposited_pow(|slot, vm, pow| {
+            if slot >= block.slot_count() {
+                return;
+            }
+            let sorted = &self.sorted_vm[slot * k..(slot + 1) * k];
+            if let Ok(i) = sorted.binary_search(&vm) {
+                let rank = self.sorted_rank[slot * k + i];
+                // τ ≥ base on deposited edges, so the delta is ≥ 0 up to
+                // powf rounding; clamp defensively.
+                let w = (pow - base_pow) * block.eta_row(slot)[rank as usize];
+                let w = if w.is_finite() { w.max(0.0) } else { 0.0 };
+                if w > 0.0 {
+                    self.delta_rank[slot].push(rank);
+                    self.delta_w[slot].push(w);
+                    self.delta_total[slot] += w;
+                }
+            }
+        });
+    }
+
+    /// Draws a rank from slot `s`'s mixture, or `None` when the slot has
+    /// no usable mass (caller falls back to the exact conditional path).
+    fn sample(&self, s: usize, rng: &mut StdRng) -> Option<usize> {
+        let total = self.base_total[s] + self.delta_total[s];
+        if !(total.is_finite() && total > 0.0) {
+            return None;
+        }
+        let spin = rng.gen_range(0.0..total);
+        if spin < self.base_total[s] {
+            let r = rng.gen_range(0..self.k);
+            let flip: f64 = rng.gen_range(0.0..1.0);
+            Some(if flip < self.prob[s * self.k + r] {
+                r
+            } else {
+                self.alias[s * self.k + r] as usize
+            })
+        } else {
+            let mut rem = spin - self.base_total[s];
+            let ranks = &self.delta_rank[s];
+            for (i, &w) in self.delta_w[s].iter().enumerate() {
+                rem -= w;
+                if rem <= 0.0 {
+                    return Some(ranks[i] as usize);
+                }
+            }
+            ranks.last().map(|&r| r as usize)
+        }
+    }
+}
+
+/// One ant's tour on the candidate-list fast path: per slot, draw from the
+/// full-row distribution (prefix binary search, alias mixture, or linear
+/// roulette), rejecting tabu picks up to [`MAX_TABU_RESAMPLES`] times
+/// before switching to the exact roulette conditioned on the non-tabu
+/// candidates; a fully-tabu row falls back to the first free VM scanning
+/// from a random start (the legacy escape hatch).
+#[allow(clippy::too_many_arguments)]
+fn construct_tour_topk(
+    cache: &EvalCache,
+    slots: Range<usize>,
+    pheromone: &PheromoneMatrix,
+    params: &AcoParams,
+    seed: u64,
+    block: &CandidateBlock,
+    rows: Option<&CandidateRows>,
+    alias: Option<&AliasTables>,
+    scratch: &mut TourScratch,
+) -> (Vec<u32>, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let v = cache.vm_count();
+    let k = block.k();
+    scratch.begin_ant();
+    let mut tour = Vec::with_capacity(slots.len());
+    let mut length = 0.0;
+
+    for (slot_idx, c) in slots.enumerate() {
+        let row = block.row(slot_idx);
+        let mut chosen: Option<u32> = None;
+
+        if params.q0 > 0.0 && rng.gen_range(0.0..1.0) < params.q0 {
+            // ACS exploitation: argmax over the non-tabu candidates
+            // (validation guarantees a dense row exists when q0 > 0).
+            if let Some(rows) = rows {
+                let weights = rows.weight_row(slot_idx);
+                let mut best: Option<(u32, f64)> = None;
+                for r in 0..k {
+                    let j = row[r];
+                    if scratch.is_tabu(j) {
+                        continue;
+                    }
+                    if best.is_none_or(|(_, bw)| weights[r].total_cmp(&bw).is_gt()) {
+                        best = Some((j, weights[r]));
+                    }
+                }
+                chosen = best.map(|(j, _)| j);
+            }
+        } else {
+            for _ in 0..MAX_TABU_RESAMPLES {
+                let rank = if let Some(rows) = rows {
+                    let prefix = rows.prefix_row(slot_idx);
+                    let total = prefix[k - 1];
+                    if !(total.is_finite() && total > 0.0) {
+                        break;
+                    }
+                    match params.sampling {
+                        SamplingMode::PrefixSum => prefix_pick(prefix, rng.gen_range(0.0..total)),
+                        _ => roulette(&mut rng, rows.weight_row(slot_idx), total),
+                    }
+                } else if let Some(alias) = alias {
+                    match alias.sample(slot_idx, &mut rng) {
+                        Some(rank) => rank,
+                        None => break,
+                    }
+                } else {
+                    unreachable!("fast path always builds rows or alias tables")
+                };
+                let j = row[rank];
+                if !scratch.is_tabu(j) {
+                    chosen = Some(j);
+                    break;
+                }
+            }
+        }
+
+        if chosen.is_none() {
+            // Exact conditional: roulette over the non-tabu candidates.
+            scratch.begin_slot();
+            let mut total = 0.0;
+            for (r, &j) in row.iter().enumerate().take(k) {
+                if scratch.is_tabu(j) {
+                    continue;
+                }
+                let w = match rows {
+                    Some(rows) => rows.weight_row(slot_idx)[r],
+                    None => {
+                        let w = pheromone.get_pow(slot_idx as u32, j) * block.eta_row(slot_idx)[r];
+                        if w.is_finite() {
+                            w
+                        } else {
+                            0.0
+                        }
+                    }
+                };
+                scratch.candidates.push(j);
+                scratch.weights.push(w);
+                total += w;
+            }
+            if scratch.candidates.is_empty() {
+                // Whole row tabu: first free VM from a random start.
+                let start = rng.gen_range(0..v);
+                for off in 0..v {
+                    let j = ((start + off) % v) as u32;
+                    if !scratch.is_tabu(j) {
+                        chosen = Some(j);
+                        break;
+                    }
+                }
+            } else {
+                let pick = roulette(&mut rng, &scratch.weights, total);
+                chosen = Some(scratch.candidates[pick]);
+            }
+        }
+
+        let j = chosen.expect("tabu cannot exhaust all VMs");
+        scratch.make_tabu(j);
+        tour.push(j);
+        length += cache.exec_ms(c, j as usize);
+    }
+    (tour, length)
 }
 
 /// Reusable per-colony buffers for tour construction. Tabu and candidate
@@ -661,6 +1124,129 @@ mod tests {
             seen.insert(roulette(&mut rng, &[0.0, 0.0], 0.0));
         }
         assert_eq!(seen.len(), 2);
+    }
+
+    /// Fast-path params: k strictly below the fleet size so the
+    /// candidate-list machinery engages.
+    fn topk_params(k: usize, sampling: SamplingMode) -> AcoParams {
+        AcoParams {
+            candidates: Some(k),
+            strategy: CandidateStrategy::TopEta,
+            sampling,
+            ..AcoParams::fast()
+        }
+    }
+
+    #[test]
+    fn topk_path_produces_complete_valid_assignment() {
+        let p = hetero_problem(40, 200);
+        for sampling in [
+            SamplingMode::Linear,
+            SamplingMode::PrefixSum,
+            SamplingMode::Alias,
+        ] {
+            let a = AntColony::new(topk_params(8, sampling), 7).schedule(&p);
+            assert!(a.validate(&p).is_ok(), "{sampling:?}");
+            assert_eq!(a.len(), 200);
+        }
+    }
+
+    #[test]
+    fn topk_path_is_deterministic_per_seed() {
+        let p = hetero_problem(40, 120);
+        for sampling in [SamplingMode::PrefixSum, SamplingMode::Alias] {
+            let a = AntColony::new(topk_params(8, sampling), 11).schedule(&p);
+            let b = AntColony::new(topk_params(8, sampling), 11).schedule(&p);
+            assert_eq!(a, b, "{sampling:?}");
+        }
+    }
+
+    #[test]
+    fn topk_path_respects_tabu_within_batch() {
+        let p = hetero_problem(32, 64);
+        let params = AcoParams {
+            batch_size: 16,
+            max_vm_fraction: 1.0,
+            ..topk_params(8, SamplingMode::PrefixSum)
+        };
+        let a = AntColony::new(params, 3).schedule(&p);
+        for chunk in a.as_slice().chunks(16) {
+            let distinct: std::collections::HashSet<_> = chunk.iter().collect();
+            assert_eq!(distinct.len(), chunk.len(), "VM reused within a batch");
+        }
+    }
+
+    #[test]
+    fn topk_path_favors_fast_vms() {
+        let p = hetero_problem(40, 400);
+        let params = AcoParams {
+            candidates: Some(8),
+            ..AcoParams::paper()
+        };
+        let a = AntColony::new(params, 5).schedule(&p);
+        let counts = a.counts_per_vm(40);
+        let slow: usize = counts.iter().step_by(2).sum();
+        let fast: usize = counts.iter().skip(1).step_by(2).sum();
+        assert!(
+            fast > slow,
+            "fast VMs should receive more work: fast={fast} slow={slow}"
+        );
+    }
+
+    #[test]
+    fn topk_with_k_at_fleet_size_matches_reference() {
+        // The fast path must disengage at k ≥ #VMs: bitwise reference
+        // equivalence is the contract there.
+        let p = hetero_problem(12, 70);
+        for k in [12, 20] {
+            let params = AcoParams {
+                candidates: Some(k),
+                strategy: CandidateStrategy::TopEta,
+                sampling: SamplingMode::PrefixSum,
+                ..AcoParams::fast()
+            };
+            let new = AntColony::new(params.clone(), 17).schedule(&p);
+            let old = reference::schedule_reference(&params, 17, &p);
+            assert_eq!(new, old, "k={k} must take the legacy path");
+        }
+    }
+
+    #[test]
+    fn topk_traced_convergence_is_monotone() {
+        let p = hetero_problem(64, 128);
+        let (plan, trace) =
+            AntColony::new(topk_params(8, SamplingMode::PrefixSum), 23).schedule_traced(&p);
+        assert!(plan.validate(&p).is_ok());
+        assert_eq!(trace.len(), AcoParams::fast().iterations);
+        assert!(trace.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    #[test]
+    fn alias_and_prefix_agree_on_quality_not_bits() {
+        // Different sampling modes draw different streams, but on a
+        // strongly heterogeneous fleet both must land near the same
+        // estimated makespan (same distribution, same pheromone dynamics).
+        let p = hetero_problem(40, 400);
+        let prefix = AntColony::new(topk_params(8, SamplingMode::PrefixSum), 9).schedule(&p);
+        let alias = AntColony::new(topk_params(8, SamplingMode::Alias), 9).schedule(&p);
+        let mp = prefix.estimated_makespan_ms(&p);
+        let ma = alias.estimated_makespan_ms(&p);
+        assert!(
+            (mp - ma).abs() <= 0.35 * mp.max(ma),
+            "prefix {mp} vs alias {ma} diverged"
+        );
+    }
+
+    #[test]
+    fn prefix_pick_matches_linear_scan() {
+        let prefix = [0.5, 0.5, 2.0, 2.0, 3.5];
+        for spin in [0.0, 0.4999, 0.5, 1.0, 1.9999, 2.0, 3.4, 10.0] {
+            let linear = prefix
+                .iter()
+                .position(|&p| spin < p)
+                .unwrap_or(prefix.len() - 1);
+            assert_eq!(prefix_pick(&prefix, spin), linear, "spin={spin}");
+        }
     }
 
     #[test]

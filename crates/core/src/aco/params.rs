@@ -1,5 +1,34 @@
 //! ACO tuning parameters (the paper's Table II).
 
+/// How candidate lists are formed when `candidates = Some(k)` restricts
+/// each ant's choice to k VMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateStrategy {
+    /// Legacy behavior: draw k distinct VMs uniformly at random per slot
+    /// (rejection sampling). Matches `aco::reference` bit for bit.
+    Random,
+    /// η-proportional ring candidates precomputed once per batch into a
+    /// dense `k × slots` block ([`crate::eval::EvalCache::candidate_block`]).
+    /// Engages only when `k < #VMs`; otherwise the legacy full-row path
+    /// runs, preserving reference equivalence.
+    TopEta,
+}
+
+/// How a VM is drawn from the fused Eq. 5 weight row in the candidate-list
+/// fast path ([`CandidateStrategy::TopEta`] with `k < #VMs`). The legacy
+/// path always uses the linear roulette.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// O(k) subtraction-chain roulette over the weight row.
+    Linear,
+    /// O(log k) binary search over a per-slot prefix-sum row.
+    PrefixSum,
+    /// Vose alias table over the static η^β mass plus a sparse
+    /// τ-deposit delta list — no per-iteration row rebuild at all.
+    /// Incompatible with `q0 > 0` (no dense row to argmax over).
+    Alias,
+}
+
 /// Parameters of the ant colony (Table II plus implementation knobs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AcoParams {
@@ -21,9 +50,15 @@ pub struct AcoParams {
     /// revisiting a VM within a batch (the paper's constraint-satisfaction
     /// rule), so a batch can never exceed the VM count; it is clamped.
     pub batch_size: usize,
-    /// Candidate-list size: how many random VMs each ant examines per
-    /// choice (a standard ACO acceleration). `None` examines every VM.
+    /// Candidate-list size: how many VMs each ant examines per choice
+    /// (a standard ACO acceleration). `None` — the paper-profile default —
+    /// examines every VM; [`AcoParams::for_scale`] defaults to
+    /// [`AcoParams::DEFAULT_CANDIDATES`].
     pub candidates: Option<usize>,
+    /// How the candidate list is formed (see [`CandidateStrategy`]).
+    pub strategy: CandidateStrategy,
+    /// How the fast path draws from the weight row (see [`SamplingMode`]).
+    pub sampling: SamplingMode,
     /// Ant Colony System exploitation probability: with probability `q0`
     /// an ant deterministically takes the best-weighted VM instead of
     /// spinning the Eq. 5 roulette. `0` (the paper's plain Ant System)
@@ -39,6 +74,11 @@ pub struct AcoParams {
 
 impl AcoParams {
     /// Exactly Table II, with the implementation knobs at study defaults.
+    /// Ants examine the full weight row (no candidate restriction), so
+    /// plans match the pre-candidate-list study bit for bit — the
+    /// prefix-sum sampler draws the same VM the linear roulette would.
+    /// Candidate lists cost 5–53 % makespan on heterogeneous fleets at
+    /// figure scale, so they default on only in [`Self::for_scale`].
     pub fn paper() -> Self {
         AcoParams {
             ants: 50,
@@ -49,9 +89,53 @@ impl AcoParams {
             initial_pheromone: 1.0,
             iterations: 8,
             batch_size: 128,
-            candidates: Some(48),
+            candidates: None,
+            strategy: CandidateStrategy::TopEta,
+            sampling: SamplingMode::PrefixSum,
             q0: 0.0,
             max_vm_fraction: 0.5,
+        }
+    }
+
+    /// Default candidate-list size of the scale profile (and of the
+    /// schedbench quality gate).
+    pub const DEFAULT_CANDIDATES: usize = 32;
+
+    /// The scale profile: top-η candidate lists
+    /// ([`Self::DEFAULT_CANDIDATES`] per slot) at any size — the O(k)
+    /// tour loop is what makes 10⁵-VM fleets tractable — plus reduced
+    /// ants/iterations above [`Self::SCALE_CUTOVER`] cloudlets, where
+    /// per-cloudlet optimization effort must also shrink for the batch
+    /// sweep to stay inside a wall-clock budget at 10⁶-cloudlet scale.
+    pub fn for_scale(cloudlets: usize) -> Self {
+        let base = AcoParams {
+            candidates: Some(Self::DEFAULT_CANDIDATES),
+            ..Self::paper()
+        };
+        if cloudlets > Self::SCALE_CUTOVER {
+            AcoParams {
+                ants: 12,
+                iterations: 4,
+                ..base
+            }
+        } else {
+            base
+        }
+    }
+
+    /// Cloudlet count above which [`Self::for_scale`] switches to the
+    /// reduced-effort profile.
+    pub const SCALE_CUTOVER: usize = 250_000;
+
+    /// The pre-candidate-ring profile: random candidate subsets (k = 32)
+    /// with the linear roulette, as `aco::reference` implements. Bitwise
+    /// reference equivalence holds for this profile at any k.
+    pub fn reference_compat() -> Self {
+        AcoParams {
+            candidates: Some(Self::DEFAULT_CANDIDATES),
+            strategy: CandidateStrategy::Random,
+            sampling: SamplingMode::Linear,
+            ..Self::paper()
         }
     }
 
@@ -103,6 +187,20 @@ impl AcoParams {
         }
         if !(0.0..=1.0).contains(&self.q0) {
             return Err(format!("q0 must be in [0,1], got {}", self.q0));
+        }
+        if self.sampling != SamplingMode::Linear && self.strategy == CandidateStrategy::Random {
+            return Err(
+                "prefix/alias sampling requires the top-eta candidate strategy \
+                 (random candidate subsets are rebuilt per draw, so there is no \
+                 stable row to index)"
+                    .into(),
+            );
+        }
+        if self.sampling == SamplingMode::Alias && self.q0 > 0.0 {
+            return Err("alias sampling is incompatible with q0 > 0 exploitation \
+                 (no dense weight row to take an argmax over); use sampling \
+                 prefix or linear"
+                .into());
         }
         if !(self.max_vm_fraction > 0.0 && self.max_vm_fraction <= 1.0) {
             return Err(format!(
@@ -187,6 +285,49 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn validation_rejects_incoherent_strategy_combos() {
+        assert!(AcoParams {
+            strategy: CandidateStrategy::Random,
+            sampling: SamplingMode::PrefixSum,
+            ..AcoParams::paper()
+        }
+        .validate()
+        .is_err());
+        assert!(AcoParams {
+            sampling: SamplingMode::Alias,
+            q0: 0.5,
+            ..AcoParams::paper()
+        }
+        .validate()
+        .is_err());
+        assert!(AcoParams {
+            sampling: SamplingMode::Alias,
+            ..AcoParams::paper()
+        }
+        .validate()
+        .is_ok());
+        assert!(AcoParams::reference_compat().validate().is_ok());
+    }
+
+    #[test]
+    fn paper_profile_is_unrestricted() {
+        assert_eq!(AcoParams::paper().candidates, None);
+        assert_eq!(AcoParams::default(), AcoParams::paper());
+    }
+
+    #[test]
+    fn for_scale_reduces_effort_above_cutover() {
+        let small = AcoParams::for_scale(10_000);
+        assert_eq!(small.candidates, Some(AcoParams::DEFAULT_CANDIDATES));
+        assert_eq!(small.ants, AcoParams::paper().ants);
+        let big = AcoParams::for_scale(1_000_000);
+        assert_eq!(big.candidates, Some(AcoParams::DEFAULT_CANDIDATES));
+        assert!(big.ants < AcoParams::paper().ants);
+        assert!(big.iterations < AcoParams::paper().iterations);
+        assert!(big.validate().is_ok());
     }
 
     #[test]

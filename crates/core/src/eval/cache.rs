@@ -1,5 +1,7 @@
 //! Per-problem evaluation cache for Eq. 6 times and Eq. 1 costs.
 
+use std::sync::OnceLock;
+
 use simcloud::cost::LENGTH_NORM_MI;
 use simcloud::ids::VmId;
 
@@ -42,6 +44,145 @@ pub struct EvalCache {
     vm_per_processing: Vec<f64>,
     /// Row-major `[c * vm_count + v]` Eq. 6 matrix, when materialized.
     etc: Option<Vec<f64>>,
+    /// Lazily built η-proportional candidate ring (see [`CandidateRing`]);
+    /// shared by every colony scheduling against this cache.
+    ring: OnceLock<CandidateRing>,
+}
+
+/// η-proportional stratified candidate ring.
+///
+/// A naive per-cloudlet "top-k VMs by η" collapses on fleets with one
+/// shared speed ranking (homogeneous or MIPS-sorted): every cloudlet
+/// would list the *same* k fastest VMs, the batch tabu rule exhausts
+/// them after k slots, and all load concentrates on a handful of VMs.
+/// Instead the ring tiles `vm_count` cells with VMs *proportionally to
+/// their canonical desirability* (η̂ against a mean reference cloudlet):
+/// fast VMs own many cells, slow VMs few (possibly zero). Cloudlet `c`'s
+/// candidate list is the first k distinct VMs read clockwise from cell
+/// `(c * k) % cells`, so consecutive batch slots consume disjoint cell
+/// windows (tabu-friendly) while faster VMs still appear in ∝η̂-many
+/// lists. For a homogeneous fleet every VM owns exactly one cell and the
+/// lists degenerate to round-robin tiles.
+struct CandidateRing {
+    /// `cells[i]` = VM index owning cell `i`; `len == vm_count`.
+    cells: Vec<u32>,
+    /// Number of distinct VMs owning at least one cell (effective upper
+    /// bound on candidate-list width).
+    distinct: usize,
+}
+
+impl CandidateRing {
+    fn build(cache: &EvalCache) -> Self {
+        let v = cache.vm_count();
+        if v == 0 {
+            return CandidateRing {
+                cells: Vec::new(),
+                distinct: 0,
+            };
+        }
+        let c_count = cache.cloudlet_count().max(1) as f64;
+        // Canonical reference cloudlet: mean length/file size, mean PEs.
+        let mean_len = cache.cl_len.iter().sum::<f64>() / c_count;
+        let mean_file = cache.cl_file.iter().sum::<f64>() / c_count;
+        let mean_pes = (cache.cl_pes.iter().map(|&p| u64::from(p)).sum::<u64>() as f64 / c_count)
+            .round()
+            .max(1.0);
+        let score = |vm: usize| -> f64 {
+            let pes = f64::from(cache.vm_pes[vm]).min(mean_pes);
+            let compute_ms = mean_len / (pes * cache.vm_mips[vm]) * 1_000.0;
+            let staging_ms = mean_file * 8.0 / cache.vm_bw[vm] * 1_000.0;
+            let eta = 1.0 / (compute_ms + staging_ms);
+            if eta.is_finite() && eta > 0.0 {
+                eta
+            } else {
+                0.0
+            }
+        };
+        let mut order: Vec<u32> = (0..v as u32).collect();
+        let scores: Vec<f64> = (0..v).map(score).collect();
+        order.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let total: f64 = order.iter().map(|&vm| scores[vm as usize]).sum();
+        let mut cells = Vec::with_capacity(v);
+        if !(total.is_finite() && total > 0.0) {
+            // Degenerate desirability (all zero/non-finite): uniform ring.
+            cells.extend(0..v as u32);
+        } else {
+            // CDF-stratified tiling: cell i targets mass (i + ½)·total/v;
+            // two monotone pointers make this O(v) overall.
+            let mut ptr = 0usize;
+            let mut prefix = scores[order[0] as usize];
+            for i in 0..v {
+                let target = (i as f64 + 0.5) * total / v as f64;
+                while prefix <= target && ptr + 1 < v {
+                    ptr += 1;
+                    prefix += scores[order[ptr] as usize];
+                }
+                cells.push(order[ptr]);
+            }
+        }
+        let mut seen = vec![false; v];
+        let mut distinct = 0usize;
+        for &vm in &cells {
+            if !seen[vm as usize] {
+                seen[vm as usize] = true;
+                distinct += 1;
+            }
+        }
+        CandidateRing { cells, distinct }
+    }
+}
+
+/// Dense per-batch candidate block: for each slot (cloudlet) of a batch,
+/// the `k` candidate VM indices and their exact `η(c, vm)^β` weights,
+/// slot-major (`[slot * k + rank]`). Built by
+/// [`EvalCache::candidate_block`] once per colony; the ACO fast path
+/// reads it instead of scanning all VMs.
+pub struct CandidateBlock {
+    k: usize,
+    /// Candidate VM indices, `[slot * k + rank]`.
+    idx: Vec<u32>,
+    /// `η(c, idx)^β` matching `idx` entry-wise (non-finite clipped to 0).
+    eta_pow: Vec<f64>,
+    /// Per-slot `Σ η^β` over the row (alias-table base mass).
+    eta_sum: Vec<f64>,
+}
+
+impl CandidateBlock {
+    /// Effective candidate-list width (≤ requested k; shrinks when the
+    /// ring holds fewer distinct VMs).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of slots covered.
+    #[inline]
+    pub fn slot_count(&self) -> usize {
+        self.eta_sum.len()
+    }
+
+    /// Candidate VM indices of slot `s`.
+    #[inline]
+    pub fn row(&self, s: usize) -> &[u32] {
+        &self.idx[s * self.k..(s + 1) * self.k]
+    }
+
+    /// `η^β` weights of slot `s`, parallel to [`Self::row`].
+    #[inline]
+    pub fn eta_row(&self, s: usize) -> &[f64] {
+        &self.eta_pow[s * self.k..(s + 1) * self.k]
+    }
+
+    /// `Σ η^β` over slot `s`'s row.
+    #[inline]
+    pub fn eta_sum(&self, s: usize) -> f64 {
+        self.eta_sum[s]
+    }
 }
 
 impl EvalCache {
@@ -78,6 +219,7 @@ impl EvalCache {
                 .map(|v| problem.cost_of_vm(v).per_processing)
                 .collect(),
             etc: None,
+            ring: OnceLock::new(),
         };
         if dense {
             let v = cache.vm_count();
@@ -173,6 +315,66 @@ impl EvalCache {
             }
         }
         Some(block)
+    }
+
+    /// Builds the dense candidate block for a batch of slots: per slot the
+    /// `k` distinct candidate VMs read from the η-proportional ring
+    /// starting at cell `(c * k) % vm_count`, with exact `η(c, vm)^β`
+    /// weights (`heuristic(c, vm).powf(beta)`, non-finite clipped to 0).
+    ///
+    /// The effective width may shrink below `k` when the ring holds fewer
+    /// distinct VMs (heavy η skew can leave the slowest VMs without a
+    /// cell); read it back from [`CandidateBlock::k`]. The ring itself is
+    /// built once per cache and shared across colonies/threads.
+    pub fn candidate_block(
+        &self,
+        slots: std::ops::Range<usize>,
+        k: usize,
+        beta: f64,
+    ) -> CandidateBlock {
+        let v = self.vm_count();
+        let ring = self.ring.get_or_init(|| CandidateRing::build(self));
+        let k = k.min(ring.distinct).max(usize::from(v > 0));
+        let b = slots.len();
+        let mut idx = Vec::with_capacity(b * k);
+        let mut eta_pow = Vec::with_capacity(b * k);
+        let mut eta_sum = Vec::with_capacity(b);
+        // Generation-stamped dedup: one u32 array reused across slots.
+        let mut stamp = vec![0u32; v];
+        let mut generation = 0u32;
+        for c in slots {
+            generation = generation.wrapping_add(1);
+            let mut cell = (c * k) % v.max(1);
+            let mut taken = 0usize;
+            let mut scanned = 0usize;
+            let mut sum = 0.0;
+            while taken < k && scanned < v {
+                let vm = ring.cells[cell];
+                cell += 1;
+                if cell == v {
+                    cell = 0;
+                }
+                scanned += 1;
+                if stamp[vm as usize] == generation {
+                    continue;
+                }
+                stamp[vm as usize] = generation;
+                let w = self.heuristic(c, vm as usize).powf(beta);
+                let w = if w.is_finite() { w } else { 0.0 };
+                idx.push(vm);
+                eta_pow.push(w);
+                sum += w;
+                taken += 1;
+            }
+            debug_assert_eq!(taken, k, "ring guarantees k ≤ distinct VMs");
+            eta_sum.push(sum);
+        }
+        CandidateBlock {
+            k,
+            idx,
+            eta_pow,
+            eta_sum,
+        }
     }
 
     /// Eq. 1 processing cost of cloudlet `c` on VM `v`, using the Eq. 6
@@ -412,6 +614,126 @@ mod tests {
         assert!(cache.eta_pow_block(0..4, 0.99, 3).is_none());
         // Empty batch never materializes.
         assert!(cache.eta_pow_block(5..5, 0.99, usize::MAX).is_none());
+    }
+
+    fn uniform_problem(vm_count: usize, cloudlet_count: usize) -> SchedulingProblem {
+        let vms: Vec<VmSpec> = (0..vm_count)
+            .map(|_| VmSpec::new(1_000.0, 5_000.0, 512.0, 500.0, 1))
+            .collect();
+        let cloudlets: Vec<CloudletSpec> = (0..cloudlet_count)
+            .map(|_| CloudletSpec::new(250.0, 100.0, 20.0, 1))
+            .collect();
+        SchedulingProblem::single_datacenter(vms, cloudlets, CostModel::default())
+    }
+
+    #[test]
+    fn candidate_block_rows_are_distinct_and_in_range() {
+        let p = hetero_problem();
+        let cache = EvalCache::new(&p);
+        for k in [1, 3, 5, 7, 20] {
+            let block = cache.candidate_block(0..p.cloudlet_count(), k, 0.99);
+            assert!(block.k() >= 1 && block.k() <= k.min(p.vm_count()));
+            assert_eq!(block.slot_count(), p.cloudlet_count());
+            for s in 0..block.slot_count() {
+                let row = block.row(s);
+                assert_eq!(row.len(), block.k());
+                let mut seen = vec![false; p.vm_count()];
+                for &vm in row {
+                    assert!((vm as usize) < p.vm_count());
+                    assert!(!seen[vm as usize], "duplicate VM in candidate row");
+                    seen[vm as usize] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_block_weights_match_inline_eta_pow() {
+        let p = hetero_problem();
+        let cache = EvalCache::new(&p);
+        let beta = 0.99;
+        let block = cache.candidate_block(0..p.cloudlet_count(), 4, beta);
+        for s in 0..block.slot_count() {
+            let mut sum = 0.0;
+            for (&vm, &w) in block.row(s).iter().zip(block.eta_row(s)) {
+                let expect = cache.heuristic(s, vm as usize).powf(beta);
+                let expect = if expect.is_finite() { expect } else { 0.0 };
+                assert_eq!(w.to_bits(), expect.to_bits());
+                sum += w;
+            }
+            assert_eq!(block.eta_sum(s).to_bits(), sum.to_bits());
+        }
+    }
+
+    #[test]
+    fn homogeneous_ring_tiles_round_robin() {
+        // Identical VMs: every VM owns exactly one cell, so consecutive
+        // slots read disjoint k-windows and a sweep of ceil(v/k) slots
+        // covers the whole fleet.
+        let p = uniform_problem(10, 40);
+        let cache = EvalCache::lite(&p);
+        let k = 3;
+        let block = cache.candidate_block(0..40, k, 0.99);
+        assert_eq!(block.k(), k);
+        let mut covered = vec![false; 10];
+        for s in 0..4 {
+            for &vm in block.row(s) {
+                covered[vm as usize] = true;
+            }
+        }
+        assert!(covered.iter().filter(|&&c| c).count() >= 10 - k);
+        // Slot 0 and slot 1 windows are disjoint (cells 0..3 vs 3..6).
+        let a: Vec<u32> = block.row(0).to_vec();
+        let b: Vec<u32> = block.row(1).to_vec();
+        assert!(a.iter().all(|vm| !b.contains(vm)));
+    }
+
+    #[test]
+    fn faster_vms_own_more_ring_cells() {
+        // One VM 8× faster than the rest: it should appear in far more
+        // candidate lists than any single slow VM.
+        let mut vms: Vec<VmSpec> = (0..16)
+            .map(|_| VmSpec::new(500.0, 5_000.0, 512.0, 500.0, 1))
+            .collect();
+        vms[5] = VmSpec::new(4_000.0, 5_000.0, 512.0, 500.0, 1);
+        // Compute-dominated cloudlets (no input staging), so the 8× MIPS
+        // gap shows up in the canonical η.
+        let cloudlets: Vec<CloudletSpec> = (0..64)
+            .map(|_| CloudletSpec::new(2_000.0, 0.0, 0.0, 1))
+            .collect();
+        let p = SchedulingProblem::single_datacenter(vms, cloudlets, CostModel::default());
+        let cache = EvalCache::lite(&p);
+        let block = cache.candidate_block(0..64, 4, 0.99);
+        let mut appearances = vec![0usize; 16];
+        for s in 0..64 {
+            for &vm in block.row(s) {
+                appearances[vm as usize] += 1;
+            }
+        }
+        // Dedup-walk boundary effects can inflate individual slow VMs
+        // sitting just past the fast run, so compare against the *mean*
+        // slow appearance count: the fast VM must be clearly over-
+        // represented relative to a typical slow VM.
+        let slow_total: usize = appearances
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != 5)
+            .map(|(_, &n)| n)
+            .sum();
+        let slow_mean = slow_total as f64 / 15.0;
+        assert!(
+            appearances[5] as f64 > 1.5 * slow_mean,
+            "fast VM appears {} times, slow mean {slow_mean:.1}",
+            appearances[5]
+        );
+    }
+
+    #[test]
+    fn candidate_block_k_clamps_to_fleet() {
+        let p = uniform_problem(4, 8);
+        let cache = EvalCache::lite(&p);
+        let block = cache.candidate_block(0..8, 32, 0.99);
+        assert_eq!(block.k(), 4);
     }
 
     #[test]

@@ -77,6 +77,22 @@ impl GaParams {
         }
     }
 
+    /// Iteration-count scaling law: the standard profile up to
+    /// [`crate::aco::AcoParams::SCALE_CUTOVER`] cloudlets, a reduced
+    /// profile above it (chromosomes are cloudlet-length vectors, so at
+    /// 10⁶ genes the per-generation cost is what must shrink).
+    pub fn for_scale(cloudlets: usize) -> Self {
+        if cloudlets > crate::aco::AcoParams::SCALE_CUTOVER {
+            GaParams {
+                population: 12,
+                generations: 8,
+                ..Self::standard()
+            }
+        } else {
+            Self::standard()
+        }
+    }
+
     /// Validates parameter sanity.
     pub fn validate(&self) -> Result<(), String> {
         if self.population < 2 {
@@ -131,15 +147,39 @@ impl Genetic {
         &self.params
     }
 
-    fn tournament_pick<'a>(&mut self, population: &'a [(Vec<u32>, f64)]) -> &'a (Vec<u32>, f64) {
-        let mut best: Option<&(Vec<u32>, f64)> = None;
+    /// Tournament selection by index: draws the same RNG stream as
+    /// picking references would, without ever cloning a chromosome (at
+    /// 10⁶-gene chromosomes a per-parent clone dominates the breeding
+    /// loop).
+    fn tournament_pick(&mut self, population: &[(Vec<u32>, f64)]) -> usize {
+        let mut best: Option<(usize, f64)> = None;
         for _ in 0..self.params.tournament {
-            let cand = &population[self.rng.gen_range(0..population.len())];
-            if best.is_none_or(|b| cand.1 < b.1) {
-                best = Some(cand);
+            let i = self.rng.gen_range(0..population.len());
+            let score = population[i].1;
+            if best.is_none_or(|(_, b)| score < b) {
+                best = Some((i, score));
             }
         }
-        best.expect("tournament >= 1")
+        best.expect("tournament >= 1").0
+    }
+
+    /// Geometric-skip gap to the next mutated gene: `floor(ln(1-u)/ln(1-p))`
+    /// for `u ~ U[0,1)` is the number of unmutated genes before the next
+    /// hit, so a chromosome costs `O(dims·p)` draws instead of one
+    /// Bernoulli per gene. `P(skip = 0) = p`, identical in distribution to
+    /// the per-gene coin (the RNG stream differs, which only reshuffles
+    /// which random plan a seed maps to).
+    fn mutation_skip(&mut self, p: f64) -> usize {
+        if p >= 1.0 {
+            return 0;
+        }
+        let u: f64 = self.rng.gen();
+        let skip = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+        if skip.is_finite() && skip >= 0.0 {
+            skip as usize
+        } else {
+            usize::MAX
+        }
     }
 }
 
@@ -190,17 +230,24 @@ impl Genetic {
             let mut next: Vec<(Vec<u32>, f64)> = population[..self.params.elites].to_vec();
             let mut children: Vec<Vec<u32>> =
                 Vec::with_capacity(self.params.population - next.len());
+            let mutation = self.params.mutation_rate;
             while next.len() + children.len() < self.params.population {
-                let parent_a = self.tournament_pick(&population).0.clone();
-                let parent_b = self.tournament_pick(&population).0.clone();
+                let pa = self.tournament_pick(&population);
+                let pb = self.tournament_pick(&population);
+                let (parent_a, parent_b) = (&population[pa].0, &population[pb].0);
                 let mut child = Vec::with_capacity(dims);
                 for d in 0..dims {
                     let from_b = self.rng.gen_bool(self.params.crossover_mix);
-                    let mut gene = if from_b { parent_b[d] } else { parent_a[d] };
-                    if self.rng.gen_bool(self.params.mutation_rate) {
-                        gene = self.rng.gen_range(0..v);
+                    child.push(if from_b { parent_b[d] } else { parent_a[d] });
+                }
+                if mutation > 0.0 {
+                    let mut d = self.mutation_skip(mutation);
+                    while d < dims {
+                        child[d] = self.rng.gen_range(0..v);
+                        d = d
+                            .saturating_add(1)
+                            .saturating_add(self.mutation_skip(mutation));
                     }
-                    child.push(gene);
                 }
                 children.push(child);
             }
@@ -350,6 +397,33 @@ mod tests {
         .validate()
         .is_err());
         assert!(GaParams::standard().validate().is_ok());
+    }
+
+    #[test]
+    fn for_scale_reduces_effort_above_cutover() {
+        assert_eq!(GaParams::for_scale(10_000), GaParams::standard());
+        let big = GaParams::for_scale(1_000_000);
+        assert!(big.population < GaParams::standard().population);
+        assert!(big.generations < GaParams::standard().generations);
+        assert!(big.validate().is_ok());
+    }
+
+    #[test]
+    fn extreme_mutation_rates_stay_valid() {
+        // The geometric-skip sampler must handle both degenerate rates:
+        // p=1 mutates every gene, p=0 skips the mutation pass entirely.
+        let p = hetero_problem(5, 24);
+        for rate in [0.0, 1.0] {
+            let a = Genetic::new(
+                GaParams {
+                    mutation_rate: rate,
+                    ..GaParams::fast()
+                },
+                4,
+            )
+            .schedule(&p);
+            assert!(a.validate(&p).is_ok(), "mutation_rate={rate}");
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod aco;
 pub mod assignment;
+pub mod dnc;
 pub mod eval;
 pub mod ga;
 pub mod hbo;
@@ -50,12 +51,14 @@ pub mod pso;
 pub mod rbs;
 pub mod round_robin;
 pub mod scheduler;
+pub mod tuning;
 pub mod workflow;
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::aco::{AcoParams, AntColony};
     pub use crate::assignment::Assignment;
+    pub use crate::dnc::{DivideAndConquer, ShardSpec};
     pub use crate::eval::{evaluate_population, EvalCache, LoadTracker};
     pub use crate::ga::{GaParams, Genetic};
     pub use crate::hbo::{HboParams, HoneyBee};
@@ -68,5 +71,6 @@ pub mod prelude {
     pub use crate::rbs::{RandomBiasedSampling, RbsParams};
     pub use crate::round_robin::RoundRobin;
     pub use crate::scheduler::{AlgorithmKind, Scheduler};
+    pub use crate::tuning::SchedTuning;
     pub use crate::workflow::{heft, heft_estimate_ms, upward_ranks};
 }

@@ -85,6 +85,22 @@ impl PsoParams {
         }
     }
 
+    /// Iteration-count scaling law: the standard profile up to
+    /// [`crate::aco::AcoParams::SCALE_CUTOVER`] cloudlets, a reduced
+    /// profile above it (positions/velocities are cloudlet-length
+    /// vectors, so swarm × iterations is what must shrink at 10⁶ scale).
+    pub fn for_scale(cloudlets: usize) -> Self {
+        if cloudlets > crate::aco::AcoParams::SCALE_CUTOVER {
+            PsoParams {
+                particles: 10,
+                iterations: 8,
+                ..Self::standard()
+            }
+        } else {
+            Self::standard()
+        }
+    }
+
     /// Validates parameter sanity.
     pub fn validate(&self) -> Result<(), String> {
         if self.particles == 0 {
@@ -418,6 +434,15 @@ mod tests {
         .validate()
         .is_err());
         assert!(PsoParams::standard().validate().is_ok());
+    }
+
+    #[test]
+    fn for_scale_reduces_effort_above_cutover() {
+        assert_eq!(PsoParams::for_scale(10_000), PsoParams::standard());
+        let big = PsoParams::for_scale(1_000_000);
+        assert!(big.particles < PsoParams::standard().particles);
+        assert!(big.iterations < PsoParams::standard().iterations);
+        assert!(big.validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! `--sched-params` mini-language: key=value overrides for scheduler knobs.
+//!
+//! The CLI accepts a comma-separated list like
+//! `candidates=32,sampling=prefix,shards=4` and turns it into a
+//! [`SchedTuning`], which then builds a scheduler for an
+//! [`AlgorithmKind`]. Unknown keys and incoherent combinations are
+//! **errors**, never silently clamped — the sweep scripts must fail loudly
+//! when a knob is misspelled, or a night of benchmarks measures the wrong
+//! configuration.
+//!
+//! Keys:
+//!
+//! | key | values | applies to |
+//! |---|---|---|
+//! | `candidates` | positive integer or `full` | AntColony |
+//! | `strategy` | `random` \| `topeta` | AntColony |
+//! | `sampling` | `linear` \| `prefix` \| `alias` | AntColony |
+//! | `ants` | positive integer | AntColony |
+//! | `iterations` | positive integer | AntColony |
+//! | `batch` | positive integer | AntColony |
+//! | `q0` | float in \[0,1\] | AntColony |
+//! | `shards` | positive integer or `dc` | any kind (wraps in [`DivideAndConquer`]) |
+//!
+//! When `strategy=random` is given without an explicit `sampling`, the
+//! sampling follows the strategy to `linear` (random candidate subsets
+//! have no stable row for prefix/alias indexing).
+
+use crate::aco::{AcoParams, AntColony, CandidateStrategy, SamplingMode};
+use crate::dnc::{DivideAndConquer, ShardSpec};
+use crate::scheduler::{AlgorithmKind, Scheduler};
+
+/// Parsed `--sched-params` overrides. Every field is optional; `None`
+/// keeps the algorithm's default.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedTuning {
+    /// Candidate-list size: `Some(None)` forces full rows (`full`),
+    /// `Some(Some(k))` forces k candidates.
+    pub candidates: Option<Option<usize>>,
+    /// Candidate-list formation strategy.
+    pub strategy: Option<CandidateStrategy>,
+    /// Weight-row sampling mode.
+    pub sampling: Option<SamplingMode>,
+    /// Ants per iteration.
+    pub ants: Option<usize>,
+    /// Construction/update iterations per batch.
+    pub iterations: Option<usize>,
+    /// Cloudlets per colony batch.
+    pub batch: Option<usize>,
+    /// ACS exploitation probability.
+    pub q0: Option<f64>,
+    /// Divide-and-conquer sharding (`N` balanced ranges or `dc`).
+    pub shards: Option<ShardSpec>,
+}
+
+const VALID_KEYS: &str = "candidates, strategy, sampling, ants, iterations, batch, q0, shards";
+
+fn parse_count(key: &str, value: &str) -> Result<usize, String> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| format!("{key} expects a positive integer, got '{value}'"))?;
+    if n == 0 {
+        return Err(format!("{key} must be at least 1"));
+    }
+    Ok(n)
+}
+
+impl SchedTuning {
+    /// Parses the comma-separated `key=value` list. Empty input is the
+    /// all-defaults tuning.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut tuning = SchedTuning::default();
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (key, value) = item
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got '{item}'"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "candidates" => {
+                    tuning.candidates = Some(if value == "full" {
+                        None
+                    } else {
+                        Some(parse_count(key, value)?)
+                    });
+                }
+                "strategy" => {
+                    tuning.strategy = Some(match value {
+                        "random" => CandidateStrategy::Random,
+                        "topeta" => CandidateStrategy::TopEta,
+                        _ => {
+                            return Err(format!(
+                                "strategy must be 'random' or 'topeta', got '{value}'"
+                            ))
+                        }
+                    });
+                }
+                "sampling" => {
+                    tuning.sampling = Some(match value {
+                        "linear" => SamplingMode::Linear,
+                        "prefix" => SamplingMode::PrefixSum,
+                        "alias" => SamplingMode::Alias,
+                        _ => {
+                            return Err(format!(
+                                "sampling must be 'linear', 'prefix' or 'alias', got '{value}'"
+                            ))
+                        }
+                    });
+                }
+                "ants" => tuning.ants = Some(parse_count(key, value)?),
+                "iterations" => tuning.iterations = Some(parse_count(key, value)?),
+                "batch" => tuning.batch = Some(parse_count(key, value)?),
+                "q0" => {
+                    let q0: f64 = value
+                        .parse()
+                        .map_err(|_| format!("q0 expects a float, got '{value}'"))?;
+                    tuning.q0 = Some(q0);
+                }
+                "shards" => {
+                    tuning.shards = Some(if value == "dc" {
+                        ShardSpec::ByDatacenter
+                    } else {
+                        ShardSpec::Count(parse_count(key, value)?)
+                    });
+                }
+                _ => {
+                    return Err(format!(
+                        "unknown scheduler parameter '{key}' (valid: {VALID_KEYS})"
+                    ))
+                }
+            }
+        }
+        Ok(tuning)
+    }
+
+    /// True when any ACO-specific knob is set.
+    fn touches_aco(&self) -> bool {
+        self.candidates.is_some()
+            || self.strategy.is_some()
+            || self.sampling.is_some()
+            || self.ants.is_some()
+            || self.iterations.is_some()
+            || self.batch.is_some()
+            || self.q0.is_some()
+    }
+
+    /// Applies the ACO overrides on top of `base` and validates the result.
+    pub fn apply_aco(&self, base: AcoParams) -> Result<AcoParams, String> {
+        let mut p = base;
+        if let Some(c) = self.candidates {
+            p.candidates = c;
+        }
+        if let Some(s) = self.strategy {
+            p.strategy = s;
+            // The sampling mode follows the strategy unless pinned
+            // explicitly: random subsets only support the linear roulette.
+            if self.sampling.is_none() && s == CandidateStrategy::Random {
+                p.sampling = SamplingMode::Linear;
+            }
+        }
+        if let Some(s) = self.sampling {
+            p.sampling = s;
+        }
+        if let Some(a) = self.ants {
+            p.ants = a;
+        }
+        if let Some(i) = self.iterations {
+            p.iterations = i;
+        }
+        if let Some(b) = self.batch {
+            p.batch_size = b;
+        }
+        if let Some(q0) = self.q0 {
+            p.q0 = q0;
+        }
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Builds the tuned scheduler for `kind`, wrapping it in
+    /// [`DivideAndConquer`] when `shards` is set.
+    pub fn build(&self, kind: AlgorithmKind, seed: u64) -> Result<Box<dyn Scheduler>, String> {
+        if self.touches_aco() && kind != AlgorithmKind::AntColony {
+            return Err(format!(
+                "ACO parameters (candidates/strategy/sampling/ants/iterations/\
+                 batch/q0) only apply to AntColony, not {kind}"
+            ));
+        }
+        let inner: ShardBuilder = if kind == AlgorithmKind::AntColony {
+            let params = self.apply_aco(AcoParams::paper())?;
+            Box::new(move |s| Box::new(AntColony::new(params.clone(), s)))
+        } else {
+            Box::new(move |s| kind.build(s))
+        };
+        match self.shards {
+            Some(spec) => Ok(Box::new(DivideAndConquer::new(spec, seed, inner)?)),
+            None => Ok(inner(seed)),
+        }
+    }
+}
+
+type ShardBuilder = Box<dyn Fn(u64) -> Box<dyn Scheduler> + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::SchedulingProblem;
+    use simcloud::characteristics::CostModel;
+    use simcloud::cloudlet::CloudletSpec;
+    use simcloud::vm::VmSpec;
+
+    #[test]
+    fn parses_the_full_vocabulary() {
+        let t = SchedTuning::parse(
+            "candidates=16, strategy=topeta, sampling=alias, ants=10, \
+             iterations=3, batch=64, q0=0, shards=4",
+        )
+        .unwrap();
+        assert_eq!(t.candidates, Some(Some(16)));
+        assert_eq!(t.strategy, Some(CandidateStrategy::TopEta));
+        assert_eq!(t.sampling, Some(SamplingMode::Alias));
+        assert_eq!(t.ants, Some(10));
+        assert_eq!(t.iterations, Some(3));
+        assert_eq!(t.batch, Some(64));
+        assert_eq!(t.q0, Some(0.0));
+        assert_eq!(t.shards, Some(ShardSpec::Count(4)));
+        assert_eq!(
+            SchedTuning::parse("candidates=full,shards=dc")
+                .unwrap()
+                .shards,
+            Some(ShardSpec::ByDatacenter)
+        );
+        assert_eq!(SchedTuning::parse("").unwrap(), SchedTuning::default());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_values() {
+        assert!(SchedTuning::parse("candidat=32")
+            .unwrap_err()
+            .contains("unknown scheduler parameter"));
+        assert!(SchedTuning::parse("candidates=zero").is_err());
+        assert!(SchedTuning::parse("candidates=0").is_err());
+        assert!(SchedTuning::parse("strategy=best").is_err());
+        assert!(SchedTuning::parse("sampling=magic").is_err());
+        assert!(SchedTuning::parse("shards=0").is_err());
+        assert!(SchedTuning::parse("ants").is_err(), "missing '='");
+    }
+
+    #[test]
+    fn incoherent_combos_surface_aco_validation_errors() {
+        // random strategy + explicit prefix sampling: invalid, not clamped.
+        let t = SchedTuning::parse("strategy=random,sampling=prefix").unwrap();
+        assert!(t.apply_aco(AcoParams::paper()).is_err());
+        // q0>0 with alias sampling: invalid.
+        let t = SchedTuning::parse("sampling=alias,q0=0.5").unwrap();
+        assert!(t.apply_aco(AcoParams::paper()).is_err());
+        // out-of-range q0 rejected by AcoParams::validate.
+        let t = SchedTuning::parse("q0=1.5").unwrap();
+        assert!(t.apply_aco(AcoParams::paper()).is_err());
+    }
+
+    #[test]
+    fn sampling_follows_strategy_when_unpinned() {
+        let t = SchedTuning::parse("strategy=random").unwrap();
+        let p = t.apply_aco(AcoParams::paper()).unwrap();
+        assert_eq!(p.strategy, CandidateStrategy::Random);
+        assert_eq!(p.sampling, SamplingMode::Linear);
+    }
+
+    #[test]
+    fn aco_keys_rejected_for_other_kinds() {
+        let t = SchedTuning::parse("ants=5").unwrap();
+        assert!(t.build(AlgorithmKind::Ga, 1).is_err());
+        assert!(t.build(AlgorithmKind::AntColony, 1).is_ok());
+        // shards alone applies to any kind.
+        let t = SchedTuning::parse("shards=2").unwrap();
+        assert!(t.build(AlgorithmKind::Ga, 1).is_ok());
+    }
+
+    #[test]
+    fn built_scheduler_honors_overrides() {
+        let problem = SchedulingProblem::single_datacenter(
+            vec![VmSpec::homogeneous_default(); 6],
+            vec![CloudletSpec::homogeneous_default(); 24],
+            CostModel::default(),
+        );
+        let t = SchedTuning::parse("shards=3,iterations=2,ants=4").unwrap();
+        let mut s = t.build(AlgorithmKind::AntColony, 42).unwrap();
+        let a = s.schedule(&problem);
+        assert!(a.validate(&problem).is_ok());
+    }
+}

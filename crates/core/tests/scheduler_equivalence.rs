@@ -136,6 +136,75 @@ fn aco_paper_params_match_reference() {
 }
 
 #[test]
+fn aco_reference_equivalence_holds_when_candidates_cover_fleet() {
+    // The acceptance bar for the candidate-list overhaul: whenever
+    // k ≥ #VMs the TopEta fast path must stand down and the optimized
+    // scheduler must stay bitwise-equal to the frozen reference — across
+    // seeds and thread counts.
+    use biosched_core::aco::{CandidateStrategy, SamplingMode};
+    for shape in [Shape::Homogeneous, Shape::Heterogeneous] {
+        for seed in SEEDS {
+            let problem = build_problem(shape, seed);
+            let params = AcoParams {
+                candidates: Some(problem.vm_count()), // k == #VMs
+                strategy: CandidateStrategy::TopEta,
+                sampling: SamplingMode::PrefixSum,
+                ..AcoParams::paper()
+            };
+            let expected = reference::schedule_reference(&params, seed, &problem);
+            for threads in [1, 4] {
+                set_threads(threads);
+                let got = AntColony::new(params.clone(), seed).schedule(&problem);
+                assert_eq!(
+                    expected, got,
+                    "k >= #VMs must run the reference-equivalent path \
+                     ({shape:?}, seed {seed}, {threads} threads)"
+                );
+            }
+        }
+    }
+    set_threads(0);
+}
+
+#[test]
+fn aco_candidate_fast_path_is_thread_independent() {
+    // k < #VMs engages the candidate-list fast path. It intentionally
+    // diverges from the reference plan, but it must stay byte-identical
+    // per seed at any thread count, in every sampling mode.
+    use biosched_core::aco::{CandidateStrategy, SamplingMode};
+    for sampling in [
+        SamplingMode::Linear,
+        SamplingMode::PrefixSum,
+        SamplingMode::Alias,
+    ] {
+        for shape in [Shape::Homogeneous, Shape::Heterogeneous] {
+            for seed in SEEDS {
+                let problem = build_problem(shape, seed);
+                let params = AcoParams {
+                    candidates: Some(8), // << 24 VMs
+                    strategy: CandidateStrategy::TopEta,
+                    sampling,
+                    ..AcoParams::paper()
+                };
+                set_threads(1);
+                let baseline = AntColony::new(params.clone(), seed).schedule(&problem);
+                baseline.validate(&problem).expect("fast path plan valid");
+                for threads in &THREAD_COUNTS[1..] {
+                    set_threads(*threads);
+                    let got = AntColony::new(params.clone(), seed).schedule(&problem);
+                    assert_eq!(
+                        baseline, got,
+                        "fast path ({sampling:?}) diverged at {threads} threads \
+                         ({shape:?}, seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+    set_threads(0);
+}
+
+#[test]
 fn aco_alpha_one_fast_path_matches_reference() {
     // α = 1 takes the snapshot's identity fast path; the reference calls
     // powf(τ, 1.0) — both must agree bit for bit.
