@@ -14,6 +14,8 @@
 //!   fig6-stats     Fig. 6 metrics with 5-seed error bars
 //!   resilience     paper metrics + resilience counters vs host-failure
 //!                  rate, with 3-seed error bars (chaos campaign)
+//!   stream         streaming broker: warm vs cold replanning latency per
+//!                  wave, queue backlog and wait/throughput metrics
 //!   all            every table and figure above
 //!
 //! Options:
@@ -57,7 +59,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: repro <fig4a|fig4b|fig5a|fig5b|fig6|fig6a|fig6b|fig6c|fig6d|fig6-stats|resilience|tables|extended|convergence|all> \
+    "usage: repro <fig4a|fig4b|fig5a|fig5b|fig6|fig6a|fig6b|fig6c|fig6d|fig6-stats|resilience|stream|tables|extended|convergence|all> \
      [--seed N] [--scale N] [--full-scale] [--hetero-cloudlets N] [--csv DIR] [--ascii] \
      [--engine sequential|sharded]"
 }
@@ -210,6 +212,130 @@ fn sanity_check(results: &[Vec<PointResult>]) {
                 "{} finished only {}/{} cloudlets at {} VMs",
                 r.algorithm, r.finished, r.cloudlet_count, r.vm_count
             );
+        }
+    }
+}
+
+/// The streaming-broker figure family: per-wave scheduling latency for
+/// warm vs cold replanning, the warm-mode backlog trace, and a summary
+/// table of queueing/latency metrics per (algorithm, mode).
+fn stream_family(opts: &Options) {
+    use biosched_core::scheduler::AlgorithmKind;
+    use biosched_workload::heterogeneous::HeterogeneousScenario;
+    use biosched_workload::online::WavePlan;
+    use biosched_workload::stream::{run_stream, ReplanMode, StreamConfig};
+    use simcloud::stats::RecordMode;
+
+    let cloudlets = opts.hetero_cloudlets;
+    let vms = (cloudlets / 10).max(20);
+    let mut scenario = HeterogeneousScenario {
+        vm_count: vms,
+        cloudlet_count: cloudlets,
+        datacenter_count: 4,
+        seed: opts.seed,
+    }
+    .build();
+    // Space-shared execution so cloudlets genuinely queue for PEs: the
+    // wait metrics then measure scheduling quality, not just the constant
+    // VM-provisioning offset that time-sharing reduces them to.
+    scenario.vm_scheduler = simcloud::cloudlet_sched::SchedulerKind::SpaceShared;
+    let plan = WavePlan::poisson(cloudlets, cloudlets.div_ceil(10).max(1), 500.0, opts.seed);
+    let kinds = [
+        AlgorithmKind::AntColony,
+        AlgorithmKind::Ga,
+        AlgorithmKind::Pso,
+        AlgorithmKind::BaseTest,
+        AlgorithmKind::LeastConnection,
+        AlgorithmKind::WeightedRoundRobin,
+    ];
+    println!(
+        "streaming broker: {} waves over {} cloudlets / {} VMs, \
+         {} algorithms × warm|cold, seed {}, {:?} engine…",
+        plan.waves.len(),
+        cloudlets,
+        vms,
+        kinds.len(),
+        opts.seed,
+        opts.engine
+    );
+
+    let wave_axis: Vec<f64> = (0..plan.waves.len()).map(|w| w as f64).collect();
+    let mut latency_fig = FigureSeries::new(
+        "Stream — Scheduling Latency per Wave (warm vs cold)",
+        "wave",
+        "scheduling latency (ms)",
+        wave_axis.clone(),
+    );
+    let mut backlog_fig = FigureSeries::new(
+        "Stream — Queue Backlog at Replan (warm)",
+        "wave",
+        "backlog (cloudlets)",
+        wave_axis,
+    );
+    let mut t = Table::new(vec![
+        "algorithm",
+        "mode",
+        "sched total (ms)",
+        "sched mean (ms/wave)",
+        "sched worst (ms)",
+        "wait p50 (ms)",
+        "wait p99 (ms)",
+        "throughput (/s)",
+        "peak backlog",
+    ]);
+    for kind in kinds {
+        for mode in [ReplanMode::Warm, ReplanMode::Cold] {
+            let cfg = StreamConfig {
+                kind,
+                seed: opts.seed,
+                mode,
+                engine: opts.engine,
+                record: RecordMode::Aggregate,
+            };
+            let r = run_stream(&scenario, &plan, &cfg).expect("stream run");
+            assert_eq!(
+                r.outcome.finished_count(),
+                cloudlets,
+                "{kind} ({}) finished only {}/{} cloudlets",
+                mode.label(),
+                r.outcome.finished_count(),
+                cloudlets
+            );
+            let sched: Vec<f64> = r.waves.iter().map(|w| w.sched_ms).collect();
+            // Latency curves for the metaheuristics (the kinds with real
+            // warm state); backlog trace for every warm run.
+            if matches!(
+                kind,
+                AlgorithmKind::AntColony | AlgorithmKind::Ga | AlgorithmKind::Pso
+            ) {
+                latency_fig.push_series(format!("{} ({})", kind.label(), mode.label()), sched);
+            }
+            if mode == ReplanMode::Warm {
+                backlog_fig.push_series(
+                    kind.label(),
+                    r.waves.iter().map(|w| w.backlog as f64).collect(),
+                );
+            }
+            t.push_row(vec![
+                kind.label().to_string(),
+                mode.label().to_string(),
+                fmt_value(r.total_sched_ms()),
+                fmt_value(r.mean_sched_ms().unwrap_or(0.0)),
+                fmt_value(r.max_sched_ms().unwrap_or(0.0)),
+                fmt_value(r.outcome.wait_p50_ms().unwrap_or(0.0)),
+                fmt_value(r.outcome.wait_p99_ms().unwrap_or(0.0)),
+                fmt_value(r.outcome.throughput_per_s().unwrap_or(0.0)),
+                r.peak_backlog().to_string(),
+            ]);
+        }
+    }
+    emit_figure(&latency_fig, "stream_sched_latency", opts);
+    emit_figure(&backlog_fig, "stream_backlog", opts);
+    println!("\n{}", t.render());
+    if let Some(dir) = &opts.csv_dir {
+        let path = dir.join("stream_summary.csv");
+        if t.write_csv(&path).is_ok() {
+            println!("wrote {}", path.display());
         }
     }
 }
@@ -524,6 +650,7 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "stream" => stream_family(&opts),
         "all" => {
             print_tables(&opts);
             // Figs. 4 and 5 come from the same two sweeps: one run each,
@@ -531,6 +658,7 @@ fn main() -> ExitCode {
             homogeneous(fig4a_vm_points(), &[fig4a, fig5a], &opts);
             homogeneous(fig4b_vm_points(), &[fig4b, fig5b], &opts);
             heterogeneous(&fig6_all, &opts);
+            stream_family(&opts);
         }
         other => {
             eprintln!("unknown command {other}\n{}", usage());

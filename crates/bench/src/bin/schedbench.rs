@@ -19,6 +19,11 @@
 //!   serial path instead of paying fan-out overhead;
 //! * every algorithm must produce byte-identical plans at every thread
 //!   count (scheduling is seed-deterministic, threads only change speed);
+//! * the incremental τ^α snapshot feeding the candidate-list path
+//!   ([`PheromoneMatrix::prepare_pow_incremental`]) must track the exact
+//!   sweep within float rounding on every deposited edge — and exactly on
+//!   the shared base — across interleaved deposit/evaporate rounds
+//!   (checked up front, before any timing run);
 //! * with `--budget-ms B`, the scale-profile ACO at the largest requested
 //!   scale must finish within B milliseconds.
 //!
@@ -36,7 +41,7 @@ use std::collections::HashMap;
 use std::io::Write as _;
 use std::time::Instant;
 
-use biosched_core::aco::{reference, AcoParams, AntColony};
+use biosched_core::aco::{reference, AcoParams, AntColony, PheromoneMatrix};
 use biosched_core::assignment::Assignment;
 use biosched_core::dnc::{DivideAndConquer, ShardSpec};
 use biosched_core::ga::{GaParams, Genetic};
@@ -77,6 +82,87 @@ fn time_best<F: FnMut() -> f64>(reps: usize, mut run: F) -> f64 {
     (0..reps.max(1))
         .map(|_| run())
         .fold(f64::INFINITY, f64::min)
+}
+
+/// Gate on the incremental τ^α maintenance behind the candidate-list fast
+/// path: drive an exact-sweep matrix and an incrementally-refreshed one
+/// through identical deposit/evaporate rounds (the warm broker's steady
+/// state) and require the incremental snapshot to match the shared base
+/// power bit for bit and every deposited edge within float rounding.
+/// Timing of the two refresh styles is reported, not asserted — the win
+/// is one shared `powf` per call instead of one per touched edge, but a
+/// micro-timing assert would be CI noise.
+fn incremental_pow_gate() {
+    const SLOTS: u64 = 256;
+    const VMS: u64 = 4_096;
+    const ROUNDS: usize = 24;
+    let (alpha, rho) = (0.01, 0.4);
+    let mut exact = PheromoneMatrix::new(1.0);
+    let mut inc = PheromoneMatrix::new(1.0);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    for round in 0..ROUNDS {
+        for _ in 0..512 {
+            let slot = ((next() >> 33) % SLOTS) as u32;
+            let vm = ((next() >> 33) % VMS) as u32;
+            let amount = 0.05 + (next() >> 11) as f64 / (1u64 << 53) as f64;
+            exact.deposit(slot, vm, amount);
+            inc.deposit(slot, vm, amount);
+        }
+        exact.evaporate(rho);
+        inc.evaporate(rho);
+        exact.prepare_pow(alpha);
+        inc.prepare_pow_incremental(alpha);
+        assert_eq!(
+            exact.base_pow().to_bits(),
+            inc.base_pow().to_bits(),
+            "round {round}: incremental base power diverged from the exact sweep"
+        );
+        let mut expected = Vec::new();
+        exact.for_each_deposited_pow(|slot, vm, p| expected.push((slot, vm, p)));
+        let mut i = 0;
+        inc.for_each_deposited_pow(|slot, vm, p| {
+            let (es, ev, ep) = expected[i];
+            assert_eq!(
+                (es, ev),
+                (slot, vm),
+                "round {round}: deposited-edge sets diverged at index {i}"
+            );
+            assert!(
+                (p - ep).abs() <= ep * 1e-9,
+                "round {round} edge ({slot},{vm}): incremental τ^α {p} vs exact {ep}"
+            );
+            i += 1;
+        });
+        assert_eq!(i, expected.len(), "round {ROUNDS}: incremental lost edges");
+    }
+    let reps = 50;
+    let exact_ms = time_best(1, || {
+        let t = Instant::now();
+        for _ in 0..reps {
+            exact.evaporate(rho);
+            exact.prepare_pow(alpha);
+        }
+        t.elapsed().as_secs_f64() * 1_000.0
+    });
+    let inc_ms = time_best(1, || {
+        let t = Instant::now();
+        for _ in 0..reps {
+            inc.evaporate(rho);
+            inc.prepare_pow_incremental(alpha);
+        }
+        t.elapsed().as_secs_f64() * 1_000.0
+    });
+    eprintln!(
+        "incremental τ^α gate: {} edges tracked exactly over {ROUNDS} rounds; \
+         steady-state refresh ×{reps}: exact {exact_ms:.2} ms, incremental {inc_ms:.2} ms",
+        exact.deposited_edges()
+    );
 }
 
 /// The roster timed at one scale: display label + scheduler factory.
@@ -197,6 +283,8 @@ fn main() {
             ),
         }
     }
+
+    incremental_pow_gate();
 
     let mut points: Vec<Point> = Vec::new();
     let mut summary: Vec<(String, usize, f64)> = Vec::new();

@@ -99,10 +99,12 @@ pub fn parse_algorithm(name: &str) -> Result<AlgorithmKind, String> {
         "hybrid" | "hybrid-makespan" => AlgorithmKind::Hybrid(Objective::Makespan),
         "hybrid-cost" => AlgorithmKind::Hybrid(Objective::Cost),
         "hybrid-balance" => AlgorithmKind::Hybrid(Objective::Balance),
+        "lc" | "leastconn" | "least-connection" => AlgorithmKind::LeastConnection,
+        "wrr" | "weightedrr" | "weighted-round-robin" => AlgorithmKind::WeightedRoundRobin,
         other => {
             return Err(format!(
                 "unknown algorithm '{other}' (try: base aco hbo rbs minmin maxmin \
-                 pso ga hybrid hybrid-cost hybrid-balance)"
+                 pso ga hybrid hybrid-cost hybrid-balance lc wrr)"
             ))
         }
     })
@@ -244,6 +246,11 @@ mod tests {
         assert_eq!(
             parse_algorithm("hybrid-cost").unwrap(),
             AlgorithmKind::Hybrid(Objective::Cost)
+        );
+        assert_eq!(parse_algorithm("lc").unwrap(), AlgorithmKind::LeastConnection);
+        assert_eq!(
+            parse_algorithm("weighted-round-robin").unwrap(),
+            AlgorithmKind::WeightedRoundRobin
         );
         assert!(parse_algorithm("nope").is_err());
     }

@@ -30,6 +30,9 @@ commands:
   sweep --points 50,150,...   sweep the VM count, print/export series
   workflow --shape <shape>    schedule a DAG (chain|fork-join|layered|ensemble)
   online --waves N            re-invoke the scheduler per arrival wave
+  stream --waves N            streaming broker: warm-state incremental
+                              replanning per wave (--cold for the control
+                              arm) with queueing/latency metrics
   describe                    print the scenario a given option set builds
 
 scenario options (all commands):
@@ -64,7 +67,8 @@ examples:
   biosched compare --algorithms base,aco,hbo,rbs --sla-slack 8
   biosched compare --algorithms base,aco --faults hosts=0.3
   biosched sweep --points 50,250,450 --algorithms base,aco
-  biosched workflow --shape fork-join --tasks 32 --scheduler heft"
+  biosched workflow --shape fork-join --tasks 32 --scheduler heft
+  biosched stream --algorithm aco --waves 8 --poisson --engine sharded"
 }
 
 /// Collects every metric for one (scenario, algorithm) pair.
@@ -466,6 +470,122 @@ pub fn cmd_online(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `biosched stream`.
+pub fn cmd_stream(args: &[String]) -> Result<(), String> {
+    use biosched_workload::online::WavePlan;
+    use biosched_workload::stream::{run_stream_with, ReplanMode, StreamConfig};
+    let (opts, rest) = parse_common(args)?;
+    opts.apply_thread_limit()?;
+    let mut algorithm = AlgorithmKind::AntColony;
+    let mut waves = 8usize;
+    let mut interval_ms = 2_000.0f64;
+    let mut poisson = false;
+    let mut mode = ReplanMode::Warm;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--algorithm" => {
+                algorithm = parse_algorithm(it.next().ok_or("--algorithm needs a value")?)?
+            }
+            "--waves" => {
+                waves = it
+                    .next()
+                    .ok_or("--waves needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --waves: {e}"))?
+            }
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .ok_or("--interval-ms needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --interval-ms: {e}"))?
+            }
+            "--poisson" => poisson = true,
+            "--cold" => mode = ReplanMode::Cold,
+            "--warm" => mode = ReplanMode::Warm,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if waves == 0 {
+        return Err("--waves must be positive".into());
+    }
+    let scenario = build_scenario(&opts);
+    println!("{}", describe_scenario(&opts));
+    let plan = if poisson {
+        WavePlan::poisson(
+            scenario.cloudlet_count(),
+            scenario.cloudlet_count().div_ceil(waves).max(1),
+            interval_ms,
+            opts.seed,
+        )
+    } else {
+        WavePlan::uniform(scenario.cloudlet_count(), waves, interval_ms)
+    };
+    // Surface tuning errors before entering the wave loop.
+    drop(opts.sched_params.build(algorithm, opts.seed)?);
+    let cfg = StreamConfig {
+        kind: algorithm,
+        seed: opts.seed,
+        mode,
+        engine: opts.engine,
+        record: simcloud::stats::RecordMode::Full,
+    };
+    let tuning = opts.sched_params.clone();
+    let result = run_stream_with(&scenario, &plan, &cfg, &mut |seed| {
+        tuning
+            .build(algorithm, seed)
+            .expect("tuning validated before the wave loop")
+    })
+    .map_err(|e| format!("stream run failed: {e}"))?;
+    note_fallback(&result.outcome);
+    println!(
+        "{} ({} replanning): {} waves, finished {}/{}, peak backlog {}",
+        algorithm.label(),
+        cfg.mode.label(),
+        result.rounds(),
+        result.outcome.finished_count(),
+        scenario.cloudlet_count(),
+        result.peak_backlog(),
+    );
+    println!(
+        "scheduling latency: total {:.1} ms, mean {:.2} ms/wave, worst {:.2} ms",
+        result.total_sched_ms(),
+        result.mean_sched_ms().unwrap_or(0.0),
+        result.max_sched_ms().unwrap_or(0.0),
+    );
+    println!(
+        "queueing: wait p50 {:.1} ms, p99 {:.1} ms, mean {:.1} ms | throughput {:.1}/s",
+        result.outcome.wait_p50_ms().unwrap_or(0.0),
+        result.outcome.wait_p99_ms().unwrap_or(0.0),
+        result.outcome.mean_wait_ms().unwrap_or(0.0),
+        result.outcome.throughput_per_s().unwrap_or(0.0),
+    );
+    if let Some(path) = opts.csv.as_deref() {
+        let mut table = Table::new(vec![
+            "wave",
+            "arrival_ms",
+            "scheduled",
+            "backlog",
+            "sched_ms",
+        ]);
+        for w in &result.waves {
+            table.push_row(vec![
+                w.wave.to_string(),
+                fmt_value(w.arrival_ms),
+                w.scheduled.to_string(),
+                w.backlog.to_string(),
+                fmt_value(w.sched_ms),
+            ]);
+        }
+        table
+            .write_csv(std::path::Path::new(path))
+            .map_err(|e| format!("failed to write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 /// `biosched describe`.
 pub fn cmd_describe(args: &[String]) -> Result<(), String> {
     let (opts, rest) = parse_common(args)?;
@@ -543,6 +663,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
         "sweep" => cmd_sweep(rest),
         "workflow" => cmd_workflow(rest),
         "online" => cmd_online(rest),
+        "stream" => cmd_stream(rest),
         "describe" => cmd_describe(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -626,6 +747,21 @@ mod tests {
         .unwrap();
         cmd_online(&args("--poisson --vms 4 --cloudlets 8 --datacenters 2")).unwrap();
         assert!(cmd_online(&args("--waves 0")).is_err());
+    }
+
+    #[test]
+    fn stream_command_small() {
+        cmd_stream(&args(
+            "--waves 2 --interval-ms 100 --vms 4 --cloudlets 8 --datacenters 2 --algorithm lc",
+        ))
+        .unwrap();
+        cmd_stream(&args(
+            "--cold --poisson --vms 4 --cloudlets 8 --datacenters 2 --algorithm wrr \
+             --engine sharded",
+        ))
+        .unwrap();
+        assert!(cmd_stream(&args("--waves 0")).is_err());
+        assert!(cmd_stream(&args("--bogus")).is_err());
     }
 
     #[test]

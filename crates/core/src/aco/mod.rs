@@ -105,7 +105,23 @@ impl AntColony {
     /// length after each iteration of the *first* colony — ACO's
     /// convergence curve (subsequent batches behave statistically alike).
     pub fn schedule_traced(&mut self, problem: &SchedulingProblem) -> (Assignment, Vec<f64>) {
-        self.run(problem, &EvalCache::new(problem), true)
+        self.run(problem, &EvalCache::new(problem), true, None)
+    }
+
+    /// Warm-start entry point for the streaming broker: when `warm` holds
+    /// a pheromone matrix from a previous wave it is aged by one
+    /// evaporation and becomes every colony's starting trail (its
+    /// slot-position preferences — "which VMs are good" — transfer across
+    /// waves of similar cloudlets); afterwards `warm` is replaced with the
+    /// final matrix of the last colony. A `None` prior behaves exactly
+    /// like [`Scheduler::schedule_with_cache`] but still captures.
+    pub fn schedule_with_warm_pheromone(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+        warm: &mut Option<PheromoneMatrix>,
+    ) -> Assignment {
+        self.run(problem, cache, false, Some(warm)).0
     }
 
     fn run(
@@ -113,6 +129,7 @@ impl AntColony {
         problem: &SchedulingProblem,
         cache: &EvalCache,
         traced: bool,
+        mut warm: Option<&mut Option<PheromoneMatrix>>,
     ) -> (Assignment, Vec<f64>) {
         let c = problem.cloudlet_count();
         let v = problem.vm_count();
@@ -153,9 +170,32 @@ impl AntColony {
         let total_work = per_colony_work.saturating_mul(colonies.len() as u64);
         let colonies_parallel = colonies.len() >= eval::MIN_PAR_ITEMS && total_work >= PAR_MIN_WORK;
         let ants_parallel = !colonies_parallel && per_colony_work >= PAR_MIN_WORK;
+        // Age the warm prior once per wave, then hand every colony a clone
+        // of the aged matrix; the last colony's final matrix is carried
+        // forward. Taking it out of the slot keeps the borrow shareable
+        // across the parallel fan-out. Compaction bounds each lane to the
+        // strongest few candidate-widths of deposits: without it the
+        // carried matrix grows by every wave's trails (evaporation never
+        // shrinks a deposit relative to the base) and warm replanning
+        // slows down wave over wave instead of speeding up.
+        // One candidate-row width of the strongest trails per slot: wide
+        // enough to carry "which VMs are good here" across the wave
+        // boundary, narrow enough that the next wave's deposits don't pay
+        // mid-lane inserts into already-full lanes.
+        let capture = warm.is_some();
+        let lane_cap = k;
+        let prior_owned: Option<PheromoneMatrix> =
+            warm.as_deref_mut().and_then(|w| w.take()).map(|mut m| {
+                m.evaporate(self.params.rho);
+                m.compact_top(lane_cap);
+                m
+            });
+        let prior = prior_owned.as_ref();
+        let last = colonies.len().saturating_sub(1);
         let params = &self.params;
         let results = eval::par_map_if(colonies_parallel, &colonies, |(i, slots)| {
             let colony_seeds = &seeds[i * per_colony..(i + 1) * per_colony];
+            let capture_here = capture && *i == last;
             if use_topk {
                 run_colony_topk(
                     cache,
@@ -164,6 +204,8 @@ impl AntColony {
                     colony_seeds,
                     traced && *i == 0,
                     k,
+                    prior,
+                    capture_here,
                 )
             } else {
                 run_colony(
@@ -173,24 +215,38 @@ impl AntColony {
                     colony_seeds,
                     traced && *i == 0,
                     ants_parallel,
+                    prior,
+                    capture_here,
                 )
             }
         });
 
         let mut map = Vec::with_capacity(c);
         let mut trace = Vec::new();
-        for (i, (tour, colony_trace)) in results.into_iter().enumerate() {
+        let mut captured = None;
+        for (i, (tour, colony_trace, matrix)) in results.into_iter().enumerate() {
             map.extend(tour);
             if i == 0 {
                 trace = colony_trace;
             }
+            if matrix.is_some() {
+                captured = matrix;
+            }
+        }
+        if let Some(w) = warm {
+            *w = captured;
         }
         (Assignment::new(map), trace)
     }
 }
 
 /// Runs one colony over `slots` (global cloudlet indices). Returns the
-/// best tour found plus, when `traced`, the best length per iteration.
+/// best tour found plus, when `traced`, the best length per iteration,
+/// plus, when `capture`, the colony's final pheromone matrix (the warm
+/// prior of the next wave). `prior` replaces the fresh initial matrix;
+/// with `prior = None` and `capture = false` behavior is bit-identical to
+/// the pre-warm code.
+#[allow(clippy::too_many_arguments)]
 fn run_colony(
     cache: &EvalCache,
     params: &AcoParams,
@@ -198,7 +254,9 @@ fn run_colony(
     seeds: &[u64],
     traced: bool,
     ants_parallel: bool,
-) -> (Vec<VmId>, Vec<f64>) {
+    prior: Option<&PheromoneMatrix>,
+    capture: bool,
+) -> (Vec<VmId>, Vec<f64>, Option<PheromoneMatrix>) {
     let v = cache.vm_count();
     let k = params.candidates.unwrap_or(v).min(v);
     // η^β for the whole batch, shared by every ant and iteration; declined
@@ -214,7 +272,10 @@ fn run_colony(
     // block, so it exists exactly when that block does.
     let mut weight_block: Option<Vec<f64>> = eta_pow.as_ref().map(|block| vec![0.0; block.len()]);
 
-    let mut pheromone = PheromoneMatrix::new(params.initial_pheromone);
+    let mut pheromone = match prior {
+        Some(p) => p.clone(),
+        None => PheromoneMatrix::new(params.initial_pheromone),
+    };
     let mut best: Option<(Vec<u32>, f64)> = None;
     let mut trace = Vec::new();
     let mut scratch = TourScratch::new(v);
@@ -277,7 +338,7 @@ fn run_colony(
         .into_iter()
         .map(VmId)
         .collect();
-    (tour, trace)
+    (tour, trace, capture.then_some(pheromone))
 }
 
 /// The per-iteration pheromone bookkeeping both colony bodies share: local
@@ -315,6 +376,11 @@ fn apply_pheromone_updates(
 /// [`CandidateBlock`] replacing full-fleet rows. Engaged only when
 /// `k < #VMs` (see [`AntColony::run`]); makes no bitwise-equivalence
 /// claims against [`reference`] — the quality gate lives in `schedbench`.
+/// Refreshes the τ^α snapshot incrementally
+/// ([`PheromoneMatrix::prepare_pow_incremental`]): evaporation's uniform
+/// rescale becomes one scalar multiply per clean entry, and only
+/// deposited-this-iteration edges pay a powf.
+#[allow(clippy::too_many_arguments)]
 fn run_colony_topk(
     cache: &EvalCache,
     params: &AcoParams,
@@ -322,10 +388,15 @@ fn run_colony_topk(
     seeds: &[u64],
     traced: bool,
     k: usize,
-) -> (Vec<VmId>, Vec<f64>) {
+    prior: Option<&PheromoneMatrix>,
+    capture: bool,
+) -> (Vec<VmId>, Vec<f64>, Option<PheromoneMatrix>) {
     let v = cache.vm_count();
     let block = cache.candidate_block(slots.clone(), k, params.beta);
-    let mut pheromone = PheromoneMatrix::new(params.initial_pheromone);
+    let mut pheromone = match prior {
+        Some(p) => p.clone(),
+        None => PheromoneMatrix::new(params.initial_pheromone),
+    };
     let mut best: Option<(Vec<u32>, f64)> = None;
     let mut trace = Vec::new();
     let mut scratch = TourScratch::new(v);
@@ -342,7 +413,7 @@ fn run_colony_topk(
 
     for iter in 0..params.iterations {
         let iter_seeds = &seeds[iter * params.ants..(iter + 1) * params.ants];
-        pheromone.prepare_pow(params.alpha);
+        pheromone.prepare_pow_incremental(params.alpha);
         if let Some(rows) = rows.as_mut() {
             rows.refresh(&pheromone, &block);
         }
@@ -378,7 +449,7 @@ fn run_colony_topk(
         .into_iter()
         .map(VmId)
         .collect();
-    (tour, trace)
+    (tour, trace, capture.then_some(pheromone))
 }
 
 /// Per-iteration fused Eq. 5 weight rows of the candidate-list fast path:
@@ -920,7 +991,7 @@ impl Scheduler for AntColony {
     }
 
     fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
-        self.run(problem, &EvalCache::new(problem), false).0
+        self.run(problem, &EvalCache::new(problem), false, None).0
     }
 
     fn schedule_with_cache(
@@ -928,7 +999,18 @@ impl Scheduler for AntColony {
         problem: &SchedulingProblem,
         cache: &EvalCache,
     ) -> Assignment {
-        self.run(problem, cache, false).0
+        self.run(problem, cache, false, None).0
+    }
+
+    fn schedule_warm(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+        warm: &mut crate::warm::WarmState,
+    ) -> Assignment {
+        let plan = self.schedule_with_warm_pheromone(problem, cache, &mut warm.pheromone);
+        warm.note_plan(&plan);
+        plan
     }
 }
 
@@ -1246,6 +1328,42 @@ mod tests {
                 .position(|&p| spin < p)
                 .unwrap_or(prefix.len() - 1);
             assert_eq!(prefix_pick(&prefix, spin), linear, "spin={spin}");
+        }
+    }
+
+    #[test]
+    fn warm_none_prior_matches_cold_schedule() {
+        // An empty warm slot must not perturb the plan — only capture.
+        let p = hetero_problem(16, 60);
+        let cache = EvalCache::new(&p);
+        for params in [AcoParams::fast(), topk_params(8, SamplingMode::PrefixSum)] {
+            let mut warm = None;
+            let warm_plan = AntColony::new(params.clone(), 9)
+                .schedule_with_warm_pheromone(&p, &cache, &mut warm);
+            let cold_plan = AntColony::new(params.clone(), 9).schedule_with_cache(&p, &cache);
+            assert_eq!(warm_plan, cold_plan);
+            assert!(warm.is_some(), "matrix captured for the next wave");
+        }
+    }
+
+    #[test]
+    fn warm_prior_reuse_is_deterministic_per_seed() {
+        let p = hetero_problem(20, 80);
+        for params in [AcoParams::fast(), topk_params(8, SamplingMode::PrefixSum)] {
+            let run_two_waves = || {
+                let cache = EvalCache::new(&p);
+                let mut warm = None;
+                let first = AntColony::new(params.clone(), 5)
+                    .schedule_with_warm_pheromone(&p, &cache, &mut warm);
+                let second = AntColony::new(params.clone(), 6)
+                    .schedule_with_warm_pheromone(&p, &cache, &mut warm);
+                (first, second)
+            };
+            let (a1, a2) = run_two_waves();
+            let (b1, b2) = run_two_waves();
+            assert_eq!(a1, b1);
+            assert_eq!(a2, b2);
+            assert!(a2.validate(&p).is_ok());
         }
     }
 

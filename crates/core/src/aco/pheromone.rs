@@ -42,6 +42,18 @@ pub struct PheromoneMatrix {
     lanes: Vec<Lane>,
     /// `base^α` snapshot shared by all never-deposited edges.
     base_pow: f64,
+    /// Product of the `(1-ρ)` keep factors applied since the last power
+    /// snapshot. Evaporation rescales every edge uniformly, so under a
+    /// fixed α the snapshot of a clean entry can be advanced with one
+    /// multiply by `keep_accum^α` instead of a fresh `powf` — see
+    /// [`Self::prepare_pow_incremental`].
+    keep_accum: f64,
+    /// α of the last snapshot; an α change invalidates incremental reuse.
+    snap_alpha: f64,
+    /// Set when evaporation clamps the base at [`MIN_PHEROMONE`]: the
+    /// rescale is no longer uniform, so the next incremental snapshot
+    /// falls back to the exact sweep.
+    force_exact: bool,
 }
 
 impl PheromoneMatrix {
@@ -54,6 +66,9 @@ impl PheromoneMatrix {
             scale: 1.0,
             lanes: Vec::new(),
             base_pow: f64::NAN,
+            keep_accum: 1.0,
+            snap_alpha: f64::NAN,
+            force_exact: false,
         }
     }
 
@@ -125,14 +140,66 @@ impl PheromoneMatrix {
                 self.lanes[slot].pow[i] = pow_of(tau);
             }
         }
+        self.keep_accum = 1.0;
+        self.snap_alpha = alpha;
+        self.force_exact = false;
+    }
+
+    /// Incrementally advances the τ^α snapshot to the matrix's current
+    /// state: evaporation rescales every edge by the same accumulated
+    /// `keep` product, so for a fixed α a *clean* entry's power advances
+    /// with one multiply by `keep_accum^α` (one `powf` per call, shared by
+    /// every lane) instead of a `powf` per touched edge. Entries deposited
+    /// on since the last snapshot are marked dirty (`NaN` power) and
+    /// recomputed exactly, as is the shared base power.
+    ///
+    /// The first call, an α change, and a base clamped at the
+    /// [`MIN_PHEROMONE`] floor (where the rescale stops being uniform) all
+    /// fall back to the exact [`Self::prepare_pow`] sweep. Clean entries
+    /// drift from the exact power only by rounding (`(keep·τ)^α` vs
+    /// `keep^α·τ^α`), so this feeds the candidate-list fast path — which
+    /// makes no bitwise claims — while the reference-equivalent full-row
+    /// path stays on the exact sweep.
+    pub fn prepare_pow_incremental(&mut self, alpha: f64) {
+        if self.base_pow.is_nan()
+            || self.force_exact
+            || !(self.snap_alpha == alpha)
+            || !(self.keep_accum > 0.0 && self.keep_accum.is_finite())
+        {
+            self.prepare_pow(alpha);
+            return;
+        }
+        let pow_of = |tau: f64| if alpha == 1.0 { tau } else { tau.powf(alpha) };
+        // The shared base power is one powf — keep it exact so the
+        // never-deposited majority of edges never drifts at all.
+        self.base_pow = pow_of(self.base.max(MIN_PHEROMONE));
+        let factor = pow_of(self.keep_accum);
+        for slot in 0..self.lanes.len() {
+            for i in 0..self.lanes[slot].raw.len() {
+                let p = self.lanes[slot].pow[i];
+                self.lanes[slot].pow[i] = if p.is_nan() {
+                    pow_of(self.effective(self.lanes[slot].raw[i]))
+                } else {
+                    p * factor
+                };
+            }
+        }
+        self.keep_accum = 1.0;
     }
 
     /// Eq. 9 evaporation: τ ← (1-ρ)τ for every edge.
     pub fn evaporate(&mut self, rho: f64) {
         debug_assert!((0.0..1.0).contains(&rho));
         let keep = 1.0 - rho;
-        self.base = (self.base * keep).max(MIN_PHEROMONE);
+        let scaled = self.base * keep;
+        if scaled < MIN_PHEROMONE {
+            // The floor breaks the uniform-rescale invariant the
+            // incremental snapshot relies on.
+            self.force_exact = true;
+        }
+        self.base = scaled.max(MIN_PHEROMONE);
         self.scale *= keep;
+        self.keep_accum *= keep;
         // Renormalize before the scale underflows.
         if self.scale < 1e-100 {
             for lane in &mut self.lanes {
@@ -154,12 +221,45 @@ impl PheromoneMatrix {
         let lane = &mut self.lanes[slot];
         let delta = amount / self.scale;
         match lane.vms.binary_search(&vm) {
-            Ok(i) => lane.raw[i] += delta,
+            Ok(i) => {
+                lane.raw[i] += delta;
+                // Dirty-mark for the incremental snapshot; the exact sweep
+                // overwrites unconditionally.
+                lane.pow[i] = f64::NAN;
+            }
             Err(i) => {
                 lane.vms.insert(i, vm);
                 lane.raw.insert(i, delta);
                 lane.pow.insert(i, f64::NAN);
             }
+        }
+    }
+
+    /// Keeps only each lane's `per_lane` strongest deposits (by raw
+    /// amount, ties to the lower VM id); dropped edges revert to the
+    /// shared base level. Evaporation rescales base and deposits
+    /// uniformly, so old trails never fade *relative to* the base — a
+    /// warm-started broker re-seeding wave after wave would otherwise
+    /// grow every lane without bound and pay for the dead entries in
+    /// every clone, snapshot and lookup. Entries that survive keep their
+    /// raw value and τ^α snapshot, so compaction composes with
+    /// [`Self::prepare_pow_incremental`].
+    pub fn compact_top(&mut self, per_lane: usize) {
+        for lane in &mut self.lanes {
+            if lane.vms.len() <= per_lane {
+                continue;
+            }
+            let mut idx: Vec<usize> = (0..lane.vms.len()).collect();
+            idx.sort_by(|&a, &b| {
+                lane.raw[b]
+                    .total_cmp(&lane.raw[a])
+                    .then(lane.vms[a].cmp(&lane.vms[b]))
+            });
+            idx.truncate(per_lane);
+            idx.sort_unstable();
+            lane.vms = idx.iter().map(|&i| lane.vms[i]).collect();
+            lane.raw = idx.iter().map(|&i| lane.raw[i]).collect();
+            lane.pow = idx.iter().map(|&i| lane.pow[i]).collect();
         }
     }
 
@@ -299,6 +399,95 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn incremental_first_call_is_the_exact_sweep() {
+        let mut exact = PheromoneMatrix::new(1.0);
+        let mut inc = PheromoneMatrix::new(1.0);
+        for m in [&mut exact, &mut inc] {
+            m.deposit(0, 3, 0.7);
+            m.evaporate(0.4);
+        }
+        exact.prepare_pow(0.01);
+        inc.prepare_pow_incremental(0.01);
+        for (slot, vm) in [(0u32, 3u32), (0, 4), (5, 5)] {
+            assert_eq!(
+                inc.get_pow(slot, vm).to_bits(),
+                exact.get_pow(slot, vm).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_snapshot_tracks_exact_within_rounding() {
+        let alpha = 0.01;
+        let mut exact = PheromoneMatrix::new(1.0);
+        let mut inc = PheromoneMatrix::new(1.0);
+        exact.prepare_pow(alpha);
+        inc.prepare_pow_incremental(alpha);
+        for round in 0..64u32 {
+            for m in [&mut exact, &mut inc] {
+                m.evaporate(0.4);
+                m.deposit(round % 4, round % 7, 0.3);
+            }
+            exact.prepare_pow(alpha);
+            inc.prepare_pow_incremental(alpha);
+            for slot in 0..5u32 {
+                for vm in 0..8u32 {
+                    let e = exact.get_pow(slot, vm);
+                    let i = inc.get_pow(slot, vm);
+                    assert!(
+                        (i - e).abs() <= 1e-12 * e.abs(),
+                        "round {round} edge ({slot},{vm}): incremental {i} vs exact {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_recomputes_dirty_entries_exactly() {
+        let alpha = 0.5;
+        let mut m = PheromoneMatrix::new(1.0);
+        m.prepare_pow(alpha);
+        m.evaporate(0.4);
+        m.deposit(1, 2, 0.25); // dirty: deposited since the snapshot
+        m.prepare_pow_incremental(alpha);
+        // A dirty entry and the base come out of the exact powf, bitwise.
+        assert_eq!(m.get_pow(1, 2).to_bits(), m.get(1, 2).powf(alpha).to_bits());
+        assert_eq!(m.get_pow(9, 9).to_bits(), m.get(9, 9).powf(alpha).to_bits());
+    }
+
+    #[test]
+    fn incremental_falls_back_when_the_floor_clamps() {
+        let alpha = 0.7;
+        let mut m = PheromoneMatrix::new(1.0);
+        m.deposit(0, 1, 5.0);
+        m.prepare_pow_incremental(alpha);
+        // Evaporate until the base hits MIN_PHEROMONE: uniform rescale no
+        // longer holds, so the next incremental call must be exact.
+        for _ in 0..200 {
+            m.evaporate(0.9);
+        }
+        m.prepare_pow_incremental(alpha);
+        for (slot, vm) in [(0u32, 1u32), (0, 2), (3, 3)] {
+            assert_eq!(
+                m.get_pow(slot, vm).to_bits(),
+                m.get(slot, vm).powf(alpha).to_bits(),
+                "post-clamp snapshot must be the exact sweep"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_handles_alpha_changes() {
+        let mut m = PheromoneMatrix::new(1.0);
+        m.deposit(0, 1, 0.5);
+        m.prepare_pow_incremental(0.01);
+        m.evaporate(0.4);
+        m.prepare_pow_incremental(2.0); // α changed → exact sweep
+        assert_eq!(m.get_pow(0, 1).to_bits(), m.get(0, 1).powf(2.0).to_bits());
     }
 
     #[test]

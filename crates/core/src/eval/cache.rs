@@ -234,6 +234,52 @@ impl EvalCache {
         cache
     }
 
+    /// Warm-wave retarget: swaps the *cloudlet* side of the cache for
+    /// `problem`'s cloudlets while keeping every per-VM artifact — the
+    /// Eq. 1 rate factors and the lazily-built η-proportional candidate
+    /// ring. The streaming broker calls this once per wave against an
+    /// unchanged fleet, turning the O(#VMs) per-wave rebuild into
+    /// O(#wave-cloudlets). Evaluation stays bit-identical to a fresh
+    /// cache over the same problem (`exec_ms`/`score`/`cost` read only
+    /// per-VM factors plus the swapped arrays); the kept ring was seeded
+    /// from the cloudlet mix of the wave that built it, which only biases
+    /// *candidate-list quality*, never scores — accepted staleness under
+    /// the warm-state contract (see DESIGN.md "Streaming broker").
+    ///
+    /// The dense ETC matrix is rebuilt iff it was materialized before and
+    /// the new `cloudlets × vms` product still fits
+    /// [`DENSE_ETC_MAX_ENTRIES`]; a lite cache stays lite.
+    ///
+    /// # Panics
+    /// If `problem`'s fleet size differs from the cached one — the fleet
+    /// must be unchanged for the per-VM half to remain valid.
+    pub fn retarget_cloudlets(&mut self, problem: &SchedulingProblem) {
+        assert_eq!(
+            problem.vm_count(),
+            self.vm_count(),
+            "retarget requires an unchanged fleet"
+        );
+        self.cl_len = problem.cloudlets.iter().map(|cl| cl.length_mi).collect();
+        self.cl_pes = problem.cloudlets.iter().map(|cl| cl.pes).collect();
+        self.cl_file = problem.cloudlets.iter().map(|cl| cl.file_size_mb).collect();
+        let v = self.vm_count();
+        let dense = self.etc.is_some()
+            && self
+                .cloudlet_count()
+                .checked_mul(v)
+                .is_some_and(|entries| entries <= DENSE_ETC_MAX_ENTRIES);
+        self.etc = None;
+        if dense {
+            let mut etc = Vec::with_capacity(self.cloudlet_count() * v);
+            for c in 0..self.cloudlet_count() {
+                for vm in 0..v {
+                    etc.push(self.compute_exec_ms(c, vm));
+                }
+            }
+            self.etc = Some(etc);
+        }
+    }
+
     /// Number of VMs covered.
     #[inline]
     pub fn vm_count(&self) -> usize {
@@ -734,6 +780,64 @@ mod tests {
         let cache = EvalCache::lite(&p);
         let block = cache.candidate_block(0..8, 32, 0.99);
         assert_eq!(block.k(), 4);
+    }
+
+    #[test]
+    fn retarget_matches_fresh_cache_bitwise() {
+        let first = hetero_problem();
+        // Same fleet, different cloudlet mix (the next wave).
+        let second = SchedulingProblem::new(
+            first.vms.clone(),
+            (0..31)
+                .map(|i| CloudletSpec::new(500.0 + 333.0 * (i % 7) as f64, 50.0, 80.0, 1))
+                .collect(),
+            first.datacenters.clone(),
+            first.vm_placement.clone(),
+        )
+        .unwrap();
+        for lite in [false, true] {
+            let mut warm = if lite {
+                EvalCache::lite(&first)
+            } else {
+                EvalCache::new(&first)
+            };
+            // Prime the ring so retarget provably keeps it working.
+            let _ = warm.candidate_block(0..first.cloudlet_count(), 3, 0.99);
+            warm.retarget_cloudlets(&second);
+            let fresh = EvalCache::new(&second);
+            assert_eq!(warm.cloudlet_count(), 31);
+            assert_eq!(warm.has_dense_etc(), !lite);
+            for c in 0..second.cloudlet_count() {
+                for v in 0..second.vm_count() {
+                    assert_eq!(warm.exec_ms(c, v).to_bits(), fresh.exec_ms(c, v).to_bits());
+                    assert_eq!(warm.cost(c, v).to_bits(), fresh.cost(c, v).to_bits());
+                }
+            }
+            let plan = some_plan(&second);
+            for objective in Objective::ALL {
+                assert_eq!(
+                    warm.score(&plan, objective).to_bits(),
+                    fresh.score(&plan, objective).to_bits()
+                );
+            }
+            let block = warm.candidate_block(0..31, 3, 0.99);
+            assert_eq!(block.slot_count(), 31);
+        }
+    }
+
+    #[test]
+    fn retarget_rejects_fleet_changes() {
+        let p = hetero_problem();
+        let shrunk = SchedulingProblem::single_datacenter(
+            p.vms[..3].to_vec(),
+            p.cloudlets.clone(),
+            CostModel::default(),
+        );
+        let mut cache = EvalCache::new(&p);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.retarget_cloudlets(&shrunk)
+        }));
+        assert!(result.is_err(), "fleet-size change must panic");
     }
 
     #[test]

@@ -193,7 +193,7 @@ impl Genetic {
     /// survey [17] calls GA "slow … due to the time to converge"; this
     /// makes that measurable).
     pub fn schedule_traced(&mut self, problem: &SchedulingProblem) -> (Assignment, Vec<f64>) {
-        self.run(problem, &EvalCache::new(problem), true)
+        self.run(problem, &EvalCache::new(problem), true, None)
     }
 
     fn run(
@@ -201,6 +201,7 @@ impl Genetic {
         problem: &SchedulingProblem,
         cache: &EvalCache,
         traced: bool,
+        incumbent: Option<&[u32]>,
     ) -> (Assignment, Vec<f64>) {
         let dims = problem.cloudlet_count();
         let v = problem.vm_count() as u32;
@@ -219,6 +220,14 @@ impl Genetic {
         // thread count.
         let mut genomes: Vec<Vec<u32>> = Vec::with_capacity(self.params.population);
         genomes.push((0..dims).map(|i| (i as u32) % v).collect());
+        // Warm start (streaming broker): one chromosome inherits the
+        // previous wave's plan positionally (wraparound when sizes
+        // differ), so the search resumes near the surviving optimum.
+        if let Some(inc) = incumbent.filter(|inc| !inc.is_empty()) {
+            if genomes.len() < self.params.population {
+                genomes.push((0..dims).map(|i| inc[i % inc.len()].min(v - 1)).collect());
+            }
+        }
         while genomes.len() < self.params.population {
             genomes.push((0..dims).map(|_| self.rng.gen_range(0..v)).collect());
         }
@@ -273,7 +282,7 @@ impl Scheduler for Genetic {
     }
 
     fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
-        self.run(problem, &EvalCache::new(problem), false).0
+        self.run(problem, &EvalCache::new(problem), false, None).0
     }
 
     fn schedule_with_cache(
@@ -281,7 +290,20 @@ impl Scheduler for Genetic {
         problem: &SchedulingProblem,
         cache: &EvalCache,
     ) -> Assignment {
-        self.run(problem, cache, false).0
+        self.run(problem, cache, false, None).0
+    }
+
+    fn schedule_warm(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+        warm: &mut crate::warm::WarmState,
+    ) -> Assignment {
+        let plan = self
+            .run(problem, cache, false, warm.incumbent.as_deref())
+            .0;
+        warm.note_plan(&plan);
+        plan
     }
 }
 

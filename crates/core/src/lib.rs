@@ -38,6 +38,7 @@
 
 pub mod aco;
 pub mod assignment;
+pub mod baselines;
 pub mod dnc;
 pub mod eval;
 pub mod ga;
@@ -52,12 +53,14 @@ pub mod rbs;
 pub mod round_robin;
 pub mod scheduler;
 pub mod tuning;
+pub mod warm;
 pub mod workflow;
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::aco::{AcoParams, AntColony};
     pub use crate::assignment::Assignment;
+    pub use crate::baselines::{LeastConnection, WeightedRoundRobin};
     pub use crate::dnc::{DivideAndConquer, ShardSpec};
     pub use crate::eval::{evaluate_population, EvalCache, LoadTracker};
     pub use crate::ga::{GaParams, Genetic};
@@ -72,5 +75,6 @@ pub mod prelude {
     pub use crate::round_robin::RoundRobin;
     pub use crate::scheduler::{AlgorithmKind, Scheduler};
     pub use crate::tuning::SchedTuning;
+    pub use crate::warm::WarmState;
     pub use crate::workflow::{heft, heft_estimate_ms, upward_ranks};
 }

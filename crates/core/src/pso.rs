@@ -180,7 +180,7 @@ impl ParticleSwarm {
     /// score after every iteration — the swarm's convergence curve (the
     /// property the survey [30] credits PSO with: fastest convergence).
     pub fn schedule_traced(&mut self, problem: &SchedulingProblem) -> (Assignment, Vec<f64>) {
-        self.run(problem, &EvalCache::new(problem), true)
+        self.run(problem, &EvalCache::new(problem), true, None)
     }
 
     fn run(
@@ -188,6 +188,7 @@ impl ParticleSwarm {
         problem: &SchedulingProblem,
         cache: &EvalCache,
         traced: bool,
+        incumbent: Option<&[u32]>,
     ) -> (Assignment, Vec<f64>) {
         let dims = problem.cloudlet_count();
         let v = problem.vm_count() as f64;
@@ -212,6 +213,18 @@ impl ParticleSwarm {
                 }
             })
             .collect();
+        // Warm start (streaming broker): particle 0 sits at the center of
+        // the previous wave's plan (decode cell midpoints, wraparound when
+        // sizes differ), so the swarm's social pull starts from the
+        // surviving optimum instead of uniform noise.
+        if let Some(inc) = incumbent.filter(|inc| !inc.is_empty()) {
+            let vm_cap = (problem.vm_count() as u32).max(1) - 1;
+            let p0 = &mut swarm[0];
+            for d in 0..dims {
+                p0.position[d] = f64::from(inc[d % inc.len()].min(vm_cap)) + 0.5;
+            }
+            p0.best_position.clone_from(&p0.position);
+        }
         // The initial sweep is order-independent (no RNG in scoring, no
         // gbest yet), so it batches through the evaluation kernel. The
         // iteration loop below must stay sequential: gbest updates inside
@@ -272,7 +285,7 @@ impl Scheduler for ParticleSwarm {
     }
 
     fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
-        self.run(problem, &EvalCache::new(problem), false).0
+        self.run(problem, &EvalCache::new(problem), false, None).0
     }
 
     fn schedule_with_cache(
@@ -280,7 +293,20 @@ impl Scheduler for ParticleSwarm {
         problem: &SchedulingProblem,
         cache: &EvalCache,
     ) -> Assignment {
-        self.run(problem, cache, false).0
+        self.run(problem, cache, false, None).0
+    }
+
+    fn schedule_warm(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+        warm: &mut crate::warm::WarmState,
+    ) -> Assignment {
+        let plan = self
+            .run(problem, cache, false, warm.incumbent.as_deref())
+            .0;
+        warm.note_plan(&plan);
+        plan
     }
 }
 

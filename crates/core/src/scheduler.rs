@@ -2,6 +2,7 @@
 
 use crate::aco::{AcoParams, AntColony};
 use crate::assignment::Assignment;
+use crate::baselines::{LeastConnection, WeightedRoundRobin};
 use crate::eval::EvalCache;
 use crate::ga::{GaParams, Genetic};
 use crate::hbo::{HboParams, HoneyBee};
@@ -12,6 +13,7 @@ use crate::problem::SchedulingProblem;
 use crate::pso::{ParticleSwarm, PsoParams};
 use crate::rbs::{RandomBiasedSampling, RbsParams};
 use crate::round_robin::RoundRobin;
+use crate::warm::WarmState;
 
 /// A cloudlet→VM scheduling algorithm.
 ///
@@ -42,6 +44,28 @@ pub trait Scheduler: Send {
         let _ = cache;
         self.schedule(problem)
     }
+
+    /// Computes an assignment for one wave of the streaming broker,
+    /// reading and updating the [`WarmState`] carried between waves.
+    ///
+    /// The default delegates to [`Scheduler::schedule_with_cache`] and
+    /// records the plan as the next wave's incumbent — correct for every
+    /// kind whose cross-round state already lives inside the instance
+    /// (round-robin's cursor, least-connection's load vector). ACO, GA
+    /// and PSO override this to consume the warm state (pheromone
+    /// matrix, incumbent-seeded population). Warm plans are *not*
+    /// claimed equal to cold plans; each mode is separately
+    /// deterministic per seed at any thread count.
+    fn schedule_warm(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+        warm: &mut WarmState,
+    ) -> Assignment {
+        let plan = self.schedule_with_cache(problem, cache);
+        warm.note_plan(&plan);
+        plan
+    }
 }
 
 /// Every algorithm in the study, constructible by name.
@@ -65,6 +89,10 @@ pub enum AlgorithmKind {
     Ga,
     /// The paper's future-work adaptive hybrid, fixed to an objective.
     Hybrid(Objective),
+    /// Least-connection balancer (production baseline, streaming PR).
+    LeastConnection,
+    /// Weighted round-robin balancer (production baseline, streaming PR).
+    WeightedRoundRobin,
 }
 
 impl AlgorithmKind {
@@ -88,6 +116,8 @@ impl AlgorithmKind {
             AlgorithmKind::Pso => "PSO",
             AlgorithmKind::Ga => "GA",
             AlgorithmKind::Hybrid(_) => "Hybrid",
+            AlgorithmKind::LeastConnection => "LeastConn",
+            AlgorithmKind::WeightedRoundRobin => "WeightedRR",
         }
     }
 
@@ -103,6 +133,8 @@ impl AlgorithmKind {
             AlgorithmKind::Pso => Box::new(ParticleSwarm::new(PsoParams::standard(), seed)),
             AlgorithmKind::Ga => Box::new(Genetic::new(GaParams::standard(), seed)),
             AlgorithmKind::Hybrid(objective) => Box::new(Hybrid::new(objective, seed)),
+            AlgorithmKind::LeastConnection => Box::new(LeastConnection::new()),
+            AlgorithmKind::WeightedRoundRobin => Box::new(WeightedRoundRobin::new()),
         }
     }
 }
@@ -141,6 +173,8 @@ mod tests {
             AlgorithmKind::Pso,
             AlgorithmKind::Ga,
             AlgorithmKind::Hybrid(Objective::Makespan),
+            AlgorithmKind::LeastConnection,
+            AlgorithmKind::WeightedRoundRobin,
         ];
         for kind in kinds {
             let mut s = kind.build(42);
@@ -176,6 +210,8 @@ mod tests {
             AlgorithmKind::Hybrid(Objective::Makespan),
             AlgorithmKind::Hybrid(Objective::Cost),
             AlgorithmKind::Hybrid(Objective::Balance),
+            AlgorithmKind::LeastConnection,
+            AlgorithmKind::WeightedRoundRobin,
         ];
         for kind in kinds {
             for seed in [7u64, 42, 1_234] {

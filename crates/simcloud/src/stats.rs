@@ -51,6 +51,96 @@ impl ResilienceCounters {
     }
 }
 
+/// Number of buckets in a [`WaitHistogram`].
+const WAIT_BUCKETS: usize = 256;
+/// Log-bucket resolution: buckets per octave (relative error ≈ 2^(1/8) ≈ 9%).
+const WAIT_PER_OCTAVE: f64 = 8.0;
+/// Lower edge of bucket 1 in ms; waits at or below this land in bucket 0.
+const WAIT_MIN_MS: f64 = 1e-3;
+
+/// Fixed log-bucketed histogram of cloudlet wait times (start − submit).
+///
+/// Both record modes answer wait quantiles through this same estimator so
+/// the bit-identity contract between [`RecordMode::Full`] and
+/// [`RecordMode::Aggregate`] extends to p50/p99: bucket insertion is
+/// integer counting (order-independent) and the representative value of a
+/// bucket is a pure function of its index. 256 buckets at 8 per octave
+/// cover 1 µs to ~4.3 × 10^6 ms with ≈9% relative resolution; anything
+/// below the floor reads as a zero wait, anything above clamps to the top
+/// bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaitHistogram {
+    counts: [u64; WAIT_BUCKETS],
+    total: u64,
+}
+
+impl Default for WaitHistogram {
+    fn default() -> Self {
+        WaitHistogram {
+            counts: [0; WAIT_BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl WaitHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(wait_ms: f64) -> usize {
+        // NaN / negative / sub-floor waits all land in bucket 0 (zero wait).
+        if !(wait_ms > WAIT_MIN_MS) {
+            return 0;
+        }
+        let idx = ((wait_ms / WAIT_MIN_MS).log2() * WAIT_PER_OCTAVE).floor() as usize + 1;
+        idx.min(WAIT_BUCKETS - 1)
+    }
+
+    /// Representative (geometric-midpoint) wait for bucket `idx`, in ms.
+    fn value_of(idx: usize) -> f64 {
+        if idx == 0 {
+            return 0.0;
+        }
+        WAIT_MIN_MS * ((idx as f64 - 0.5) / WAIT_PER_OCTAVE).exp2()
+    }
+
+    /// Records one wait observation.
+    pub fn record(&mut self, wait_ms: f64) {
+        self.counts[Self::bucket_of(wait_ms)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the representative value of the
+    /// bucket holding the ⌈q·n⌉-th smallest observation. `None` on an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::value_of(i));
+            }
+        }
+        None
+    }
+}
+
 /// Per-VM usage summary: busy time and finished-cloudlet count, computed
 /// in one pass over the records (or read straight off the aggregate).
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +176,11 @@ pub struct AggregateMetrics {
     total_cost: f64,
     sla_met: usize,
     sla_total: usize,
+    min_submit: Option<f64>,
+    wait_hist: WaitHistogram,
+    wait_sum: f64,
+    wait_max: f64,
+    wait_n: usize,
     per_vm_busy_ms: Vec<f64>,
     per_vm_counts: Vec<usize>,
 }
@@ -112,6 +207,11 @@ impl AggregateMetrics {
             total_cost: 0.0,
             sla_met: 0,
             sla_total: 0,
+            min_submit: None,
+            wait_hist: WaitHistogram::new(),
+            wait_sum: 0.0,
+            wait_max: f64::NEG_INFINITY,
+            wait_n: 0,
             per_vm_busy_ms: vec![0.0; vm_count],
             per_vm_counts: vec![0; vm_count],
         }
@@ -157,6 +257,17 @@ impl AggregateMetrics {
                 self.turn_n += 1;
             }
             _ => self.turn_missing = true,
+        }
+        if let Some(s) = r.submit {
+            let s = s.as_millis();
+            self.min_submit = Some(self.min_submit.map_or(s, |m| m.min(s)));
+        }
+        if let (Some(sub), Some(st)) = (r.submit, r.start) {
+            let w = st.saturating_sub(sub).as_millis();
+            self.wait_hist.record(w);
+            self.wait_sum += w;
+            self.wait_max = self.wait_max.max(w);
+            self.wait_n += 1;
         }
         self.total_cost += r.cost;
         if let Some(vm) = r.vm {
@@ -474,6 +585,113 @@ impl SimulationOutcome {
     pub fn per_vm_counts(&self, vm_count: usize) -> Vec<usize> {
         self.per_vm_usage(vm_count).counts
     }
+
+    /// The wait-time histogram (start − submit over finished cloudlets),
+    /// rebuilt from the records in Full mode and read off the fold in
+    /// Aggregate mode. Integer counting makes the two bit-identical.
+    pub fn wait_histogram(&self) -> WaitHistogram {
+        if let Some(a) = &self.aggregate {
+            return a.wait_hist.clone();
+        }
+        let mut hist = WaitHistogram::new();
+        for r in self.finished() {
+            if let (Some(sub), Some(st)) = (r.submit, r.start) {
+                hist.record(st.saturating_sub(sub).as_millis());
+            }
+        }
+        hist
+    }
+
+    /// The `q`-quantile of cloudlet wait time (start − submit) in ms,
+    /// estimated from the shared log-bucket histogram (≈9% relative
+    /// resolution). `None` when no finished cloudlet carries both stamps.
+    pub fn wait_quantile_ms(&self, q: f64) -> Option<f64> {
+        if let Some(a) = &self.aggregate {
+            return a.wait_hist.quantile(q);
+        }
+        self.wait_histogram().quantile(q)
+    }
+
+    /// Median queueing wait in ms (streaming-broker latency headline).
+    pub fn wait_p50_ms(&self) -> Option<f64> {
+        self.wait_quantile_ms(0.50)
+    }
+
+    /// 99th-percentile queueing wait in ms (tail-latency headline).
+    pub fn wait_p99_ms(&self) -> Option<f64> {
+        self.wait_quantile_ms(0.99)
+    }
+
+    /// Mean queueing wait in ms over finished cloudlets, exact (not
+    /// histogram-estimated). `None` when nothing finished with stamps.
+    pub fn mean_wait_ms(&self) -> Option<f64> {
+        if let Some(a) = &self.aggregate {
+            return (a.wait_n > 0).then(|| a.wait_sum / a.wait_n as f64);
+        }
+        let (sum, n) = self
+            .finished()
+            .filter_map(|r| Some((r.submit?, r.start?)))
+            .fold((0.0, 0usize), |(s, n), (sub, st)| {
+                (s + st.saturating_sub(sub).as_millis(), n + 1)
+            });
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// Maximum queueing wait in ms over finished cloudlets, exact.
+    pub fn max_wait_ms(&self) -> Option<f64> {
+        if let Some(a) = &self.aggregate {
+            return (a.wait_n > 0).then_some(a.wait_max);
+        }
+        let mut max = f64::NEG_INFINITY;
+        let mut n = 0usize;
+        for r in self.finished() {
+            if let (Some(sub), Some(st)) = (r.submit, r.start) {
+                max = max.max(st.saturating_sub(sub).as_millis());
+                n += 1;
+            }
+        }
+        (n > 0).then_some(max)
+    }
+
+    /// Earliest submission time over finished cloudlets, in ms. Opens the
+    /// throughput window (arrival-anchored, unlike Eq. 12's `min_start`).
+    pub fn min_submit_ms(&self) -> Option<f64> {
+        if let Some(a) = &self.aggregate {
+            return a.min_submit;
+        }
+        let mut min: Option<f64> = None;
+        for r in self.finished() {
+            if let Some(s) = r.submit {
+                let s = s.as_millis();
+                min = Some(min.map_or(s, |m| m.min(s)));
+            }
+        }
+        min
+    }
+
+    /// Sustained throughput in finished cloudlets per second over the
+    /// window from first submission to last finish. `None` when nothing
+    /// finished or the window is degenerate (zero span).
+    pub fn throughput_per_s(&self) -> Option<f64> {
+        let window_ms = self.latest_finish_ms()? - self.min_submit_ms()?;
+        (window_ms > 0.0).then(|| self.finished_count() as f64 / (window_ms / 1000.0))
+    }
+
+    /// Latest finish time over finished cloudlets, in ms. Mirrors the
+    /// aggregate fold's guard (start AND finish present) bit-for-bit.
+    fn latest_finish_ms(&self) -> Option<f64> {
+        if let Some(a) = &self.aggregate {
+            return a.max_finish;
+        }
+        let mut max: Option<f64> = None;
+        for r in self.finished() {
+            if let (Some(_), Some(f)) = (r.start, r.finish) {
+                let f = f.as_millis();
+                max = Some(max.map_or(f, |m| m.max(f)));
+            }
+        }
+        max
+    }
 }
 
 #[cfg(test)]
@@ -628,6 +846,27 @@ mod tests {
         );
         assert_eq!(full.sla_violations(), agg.sla_violations());
         assert_eq!(full.sla_attainment(), agg.sla_attainment());
+        assert_eq!(full.wait_histogram(), agg.wait_histogram());
+        assert_eq!(
+            full.wait_p50_ms().map(f64::to_bits),
+            agg.wait_p50_ms().map(f64::to_bits)
+        );
+        assert_eq!(
+            full.wait_p99_ms().map(f64::to_bits),
+            agg.wait_p99_ms().map(f64::to_bits)
+        );
+        assert_eq!(
+            full.mean_wait_ms().map(f64::to_bits),
+            agg.mean_wait_ms().map(f64::to_bits)
+        );
+        assert_eq!(
+            full.max_wait_ms().map(f64::to_bits),
+            agg.max_wait_ms().map(f64::to_bits)
+        );
+        assert_eq!(
+            full.throughput_per_s().map(f64::to_bits),
+            agg.throughput_per_s().map(f64::to_bits)
+        );
         assert_eq!(full.per_vm_usage(2), agg.per_vm_usage(2));
         // Asking for more (or fewer) VM slots than the fleet had behaves
         // like the record scan's index guard.
@@ -705,6 +944,58 @@ mod tests {
         // Empty run: no execution anywhere -> None.
         let empty = outcome(vec![]);
         assert_eq!(empty.goodput(), None);
+    }
+
+    #[test]
+    fn wait_histogram_buckets_resolve_to_nine_percent() {
+        let mut h = WaitHistogram::new();
+        for w in [0.0, 1.0, 10.0, 100.0, 1000.0] {
+            h.record(w);
+        }
+        assert_eq!(h.len(), 5);
+        // p50 is the 3rd smallest (10 ms) up to one bucket of error.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 10.0).abs() / 10.0 < 0.10, "p50 = {p50}");
+        // p99 rounds up to the largest observation's bucket.
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((p99 - 1000.0).abs() / 1000.0 < 0.10, "p99 = {p99}");
+        // The zero bucket reads back as exactly zero wait.
+        let mut z = WaitHistogram::new();
+        z.record(0.0);
+        assert_eq!(z.quantile(0.5), Some(0.0));
+        assert_eq!(WaitHistogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn wait_metrics_measure_submit_to_start() {
+        // rec() submits at t=0, so wait == start.
+        let records = vec![rec(0, 5.0, 20.0, 0.0), rec(1, 40.0, 50.0, 0.0)];
+        let o = outcome(records.clone());
+        assert_eq!(o.mean_wait_ms(), Some(22.5));
+        assert_eq!(o.max_wait_ms(), Some(40.0));
+        let p50 = o.wait_p50_ms().unwrap();
+        assert!((p50 - 5.0).abs() / 5.0 < 0.10, "p50 = {p50}");
+        // Aggregate mode answers identically.
+        let agg = aggregate_of(&records, 2);
+        assert_eq!(agg.mean_wait_ms(), Some(22.5));
+        assert_eq!(agg.max_wait_ms(), Some(40.0));
+        // No records at all -> None everywhere.
+        let empty = outcome(vec![]);
+        assert_eq!(empty.wait_p50_ms(), None);
+        assert_eq!(empty.mean_wait_ms(), None);
+        assert_eq!(empty.max_wait_ms(), None);
+    }
+
+    #[test]
+    fn throughput_spans_submit_to_finish() {
+        // Two cloudlets, submits at 0, last finish at 50 ms -> 40/s.
+        let o = outcome(vec![rec(0, 5.0, 20.0, 0.0), rec(1, 10.0, 50.0, 0.0)]);
+        assert!((o.throughput_per_s().unwrap() - 40.0).abs() < 1e-12);
+        assert_eq!(o.min_submit_ms(), Some(0.0));
+        // Degenerate window (submit == finish) -> None.
+        let z = outcome(vec![rec(0, 0.0, 0.0, 0.0)]);
+        assert_eq!(z.throughput_per_s(), None);
+        assert_eq!(outcome(vec![]).throughput_per_s(), None);
     }
 
     #[test]

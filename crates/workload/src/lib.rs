@@ -10,6 +10,8 @@
 //!   workloads plus skewed fleets.
 //! * [`scenario`] — the [`scenario::Scenario`] bundle gluing a workload to
 //!   infrastructure, schedulers and the simulator.
+//! * [`stream`] — the streaming broker: warm-state incremental
+//!   replanning per arrival wave with queueing/latency measurements.
 //! * [`sweep`] — rayon-parallel experiment execution collecting the
 //!   paper's four metrics per (scenario, algorithm) point.
 //! * [`resilience`] — fault-injection campaigns: seeded chaos timelines,
@@ -23,6 +25,7 @@ pub mod homogeneous;
 pub mod online;
 pub mod resilience;
 pub mod scenario;
+pub mod stream;
 pub mod sweep;
 pub mod traces;
 pub mod workflow;
@@ -37,6 +40,9 @@ pub mod prelude {
         ResiliencePointResult, ResilienceSummary,
     };
     pub use crate::scenario::{DatacenterSetup, Scenario};
+    pub use crate::stream::{
+        run_stream, run_stream_with, ReplanMode, StreamConfig, StreamOutcome, WaveStat,
+    };
     pub use crate::sweep::{run_point, sweep, PointResult};
     pub use crate::workflow::Workflow;
 }

@@ -1,0 +1,136 @@
+//! Streaming-broker determinism: warm and cold replanning each promise
+//! byte-identical merged plans per seed across rayon thread counts
+//! {1, 2, 4, 8} and bit-identical metrics across both engines. Warm and
+//! cold plans are *not* claimed equal to each other — each mode is its
+//! own deterministic contract.
+//!
+//! Thread counts are switched in-process through rayon's global builder
+//! (the vendored shim allows repeated `build_global`; last one wins).
+
+use biosched_core::scheduler::AlgorithmKind;
+use biosched_workload::heterogeneous::HeterogeneousScenario;
+use biosched_workload::online::WavePlan;
+use biosched_workload::scenario::Scenario;
+use biosched_workload::stream::{run_stream, StreamConfig};
+use simcloud::simulation::EngineKind;
+use simcloud::stats::RecordMode;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn set_threads(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("vendored rayon accepts repeated build_global");
+}
+
+fn scenario() -> Scenario {
+    HeterogeneousScenario {
+        vm_count: 12,
+        cloudlet_count: 96,
+        datacenter_count: 2,
+        seed: 21,
+    }
+    .build()
+}
+
+#[test]
+fn wave_plans_are_byte_identical_across_thread_counts() {
+    let s = scenario();
+    let plan = WavePlan::poisson(96, 16, 700.0, 5);
+    // ACO fans out across colonies; GA/PSO batch-evaluate in parallel;
+    // the balancers are sequential but ride along as regression guards.
+    let kinds = [
+        AlgorithmKind::AntColony,
+        AlgorithmKind::Ga,
+        AlgorithmKind::Pso,
+        AlgorithmKind::LeastConnection,
+        AlgorithmKind::WeightedRoundRobin,
+    ];
+    for kind in kinds {
+        for cfg in [StreamConfig::warm(kind, 42), StreamConfig::cold(kind, 42)] {
+            set_threads(1);
+            let baseline = run_stream(&s, &plan, &cfg).unwrap();
+            for &threads in &THREAD_COUNTS[1..] {
+                set_threads(threads);
+                let got = run_stream(&s, &plan, &cfg).unwrap();
+                assert_eq!(
+                    baseline.assignment,
+                    got.assignment,
+                    "{kind} {} plan diverged at {threads} threads",
+                    cfg.mode.label()
+                );
+                let backlog =
+                    |r: &biosched_workload::stream::StreamOutcome| -> Vec<usize> {
+                        r.waves.iter().map(|w| w.backlog).collect()
+                    };
+                assert_eq!(
+                    backlog(&baseline),
+                    backlog(&got),
+                    "{kind} {} backlog trace diverged at {threads} threads",
+                    cfg.mode.label()
+                );
+            }
+        }
+    }
+    set_threads(0);
+}
+
+#[test]
+fn engines_agree_bitwise_on_streamed_metrics() {
+    let s = scenario();
+    let plan = WavePlan::poisson(96, 12, 500.0, 8);
+    for kind in [AlgorithmKind::AntColony, AlgorithmKind::WeightedRoundRobin] {
+        for base in [StreamConfig::warm(kind, 7), StreamConfig::cold(kind, 7)] {
+            // Engine × record-mode grid: all four must agree bit-for-bit.
+            let runs: Vec<_> = [
+                base,
+                base.on_engine(EngineKind::Sharded),
+                base.with_record(RecordMode::Aggregate),
+                base.on_engine(EngineKind::Sharded)
+                    .with_record(RecordMode::Aggregate),
+            ]
+            .iter()
+            .map(|cfg| run_stream(&s, &plan, cfg).unwrap())
+            .collect();
+            let reference = &runs[0];
+            for other in &runs[1..] {
+                assert_eq!(reference.assignment, other.assignment);
+                for (name, a, b) in [
+                    (
+                        "simulation_time",
+                        reference.outcome.simulation_time_ms(),
+                        other.outcome.simulation_time_ms(),
+                    ),
+                    (
+                        "wait_p50",
+                        reference.outcome.wait_p50_ms(),
+                        other.outcome.wait_p50_ms(),
+                    ),
+                    (
+                        "wait_p99",
+                        reference.outcome.wait_p99_ms(),
+                        other.outcome.wait_p99_ms(),
+                    ),
+                    (
+                        "mean_wait",
+                        reference.outcome.mean_wait_ms(),
+                        other.outcome.mean_wait_ms(),
+                    ),
+                    (
+                        "throughput",
+                        reference.outcome.throughput_per_s(),
+                        other.outcome.throughput_per_s(),
+                    ),
+                ] {
+                    assert_eq!(
+                        a.map(f64::to_bits),
+                        b.map(f64::to_bits),
+                        "{kind} {}: {name} diverged across engine/record grid",
+                        base.mode.label()
+                    );
+                }
+            }
+        }
+    }
+}
