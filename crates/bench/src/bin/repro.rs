@@ -204,6 +204,8 @@ fn heterogeneous(metrics: &[(Metric, &str, &str)], opts: &Options) {
 
 /// Every run must complete its whole workload — anything else means the
 /// scenario infrastructure was infeasible and the figures would be lies.
+/// Likewise every point must have run on the engine it asked for: a sweep
+/// that mixed engines would blend wall-clock regimes into one curve.
 fn sanity_check(results: &[Vec<PointResult>]) {
     for row in results {
         for r in row {
@@ -212,7 +214,26 @@ fn sanity_check(results: &[Vec<PointResult>]) {
                 "{} finished only {}/{} cloudlets at {} VMs",
                 r.algorithm, r.finished, r.cloudlet_count, r.vm_count
             );
+            assert_eq!(
+                r.engine_ran,
+                r.engine_requested,
+                "{} at {} VMs fell back from {:?} to {:?}: {}",
+                r.algorithm,
+                r.vm_count,
+                r.engine_requested,
+                r.engine_ran,
+                r.engine_fallback_reason.unwrap_or("no reason recorded")
+            );
         }
+    }
+}
+
+/// `requested→ran` engine provenance for a summary-CSV row, with the
+/// fallback reason attached when the two differ.
+fn engine_cell(requested: EngineKind, ran: EngineKind, reason: Option<&'static str>) -> String {
+    match reason {
+        Some(why) => format!("{}→{} ({why})", requested.name(), ran.name()),
+        None => format!("{}→{}", requested.name(), ran.name()),
     }
 }
 
@@ -247,6 +268,8 @@ fn stream_family(opts: &Options) {
         AlgorithmKind::BaseTest,
         AlgorithmKind::LeastConnection,
         AlgorithmKind::WeightedRoundRobin,
+        AlgorithmKind::Sjf,
+        AlgorithmKind::BestFit,
     ];
     println!(
         "streaming broker: {} waves over {} cloudlets / {} VMs, \
@@ -275,6 +298,7 @@ fn stream_family(opts: &Options) {
     let mut t = Table::new(vec![
         "algorithm",
         "mode",
+        "engine (req→ran)",
         "sched total (ms)",
         "sched mean (ms/wave)",
         "sched worst (ms)",
@@ -319,6 +343,11 @@ fn stream_family(opts: &Options) {
             t.push_row(vec![
                 kind.label().to_string(),
                 mode.label().to_string(),
+                engine_cell(
+                    opts.engine,
+                    r.outcome.engine,
+                    r.outcome.fallback.as_ref().map(|f| f.reason),
+                ),
                 fmt_value(r.total_sched_ms()),
                 fmt_value(r.mean_sched_ms().unwrap_or(0.0)),
                 fmt_value(r.max_sched_ms().unwrap_or(0.0)),
@@ -445,6 +474,7 @@ fn main() -> ExitCode {
             let mut t = Table::new(vec![
                 "VMs".to_string(),
                 "algorithm".to_string(),
+                "engine (req→ran)".to_string(),
                 "makespan ms (±CI95)".to_string(),
                 "imbalance (±CI95)".to_string(),
                 "cost (±CI95)".to_string(),
@@ -454,6 +484,7 @@ fn main() -> ExitCode {
                     t.push_row(vec![
                         x.to_string(),
                         r.algorithm.label().to_string(),
+                        engine_cell(r.engine_requested, r.engine_ran, r.engine_fallback_reason),
                         format!(
                             "{} ±{}",
                             fmt_value(r.simulation_time_ms.mean),

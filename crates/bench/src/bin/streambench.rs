@@ -108,6 +108,16 @@ fn roster(cloudlets: usize) -> Vec<(AlgorithmKind, String, Builder)> {
             AlgorithmKind::WeightedRoundRobin.label().into(),
             Box::new(|seed| AlgorithmKind::WeightedRoundRobin.build(seed)),
         ),
+        (
+            AlgorithmKind::Sjf,
+            AlgorithmKind::Sjf.label().into(),
+            Box::new(|seed| AlgorithmKind::Sjf.build(seed)),
+        ),
+        (
+            AlgorithmKind::BestFit,
+            AlgorithmKind::BestFit.label().into(),
+            Box::new(|seed| AlgorithmKind::BestFit.build(seed)),
+        ),
     ]
 }
 
@@ -280,13 +290,13 @@ fn main() {
             let again = run_stream_with(&grid_scenario, &grid_plan, &cfg, &mut |s| build(s))
                 .expect("grid rerun");
             assert_eq!(
-                base.assignment, again.assignment,
+                base.assignment,
+                again.assignment,
                 "{name} {} plan changed with thread count",
                 mode.label()
             );
-            let backlog = |r: &StreamOutcome| -> Vec<usize> {
-                r.waves.iter().map(|w| w.backlog).collect()
-            };
+            let backlog =
+                |r: &StreamOutcome| -> Vec<usize> { r.waves.iter().map(|w| w.backlog).collect() };
             assert_eq!(
                 backlog(&base),
                 backlog(&again),
@@ -427,7 +437,11 @@ fn main() {
         }
         let warm = mean_of(&name, ReplanMode::Warm);
         let cold = mean_of(&name, ReplanMode::Cold);
-        let speedup = if warm > 0.0 { cold / warm } else { f64::INFINITY };
+        let speedup = if warm > 0.0 {
+            cold / warm
+        } else {
+            f64::INFINITY
+        };
         eprintln!(
             "  warm speedup {name}: {speedup:.2}x (cold {cold:.2} ms/wave vs warm {warm:.2})"
         );

@@ -101,10 +101,12 @@ pub fn parse_algorithm(name: &str) -> Result<AlgorithmKind, String> {
         "hybrid-balance" => AlgorithmKind::Hybrid(Objective::Balance),
         "lc" | "leastconn" | "least-connection" => AlgorithmKind::LeastConnection,
         "wrr" | "weightedrr" | "weighted-round-robin" => AlgorithmKind::WeightedRoundRobin,
+        "sjf" | "shortest-job-first" => AlgorithmKind::Sjf,
+        "bf" | "bestfit" | "best-fit" => AlgorithmKind::BestFit,
         other => {
             return Err(format!(
                 "unknown algorithm '{other}' (try: base aco hbo rbs minmin maxmin \
-                 pso ga hybrid hybrid-cost hybrid-balance lc wrr)"
+                 pso ga hybrid hybrid-cost hybrid-balance lc wrr sjf bf)"
             ))
         }
     })
@@ -247,11 +249,16 @@ mod tests {
             parse_algorithm("hybrid-cost").unwrap(),
             AlgorithmKind::Hybrid(Objective::Cost)
         );
-        assert_eq!(parse_algorithm("lc").unwrap(), AlgorithmKind::LeastConnection);
+        assert_eq!(
+            parse_algorithm("lc").unwrap(),
+            AlgorithmKind::LeastConnection
+        );
         assert_eq!(
             parse_algorithm("weighted-round-robin").unwrap(),
             AlgorithmKind::WeightedRoundRobin
         );
+        assert_eq!(parse_algorithm("sjf").unwrap(), AlgorithmKind::Sjf);
+        assert_eq!(parse_algorithm("best-fit").unwrap(), AlgorithmKind::BestFit);
         assert!(parse_algorithm("nope").is_err());
     }
 

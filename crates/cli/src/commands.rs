@@ -28,7 +28,7 @@ commands:
   run --algorithm <name>      run one scheduler, print every metric
   compare --algorithms a,b,c  run several schedulers side by side
   sweep --points 50,150,...   sweep the VM count, print/export series
-  workflow --shape <shape>    schedule a DAG (chain|fork-join|layered|ensemble)
+  workflow --shape <shape>    schedule a DAG (chain|fork-join|layered|layered-sparse|ensemble)
   online --waves N            re-invoke the scheduler per arrival wave
   stream --waves N            streaming broker: warm-state incremental
                               replanning per wave (--cold for the control
@@ -47,9 +47,9 @@ scenario options (all commands):
   --threads N      cap worker threads for parallel evaluation (default:
                    RAYON_NUM_THREADS, else all cores; never changes results)
   --engine E       simulation engine: sequential (default) or sharded
-                   (parallel per-VM replay, identical results; faults and
-                   recovery run on its epoch driver, workflow DAGs run
-                   sequential with an explicit stderr note)
+                   (parallel per-VM replay, identical results; faults,
+                   recovery, and workflow DAGs all run on its epoch
+                   drivers — no shape falls back to sequential)
   --faults SPEC    seeded chaos campaign with broker retries, e.g.
                    hosts=0.25,fail=500..8000,repair=2000..5000,slow=0.4
                    (keys: hosts fail repair stragglers slow slowstart
@@ -359,9 +359,18 @@ pub fn cmd_workflow(args: &[String]) -> Result<(), String> {
             opts.seed,
         ),
         "ensemble" => workflow::pipeline_ensemble(tasks.div_ceil(4).max(1), 4, 4_000.0, opts.seed),
+        // O(tasks × k) generator — the shape that scales to the paper's
+        // 1M-task tier (the quadratic "layered" does not).
+        "layered-sparse" => workflow::layered_sparse(
+            8,
+            tasks.div_ceil(8).max(1),
+            3,
+            (1_000.0, 8_000.0),
+            opts.seed,
+        ),
         other => {
             return Err(format!(
-                "unknown shape {other} (chain|fork-join|layered|ensemble)"
+                "unknown shape {other} (chain|fork-join|layered|layered-sparse|ensemble)"
             ))
         }
     };
@@ -730,7 +739,13 @@ mod tests {
 
     #[test]
     fn workflow_command_shapes() {
-        for shape in ["chain", "fork-join", "layered", "ensemble"] {
+        for shape in [
+            "chain",
+            "fork-join",
+            "layered",
+            "layered-sparse",
+            "ensemble",
+        ] {
             cmd_workflow(&args(&format!(
                 "--shape {shape} --tasks 8 --vms 4 --datacenters 2"
             )))

@@ -299,9 +299,7 @@ impl Scheduler for Genetic {
         cache: &EvalCache,
         warm: &mut crate::warm::WarmState,
     ) -> Assignment {
-        let plan = self
-            .run(problem, cache, false, warm.incumbent.as_deref())
-            .0;
+        let plan = self.run(problem, cache, false, warm.incumbent.as_deref()).0;
         warm.note_plan(&plan);
         plan
     }

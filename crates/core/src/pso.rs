@@ -302,9 +302,7 @@ impl Scheduler for ParticleSwarm {
         cache: &EvalCache,
         warm: &mut crate::warm::WarmState,
     ) -> Assignment {
-        let plan = self
-            .run(problem, cache, false, warm.incumbent.as_deref())
-            .0;
+        let plan = self.run(problem, cache, false, warm.incumbent.as_deref()).0;
         warm.note_plan(&plan);
         plan
     }

@@ -2,7 +2,7 @@
 
 use crate::aco::{AcoParams, AntColony};
 use crate::assignment::Assignment;
-use crate::baselines::{LeastConnection, WeightedRoundRobin};
+use crate::baselines::{BestFit, LeastConnection, ShortestJobFirst, WeightedRoundRobin};
 use crate::eval::EvalCache;
 use crate::ga::{GaParams, Genetic};
 use crate::hbo::{HboParams, HoneyBee};
@@ -93,6 +93,10 @@ pub enum AlgorithmKind {
     LeastConnection,
     /// Weighted round-robin balancer (production baseline, streaming PR).
     WeightedRoundRobin,
+    /// Shortest-job-first greedy baseline (related-work survey staple).
+    Sjf,
+    /// Best-fit greedy baseline: min estimated finish per cloudlet.
+    BestFit,
 }
 
 impl AlgorithmKind {
@@ -118,6 +122,8 @@ impl AlgorithmKind {
             AlgorithmKind::Hybrid(_) => "Hybrid",
             AlgorithmKind::LeastConnection => "LeastConn",
             AlgorithmKind::WeightedRoundRobin => "WeightedRR",
+            AlgorithmKind::Sjf => "SJF",
+            AlgorithmKind::BestFit => "BestFit",
         }
     }
 
@@ -135,6 +141,8 @@ impl AlgorithmKind {
             AlgorithmKind::Hybrid(objective) => Box::new(Hybrid::new(objective, seed)),
             AlgorithmKind::LeastConnection => Box::new(LeastConnection::new()),
             AlgorithmKind::WeightedRoundRobin => Box::new(WeightedRoundRobin::new()),
+            AlgorithmKind::Sjf => Box::new(ShortestJobFirst::new()),
+            AlgorithmKind::BestFit => Box::new(BestFit::new()),
         }
     }
 }
@@ -175,6 +183,8 @@ mod tests {
             AlgorithmKind::Hybrid(Objective::Makespan),
             AlgorithmKind::LeastConnection,
             AlgorithmKind::WeightedRoundRobin,
+            AlgorithmKind::Sjf,
+            AlgorithmKind::BestFit,
         ];
         for kind in kinds {
             let mut s = kind.build(42);
@@ -212,6 +222,8 @@ mod tests {
             AlgorithmKind::Hybrid(Objective::Balance),
             AlgorithmKind::LeastConnection,
             AlgorithmKind::WeightedRoundRobin,
+            AlgorithmKind::Sjf,
+            AlgorithmKind::BestFit,
         ];
         for kind in kinds {
             for seed in [7u64, 42, 1_234] {

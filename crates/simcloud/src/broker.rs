@@ -243,6 +243,15 @@ impl Broker {
         self
     }
 
+    /// Marks `child` as released outside the broker: the sharded DAG
+    /// driver resolves same-VM dependency chains inside lane replay, so
+    /// the pending-parent counter is given a sentinel excess that parent
+    /// completions can never drain. The counter thus never reaches zero
+    /// and [`Broker::on_parent_done`] never double-releases the child.
+    pub(crate) fn mask_release(&mut self, child: CloudletId) {
+        self.pending_parents[child.index()] += 1;
+    }
+
     /// Staggers cloudlet submissions: cloudlet `c` arrives at
     /// `arrivals[c]` (absolute simulated time). Cloudlets whose arrival
     /// precedes fleet readiness are submitted as soon as the fleet is up.

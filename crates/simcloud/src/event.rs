@@ -347,6 +347,43 @@ impl EventQueue {
         }
     }
 
+    /// Time of the earliest *deliverable* event.
+    ///
+    /// Unlike [`EventQueue::peek_time`], the returned time is exactly what
+    /// a subsequent [`EventQueue::pop`] would deliver: stale coalesced
+    /// `VmTick`s at the head are dropped in place rather than reported.
+    /// (A stale head cannot simply be peeked around — pop would skip it
+    /// and return a later event, so a plain peek could understate the next
+    /// delivery time.) The epoch drivers ([`crate::sharded`]) use this to
+    /// bound a replay round by the next real queue event.
+    pub(crate) fn peek_deliverable_time(&mut self) -> Option<SimTime> {
+        loop {
+            if let Some((time, bucket)) = &mut self.current {
+                if !bucket.exhausted() {
+                    let slot = &bucket.events[bucket.cursor];
+                    if let Event::VmTick { vm } = slot.event {
+                        let armed = self.tick_armed.get(vm.index()).copied().flatten();
+                        if armed != Some(slot.time) {
+                            bucket.cursor += 1;
+                            self.pending -= 1;
+                            self.coalesced += 1;
+                            continue;
+                        }
+                    }
+                    return Some(*time);
+                }
+                if let Some((_, mut bucket)) = self.current.take() {
+                    bucket.events.clear();
+                    if self.spare.len() < 4 {
+                        self.spare.push(bucket.events);
+                    }
+                }
+            }
+            let (t, events) = self.future.pop_first()?;
+            self.current = Some((t, Bucket { events, cursor: 0 }));
+        }
+    }
+
     /// Time of the earliest pending event (including not-yet-dropped stale
     /// ticks — this is a diagnostic view of the raw queue).
     pub fn peek_time(&self) -> Option<SimTime> {
@@ -514,6 +551,23 @@ mod tests {
         let mut q = EventQueue::new();
         tick(&mut q, 0.0, 1, 7.0);
         q.cancel_vm_tick(VmId(1));
+        assert!(q.pop().is_none());
+        assert_eq!(q.total_coalesced(), 1);
+    }
+
+    #[test]
+    fn deliverable_peek_skips_stale_ticks() {
+        let mut q = EventQueue::new();
+        tick(&mut q, 0.0, 0, 3.0);
+        tick(&mut q, 0.0, 0, 1.0); // supersedes the 3.0 tick
+        ev(&mut q, 2.0);
+        // Head order in the raw queue: tick@1 (live), ev@2, tick@3 (stale).
+        assert_eq!(q.peek_deliverable_time(), Some(SimTime::new(1.0)));
+        assert_eq!(q.pop().unwrap().time, SimTime::new(1.0));
+        // The stale 3.0 tick must not be reported; the event at 2.0 is next.
+        assert_eq!(q.peek_deliverable_time(), Some(SimTime::new(2.0)));
+        assert_eq!(q.pop().unwrap().time, SimTime::new(2.0));
+        assert_eq!(q.peek_deliverable_time(), None);
         assert!(q.pop().is_none());
         assert_eq!(q.total_coalesced(), 1);
     }

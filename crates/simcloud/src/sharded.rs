@@ -27,11 +27,21 @@
 //!    `armed` deadline. See DESIGN.md §"Epoch-sharded replay" for the
 //!    full horizon rule and ordering argument.
 //!
-//! The only shape that still runs on the sequential kernel is a workflow
-//! DAG: a completed cloudlet can release a successor onto any other VM,
-//! which collapses the epoch horizon to single events. That substitution
-//! is *explicit* — [`crate::simulation::SimulationBuilder::run`] records
-//! it in the outcome's `fallback` field instead of switching silently.
+//! 3. **Dependency-aware epochs** ([`run_epochs_dag`]) for workflow
+//!    DAGs, with or without fault shaping. A dependency edge can release
+//!    a successor at any completion, so the driver replaces the
+//!    next-control horizon with a *release barrier*: replay is bounded by
+//!    the earliest completion notification that can still release a
+//!    cross-VM child. Releases whose children live on the **same VM** as
+//!    every parent never cross the barrier at all — they resolve inside
+//!    the VM's local replay (the broker's pending-parent counter for such
+//!    a child is masked so it is never double-released), which is what
+//!    lets co-located pipelines replay whole chains in one pass. See
+//!    DESIGN.md §"Dependency-aware epochs" for the barrier soundness and
+//!    determinism argument.
+//!
+//! Every workload shape now has a parallel path; `EngineFallback` is no
+//! longer produced by any scenario.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -429,8 +439,8 @@ struct Driver {
 /// repairs, VM degrades, submissions landing on dead VMs, cloudlet
 /// failures, retry wake-ups) are dispatched to the real entity handlers
 /// in queue order, while VM-local deliveries in between are staged and
-/// replayed in parallel at the next control instant. Workflow DAGs are
-/// not eligible (the builder reports an explicit fallback instead).
+/// replayed in parallel at the next control instant. Workflow DAGs route
+/// to [`run_epochs_dag`] instead, which adds the release barrier.
 pub(crate) fn run_epochs(
     world: &mut World,
     dcs: &mut [Datacenter],
@@ -640,6 +650,805 @@ impl Driver {
             broker.handle(world, &mut ctx, ev);
         }
     }
+}
+
+// ====================================================================
+// Dependency-aware epochs: workflow DAGs on the sharded engine.
+// ====================================================================
+
+/// The dependency table the DAG epoch driver replays against, compiled
+/// once from the scenario before the entities are built.
+///
+/// Children are classified by where their release can be resolved:
+///
+/// * **local** — every parent is assigned to the same VM as the child
+///   (and no fault shaping can move work between VMs). The release is
+///   resolved entirely inside that VM's replay lane; the broker's
+///   pending-parent counter for the child is masked so the parent's
+///   completion notification never double-releases it.
+/// * **cross** — anything else. The release goes through the real
+///   broker's `CloudletReturn` handler, and the parent's completion is a
+///   *release barrier* event: no lane may replay past it until it is
+///   delivered.
+///
+/// Under fault shaping (host failures, recovery, resubmission) every
+/// child is cross: resubmission can rewrite the assignment mid-run, so
+/// the static same-VM classification would be unsound.
+pub(crate) struct DagPlan {
+    /// CSR offsets into `local_child`: `local_off[p]..local_off[p+1]`
+    /// are the locally-released children of parent `p`.
+    local_off: Vec<u32>,
+    local_child: Vec<u32>,
+    /// Parents with at least one cross child — their completions bound
+    /// the release barrier.
+    has_cross: Vec<bool>,
+    /// Children resolved locally: masked in the broker.
+    local_mask: Vec<bool>,
+    /// Per-VM `(child, unfinished-local-parents)` counters, sorted by
+    /// child id; moved into the lanes at driver start.
+    lane_pending: Vec<Vec<(u32, u32)>>,
+    /// Inputs the in-lane release arithmetic shares with
+    /// `Broker::submit_one`.
+    arrivals: Option<Vec<SimTime>>,
+    topology: Topology,
+}
+
+impl DagPlan {
+    /// Classifies every dependency edge and builds the replay table.
+    pub(crate) fn compile(
+        parents: &[Vec<CloudletId>],
+        assignment: &[VmId],
+        vm_count: usize,
+        fault_shaped: bool,
+        arrivals: Option<Vec<SimTime>>,
+        topology: Topology,
+    ) -> DagPlan {
+        let n = parents.len();
+        let mut local_mask = vec![false; n];
+        if !fault_shaped {
+            for (c, ps) in parents.iter().enumerate() {
+                local_mask[c] =
+                    !ps.is_empty() && ps.iter().all(|p| assignment[p.index()] == assignment[c]);
+            }
+        }
+        let mut local_counts = vec![0u32; n];
+        let mut has_cross = vec![false; n];
+        for (c, ps) in parents.iter().enumerate() {
+            for p in ps {
+                if local_mask[c] {
+                    local_counts[p.index()] += 1;
+                } else {
+                    has_cross[p.index()] = true;
+                }
+            }
+        }
+        let mut local_off = vec![0u32; n + 1];
+        for i in 0..n {
+            local_off[i + 1] = local_off[i] + local_counts[i];
+        }
+        let mut cursor = local_off.clone();
+        let mut local_child = vec![0u32; local_off[n] as usize];
+        // Child ids ascend within each parent's slice (the fill loop runs
+        // in child order), matching the broker's release order for the
+        // same parent.
+        for (c, ps) in parents.iter().enumerate() {
+            if local_mask[c] {
+                for p in ps {
+                    let slot = &mut cursor[p.index()];
+                    local_child[*slot as usize] = c as u32;
+                    *slot += 1;
+                }
+            }
+        }
+        let mut lane_pending: Vec<Vec<(u32, u32)>> = vec![Vec::new(); vm_count];
+        for (c, ps) in parents.iter().enumerate() {
+            if local_mask[c] {
+                lane_pending[assignment[c].index()]
+                    .push((c as u32, u32::try_from(ps.len()).expect("parents fit u32")));
+            }
+        }
+        DagPlan {
+            local_off,
+            local_child,
+            has_cross,
+            local_mask,
+            lane_pending,
+            arrivals,
+            topology,
+        }
+    }
+
+    fn local_children(&self, parent: CloudletId) -> &[u32] {
+        let lo = self.local_off[parent.index()] as usize;
+        let hi = self.local_off[parent.index() + 1] as usize;
+        &self.local_child[lo..hi]
+    }
+
+    fn has_local_children(&self, parent: CloudletId) -> bool {
+        self.local_off[parent.index()] < self.local_off[parent.index() + 1]
+    }
+}
+
+/// How far one lane-replay call may advance.
+#[derive(Clone, Copy)]
+enum Bound {
+    /// A control instant: everything staged from the queue fires (it was
+    /// popped before the control, so it is kernel-ordered before it);
+    /// lane-local content (release notifications, released submissions)
+    /// fires strictly before the instant; a tick exactly at the instant
+    /// fires only if the queue already popped it.
+    Control(SimTime),
+    /// A release round: everything at or before the barrier fires.
+    Round(SimTime),
+    /// Final drain: replay to completion.
+    All,
+}
+
+/// One VM's staged work between flushes, plus its local release state.
+#[derive(Default)]
+struct Lane {
+    /// Queue-staged submissions in pop (= kernel) order, consumed from
+    /// `head`. Pop times are globally nondecreasing, so this stays
+    /// sorted by construction.
+    subs: Vec<(SimTime, CloudletId)>,
+    head: usize,
+    /// The queue tick already popped for this VM, if any.
+    popped_tick: Option<SimTime>,
+    /// Completion notifications of same-VM parents pending local release
+    /// processing, ordered by (return time, generation).
+    local_rets: BinaryHeap<Reverse<(SimTime, u64, CloudletId)>>,
+    ret_ord: u64,
+    /// Locally released submissions, ordered by (arrival, generation).
+    /// Kept apart from `subs`: at equal times queue-staged submissions
+    /// carry lower kernel sequence numbers and must fire first.
+    local_subs: BinaryHeap<Reverse<(SimTime, u64, CloudletId)>>,
+    sub_ord: u64,
+    /// `(child, unfinished-local-parents)`, sorted by child id.
+    local_pending: Vec<(u32, u32)>,
+    /// Guard against selecting the lane twice in one flush.
+    in_round: bool,
+}
+
+impl Lane {
+    /// Earliest pending lane event, if any (queue-armed ticks live in the
+    /// queue and are not lane content).
+    fn next_time(&self) -> Option<SimTime> {
+        let mut t = self.subs.get(self.head).map(|e| e.0);
+        if let Some(Reverse((rt, _, _))) = self.local_rets.peek() {
+            t = Some(t.map_or(*rt, |x| x.min(*rt)));
+        }
+        if let Some(Reverse((st, _, _))) = self.local_subs.peek() {
+            t = Some(t.map_or(*st, |x| x.min(*st)));
+        }
+        if let Some(pt) = self.popped_tick {
+            t = Some(t.map_or(pt, |x| x.min(pt)));
+        }
+        t
+    }
+
+    fn has_content(&self) -> bool {
+        self.next_time().is_some()
+    }
+}
+
+/// Input to one lane's parallel replay.
+struct LaneSeg {
+    vm: VmId,
+    dc: usize,
+    lane: Lane,
+    armed_before: Option<SimTime>,
+    sched: Box<dyn CloudletScheduler>,
+    cost: CostModel,
+    /// Broker→datacenter latency for this lane's datacenter (release
+    /// arithmetic input).
+    latency: SimTime,
+}
+
+/// Everything a lane replay reports back for the sequential commit.
+struct LaneOut {
+    vm: VmId,
+    dc: usize,
+    sched: Box<dyn CloudletScheduler>,
+    /// The lane, with consumed entries removed and any still-pending
+    /// local content retained for later rounds.
+    lane: Lane,
+    queued: Vec<CloudletId>,
+    started: Vec<(CloudletId, SimTime)>,
+    finished: Vec<FinishedCl>,
+    /// Locally released children and their submit times (committed to the
+    /// world exactly as `Broker::submit_one` would set them).
+    released: Vec<(CloudletId, SimTime)>,
+    sub_events: u64,
+    ticks: u64,
+    last_event: SimTime,
+    last_now: SimTime,
+    armed_before: Option<SimTime>,
+    armed_after: Option<SimTime>,
+}
+
+/// The DAG epoch driver's mutable state.
+struct DagDriver {
+    queue: EventQueue,
+    clock: SimTime,
+    processed: u64,
+    lanes: Vec<Lane>,
+    /// Lazy min-heap of `(lane next-event time, vm)`; entries are
+    /// validated against the lane's actual next event on peek.
+    dirty: BinaryHeap<Reverse<(SimTime, u32)>>,
+    returns: BinaryHeap<Reverse<PendingReturn>>,
+    /// Mirror of `returns` restricted to barrier-relevant (cross-child)
+    /// completions: its head is the earliest pending release.
+    rel_ats: BinaryHeap<Reverse<SimTime>>,
+    return_ord: u64,
+    /// Cross-child cloudlets currently staged or executing in a lane.
+    /// While any exist, replay is also bounded by the earliest lane
+    /// event (their completion times are not yet known).
+    rel_inflight: u64,
+    in_flight: Vec<bool>,
+    broker_id: EntityId,
+}
+
+/// Runs a workflow-DAG scenario (with or without fault shaping) on the
+/// epoch-sharded engine.
+///
+/// The loop alternates between draining every queue event at or before
+/// the current release barrier — bulk deliveries are staged into lanes,
+/// control events are handled by the real entities after a bounded
+/// flush — and *release rounds* that replay all lanes up to the barrier
+/// and deliver matured completions to the real broker (whose
+/// `CloudletReturn` handler performs the cross releases). The barrier
+/// `B = min(R, G)` is sound: any future cross release happens at the
+/// return time of a pending completion (≥ R), or downstream of a staged
+/// cross-parent cloudlet whose completion is no earlier than its lane's
+/// next event (≥ G, inductively over release chains); queue events are
+/// never outrun because rounds fire only when the earliest deliverable
+/// queue event lies beyond the barrier.
+pub(crate) fn run_epochs_dag(
+    world: &mut World,
+    dcs: &mut [Datacenter],
+    broker: &mut Broker,
+    max_events: u64,
+    mut plan: DagPlan,
+) -> RunStats {
+    let broker_id = EntityId::from_index(dcs.len());
+    let n = world.cloudlets.len();
+    let vm_count = world.vms.len();
+    // Mask locally resolved children so the broker never double-releases
+    // them (their counters keep a sentinel excess that no return clears).
+    for (c, &masked) in plan.local_mask.iter().enumerate() {
+        if masked {
+            broker.mask_release(CloudletId::from_index(c));
+        }
+    }
+    let mut lanes: Vec<Lane> = Vec::with_capacity(vm_count);
+    for pending in std::mem::take(&mut plan.lane_pending) {
+        lanes.push(Lane {
+            local_pending: pending,
+            ..Lane::default()
+        });
+    }
+    lanes.resize_with(vm_count, Lane::default);
+    let mut driver = DagDriver {
+        queue: EventQueue::new(),
+        clock: SimTime::ZERO,
+        processed: 0,
+        lanes,
+        dirty: BinaryHeap::new(),
+        returns: BinaryHeap::new(),
+        rel_ats: BinaryHeap::new(),
+        return_ord: 0,
+        rel_inflight: 0,
+        in_flight: vec![false; n],
+        broker_id,
+    };
+    for i in 0..=dcs.len() {
+        let id = EntityId::from_index(i);
+        driver.queue.push(SimTime::ZERO, id, id, Event::Start);
+    }
+    for dc in dcs.iter_mut() {
+        dc.set_broker_hint(broker_id);
+    }
+
+    loop {
+        let barrier = driver.barrier();
+        let head = driver.queue.peek_deliverable_time();
+        if let Some(t) = head {
+            if barrier.is_none_or(|b| t <= b) {
+                let ev = driver.queue.pop().expect("deliverable head pops");
+                match ev.event {
+                    Event::VmTick { vm } => {
+                        driver.stage_tick(vm, ev.time);
+                    }
+                    Event::CloudletSubmit { cloudlet, vm } if world.vm(vm).is_active() => {
+                        driver.stage_sub(vm, ev.time, cloudlet, &plan);
+                    }
+                    _ => {
+                        // A control event: cloudlet failures, host faults
+                        // and repairs, degrades, retry wake-ups, placement
+                        // traffic, dead-VM submissions. Everything staged
+                        // at or before it replays first, matured
+                        // completions deliver first — kernel order.
+                        if let Event::CloudletFailed { cloudlet } = ev.event {
+                            driver.note_failed(cloudlet);
+                        }
+                        driver.flush(world, dcs, Bound::Control(ev.time), &plan);
+                        driver.deliver_returns(world, broker, Some(ev.time), false, &plan);
+                        driver.clock = driver.clock.max(ev.time);
+                        driver.processed += 1;
+                        if driver.processed > max_events {
+                            return RunStats {
+                                end_time: driver.clock,
+                                events_processed: driver.processed,
+                                drained: false,
+                            };
+                        }
+                        let dest = ev.dest;
+                        let mut ctx = Context::attach(ev.time, dest, &mut driver.queue);
+                        if dest.index() < dcs.len() {
+                            dcs[dest.index()].handle(world, &mut ctx, ev);
+                        } else {
+                            broker.handle(world, &mut ctx, ev);
+                        }
+                    }
+                }
+                continue;
+            }
+        }
+        // Every deliverable queue event (if any) lies beyond the barrier:
+        // run a release round, or the final drain when nothing bounds us.
+        match barrier {
+            Some(b) => {
+                driver.flush(world, dcs, Bound::Round(b), &plan);
+                driver.deliver_returns(world, broker, Some(b), true, &plan);
+                if driver.processed > max_events {
+                    return RunStats {
+                        end_time: driver.clock,
+                        events_processed: driver.processed,
+                        drained: false,
+                    };
+                }
+            }
+            None => {
+                driver.flush(world, dcs, Bound::All, &plan);
+                driver.deliver_returns(world, broker, None, true, &plan);
+                if driver.queue.peek_deliverable_time().is_none() {
+                    break;
+                }
+            }
+        }
+    }
+    debug_assert!(driver.queue.is_empty(), "DAG driver left events behind");
+    debug_assert!(driver.returns.is_empty(), "undelivered completions");
+    debug_assert!(
+        driver.lanes.iter().all(|l| !l.has_content()),
+        "DAG driver left lane content behind"
+    );
+    let drained = driver.processed <= max_events;
+    RunStats {
+        end_time: driver.clock,
+        events_processed: driver.processed,
+        drained,
+    }
+}
+
+impl DagDriver {
+    /// The release barrier: the earliest instant at which a cross release
+    /// can still be injected. `None` when no cross release is pending or
+    /// in flight anywhere.
+    fn barrier(&mut self) -> Option<SimTime> {
+        let r = self.rel_ats.peek().map(|Reverse(t)| *t);
+        let g = if self.rel_inflight > 0 {
+            self.peek_dirty()
+        } else {
+            None
+        };
+        match (r, g) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Earliest lane event across the fleet (validated lazy heap).
+    fn peek_dirty(&mut self) -> Option<SimTime> {
+        while let Some(&Reverse((t, vm))) = self.dirty.peek() {
+            if self.lanes[vm as usize].next_time() == Some(t) {
+                return Some(t);
+            }
+            self.dirty.pop();
+        }
+        None
+    }
+
+    fn mark_dirty(&mut self, vm: VmId) {
+        if let Some(t) = self.lanes[vm.index()].next_time() {
+            self.dirty.push(Reverse((t, vm.0)));
+        }
+    }
+
+    fn stage_tick(&mut self, vm: VmId, time: SimTime) {
+        let lane = &mut self.lanes[vm.index()];
+        debug_assert!(lane.popped_tick.is_none(), "one armed tick per VM");
+        lane.popped_tick = Some(time);
+        self.mark_dirty(vm);
+    }
+
+    fn stage_sub(&mut self, vm: VmId, time: SimTime, cloudlet: CloudletId, plan: &DagPlan) {
+        self.lanes[vm.index()].subs.push((time, cloudlet));
+        if plan.has_cross[cloudlet.index()] && !self.in_flight[cloudlet.index()] {
+            self.in_flight[cloudlet.index()] = true;
+            self.rel_inflight += 1;
+        }
+        self.mark_dirty(vm);
+    }
+
+    /// A `CloudletFailed` control was popped: if the cloudlet was staged
+    /// as an in-flight cross parent (its host died, or recovery drained
+    /// it), it can no longer complete — release the barrier hold. A
+    /// later resubmission re-stages (and re-counts) it.
+    fn note_failed(&mut self, cloudlet: CloudletId) {
+        if self.in_flight[cloudlet.index()] {
+            self.in_flight[cloudlet.index()] = false;
+            self.rel_inflight -= 1;
+        }
+    }
+
+    /// Replays every lane with an event due under `bound`, commits the
+    /// results in ascending VM order and reconciles armed ticks.
+    fn flush(&mut self, world: &mut World, dcs: &mut [Datacenter], bound: Bound, plan: &DagPlan) {
+        let limit = match bound {
+            Bound::Control(t) => Some(t),
+            Bound::Round(b) => Some(b),
+            Bound::All => None,
+        };
+        let mut due: Vec<VmId> = Vec::new();
+        while let Some(&Reverse((t, vm))) = self.dirty.peek() {
+            if limit.is_some_and(|b| t > b) {
+                break;
+            }
+            self.dirty.pop();
+            let lane = &mut self.lanes[vm as usize];
+            if lane.next_time() == Some(t) && !lane.in_round {
+                lane.in_round = true;
+                due.push(VmId(vm));
+            }
+        }
+        if due.is_empty() {
+            return;
+        }
+        due.sort_unstable_by_key(|v| v.index());
+        let mut segs: Vec<LaneSeg> = Vec::with_capacity(due.len());
+        for vm in due {
+            let mut lane = std::mem::take(&mut self.lanes[vm.index()]);
+            lane.in_round = false;
+            let dc = world
+                .vm(vm)
+                .datacenter
+                .expect("lane content implies placement")
+                .index();
+            let sched = dcs[dc]
+                .take_sched(vm)
+                .expect("lane content implies a live scheduler");
+            segs.push(LaneSeg {
+                vm,
+                dc,
+                lane,
+                armed_before: self.queue.armed_tick(vm),
+                sched,
+                cost: dcs[dc].characteristics().cost,
+                latency: plan.topology.latency_to(DatacenterId::from_index(dc)),
+            });
+        }
+        let vms = &world.vms;
+        let cloudlets = &world.cloudlets;
+        let outs: Vec<LaneOut> = if segs.len() > 1 {
+            segs.into_par_iter()
+                .map(|s| replay_lane(s, vms, cloudlets, plan, bound))
+                .collect()
+        } else {
+            segs.into_iter()
+                .map(|s| replay_lane(s, vms, cloudlets, plan, bound))
+                .collect()
+        };
+        for out in outs {
+            self.processed += out.ticks + out.sub_events;
+            self.clock = self.clock.max(out.last_event);
+            let dc_id = EntityId::from_index(out.dc);
+            dcs[out.dc].put_sched(out.vm, out.sched);
+            dcs[out.dc].note_completed(out.finished.len() as u64);
+            if out.armed_after != out.armed_before {
+                self.queue.cancel_vm_tick(out.vm);
+                if let Some(t) = out.armed_after {
+                    self.queue
+                        .push_vm_tick(out.last_now, dc_id, dc_id, out.vm, t);
+                }
+            }
+            for &c in &out.queued {
+                let cl = world.cloudlet_mut(c);
+                cl.status = CloudletStatus::Queued;
+                cl.vm = Some(out.vm);
+            }
+            for &(c, t) in &out.released {
+                world.cloudlet_mut(c).submit_time = Some(t);
+            }
+            for &(c, t) in &out.started {
+                let cl = world.cloudlet_mut(c);
+                if cl.start_time.is_none() {
+                    cl.start_time = Some(t);
+                }
+                cl.status = CloudletStatus::Running;
+            }
+            for f in out.finished {
+                let cl = world.cloudlet_mut(f.id);
+                cl.finish_time = Some(f.finish);
+                cl.status = CloudletStatus::Finished;
+                cl.cost = f.cost;
+                if self.in_flight[f.id.index()] {
+                    self.in_flight[f.id.index()] = false;
+                    self.rel_inflight -= 1;
+                }
+                if plan.has_cross[f.id.index()] {
+                    self.rel_ats.push(Reverse(f.return_at));
+                }
+                self.returns.push(Reverse(PendingReturn {
+                    at: f.return_at,
+                    ord: self.return_ord,
+                    cloudlet: f.id,
+                }));
+                self.return_ord += 1;
+            }
+            let vm = out.vm;
+            self.lanes[vm.index()] = out.lane;
+            self.mark_dirty(vm);
+        }
+    }
+
+    /// Delivers matured completions to the real broker in (time,
+    /// generation) order. Unlike the fault-only driver this is where
+    /// cross releases actually happen: the broker's return handler
+    /// decrements pending-parent counters and submits freed children.
+    fn deliver_returns(
+        &mut self,
+        world: &mut World,
+        broker: &mut Broker,
+        bound: Option<SimTime>,
+        inclusive: bool,
+        plan: &DagPlan,
+    ) {
+        while let Some(Reverse(head)) = self.returns.peek() {
+            let due = match bound {
+                None => true,
+                Some(h) if inclusive => head.at <= h,
+                Some(h) => head.at < h,
+            };
+            if !due {
+                break;
+            }
+            let Reverse(r) = self.returns.pop().expect("peeked entry pops");
+            if plan.has_cross[r.cloudlet.index()] {
+                let Some(Reverse(t)) = self.rel_ats.pop() else {
+                    unreachable!("cross return delivered without barrier entry");
+                };
+                debug_assert_eq!(t, r.at, "barrier mirror out of sync");
+            }
+            self.processed += 1;
+            self.clock = self.clock.max(r.at);
+            let ev = ScheduledEvent {
+                time: r.at,
+                seq: 0,
+                dest: self.broker_id,
+                src: self.broker_id,
+                event: Event::CloudletReturn {
+                    cloudlet: r.cloudlet,
+                },
+            };
+            let mut ctx = Context::attach(r.at, self.broker_id, &mut self.queue);
+            broker.handle(world, &mut ctx, ev);
+        }
+    }
+}
+
+/// Replays one lane under `bound`: queue-staged submissions, locally
+/// released submissions, local release notifications and the settle
+/// timer, merged in kernel order.
+fn replay_lane(
+    seg: LaneSeg,
+    vms: &[Vm],
+    cloudlets: &[Cloudlet],
+    plan: &DagPlan,
+    bound: Bound,
+) -> LaneOut {
+    let LaneSeg {
+        vm,
+        dc,
+        mut lane,
+        armed_before,
+        mut sched,
+        cost,
+        latency,
+    } = seg;
+    let vm_spec = &vms[vm.index()].spec;
+    let mut out = LaneOut {
+        vm,
+        dc,
+        sched: SchedulerKind::SpaceShared.build(1.0, 1), // placeholder, replaced below
+        lane: Lane::default(),                           // placeholder, replaced below
+        queued: Vec::new(),
+        started: Vec::new(),
+        finished: Vec::new(),
+        released: Vec::new(),
+        sub_events: 0,
+        ticks: 0,
+        last_event: SimTime::ZERO,
+        last_now: SimTime::ZERO,
+        armed_before,
+        armed_after: None,
+    };
+    let popped_tick = lane.popped_tick;
+    debug_assert!(
+        armed_before.is_none() || popped_tick.is_none(),
+        "popped and armed tick cannot coexist"
+    );
+    let mut armed = armed_before.or(popped_tick);
+    let mut local_starts: HashMap<CloudletId, SimTime> = HashMap::new();
+    // Event classes, in tie-break order at equal times:
+    //   0 = local release notification (commutes with the submissions it
+    //       does not create; processing it first means a same-instant
+    //       released child lands *after* existing equal-time work, which
+    //       is exactly the kernel's push-order),
+    //   1 = queue-staged submission (lowest kernel seq),
+    //   2 = locally released submission (pushed at release time, highest
+    //       kernel seq),
+    //   3 = settle tick (same-instant submit-then-settle commutes, as in
+    //       `replay_segment`).
+    loop {
+        let mut best: Option<(SimTime, u8)> = None;
+        let mut consider = |t: SimTime, class: u8, ok: bool| {
+            if ok && best.is_none_or(|(bt, bc)| t < bt || (t == bt && class < bc)) {
+                best = Some((t, class));
+            }
+        };
+        if let Some(&Reverse((t, _, _))) = lane.local_rets.peek() {
+            let ok = match bound {
+                Bound::Control(c) => t < c,
+                Bound::Round(b) => t <= b,
+                Bound::All => true,
+            };
+            consider(t, 0, ok);
+        }
+        if let Some(&(t, _)) = lane.subs.get(lane.head) {
+            let ok = match bound {
+                // Queue-staged entries were popped before the control, so
+                // they are kernel-ordered before it even at equal times.
+                Bound::Control(c) => {
+                    debug_assert!(t <= c, "staged submission beyond control instant");
+                    true
+                }
+                Bound::Round(b) => t <= b,
+                Bound::All => true,
+            };
+            consider(t, 1, ok);
+        }
+        if let Some(&Reverse((t, _, _))) = lane.local_subs.peek() {
+            let ok = match bound {
+                Bound::Control(c) => t < c,
+                Bound::Round(b) => t <= b,
+                Bound::All => true,
+            };
+            consider(t, 2, ok);
+        }
+        if let Some(t) = armed {
+            let ok = match bound {
+                Bound::Control(c) => t < c || popped_tick == Some(t),
+                Bound::Round(b) => t <= b,
+                Bound::All => true,
+            };
+            consider(t, 3, ok);
+        }
+        let Some((now, class)) = best else { break };
+        if class == 0 {
+            // A same-VM parent's completion notification: decrement the
+            // local pending counters and release freed children with the
+            // broker's exact submit arithmetic. Not a kernel event for
+            // this lane — the completion itself is counted when the
+            // driver delivers it to the broker.
+            let Some(Reverse((at, _, parent))) = lane.local_rets.pop() else {
+                unreachable!("peeked entry pops");
+            };
+            for &child in plan.local_children(parent) {
+                let slot = lane
+                    .local_pending
+                    .binary_search_by_key(&child, |e| e.0)
+                    .expect("local child has a pending counter");
+                let entry = &mut lane.local_pending[slot];
+                debug_assert!(entry.1 > 0, "local child released twice");
+                entry.1 -= 1;
+                if entry.1 == 0 {
+                    let c = CloudletId(child);
+                    let spec = &cloudlets[c.index()].spec;
+                    let in_delay = transfer_time(spec.file_size_mb, vm_spec.bw_mbps);
+                    let wait = plan
+                        .arrivals
+                        .as_ref()
+                        .map(|a| a[c.index()].saturating_sub(at))
+                        .unwrap_or(SimTime::ZERO);
+                    out.released.push((c, at + wait));
+                    lane.local_subs.push(Reverse((
+                        at + wait + latency + in_delay,
+                        lane.sub_ord,
+                        c,
+                    )));
+                    lane.sub_ord += 1;
+                }
+            }
+            continue;
+        }
+        out.last_now = now;
+        out.last_event = out.last_event.max(now);
+        let tick = match class {
+            1 => {
+                let (_, c) = lane.subs[lane.head];
+                lane.head += 1;
+                out.sub_events += 1;
+                out.queued.push(c);
+                let spec = &cloudlets[c.index()].spec;
+                sched.submit(now, RunningCloudlet::new(c, spec.length_mi, spec.pes))
+            }
+            2 => {
+                let Some(Reverse((_, _, c))) = lane.local_subs.pop() else {
+                    unreachable!("peeked entry pops");
+                };
+                out.sub_events += 1;
+                out.queued.push(c);
+                let spec = &cloudlets[c.index()].spec;
+                sched.submit(now, RunningCloudlet::new(c, spec.length_mi, spec.pes))
+            }
+            _ => {
+                armed = None;
+                out.ticks += 1;
+                sched.advance(now)
+            }
+        };
+        for &c in &tick.started {
+            local_starts.entry(c).or_insert(now);
+            out.started.push((c, now));
+        }
+        for &c in &tick.finished {
+            let cl = &cloudlets[c.index()];
+            let start = cl.start_time.or_else(|| local_starts.get(&c).copied());
+            let cpu_seconds = start
+                .map(|s| now.saturating_sub(s).as_secs())
+                .unwrap_or(0.0);
+            let cl_cost = cloudlet_cost(&cost, vm_spec, &cl.spec, cpu_seconds);
+            let out_delay = transfer_time(cl.spec.output_size_mb, vm_spec.bw_mbps);
+            let return_at = now + out_delay;
+            out.last_event = out.last_event.max(return_at);
+            if plan.has_local_children(c) {
+                lane.local_rets.push(Reverse((return_at, lane.ret_ord, c)));
+                lane.ret_ord += 1;
+            }
+            out.finished.push(FinishedCl {
+                id: c,
+                finish: now,
+                cost: cl_cost,
+                return_at,
+            });
+        }
+        if let Some(p) = tick.next_completion {
+            let t = p.max(now);
+            if armed.is_none_or(|a| t < a || a < now) {
+                armed = Some(t);
+            }
+        }
+    }
+    lane.popped_tick = None;
+    if lane.head > 32 && lane.head * 2 >= lane.subs.len() {
+        lane.subs.drain(..lane.head);
+        lane.head = 0;
+    }
+    out.armed_after = armed;
+    out.sched = sched;
+    out.lane = lane;
+    out
 }
 
 /// Replays one VM's staged deliveries (plus its local settle timer) up to

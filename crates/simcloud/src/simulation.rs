@@ -51,16 +51,19 @@ pub enum EngineKind {
     /// scenarios run free (no synchronisation at all); fault injection,
     /// recovery and resubmission run on the epoch-sharded driver, which
     /// interleaves sequential control instants with parallel bulk
-    /// replay. The one remaining shape it cannot express — a workflow
-    /// DAG, whose completions release work onto arbitrary other VMs —
-    /// runs on [`Self::Sequential`] instead, reported explicitly in
-    /// [`SimulationOutcome::fallback`] (never a silent switch).
+    /// replay; workflow DAGs run on the dependency-aware epoch driver,
+    /// which bounds replay by a release barrier and resolves same-VM
+    /// releases inside the parallel lanes. Every workload shape is
+    /// expressible — no scenario falls back to [`Self::Sequential`].
     Sharded,
 }
 
 /// An explicit record that a run executed on a different engine than the
 /// one requested. Carried on [`SimulationOutcome::fallback`] so callers
 /// (and the CLI, which prints a one-line note) always learn what ran.
+/// Since the dependency-aware epoch driver landed, no scenario produces
+/// one — the type remains so experiment outputs can record
+/// requested/ran/reason uniformly and future exclusions stay loud.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineFallback {
     /// The engine the builder was asked for.
@@ -340,14 +343,15 @@ impl SimulationBuilder {
             }
         }
 
-        // Engine routing. Three paths:
+        // Engine routing. Three sharded paths plus the kernel:
         //   1. Plain batch on the sharded engine → free-running replay
         //      (no synchronisation; the paper's dominant shape).
-        //   2. Fault-injected / recovering / resubmitting on the sharded
-        //      engine → epoch-sharded replay over the real entities.
-        //   3. Everything else (and all workflow DAGs) → the sequential
-        //      kernel. A sharded request with a DAG records an explicit
-        //      [`EngineFallback`] on the outcome.
+        //   2. Fault-injected / recovering / resubmitting, no DAG →
+        //      epoch-sharded replay over the real entities.
+        //   3. Workflow DAGs (with or without fault shaping) →
+        //      dependency-aware epochs with a release barrier.
+        //   4. `EngineKind::Sequential` → the kernel. No scenario falls
+        //      back anymore; `EngineFallback` is never produced.
         let fault_shaped = self.datacenters.iter().any(|d| !d.failures.is_empty())
             || dc_failures.iter().any(|f| !f.is_empty())
             || dc_repairs.iter().any(|r| !r.is_empty())
@@ -372,14 +376,19 @@ impl SimulationBuilder {
                 None,
             ));
         }
-        let epoch_sharded = self.engine == EngineKind::Sharded && self.dependencies.is_none();
-        let fallback =
-            (self.engine == EngineKind::Sharded && !epoch_sharded).then_some(EngineFallback {
-                requested: EngineKind::Sharded,
-                ran: EngineKind::Sequential,
-                reason: "workflow dependencies collapse the epoch horizon to single events; \
-                         the run executed on the sequential kernel",
-            });
+        let epoch_sharded = self.engine == EngineKind::Sharded;
+        // The dependency table is compiled before the broker consumes the
+        // assignment, arrival and topology vectors.
+        let dag_plan = (epoch_sharded && self.dependencies.is_some()).then(|| {
+            crate::sharded::DagPlan::compile(
+                self.dependencies.as_deref().expect("checked above"),
+                &self.assignment,
+                self.vms.len(),
+                fault_shaped,
+                self.arrivals.clone(),
+                topology.clone(),
+            )
+        });
 
         let mut world = World::new(self.vms, self.cloudlets);
 
@@ -422,7 +431,16 @@ impl SimulationBuilder {
 
         let stats = if epoch_sharded {
             let max_events = self.max_events.unwrap_or(Kernel::DEFAULT_MAX_EVENTS);
-            crate::sharded::run_epochs(&mut world, &mut dcs, &mut broker, max_events)
+            match dag_plan {
+                Some(plan) => crate::sharded::run_epochs_dag(
+                    &mut world,
+                    &mut dcs,
+                    &mut broker,
+                    max_events,
+                    plan,
+                ),
+                None => crate::sharded::run_epochs(&mut world, &mut dcs, &mut broker, max_events),
+            }
         } else {
             let mut kernel = Kernel::new();
             if let Some(max) = self.max_events {
@@ -450,7 +468,7 @@ impl SimulationBuilder {
             stats,
             engine,
             self.record_mode,
-            fallback,
+            None,
         ))
     }
 }
@@ -1029,7 +1047,8 @@ mod tests {
         assert_eq!(ok.engine, EngineKind::Sharded);
         assert_eq!(ok.fallback, None);
         assert_eq!(ok.finished_count(), 4);
-        // A workflow DAG is the one explicit fallback.
+        // A workflow DAG runs on the dependency-aware epoch driver — no
+        // fallback anywhere anymore.
         let ok = base()
             .dependencies(vec![
                 vec![],
@@ -1039,11 +1058,9 @@ mod tests {
             ])
             .run()
             .unwrap();
-        assert_eq!(ok.engine, EngineKind::Sequential);
-        let fb = ok.fallback.expect("DAG on sharded records a fallback");
-        assert_eq!(fb.requested, EngineKind::Sharded);
-        assert_eq!(fb.ran, EngineKind::Sequential);
-        assert!(fb.reason.contains("workflow"));
+        assert_eq!(ok.engine, EngineKind::Sharded);
+        assert_eq!(ok.fallback, None);
+        assert_eq!(ok.finished_count(), 4);
     }
 
     #[test]

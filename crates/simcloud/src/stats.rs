@@ -91,7 +91,7 @@ impl WaitHistogram {
 
     fn bucket_of(wait_ms: f64) -> usize {
         // NaN / negative / sub-floor waits all land in bucket 0 (zero wait).
-        if !(wait_ms > WAIT_MIN_MS) {
+        if wait_ms.is_nan() || wait_ms <= WAIT_MIN_MS {
             return 0;
         }
         let idx = ((wait_ms / WAIT_MIN_MS).log2() * WAIT_PER_OCTAVE).floor() as usize + 1;

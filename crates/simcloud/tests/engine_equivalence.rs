@@ -6,9 +6,9 @@
 //! kernel's, along with the same end time, event count and
 //! `ResilienceCounters` — across seeds, both scheduler flavours,
 //! homogeneous and heterogeneous fleets, fault plans, recovery policies,
-//! resubmission, both record modes and any rayon thread count. The one
-//! ineligible shape (a workflow DAG) must run on the sequential kernel
-//! and report an explicit `EngineFallback` on the outcome.
+//! resubmission, workflow DAGs (alone and composed with faults), both
+//! record modes and any rayon thread count. Every shape runs sharded —
+//! no scenario reports an `EngineFallback` anymore.
 
 use rand::Rng;
 use simcloud::datacenter::DatacenterBlueprint;
@@ -288,7 +288,7 @@ fn sharded_results_are_thread_count_independent() {
 }
 
 #[test]
-fn workflow_dag_reports_explicit_fallback_everything_else_runs_sharded() {
+fn workflow_dag_and_resilience_shapes_all_run_sharded() {
     let vm = VmSpec::new(1_000.0, 10_000.0, 512.0, 1_000.0, 2);
     let mk = || {
         let mut b = DatacenterBlueprint::sized_for(&vm, 2, 1, DatacenterCharacteristics::default());
@@ -307,18 +307,21 @@ fn workflow_dag_reports_explicit_fallback_everything_else_runs_sharded() {
             .assignment(vec![VmId(0), VmId(1)])
     };
 
-    // Workflow dependencies are the one shape that runs on the sequential
-    // kernel — recorded explicitly, never a silent switch.
+    // Workflow dependencies run on the dependency-aware epoch driver,
+    // bit-identical to the kernel — no fallback.
+    let seq_deps = base(mk())
+        .engine(EngineKind::Sequential)
+        .dependencies(vec![vec![], vec![CloudletId(0)]])
+        .run()
+        .unwrap();
     let with_deps = base(mk())
         .dependencies(vec![vec![], vec![CloudletId(0)]])
         .run()
         .unwrap();
-    assert_eq!(with_deps.engine, EngineKind::Sequential);
-    let fb = with_deps.fallback.expect("DAG must report the fallback");
-    assert_eq!(fb.requested, EngineKind::Sharded);
-    assert_eq!(fb.ran, EngineKind::Sequential);
-    assert!(!fb.reason.is_empty());
+    assert_eq!(with_deps.engine, EngineKind::Sharded);
+    assert_eq!(with_deps.fallback, None, "DAGs no longer fall back");
     assert_eq!(with_deps.finished_count(), 2);
+    assert_identical(&seq_deps, &with_deps, "two-cloudlet chain");
 
     // Resubmission stays on the sharded engine (epoch driver).
     let with_retries = base(mk()).resubmit_failures(2).run().unwrap();
@@ -334,6 +337,179 @@ fn workflow_dag_reports_explicit_fallback_everything_else_runs_sharded() {
     assert_eq!(with_failures.fallback, None);
 }
 
+/// The workflow shapes the paper-scale generators emit, shrunk to test
+/// size. Assignments deliberately mix same-VM edges (resolved locally
+/// inside a replay lane) and cross-VM edges (promoted to release-barrier
+/// events), so both halves of the dependency-aware epoch driver are
+/// exercised.
+#[derive(Debug, Clone, Copy)]
+enum DagShape {
+    /// One linear chain, co-located in runs of ten tasks: mostly local
+    /// releases with a cross hop at every run boundary.
+    Chain,
+    /// Root → 30 branches → join: the join waits on 30 parents spread
+    /// over the fleet (all cross), branches are a local/cross mix.
+    ForkJoin,
+    /// 6 layers × 8 tasks, 1–3 random parents in the previous layer,
+    /// random assignment, staggered arrivals (release-wait arithmetic).
+    LayeredRandom,
+    /// 12 independent 6-stage chains, each pinned to one VM: every
+    /// release is local, whole chains replay without a single barrier.
+    PipelineEnsemble,
+}
+
+/// Builds and runs one DAG scenario on `engine`.
+fn dag_outcome(
+    shape: DagShape,
+    seed: u64,
+    engine: EngineKind,
+    mode: RecordMode,
+) -> SimulationOutcome {
+    let mut rng = simcloud::rng::stream(seed, "dag-equivalence");
+    let vm_count = 8usize;
+    let vm = VmSpec::new(1_000.0, 10_000.0, 512.0, 1_000.0, 2);
+    let task = |rng: &mut rand::rngs::StdRng| {
+        CloudletSpec::new(
+            rng.gen_range(1_000.0..30_000.0),
+            rng.gen_range(0.0..150.0),
+            rng.gen_range(0.0..150.0),
+            1,
+        )
+    };
+    let (parents, assignment, cloudlets): (Vec<Vec<CloudletId>>, Vec<VmId>, Vec<CloudletSpec>) =
+        match shape {
+            DagShape::Chain => {
+                let n = 40usize;
+                let parents = (0..n)
+                    .map(|i| {
+                        if i == 0 {
+                            vec![]
+                        } else {
+                            vec![CloudletId::from_index(i - 1)]
+                        }
+                    })
+                    .collect();
+                let assignment = (0..n)
+                    .map(|i| VmId::from_index((i / 10) % vm_count))
+                    .collect();
+                let cloudlets = (0..n).map(|_| task(&mut rng)).collect();
+                (parents, assignment, cloudlets)
+            }
+            DagShape::ForkJoin => {
+                let branches = 30usize;
+                let n = branches + 2;
+                let mut parents = vec![vec![]];
+                for _ in 0..branches {
+                    parents.push(vec![CloudletId(0)]);
+                }
+                parents.push((1..=branches).map(CloudletId::from_index).collect());
+                let assignment = (0..n)
+                    .map(|_| VmId::from_index(rng.gen_range(0..vm_count)))
+                    .collect();
+                let cloudlets = (0..n).map(|_| task(&mut rng)).collect();
+                (parents, assignment, cloudlets)
+            }
+            DagShape::LayeredRandom => {
+                let (layers, width) = (6usize, 8usize);
+                let n = layers * width;
+                let mut parents: Vec<Vec<CloudletId>> = vec![vec![]; n];
+                for l in 1..layers {
+                    for w in 0..width {
+                        let k = rng.gen_range(1..=3usize);
+                        let mut ps: Vec<CloudletId> = (0..k)
+                            .map(|_| {
+                                CloudletId::from_index((l - 1) * width + rng.gen_range(0..width))
+                            })
+                            .collect();
+                        ps.sort_unstable();
+                        ps.dedup();
+                        parents[l * width + w] = ps;
+                    }
+                }
+                let assignment = (0..n)
+                    .map(|_| VmId::from_index(rng.gen_range(0..vm_count)))
+                    .collect();
+                let cloudlets = (0..n).map(|_| task(&mut rng)).collect();
+                (parents, assignment, cloudlets)
+            }
+            DagShape::PipelineEnsemble => {
+                let (jobs, stages) = (12usize, 6usize);
+                let n = jobs * stages;
+                let mut parents: Vec<Vec<CloudletId>> = vec![vec![]; n];
+                for j in 0..jobs {
+                    for s in 1..stages {
+                        parents[j * stages + s] = vec![CloudletId::from_index(j * stages + s - 1)];
+                    }
+                }
+                let assignment = (0..n)
+                    .map(|i| VmId::from_index((i / stages) % vm_count))
+                    .collect();
+                let cloudlets = (0..n).map(|_| task(&mut rng)).collect();
+                (parents, assignment, cloudlets)
+            }
+        };
+    let n = cloudlets.len();
+    let mut builder = SimulationBuilder::new()
+        .engine(engine)
+        .record_mode(mode)
+        .datacenter(DatacenterBlueprint::sized_for(
+            &vm,
+            vm_count,
+            2,
+            DatacenterCharacteristics::default(),
+        ))
+        .vms(vec![vm; vm_count])
+        .cloudlets(cloudlets)
+        .assignment(assignment)
+        .dependencies(parents);
+    if matches!(shape, DagShape::LayeredRandom) {
+        let arrivals: Vec<SimTime> = (0..n)
+            .map(|_| SimTime::new(rng.gen_range(0.0..5_000.0)))
+            .collect();
+        builder = builder.arrivals(arrivals);
+    }
+    builder.run().expect("DAG scenario is feasible")
+}
+
+/// DAG shapes × threads × seeds × record modes: every sharded run is
+/// bit-identical to the sequential kernel and completes the whole DAG.
+#[test]
+fn dag_shape_matrix_matches_sequential_across_threads_seeds_and_modes() {
+    let shapes = [
+        DagShape::Chain,
+        DagShape::ForkJoin,
+        DagShape::LayeredRandom,
+        DagShape::PipelineEnsemble,
+    ];
+    for threads in [1usize, 2, 4, 8] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("vendored rayon accepts repeated global builds");
+        for seed in [3u64, 13, 77] {
+            for shape in shapes {
+                for mode in [RecordMode::Full, RecordMode::Aggregate] {
+                    let label = format!("{threads} threads / seed {seed} / {shape:?} / {mode:?}");
+                    let seq = dag_outcome(shape, seed, EngineKind::Sequential, mode);
+                    let shd = dag_outcome(shape, seed, EngineKind::Sharded, mode);
+                    assert_eq!(seq.engine, EngineKind::Sequential, "{label}");
+                    assert_eq!(shd.engine, EngineKind::Sharded, "{label}: no fallback");
+                    assert_eq!(shd.fallback, None, "{label}");
+                    assert_eq!(
+                        seq.finished_count(),
+                        seq.observed_count(),
+                        "{label}: DAG must complete"
+                    );
+                    match mode {
+                        RecordMode::Full => assert_identical(&seq, &shd, &label),
+                        RecordMode::Aggregate => assert_aggregate_identical(&seq, &shd, &label),
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Which resilience machinery a matrix scenario arms on top of the fault
 /// plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -344,8 +520,13 @@ enum Resilience {
     Recovery,
     /// Legacy resubmission (`resubmit_failures`).
     Resubmission,
-    /// Faults plus a workflow DAG — the explicit sequential fallback.
+    /// Faults plus a workflow DAG — dependency-aware epochs under fault
+    /// shaping (every release is cross, barrier-bounded).
     Workflow,
+    /// Faults, a workflow DAG *and* broker-level recovery.
+    WorkflowRecovery,
+    /// Faults, a workflow DAG *and* legacy resubmission.
+    WorkflowResubmission,
 }
 
 /// Builds and runs one fault-injected matrix scenario: 10 VMs on 5 hosts,
@@ -415,22 +596,28 @@ fn resilient_outcome(
         .cloudlets(cloudlets)
         .assignment(assignment)
         .faults(plan);
+    // Sparse chains: every 7th cloudlet waits for one 3 back.
+    let sparse_deps = || -> Vec<Vec<CloudletId>> {
+        (0..cloudlet_count)
+            .map(|i| {
+                if i % 7 == 3 && i >= 3 {
+                    vec![CloudletId::from_index(i - 3)]
+                } else {
+                    vec![]
+                }
+            })
+            .collect()
+    };
     builder = match res {
         Resilience::Faults => builder,
         Resilience::Recovery => builder.recovery(simcloud::broker::RecoveryPolicy::default()),
         Resilience::Resubmission => builder.resubmit_failures(2),
-        Resilience::Workflow => {
-            // Sparse chains: every 7th cloudlet waits for one 3 back.
-            let deps: Vec<Vec<CloudletId>> = (0..cloudlet_count)
-                .map(|i| {
-                    if i % 7 == 3 && i >= 3 {
-                        vec![CloudletId::from_index(i - 3)]
-                    } else {
-                        vec![]
-                    }
-                })
-                .collect();
-            builder.dependencies(deps)
+        Resilience::Workflow => builder.dependencies(sparse_deps()),
+        Resilience::WorkflowRecovery => builder
+            .dependencies(sparse_deps())
+            .recovery(simcloud::broker::RecoveryPolicy::default()),
+        Resilience::WorkflowResubmission => {
+            builder.dependencies(sparse_deps()).resubmit_failures(2)
         }
     };
     builder.run().expect("matrix scenario is feasible")
@@ -439,7 +626,7 @@ fn resilient_outcome(
 /// The tentpole obligation: faults × recovery × resubmission × workflows,
 /// across thread counts, seeds and both record modes, every sharded run
 /// bit-identical to the sequential kernel (including the resilience
-/// counters), and only the DAG shape reporting a fallback.
+/// counters), with no shape reporting a fallback.
 #[test]
 fn resilience_matrix_matches_sequential_across_threads_seeds_and_modes() {
     let variants = [
@@ -447,6 +634,8 @@ fn resilience_matrix_matches_sequential_across_threads_seeds_and_modes() {
         Resilience::Recovery,
         Resilience::Resubmission,
         Resilience::Workflow,
+        Resilience::WorkflowRecovery,
+        Resilience::WorkflowResubmission,
     ];
     for threads in [1usize, 2, 4, 8] {
         rayon::ThreadPoolBuilder::new()
@@ -462,13 +651,8 @@ fn resilience_matrix_matches_sequential_across_threads_seeds_and_modes() {
                     let shd = resilient_outcome(seed, res, EngineKind::Sharded, mode);
                     assert_eq!(seq.engine, EngineKind::Sequential);
                     assert_eq!(seq.fallback, None, "{label}: sequential never falls back");
-                    if res == Resilience::Workflow {
-                        assert_eq!(shd.engine, EngineKind::Sequential, "{label}");
-                        assert!(shd.fallback.is_some(), "{label}: DAG reports fallback");
-                    } else {
-                        assert_eq!(shd.engine, EngineKind::Sharded, "{label}: no fallback");
-                        assert_eq!(shd.fallback, None, "{label}");
-                    }
+                    assert_eq!(shd.engine, EngineKind::Sharded, "{label}: no fallback");
+                    assert_eq!(shd.fallback, None, "{label}");
                     // The plan must actually bite, in the way each
                     // variant is supposed to react to it.
                     match res {
@@ -490,6 +674,12 @@ fn resilience_matrix_matches_sequential_across_threads_seeds_and_modes() {
                         }
                         Resilience::Workflow => {
                             assert!(seq.finished_count() < 120, "{label}: no work lost");
+                        }
+                        Resilience::WorkflowRecovery => {
+                            assert!(seq.resilience.retries > 0, "{label}: nothing retried");
+                        }
+                        Resilience::WorkflowResubmission => {
+                            assert!(seq.finished_count() > 0, "{label}: everything lost");
                         }
                     }
                     match mode {

@@ -389,12 +389,15 @@ mod tests {
             AlgorithmKind::Pso,
             AlgorithmKind::LeastConnection,
             AlgorithmKind::WeightedRoundRobin,
+            AlgorithmKind::Sjf,
+            AlgorithmKind::BestFit,
         ] {
             for cfg in [StreamConfig::warm(kind, 42), StreamConfig::cold(kind, 42)] {
                 let a = run_stream(&s, &plan, &cfg).unwrap();
                 let b = run_stream(&s, &plan, &cfg).unwrap();
                 assert_eq!(
-                    a.assignment, b.assignment,
+                    a.assignment,
+                    b.assignment,
                     "{kind} {} mode must be deterministic",
                     cfg.mode.label()
                 );
@@ -490,7 +493,10 @@ mod tests {
             60,
             "every cloudlet either finishes or exhausts its retry budget"
         );
-        assert_eq!(seq.outcome.finished_count(), sharded.outcome.finished_count());
+        assert_eq!(
+            seq.outcome.finished_count(),
+            sharded.outcome.finished_count()
+        );
         assert_eq!(
             seq.outcome.resilience.retries,
             sharded.outcome.resilience.retries

@@ -24,7 +24,7 @@ use biosched_core::eval::EvalCache;
 use biosched_core::problem::SchedulingProblem;
 use biosched_core::scheduler::AlgorithmKind;
 use rayon::prelude::*;
-use simcloud::simulation::EngineKind;
+use simcloud::simulation::{EngineFallback, EngineKind};
 use simcloud::stats::RecordMode;
 
 use crate::scenario::Scenario;
@@ -58,6 +58,14 @@ pub struct PointResult {
     pub mean_execution_ms: f64,
     /// Cloudlets that finished (sanity: should equal `cloudlet_count`).
     pub finished: usize,
+    /// Engine the caller asked this point to simulate on.
+    pub engine_requested: EngineKind,
+    /// Engine the simulation actually ran on. Always equals
+    /// `engine_requested` today; recorded per point so a sweep that ever
+    /// mixes engines does so loudly in its output, not via a stderr note.
+    pub engine_ran: EngineKind,
+    /// Why the engines differ, when they do ([`EngineFallback`] reason).
+    pub engine_fallback_reason: Option<&'static str>,
 }
 
 /// Read-only state every task at one scenario point shares: the scenario,
@@ -181,6 +189,9 @@ pub fn run_point_with(
         total_cost: outcome.total_cost(),
         mean_execution_ms: outcome.mean_execution_ms().unwrap_or(0.0),
         finished: outcome.finished_count(),
+        engine_requested: engine,
+        engine_ran: outcome.engine,
+        engine_fallback_reason: outcome.fallback.as_ref().map(|f: &EngineFallback| f.reason),
     }
 }
 
@@ -294,6 +305,12 @@ pub struct RepeatedPointResult {
     pub imbalance: RepeatedMetric,
     /// Total processing cost.
     pub total_cost: RepeatedMetric,
+    /// Engine requested for every repetition (reps never mix engines).
+    pub engine_requested: EngineKind,
+    /// Engine every repetition actually ran on.
+    pub engine_ran: EngineKind,
+    /// Fallback reason, when requested and ran differ.
+    pub engine_fallback_reason: Option<&'static str>,
 }
 
 /// Two-sided 95% Student-t critical values for 1–30 degrees of freedom.
@@ -339,6 +356,12 @@ fn aggregate_reps(algorithm: AlgorithmKind, results: &[PointResult]) -> Repeated
         let values: Vec<f64> = results.iter().map(f).collect();
         summarize(&values)
     };
+    debug_assert!(
+        results
+            .iter()
+            .all(|r| r.engine_ran == results[0].engine_ran),
+        "repetitions of one point must not mix engines"
+    );
     RepeatedPointResult {
         algorithm,
         vm_count: results[0].vm_count,
@@ -347,6 +370,9 @@ fn aggregate_reps(algorithm: AlgorithmKind, results: &[PointResult]) -> Repeated
         scheduling_time_ms: pick(|r| r.scheduling_time_ms),
         imbalance: pick(|r| r.imbalance),
         total_cost: pick(|r| r.total_cost),
+        engine_requested: results[0].engine_requested,
+        engine_ran: results[0].engine_ran,
+        engine_fallback_reason: results[0].engine_fallback_reason,
     }
 }
 
@@ -659,6 +685,34 @@ mod tests {
             results[0][0].cache_build_ms.to_bits(),
             results[0][1].cache_build_ms.to_bits()
         );
+    }
+
+    #[test]
+    fn point_results_record_engine_provenance() {
+        let scenario = HomogeneousScenario {
+            vm_count: 4,
+            cloudlet_count: 12,
+        }
+        .build();
+        for engine in [EngineKind::Sequential, EngineKind::Sharded] {
+            let r = run_point_on(&scenario, AlgorithmKind::BaseTest, 0, engine);
+            assert_eq!(r.engine_requested, engine);
+            assert_eq!(r.engine_ran, engine, "no scenario falls back anymore");
+            assert_eq!(r.engine_fallback_reason, None);
+        }
+        let rep =
+            run_point_repeated_on(AlgorithmKind::BaseTest, 3, 2, EngineKind::Sharded, |seed| {
+                HeterogeneousScenario {
+                    vm_count: 4,
+                    cloudlet_count: 10,
+                    datacenter_count: 2,
+                    seed,
+                }
+                .build()
+            });
+        assert_eq!(rep.engine_requested, EngineKind::Sharded);
+        assert_eq!(rep.engine_ran, EngineKind::Sharded);
+        assert_eq!(rep.engine_fallback_reason, None);
     }
 
     #[test]

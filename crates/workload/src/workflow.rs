@@ -7,6 +7,8 @@
 //! exercised: chains, fork-joins, random layered DAGs and a
 //! Montage-style pipeline-of-stages ensemble.
 
+use std::sync::OnceLock;
+
 use rand::Rng;
 use simcloud::cloudlet::CloudletSpec;
 use simcloud::ids::CloudletId;
@@ -21,9 +23,26 @@ pub struct Workflow {
     pub specs: Vec<CloudletSpec>,
     /// `parents[c]` = tasks that must finish before `c` starts.
     pub parents: Vec<Vec<CloudletId>>,
+    /// Memoized critical-path length (computed once per workflow; paper-
+    /// scale DAGs are queried repeatedly during bench setup).
+    critical_path: OnceLock<f64>,
 }
 
 impl Workflow {
+    /// Builds a workflow from task specs and a parent list.
+    pub fn new(specs: Vec<CloudletSpec>, parents: Vec<Vec<CloudletId>>) -> Workflow {
+        assert_eq!(
+            specs.len(),
+            parents.len(),
+            "one parent list per task required"
+        );
+        Workflow {
+            specs,
+            parents,
+            critical_path: OnceLock::new(),
+        }
+    }
+
     /// Number of tasks.
     pub fn len(&self) -> usize {
         self.specs.len()
@@ -47,8 +66,16 @@ impl Workflow {
     }
 
     /// Critical-path length in MI assuming unit-capacity execution — a
-    /// scheduler-independent lower-bound proxy.
+    /// scheduler-independent lower-bound proxy. Computed once (one
+    /// topological pass) and memoized; repeat calls are free.
     pub fn critical_path_mi(&self) -> f64 {
+        *self
+            .critical_path
+            .get_or_init(|| self.compute_critical_path_mi())
+    }
+
+    /// One Kahn-style topological DP over the DAG.
+    fn compute_critical_path_mi(&self) -> f64 {
         let n = self.len();
         let mut longest = vec![0.0f64; n];
         // parents[] lists only earlier... not guaranteed; do topological DP.
@@ -89,7 +116,7 @@ pub fn chain(n: usize, length_mi: f64) -> Workflow {
             }
         })
         .collect();
-    Workflow { specs, parents }
+    Workflow::new(specs, parents)
 }
 
 /// A fork-join: one source, `width` parallel branches of `depth` tasks,
@@ -111,7 +138,7 @@ pub fn fork_join(width: usize, depth: usize, length_mi: f64) -> Workflow {
         }
         parents[n - 1].push(CloudletId::from_index(task_id(branch, depth - 1)));
     }
-    Workflow { specs, parents }
+    Workflow::new(specs, parents)
 }
 
 /// A random layered DAG: `layers` layers of `width` tasks; each task
@@ -150,7 +177,54 @@ pub fn layered_random(
             }
         }
     }
-    Workflow { specs, parents }
+    Workflow::new(specs, parents)
+}
+
+/// A paper-scale random layered DAG: `layers` layers of `width` tasks,
+/// each sampling up to `k_parents` distinct parents from the previous
+/// layer (at least one, so layers actually order).
+///
+/// [`layered_random`] flips a coin per (task, candidate-parent) pair —
+/// O(layers × width²), intractable at the paper's 100k width. This
+/// generator is O(tasks × k) and is what the DAG benches use for the
+/// 1M-task tier.
+pub fn layered_sparse(
+    layers: usize,
+    width: usize,
+    k_parents: usize,
+    length_range_mi: (f64, f64),
+    seed: u64,
+) -> Workflow {
+    assert!(layers > 0 && width > 0 && k_parents > 0);
+    let (lo, hi) = length_range_mi;
+    assert!(0.0 < lo && lo <= hi);
+    let mut rng = stream(seed, "workflow/layered-sparse");
+    let n = layers * width;
+    let specs = (0..n)
+        .map(|_| CloudletSpec::new(rng.gen_range(lo..=hi), 0.0, 0.0, 1))
+        .collect();
+    let mut parents: Vec<Vec<CloudletId>> = vec![Vec::new(); n];
+    let k = k_parents.min(width);
+    let mut picks: Vec<usize> = Vec::with_capacity(k);
+    for layer in 1..layers {
+        for w in 0..width {
+            let c = layer * width + w;
+            let want = rng.gen_range(1..=k);
+            picks.clear();
+            while picks.len() < want {
+                let pw = rng.gen_range(0..width);
+                if !picks.contains(&pw) {
+                    picks.push(pw);
+                }
+            }
+            picks.sort_unstable();
+            parents[c] = picks
+                .iter()
+                .map(|&pw| CloudletId::from_index((layer - 1) * width + pw))
+                .collect();
+        }
+    }
+    Workflow::new(specs, parents)
 }
 
 /// A Montage-style ensemble: `jobs` independent pipelines, each
@@ -174,7 +248,7 @@ pub fn pipeline_ensemble(jobs: usize, stages: usize, length_mi: f64, seed: u64) 
             prev = Some(id);
         }
     }
-    Workflow { specs, parents }
+    Workflow::new(specs, parents)
 }
 
 #[cfg(test)]
@@ -223,6 +297,40 @@ mod tests {
     }
 
     #[test]
+    fn layered_sparse_is_layered_bounded_and_deterministic() {
+        let w = layered_sparse(5, 50, 3, (100.0, 1_000.0), 11);
+        assert_eq!(w.len(), 250);
+        for layer in 1..5 {
+            for t in 0..50 {
+                let c = layer * 50 + t;
+                let ps = &w.parents[c];
+                assert!(!ps.is_empty() && ps.len() <= 3, "task {c} degree");
+                for pair in ps.windows(2) {
+                    assert!(pair[0] < pair[1], "parents sorted and distinct");
+                }
+                for p in ps {
+                    assert_eq!(p.index() / 50, layer - 1, "parent not in previous layer");
+                }
+            }
+        }
+        let again = layered_sparse(5, 50, 3, (100.0, 1_000.0), 11);
+        assert_eq!(w.parents, again.parents);
+    }
+
+    #[test]
+    fn critical_path_is_memoized() {
+        let w = chain(100, 10.0);
+        assert!((w.critical_path_mi() - 1_000.0).abs() < 1e-9);
+        // Second call hits the memo (same value, no recompute observable;
+        // the clone carries the cached value too).
+        let c = w.clone();
+        assert_eq!(
+            w.critical_path_mi().to_bits(),
+            c.critical_path_mi().to_bits()
+        );
+    }
+
+    #[test]
     fn ensemble_pipelines_are_independent() {
         let w = pipeline_ensemble(3, 4, 500.0, 1);
         assert_eq!(w.len(), 12);
@@ -250,20 +358,20 @@ mod tests {
     #[test]
     fn critical_path_handles_diamonds() {
         // c0 -> {c1, c2} -> c3 with c2 longer.
-        let w = Workflow {
-            specs: vec![
+        let w = Workflow::new(
+            vec![
                 CloudletSpec::new(100.0, 0.0, 0.0, 1),
                 CloudletSpec::new(200.0, 0.0, 0.0, 1),
                 CloudletSpec::new(900.0, 0.0, 0.0, 1),
                 CloudletSpec::new(100.0, 0.0, 0.0, 1),
             ],
-            parents: vec![
+            vec![
                 vec![],
                 vec![CloudletId(0)],
                 vec![CloudletId(0)],
                 vec![CloudletId(1), CloudletId(2)],
             ],
-        };
+        );
         assert!((w.critical_path_mi() - 1_100.0).abs() < 1e-9);
     }
 }

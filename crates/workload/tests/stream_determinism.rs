@@ -60,10 +60,9 @@ fn wave_plans_are_byte_identical_across_thread_counts() {
                     "{kind} {} plan diverged at {threads} threads",
                     cfg.mode.label()
                 );
-                let backlog =
-                    |r: &biosched_workload::stream::StreamOutcome| -> Vec<usize> {
-                        r.waves.iter().map(|w| w.backlog).collect()
-                    };
+                let backlog = |r: &biosched_workload::stream::StreamOutcome| -> Vec<usize> {
+                    r.waves.iter().map(|w| w.backlog).collect()
+                };
                 assert_eq!(
                     backlog(&baseline),
                     backlog(&got),
