@@ -61,8 +61,11 @@ pub fn extended_comparison(config: ExtendedConfig) -> Table {
         AlgorithmKind::MaxMin.build(config.seed),
         AlgorithmKind::Pso.build(config.seed),
         AlgorithmKind::Ga.build(config.seed),
+        AlgorithmKind::CuckooSos.build(config.seed),
+        AlgorithmKind::Gsa.build(config.seed),
         Box::new(Hybrid::new(Objective::Makespan, config.seed)),
         Box::new(Portfolio::paper_set(Objective::Makespan, config.seed)),
+        AlgorithmKind::Racing(Objective::Makespan).build(config.seed),
     ];
 
     let mut table = Table::new(vec![
@@ -73,11 +76,14 @@ pub fn extended_comparison(config: ExtendedConfig) -> Table {
         "cost",
         "SLA %",
         "energy (Wh)",
+        "winner",
+        "units",
     ]);
     for scheduler in schedulers.iter_mut() {
         let started = Instant::now();
         let assignment = scheduler.schedule(&problem);
         let sched_ms = started.elapsed().as_secs_f64() * 1_000.0;
+        let meta = scheduler.last_meta();
         let outcome = scenario
             .simulate(assignment)
             .expect("generated scenarios are feasible");
@@ -101,6 +107,12 @@ pub fn extended_comparison(config: ExtendedConfig) -> Table {
             energy
                 .map(|e| fmt_value(e.total_wh()))
                 .unwrap_or_else(|| "-".into()),
+            meta.as_ref()
+                .map(|m| m.winner.clone())
+                .unwrap_or_else(|| "-".into()),
+            meta.as_ref()
+                .map(|m| m.total_units.to_string())
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     table
@@ -118,11 +130,26 @@ mod tests {
             seed: 1,
             sla_slack: 16.0,
         });
-        assert_eq!(table.rows.len(), 10);
-        assert_eq!(table.headers.len(), 7);
+        assert_eq!(table.rows.len(), 13);
+        assert_eq!(table.headers.len(), 9);
         // Every row carries a real SLA figure (deadlines were attached).
         for row in &table.rows {
             assert_ne!(row[5], "-", "{} has no SLA result", row[0]);
         }
+        // Meta-schedulers export winner provenance into the CSV; plain
+        // schedulers leave the column blank.
+        let by_name = |name: &str| {
+            table
+                .rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("{name} row missing"))
+        };
+        assert_ne!(by_name("portfolio")[7], "-");
+        assert_ne!(by_name("racing")[7], "-");
+        assert_ne!(by_name("racing")[8], "-");
+        assert_eq!(by_name("ant-colony")[7], "-");
+        assert_eq!(by_name("cuckoo-sos")[7], "-");
+        assert_eq!(by_name("gsa")[7], "-");
     }
 }

@@ -103,10 +103,19 @@ pub fn parse_algorithm(name: &str) -> Result<AlgorithmKind, String> {
         "wrr" | "weightedrr" | "weighted-round-robin" => AlgorithmKind::WeightedRoundRobin,
         "sjf" | "shortest-job-first" => AlgorithmKind::Sjf,
         "bf" | "bestfit" | "best-fit" => AlgorithmKind::BestFit,
+        "csos" | "cuckoo" | "cuckoo-sos" => AlgorithmKind::CuckooSos,
+        "gsa" | "gravitational" => AlgorithmKind::Gsa,
+        "portfolio" | "portfolio-makespan" => AlgorithmKind::Portfolio(Objective::Makespan),
+        "portfolio-cost" => AlgorithmKind::Portfolio(Objective::Cost),
+        "portfolio-balance" => AlgorithmKind::Portfolio(Objective::Balance),
+        "race" | "racing" | "racing-makespan" => AlgorithmKind::Racing(Objective::Makespan),
+        "racing-cost" => AlgorithmKind::Racing(Objective::Cost),
+        "racing-balance" => AlgorithmKind::Racing(Objective::Balance),
         other => {
             return Err(format!(
                 "unknown algorithm '{other}' (try: base aco hbo rbs minmin maxmin \
-                 pso ga hybrid hybrid-cost hybrid-balance lc wrr sjf bf)"
+                 pso ga hybrid hybrid-cost hybrid-balance lc wrr sjf bf csos gsa \
+                 portfolio racing racing-cost racing-balance)"
             ))
         }
     })
@@ -259,6 +268,24 @@ mod tests {
         );
         assert_eq!(parse_algorithm("sjf").unwrap(), AlgorithmKind::Sjf);
         assert_eq!(parse_algorithm("best-fit").unwrap(), AlgorithmKind::BestFit);
+        assert_eq!(parse_algorithm("csos").unwrap(), AlgorithmKind::CuckooSos);
+        assert_eq!(
+            parse_algorithm("cuckoo-sos").unwrap(),
+            AlgorithmKind::CuckooSos
+        );
+        assert_eq!(parse_algorithm("gsa").unwrap(), AlgorithmKind::Gsa);
+        assert_eq!(
+            parse_algorithm("portfolio").unwrap(),
+            AlgorithmKind::Portfolio(Objective::Makespan)
+        );
+        assert_eq!(
+            parse_algorithm("racing").unwrap(),
+            AlgorithmKind::Racing(Objective::Makespan)
+        );
+        assert_eq!(
+            parse_algorithm("racing-cost").unwrap(),
+            AlgorithmKind::Racing(Objective::Cost)
+        );
         assert!(parse_algorithm("nope").is_err());
     }
 

@@ -58,13 +58,21 @@ scenario options (all commands):
   --sched-params S scheduler knob overrides, comma-separated key=value:
                    candidates=N|full strategy=random|topeta
                    sampling=linear|prefix|alias ants=N iterations=N
-                   batch=N q0=F (AntColony only), shards=N|dc (any
-                   algorithm; divide-and-conquer over VM shards).
+                   batch=N q0=F (AntColony only), population=N rounds=N
+                   (CuckooSOS/GSA only), budget=N quantum=N (Racing only,
+                   in evaluation units), shards=N|dc (any algorithm;
+                   divide-and-conquer over VM shards).
                    Bad keys/values are errors, never silently clamped
+
+algorithms: base aco hbo rbs minmin maxmin pso ga hybrid[-cost|-balance]
+            lc wrr sjf bf csos gsa portfolio[-cost|-balance]
+            racing[-cost|-balance]
 
 examples:
   biosched run --algorithm aco --vms 100 --cloudlets 1000
+  biosched run --algorithm racing --vms 100 --cloudlets 1000
   biosched compare --algorithms base,aco,hbo,rbs --sla-slack 8
+  biosched compare --algorithms csos,gsa,racing --vms 50
   biosched compare --algorithms base,aco --faults hosts=0.3
   biosched sweep --points 50,250,450 --algorithms base,aco
   biosched workflow --shape fork-join --tasks 32 --scheduler heft
@@ -76,6 +84,7 @@ struct RunResult {
     name: String,
     scheduling_ms: f64,
     outcome: SimulationOutcome,
+    meta: Option<biosched_core::scheduler::MetaProvenance>,
 }
 
 fn run_one(
@@ -90,6 +99,7 @@ fn run_one(
     let started = Instant::now();
     let assignment = scheduler.schedule(&problem);
     let scheduling_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    let meta = scheduler.last_meta();
     assignment
         .validate(&problem)
         .map_err(|e| format!("{kind} produced an invalid plan: {e}"))?;
@@ -112,7 +122,29 @@ fn run_one(
         name: kind.label().to_string(),
         scheduling_ms,
         outcome,
+        meta,
     })
+}
+
+/// Prints meta-scheduler provenance (portfolio/racer winner and budget)
+/// after the metrics table.
+fn report_meta(results: &[RunResult]) {
+    for r in results {
+        if let Some(meta) = &r.meta {
+            let spent: Vec<String> = meta
+                .spent
+                .iter()
+                .map(|(name, units)| format!("{name}={units}"))
+                .collect();
+            println!(
+                "{}: winner {} after {} evaluation units ({})",
+                r.name,
+                meta.winner,
+                meta.total_units,
+                spent.join(", ")
+            );
+        }
+    }
 }
 
 /// One-line stderr note when the outcome ran on a different engine than
@@ -232,6 +264,7 @@ pub fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     let results = [result];
     emit_table(&metrics_table(&results, opts.vms), opts.csv.as_deref())?;
+    report_meta(&results);
     report_resilience(&results);
     Ok(())
 }
@@ -263,6 +296,7 @@ pub fn cmd_compare(args: &[String]) -> Result<(), String> {
         .collect();
     let results = results?;
     emit_table(&metrics_table(&results, opts.vms), opts.csv.as_deref())?;
+    report_meta(&results);
     report_resilience(&results);
     Ok(())
 }
@@ -727,6 +761,34 @@ mod tests {
             "--algorithms base,rbs --vms 4 --cloudlets 12 --datacenters 2 --sla-slack 16",
         ))
         .unwrap();
+    }
+
+    #[test]
+    fn run_command_new_families_and_racer() {
+        cmd_run(&args(
+            "--algorithm csos --vms 4 --cloudlets 12 --datacenters 2 \
+             --sched-params population=6,rounds=3",
+        ))
+        .unwrap();
+        cmd_run(&args(
+            "--algorithm gsa --vms 4 --cloudlets 12 --datacenters 2 \
+             --sched-params population=6,rounds=3",
+        ))
+        .unwrap();
+        cmd_run(&args(
+            "--algorithm racing --vms 4 --cloudlets 12 --datacenters 2 \
+             --sched-params budget=200,quantum=20",
+        ))
+        .unwrap();
+        cmd_run(&args(
+            "--algorithm portfolio --vms 4 --cloudlets 12 --datacenters 2",
+        ))
+        .unwrap();
+        // Kind-gating errors surface through the CLI.
+        assert!(cmd_run(&args(
+            "--algorithm aco --vms 4 --cloudlets 12 --sched-params budget=10"
+        ))
+        .is_err());
     }
 
     #[test]

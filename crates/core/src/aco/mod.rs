@@ -240,6 +240,221 @@ impl AntColony {
     }
 }
 
+/// Per-colony iteration state shared by the one-shot colony loops and the
+/// anytime [`AcoRun`] stepper: the pheromone matrix, the best tour so
+/// far, tour-construction scratch and the engine-specific weight caches.
+/// Factoring the per-iteration body here is what makes "stepped to done ≡
+/// one-shot" true by construction rather than by parallel maintenance.
+struct ColonyState {
+    slots: Range<usize>,
+    pheromone: PheromoneMatrix,
+    best: Option<(Vec<u32>, f64)>,
+    scratch: TourScratch,
+    engine: ColonyEngine,
+}
+
+/// The two tour-construction machineries (see [`run_colony`] /
+/// [`run_colony_topk`] for their contracts).
+enum ColonyEngine {
+    /// Legacy reference-equivalent path: full-fleet η^β block plus the
+    /// fused per-iteration weight table (both absent when declined).
+    Legacy {
+        eta_pow: Option<Vec<f64>>,
+        weight_block: Option<Vec<f64>>,
+    },
+    /// Candidate-list fast path: per-batch [`CandidateBlock`] plus the
+    /// sampling-mode-specific row or alias caches.
+    Topk {
+        block: CandidateBlock,
+        rows: Option<CandidateRows>,
+        alias: Option<AliasTables>,
+    },
+}
+
+impl ColonyState {
+    /// Builds the legacy-path state (the prologue of [`run_colony`]).
+    fn new_legacy(
+        cache: &EvalCache,
+        params: &AcoParams,
+        slots: Range<usize>,
+        prior: Option<&PheromoneMatrix>,
+    ) -> Self {
+        let v = cache.vm_count();
+        let k = params.candidates.unwrap_or(v).min(v);
+        // η^β for the whole batch, shared by every ant and iteration;
+        // declined (→ inline fallback) when the block would out-cost the
+        // lookups.
+        let expected_lookups = params
+            .ants
+            .saturating_mul(params.iterations)
+            .saturating_mul(slots.len())
+            .saturating_mul(k);
+        let eta_pow = cache.eta_pow_block(slots.clone(), params.beta, expected_lookups);
+        // Fused Eq. 5 weight table (slot-major, τ^α·η^β per edge),
+        // refreshed from the pheromone snapshot each iteration. Same size
+        // as the η^β block, so it exists exactly when that block does.
+        let weight_block: Option<Vec<f64>> = eta_pow.as_ref().map(|block| vec![0.0; block.len()]);
+        ColonyState {
+            pheromone: match prior {
+                Some(p) => p.clone(),
+                None => PheromoneMatrix::new(params.initial_pheromone),
+            },
+            best: None,
+            scratch: TourScratch::new(v),
+            slots,
+            engine: ColonyEngine::Legacy {
+                eta_pow,
+                weight_block,
+            },
+        }
+    }
+
+    /// Builds the candidate-list fast-path state (the prologue of
+    /// [`run_colony_topk`]).
+    fn new_topk(
+        cache: &EvalCache,
+        params: &AcoParams,
+        slots: Range<usize>,
+        k: usize,
+        prior: Option<&PheromoneMatrix>,
+    ) -> Self {
+        let v = cache.vm_count();
+        let block = cache.candidate_block(slots.clone(), k, params.beta);
+        let rows = match params.sampling {
+            SamplingMode::Alias => None,
+            SamplingMode::Linear | SamplingMode::PrefixSum => {
+                Some(CandidateRows::new(slots.len(), block.k()))
+            }
+        };
+        let alias = match params.sampling {
+            SamplingMode::Alias => Some(AliasTables::build(&block)),
+            SamplingMode::Linear | SamplingMode::PrefixSum => None,
+        };
+        ColonyState {
+            pheromone: match prior {
+                Some(p) => p.clone(),
+                None => PheromoneMatrix::new(params.initial_pheromone),
+            },
+            best: None,
+            scratch: TourScratch::new(v),
+            slots,
+            engine: ColonyEngine::Topk { block, rows, alias },
+        }
+    }
+
+    /// One colony iteration: refresh the weight caches from the pheromone
+    /// snapshot, construct every ant's tour from `iter_seeds`, apply the
+    /// pheromone updates. Returns the best tour length so far.
+    fn iterate(
+        &mut self,
+        cache: &EvalCache,
+        params: &AcoParams,
+        iter_seeds: &[u64],
+        ants_parallel: bool,
+    ) -> f64 {
+        let v = cache.vm_count();
+        let slots = self.slots.clone();
+        let tours: Vec<(Vec<u32>, f64)> = match &mut self.engine {
+            ColonyEngine::Legacy {
+                eta_pow,
+                weight_block,
+            } => {
+                self.pheromone.prepare_pow(params.alpha);
+                if let (Some(weights), Some(eta)) = (weight_block.as_mut(), eta_pow.as_deref()) {
+                    for s in 0..slots.len() {
+                        self.pheromone.fill_weight_row(
+                            s,
+                            &eta[s * v..(s + 1) * v],
+                            &mut weights[s * v..(s + 1) * v],
+                        );
+                    }
+                }
+                let weights_ref = weight_block.as_deref();
+                let pheromone = &self.pheromone;
+                if ants_parallel {
+                    eval::par_map(iter_seeds, |&seed| {
+                        let mut ant_scratch = TourScratch::new(v);
+                        construct_tour(
+                            cache,
+                            slots.clone(),
+                            pheromone,
+                            params,
+                            seed,
+                            weights_ref,
+                            &mut ant_scratch,
+                        )
+                    })
+                } else {
+                    let scratch = &mut self.scratch;
+                    iter_seeds
+                        .iter()
+                        .map(|&seed| {
+                            construct_tour(
+                                cache,
+                                slots.clone(),
+                                pheromone,
+                                params,
+                                seed,
+                                weights_ref,
+                                scratch,
+                            )
+                        })
+                        .collect()
+                }
+            }
+            ColonyEngine::Topk { block, rows, alias } => {
+                self.pheromone.prepare_pow_incremental(params.alpha);
+                if let Some(rows) = rows.as_mut() {
+                    rows.refresh(&self.pheromone, block);
+                }
+                if let Some(alias) = alias.as_mut() {
+                    alias.refresh(&self.pheromone, block);
+                }
+                let pheromone = &self.pheromone;
+                let scratch = &mut self.scratch;
+                iter_seeds
+                    .iter()
+                    .map(|&seed| {
+                        construct_tour_topk(
+                            cache,
+                            slots.clone(),
+                            pheromone,
+                            params,
+                            seed,
+                            block,
+                            rows.as_ref(),
+                            alias.as_ref(),
+                            scratch,
+                        )
+                    })
+                    .collect()
+            }
+        };
+        apply_pheromone_updates(&mut self.pheromone, params, tours, &mut self.best)
+    }
+
+    /// The best tour found so far (empty before the first iteration).
+    fn best_tour(&self) -> &[u32] {
+        self.best.as_ref().map(|(t, _)| t.as_slice()).unwrap_or(&[])
+    }
+
+    /// Epilogue shared by the one-shot colony loops.
+    fn into_result(
+        self,
+        trace: Vec<f64>,
+        capture: bool,
+    ) -> (Vec<VmId>, Vec<f64>, Option<PheromoneMatrix>) {
+        let tour = self
+            .best
+            .expect("ants always produce tours")
+            .0
+            .into_iter()
+            .map(VmId)
+            .collect();
+        (tour, trace, capture.then_some(self.pheromone))
+    }
+}
+
 /// Runs one colony over `slots` (global cloudlet indices). Returns the
 /// best tour found plus, when `traced`, the best length per iteration,
 /// plus, when `capture`, the colony's final pheromone matrix (the warm
@@ -257,88 +472,19 @@ fn run_colony(
     prior: Option<&PheromoneMatrix>,
     capture: bool,
 ) -> (Vec<VmId>, Vec<f64>, Option<PheromoneMatrix>) {
-    let v = cache.vm_count();
-    let k = params.candidates.unwrap_or(v).min(v);
-    // η^β for the whole batch, shared by every ant and iteration; declined
-    // (→ inline fallback) when the block would out-cost the lookups.
-    let expected_lookups = params
-        .ants
-        .saturating_mul(params.iterations)
-        .saturating_mul(slots.len())
-        .saturating_mul(k);
-    let eta_pow = cache.eta_pow_block(slots.clone(), params.beta, expected_lookups);
-    // Fused Eq. 5 weight table (slot-major, τ^α·η^β per edge), refreshed
-    // from the pheromone snapshot each iteration. Same size as the η^β
-    // block, so it exists exactly when that block does.
-    let mut weight_block: Option<Vec<f64>> = eta_pow.as_ref().map(|block| vec![0.0; block.len()]);
-
-    let mut pheromone = match prior {
-        Some(p) => p.clone(),
-        None => PheromoneMatrix::new(params.initial_pheromone),
-    };
-    let mut best: Option<(Vec<u32>, f64)> = None;
-    let mut trace = Vec::new();
-    let mut scratch = TourScratch::new(v);
     // Mirrors the pre-overhaul per-iteration gate (cheap batches do not
     // amortize a fork), further gated off when colonies already fan out.
     let ants_parallel = ants_parallel && slots.len() >= 32;
-
+    let mut state = ColonyState::new_legacy(cache, params, slots, prior);
+    let mut trace = Vec::new();
     for iter in 0..params.iterations {
         let iter_seeds = &seeds[iter * params.ants..(iter + 1) * params.ants];
-        pheromone.prepare_pow(params.alpha);
-        if let (Some(weights), Some(eta)) = (weight_block.as_mut(), eta_pow.as_deref()) {
-            for s in 0..slots.len() {
-                pheromone.fill_weight_row(
-                    s,
-                    &eta[s * v..(s + 1) * v],
-                    &mut weights[s * v..(s + 1) * v],
-                );
-            }
-        }
-        let weights_ref = weight_block.as_deref();
-        let tours: Vec<(Vec<u32>, f64)> = if ants_parallel {
-            eval::par_map(iter_seeds, |&seed| {
-                let mut ant_scratch = TourScratch::new(v);
-                construct_tour(
-                    cache,
-                    slots.clone(),
-                    &pheromone,
-                    params,
-                    seed,
-                    weights_ref,
-                    &mut ant_scratch,
-                )
-            })
-        } else {
-            iter_seeds
-                .iter()
-                .map(|&seed| {
-                    construct_tour(
-                        cache,
-                        slots.clone(),
-                        &pheromone,
-                        params,
-                        seed,
-                        weights_ref,
-                        &mut scratch,
-                    )
-                })
-                .collect()
-        };
-
-        let best_len = apply_pheromone_updates(&mut pheromone, params, tours, &mut best);
+        let best_len = state.iterate(cache, params, iter_seeds, ants_parallel);
         if traced {
             trace.push(best_len);
         }
     }
-
-    let tour = best
-        .expect("ants always produce tours")
-        .0
-        .into_iter()
-        .map(VmId)
-        .collect();
-    (tour, trace, capture.then_some(pheromone))
+    state.into_result(trace, capture)
 }
 
 /// The per-iteration pheromone bookkeeping both colony bodies share: local
@@ -391,65 +537,138 @@ fn run_colony_topk(
     prior: Option<&PheromoneMatrix>,
     capture: bool,
 ) -> (Vec<VmId>, Vec<f64>, Option<PheromoneMatrix>) {
-    let v = cache.vm_count();
-    let block = cache.candidate_block(slots.clone(), k, params.beta);
-    let mut pheromone = match prior {
-        Some(p) => p.clone(),
-        None => PheromoneMatrix::new(params.initial_pheromone),
-    };
-    let mut best: Option<(Vec<u32>, f64)> = None;
+    let mut state = ColonyState::new_topk(cache, params, slots, k, prior);
     let mut trace = Vec::new();
-    let mut scratch = TourScratch::new(v);
-    let mut rows = match params.sampling {
-        SamplingMode::Alias => None,
-        SamplingMode::Linear | SamplingMode::PrefixSum => {
-            Some(CandidateRows::new(slots.len(), block.k()))
-        }
-    };
-    let mut alias = match params.sampling {
-        SamplingMode::Alias => Some(AliasTables::build(&block)),
-        SamplingMode::Linear | SamplingMode::PrefixSum => None,
-    };
-
     for iter in 0..params.iterations {
         let iter_seeds = &seeds[iter * params.ants..(iter + 1) * params.ants];
-        pheromone.prepare_pow_incremental(params.alpha);
-        if let Some(rows) = rows.as_mut() {
-            rows.refresh(&pheromone, &block);
-        }
-        if let Some(alias) = alias.as_mut() {
-            alias.refresh(&pheromone, &block);
-        }
-        let tours: Vec<(Vec<u32>, f64)> = iter_seeds
-            .iter()
-            .map(|&seed| {
-                construct_tour_topk(
-                    cache,
-                    slots.clone(),
-                    &pheromone,
-                    params,
-                    seed,
-                    &block,
-                    rows.as_ref(),
-                    alias.as_ref(),
-                    &mut scratch,
-                )
-            })
-            .collect();
-
-        let best_len = apply_pheromone_updates(&mut pheromone, params, tours, &mut best);
+        let best_len = state.iterate(cache, params, iter_seeds, false);
         if traced {
             trace.push(best_len);
         }
     }
+    state.into_result(trace, capture)
+}
 
-    let tour = best
-        .expect("ants always produce tours")
-        .0
-        .into_iter()
-        .map(VmId)
-        .collect();
-    (tour, trace, capture.then_some(pheromone))
+/// The anytime ACO run: every colony's [`ColonyState`] plus a shared
+/// iteration cursor. One [`AcoRun::step`] call advances *every* colony by
+/// one iteration (colonies evolve in lockstep, iteration-major), charging
+/// `ants` evaluation units — each of the `ants` tours per colony covers
+/// only that colony's batch, so all colonies together construct `ants`
+/// full assignments per step.
+///
+/// Ant seeds are pre-drawn colony-major exactly like [`AntColony::run`]
+/// and colonies are mutually independent, so a fresh `AcoRun` stepped to
+/// completion picks the same per-colony best tours as the one-shot
+/// scheduler — bit-identical plans (asserted in tests for both the legacy
+/// and the candidate-list engines). Stepping is always sequential; the
+/// one-shot path's colony/ant parallelism never changes results, only
+/// wall clock.
+pub struct AcoRun {
+    params: AcoParams,
+    colonies: Vec<ColonyState>,
+    seeds: Vec<u64>,
+    per_colony: usize,
+    iter: usize,
+}
+
+impl AcoRun {
+    /// Starts a run from a cold seed, mirroring [`AntColony::run`]'s
+    /// prologue: batch clamp, colony slicing, colony-major seed pre-draw,
+    /// candidate-list engagement, and (when `prior` is given) the warm
+    /// matrix aged by one evaporation + lane compaction.
+    pub fn cold(
+        params: AcoParams,
+        seed: u64,
+        cache: &EvalCache,
+        prior: Option<&PheromoneMatrix>,
+    ) -> Self {
+        params.validate().expect("invalid AcoParams");
+        let mut rng = stream(seed, "aco");
+        let c = cache.cloudlet_count();
+        let v = cache.vm_count();
+        let fleet_cap = ((v as f64 * params.max_vm_fraction).ceil() as usize).max(1);
+        let batch = params.batch_size.min(fleet_cap).max(1);
+        let mut ranges: Vec<Range<usize>> = Vec::with_capacity(c.div_ceil(batch));
+        let mut start = 0;
+        while start < c {
+            let end = (start + batch).min(c);
+            ranges.push(start..end);
+            start = end;
+        }
+        let per_colony = params.iterations * params.ants;
+        let seeds: Vec<u64> = (0..ranges.len() * per_colony).map(|_| rng.gen()).collect();
+        let k = params.candidates.unwrap_or(v).min(v);
+        let use_topk = params.strategy == params::CandidateStrategy::TopEta && k < v;
+        let aged = prior.map(|p| {
+            let mut m = p.clone();
+            m.evaporate(params.rho);
+            m.compact_top(k);
+            m
+        });
+        let colonies = ranges
+            .into_iter()
+            .map(|slots| {
+                if use_topk {
+                    ColonyState::new_topk(cache, &params, slots, k, aged.as_ref())
+                } else {
+                    ColonyState::new_legacy(cache, &params, slots, aged.as_ref())
+                }
+            })
+            .collect();
+        AcoRun {
+            params,
+            colonies,
+            seeds,
+            per_colony,
+            iter: 0,
+        }
+    }
+
+    /// Evaluation units one [`AcoRun::step`] charges (`ants` full
+    /// assignments across all colonies; see the type docs).
+    pub fn step_units(&self) -> u64 {
+        self.params.ants as u64
+    }
+
+    /// True once every planned iteration has run (or the workload is
+    /// empty).
+    pub fn done(&self) -> bool {
+        self.iter >= self.params.iterations || self.colonies.is_empty()
+    }
+
+    /// Advances every colony by one iteration. Returns the minimum best
+    /// tour length across colonies (informational — racing re-scores the
+    /// incumbent under its own objective).
+    pub fn step(&mut self, cache: &EvalCache) -> f64 {
+        if self.done() {
+            return 0.0;
+        }
+        let iter = self.iter;
+        let ants = self.params.ants;
+        let mut best = f64::INFINITY;
+        for (i, colony) in self.colonies.iter_mut().enumerate() {
+            let base = i * self.per_colony + iter * ants;
+            let iter_seeds = &self.seeds[base..base + ants];
+            let len = colony.iterate(cache, &self.params, iter_seeds, false);
+            best = best.min(len);
+        }
+        self.iter += 1;
+        best
+    }
+
+    /// The full-workload incumbent: every colony's best tour,
+    /// concatenated in cloudlet order. `None` before the first step
+    /// (colonies have no tours yet) on non-empty workloads.
+    pub fn incumbent(&self) -> Option<Vec<u32>> {
+        if self.iter == 0 && !self.colonies.is_empty() {
+            return None;
+        }
+        let mut genes = Vec::with_capacity(self.colonies.iter().map(|c| c.slots.len()).sum());
+        for colony in &self.colonies {
+            genes.extend_from_slice(colony.best_tour());
+        }
+        Some(genes)
+    }
 }
 
 /// Per-iteration fused Eq. 5 weight rows of the candidate-list fast path:
@@ -1364,6 +1583,31 @@ mod tests {
             assert_eq!(a1, b1);
             assert_eq!(a2, b2);
             assert!(a2.validate(&p).is_ok());
+        }
+    }
+
+    #[test]
+    fn anytime_run_matches_one_shot_bitwise() {
+        // The anytime contract the racing driver relies on: a cold AcoRun
+        // stepped to completion picks the one-shot plan, same bits — on
+        // both the legacy and the candidate-list engines, and on batched
+        // workloads (several colonies advancing in lockstep).
+        let p = hetero_problem(14, 90);
+        let cache = EvalCache::new(&p);
+        for params in [AcoParams::fast(), topk_params(8, SamplingMode::PrefixSum)] {
+            let mut run = AcoRun::cold(params.clone(), 17, &cache, None);
+            assert!(run.incumbent().is_none(), "no tours before the first step");
+            let mut steps = 0;
+            while !run.done() {
+                run.step(&cache);
+                steps += 1;
+            }
+            assert_eq!(steps, params.iterations);
+            assert_eq!(run.step_units(), params.ants as u64);
+            let stepped = run.incumbent().expect("stepped to completion");
+            let one_shot = AntColony::new(params, 17).schedule_with_cache(&p, &cache);
+            let one_shot: Vec<u32> = one_shot.as_slice().iter().map(|vm| vm.0).collect();
+            assert_eq!(stepped, one_shot);
         }
     }
 

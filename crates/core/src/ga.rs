@@ -146,16 +146,136 @@ impl Genetic {
     pub fn params(&self) -> &GaParams {
         &self.params
     }
+}
+
+fn to_assignment(genes: &[u32]) -> Assignment {
+    Assignment::new(genes.iter().map(|g| VmId(*g)).collect())
+}
+
+/// The anytime GA run: scored population plus a generation cursor.
+///
+/// One [`GaRun::step`] call breeds and scores one generation
+/// (`population − elites` full-assignment evaluations, the run's
+/// deterministic budget unit). [`Genetic`] drives a `GaRun` to
+/// completion, so a fresh run stepped to done is bit-identical to
+/// [`Genetic::schedule`] with the same params and seed.
+pub struct GaRun {
+    params: GaParams,
+    rng: StdRng,
+    population: Vec<(Vec<u32>, f64)>,
+    dims: usize,
+    v: u32,
+    generation: usize,
+}
+
+impl GaRun {
+    /// Starts a run from a cold seed.
+    pub fn cold(params: GaParams, seed: u64, cache: &EvalCache, incumbent: Option<&[u32]>) -> Self {
+        params.validate().expect("invalid GaParams");
+        let rng = stream(seed, "ga");
+        Self::with_rng(params, rng, cache, incumbent)
+    }
+
+    /// Starts a run from an already-positioned RNG stream (how
+    /// [`Genetic`] keeps successive `schedule` rounds on one instance
+    /// drawing fresh randomness).
+    fn with_rng(
+        params: GaParams,
+        mut rng: StdRng,
+        cache: &EvalCache,
+        incumbent: Option<&[u32]>,
+    ) -> Self {
+        let dims = cache.cloudlet_count();
+        let v = (cache.vm_count() as u32).max(1);
+        // Seed the population with random chromosomes plus one cyclic
+        // chromosome — a common warm start that also guarantees the GA
+        // never ends worse than the Base Test on homogeneous setups.
+        // Chromosomes are bred sequentially (the RNG stream defines the
+        // schedule) and scored as one batch through the evaluation kernel;
+        // scoring draws no randomness, so results are seed-stable at any
+        // thread count.
+        let mut genomes: Vec<Vec<u32>> = Vec::with_capacity(params.population);
+        if dims > 0 {
+            genomes.push((0..dims).map(|i| (i as u32) % v).collect());
+            // Warm start (streaming broker): one chromosome inherits the
+            // previous wave's plan positionally (wraparound when sizes
+            // differ), so the search resumes near the surviving optimum.
+            if let Some(inc) = incumbent.filter(|inc| !inc.is_empty()) {
+                if genomes.len() < params.population {
+                    genomes.push((0..dims).map(|i| inc[i % inc.len()].min(v - 1)).collect());
+                }
+            }
+            while genomes.len() < params.population {
+                genomes.push((0..dims).map(|_| rng.gen_range(0..v)).collect());
+            }
+        }
+        let scores = evaluate_population(cache, &genomes, params.objective);
+        GaRun {
+            params,
+            rng,
+            population: genomes.into_iter().zip(scores).collect(),
+            dims,
+            v,
+            generation: 0,
+        }
+    }
+
+    /// Evaluation units charged by population initialization.
+    pub fn init_units(&self) -> u64 {
+        self.population.len() as u64
+    }
+
+    /// Evaluation units one [`GaRun::step`] charges (children scored;
+    /// elites carry their scores over).
+    pub fn step_units(&self) -> u64 {
+        (self.params.population - self.params.elites) as u64
+    }
+
+    /// True once every planned generation has run (or the workload is
+    /// empty).
+    pub fn done(&self) -> bool {
+        self.generation >= self.params.generations || self.population.is_empty()
+    }
+
+    /// First fittest chromosome in current population order — the same
+    /// pick a stable ascending sort followed by `population[0]` makes.
+    fn best_index(&self) -> usize {
+        let mut best = 0;
+        for i in 1..self.population.len() {
+            if self.population[i].1 < self.population[best].1 {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The fittest chromosome (empty for an empty workload).
+    pub fn best_genes(&self) -> &[u32] {
+        if self.population.is_empty() {
+            &[]
+        } else {
+            &self.population[self.best_index()].0
+        }
+    }
+
+    /// The fittest chromosome's objective score.
+    pub fn best_score(&self) -> f64 {
+        if self.population.is_empty() {
+            0.0
+        } else {
+            self.population[self.best_index()].1
+        }
+    }
 
     /// Tournament selection by index: draws the same RNG stream as
     /// picking references would, without ever cloning a chromosome (at
     /// 10⁶-gene chromosomes a per-parent clone dominates the breeding
     /// loop).
-    fn tournament_pick(&mut self, population: &[(Vec<u32>, f64)]) -> usize {
+    fn tournament_pick(&mut self) -> usize {
         let mut best: Option<(usize, f64)> = None;
         for _ in 0..self.params.tournament {
-            let i = self.rng.gen_range(0..population.len());
-            let score = population[i].1;
+            let i = self.rng.gen_range(0..self.population.len());
+            let score = self.population[i].1;
             if best.is_none_or(|(_, b)| score < b) {
                 best = Some((i, score));
             }
@@ -181,10 +301,49 @@ impl Genetic {
             usize::MAX
         }
     }
-}
 
-fn to_assignment(genes: &[u32]) -> Assignment {
-    Assignment::new(genes.iter().map(|g| VmId(*g)).collect())
+    /// One generation: sort, keep elites, breed children by tournament +
+    /// uniform crossover + geometric-skip mutation, batch-score. Returns
+    /// the best score after the generation (monotone via elitism).
+    pub fn step(&mut self, cache: &EvalCache) -> f64 {
+        if self.done() {
+            return self.best_score();
+        }
+        let dims = self.dims;
+        let v = self.v;
+        self.population.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mut next: Vec<(Vec<u32>, f64)> = self.population[..self.params.elites].to_vec();
+        let mut children: Vec<Vec<u32>> = Vec::with_capacity(self.params.population - next.len());
+        let mutation = self.params.mutation_rate;
+        while next.len() + children.len() < self.params.population {
+            let pa = self.tournament_pick();
+            let pb = self.tournament_pick();
+            let mut child = Vec::with_capacity(dims);
+            for d in 0..dims {
+                let from_b = self.rng.gen_bool(self.params.crossover_mix);
+                let (parent_a, parent_b) = (&self.population[pa].0, &self.population[pb].0);
+                child.push(if from_b { parent_b[d] } else { parent_a[d] });
+            }
+            if mutation > 0.0 {
+                let mut d = self.mutation_skip(mutation);
+                while d < dims {
+                    child[d] = self.rng.gen_range(0..v);
+                    d = d
+                        .saturating_add(1)
+                        .saturating_add(self.mutation_skip(mutation));
+                }
+            }
+            children.push(child);
+        }
+        let scores = evaluate_population(cache, &children, self.params.objective);
+        next.extend(children.into_iter().zip(scores));
+        self.population = next;
+        self.generation += 1;
+        self.population
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::INFINITY, f64::min)
+    }
 }
 
 impl Genetic {
@@ -203,76 +362,20 @@ impl Genetic {
         traced: bool,
         incumbent: Option<&[u32]>,
     ) -> (Assignment, Vec<f64>) {
-        let dims = problem.cloudlet_count();
-        let v = problem.vm_count() as u32;
+        let _ = problem;
+        let mut run = GaRun::with_rng(self.params.clone(), self.rng.clone(), cache, incumbent);
         let mut trace = Vec::new();
-        if dims == 0 {
-            return (Assignment::new(Vec::new()), trace);
-        }
-        let objective = self.params.objective;
-
-        // Seed the population with random chromosomes plus one cyclic
-        // chromosome — a common warm start that also guarantees the GA
-        // never ends worse than the Base Test on homogeneous setups.
-        // Chromosomes are bred sequentially (the RNG stream defines the
-        // schedule) and scored as one batch through the evaluation kernel;
-        // scoring draws no randomness, so results are seed-stable at any
-        // thread count.
-        let mut genomes: Vec<Vec<u32>> = Vec::with_capacity(self.params.population);
-        genomes.push((0..dims).map(|i| (i as u32) % v).collect());
-        // Warm start (streaming broker): one chromosome inherits the
-        // previous wave's plan positionally (wraparound when sizes
-        // differ), so the search resumes near the surviving optimum.
-        if let Some(inc) = incumbent.filter(|inc| !inc.is_empty()) {
-            if genomes.len() < self.params.population {
-                genomes.push((0..dims).map(|i| inc[i % inc.len()].min(v - 1)).collect());
-            }
-        }
-        while genomes.len() < self.params.population {
-            genomes.push((0..dims).map(|_| self.rng.gen_range(0..v)).collect());
-        }
-        let scores = evaluate_population(cache, &genomes, objective);
-        let mut population: Vec<(Vec<u32>, f64)> = genomes.into_iter().zip(scores).collect();
-
-        for _ in 0..self.params.generations {
-            population.sort_by(|a, b| a.1.total_cmp(&b.1));
-            let mut next: Vec<(Vec<u32>, f64)> = population[..self.params.elites].to_vec();
-            let mut children: Vec<Vec<u32>> =
-                Vec::with_capacity(self.params.population - next.len());
-            let mutation = self.params.mutation_rate;
-            while next.len() + children.len() < self.params.population {
-                let pa = self.tournament_pick(&population);
-                let pb = self.tournament_pick(&population);
-                let (parent_a, parent_b) = (&population[pa].0, &population[pb].0);
-                let mut child = Vec::with_capacity(dims);
-                for d in 0..dims {
-                    let from_b = self.rng.gen_bool(self.params.crossover_mix);
-                    child.push(if from_b { parent_b[d] } else { parent_a[d] });
-                }
-                if mutation > 0.0 {
-                    let mut d = self.mutation_skip(mutation);
-                    while d < dims {
-                        child[d] = self.rng.gen_range(0..v);
-                        d = d
-                            .saturating_add(1)
-                            .saturating_add(self.mutation_skip(mutation));
-                    }
-                }
-                children.push(child);
-            }
-            let scores = evaluate_population(cache, &children, objective);
-            next.extend(children.into_iter().zip(scores));
-            population = next;
+        while !run.done() {
+            let best = run.step(cache);
             if traced {
-                let best = population
-                    .iter()
-                    .map(|(_, s)| *s)
-                    .fold(f64::INFINITY, f64::min);
                 trace.push(best);
             }
         }
-        population.sort_by(|a, b| a.1.total_cmp(&b.1));
-        (to_assignment(&population[0].0), trace)
+        let plan = to_assignment(run.best_genes());
+        // Carry the advanced stream back so repeated rounds on one
+        // instance keep drawing fresh randomness.
+        self.rng = run.rng;
+        (plan, trace)
     }
 }
 
@@ -388,6 +491,28 @@ mod tests {
         assert!((trace.last().unwrap() - final_score).abs() < 1e-9);
         // Tracing does not change the result.
         assert_eq!(plan, Genetic::new(GaParams::fast(), 10).schedule(&p));
+    }
+
+    #[test]
+    fn stepped_run_matches_one_shot_bitwise() {
+        // The anytime contract the racing driver relies on: a cold GaRun
+        // stepped to completion is the one-shot schedule, same bits.
+        let p = hetero_problem(6, 28);
+        let cache = EvalCache::new(&p);
+        let mut run = GaRun::cold(GaParams::fast(), 21, &cache, None);
+        let mut steps = 0;
+        while !run.done() {
+            run.step(&cache);
+            steps += 1;
+        }
+        assert_eq!(steps, GaParams::fast().generations);
+        let stepped = to_assignment(run.best_genes());
+        let one_shot = Genetic::new(GaParams::fast(), 21).schedule(&p);
+        assert_eq!(stepped, one_shot);
+        assert_eq!(
+            run.step_units(),
+            (GaParams::fast().population - GaParams::fast().elites) as u64
+        );
     }
 
     #[test]

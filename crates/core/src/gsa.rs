@@ -1,0 +1,588 @@
+//! Gravitational Search Algorithm (GSA) scheduler.
+//!
+//! Related-work family (arXiv 2311.07004): candidate assignments are
+//! *agents* in a continuous search space (one dimension per cloudlet,
+//! positions decoded to VM indices exactly like the PSO decoder). Each
+//! iteration, agents are weighted by fitness-derived **masses** — the
+//! ecosystem best gets mass 1, the worst mass 0 — and every agent is
+//! pulled toward the `Kbest` heaviest agents with force
+//! `G(t) · M_j · (x_j − x_i) / (R_ij + ε)`, where the gravitational
+//! constant `G(t) = G₀·e^(−α·t/T)` decays over time and `Kbest` shrinks
+//! linearly from the whole population to a single agent — exploration
+//! early, exploitation late.
+//!
+//! All fitness goes through the batch evaluation kernel
+//! ([`evaluate_population`]), which is RNG-free and thread-invariant, and
+//! the force loop is plain sequential arithmetic, so plans are
+//! bit-identical per seed at any thread count.
+//!
+//! [`GsaRun`] is the native anytime stepper ([`GsaRun::step`] = one full
+//! swarm iteration, `population` evaluation units); [`Gsa`] runs it to
+//! completion behind the [`Scheduler`] interface, so one-shot and stepped
+//! plans are the same bits by construction.
+//!
+//! ```
+//! use biosched_core::gsa::{Gsa, GsaParams};
+//! use biosched_core::problem::SchedulingProblem;
+//! use biosched_core::scheduler::Scheduler;
+//! use simcloud::prelude::*;
+//!
+//! let problem = SchedulingProblem::single_datacenter(
+//!     vec![VmSpec::new(1000.0, 5000.0, 512.0, 500.0, 1); 4],
+//!     vec![CloudletSpec::new(2_000.0, 0.0, 0.0, 1); 16],
+//!     CostModel::default(),
+//! );
+//! let plan = Gsa::new(GsaParams::fast(), 42).schedule(&problem);
+//! assert!(plan.validate(&problem).is_ok());
+//! ```
+use rand::rngs::StdRng;
+use rand::Rng;
+use simcloud::ids::VmId;
+use simcloud::rng::stream;
+
+use crate::assignment::Assignment;
+use crate::eval::{evaluate_population, EvalCache};
+use crate::objective::Objective;
+use crate::problem::SchedulingProblem;
+use crate::scheduler::Scheduler;
+
+/// Softening constant keeping the force finite at zero distance.
+const EPS: f64 = 1e-9;
+
+/// GSA tuning parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GsaParams {
+    /// Number of agents.
+    pub population: usize,
+    /// Swarm iterations.
+    pub iterations: usize,
+    /// Initial gravitational constant `G₀`.
+    pub g0: f64,
+    /// Gravitational decay exponent `α` in `G(t) = G₀·e^(−α·t/T)`.
+    pub alpha: f64,
+    /// What the swarm optimizes.
+    pub objective: Objective,
+}
+
+impl GsaParams {
+    /// Literature-standard configuration.
+    pub fn standard() -> Self {
+        GsaParams {
+            population: 20,
+            iterations: 40,
+            g0: 100.0,
+            alpha: 20.0,
+            objective: Objective::Makespan,
+        }
+    }
+
+    /// A cheaper configuration for sweeps and debug-mode tests.
+    pub fn fast() -> Self {
+        GsaParams {
+            population: 8,
+            iterations: 10,
+            ..Self::standard()
+        }
+    }
+
+    /// Iteration-count scaling law: the standard profile up to
+    /// [`crate::aco::AcoParams::SCALE_CUTOVER`] cloudlets, a reduced
+    /// profile above it (the force loop is O(population² · cloudlets)
+    /// per iteration, so both knobs must shrink at 10⁶ scale).
+    pub fn for_scale(cloudlets: usize) -> Self {
+        if cloudlets > crate::aco::AcoParams::SCALE_CUTOVER {
+            GsaParams {
+                population: 8,
+                iterations: 6,
+                ..Self::standard()
+            }
+        } else {
+            Self::standard()
+        }
+    }
+
+    /// Validates parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.population < 2 {
+            return Err("population must be at least 2 (forces need a peer)".into());
+        }
+        if self.iterations == 0 {
+            return Err("iterations must be at least 1".into());
+        }
+        if self.g0 <= 0.0 || !self.g0.is_finite() {
+            return Err(format!("g0 must be positive and finite, got {}", self.g0));
+        }
+        if self.alpha < 0.0 || !self.alpha.is_finite() {
+            return Err(format!(
+                "alpha must be non-negative and finite, got {}",
+                self.alpha
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for GsaParams {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Normalized masses from raw objective scores (lower score = heavier):
+/// `m_i = (worst − f_i)/(worst − best)`, then `M_i = m_i / Σm`. The best
+/// agent always carries the largest mass; the worst carries zero (all
+/// agents weigh the same when scores are tied).
+fn masses(scores: &[f64]) -> Vec<f64> {
+    let best = scores.iter().copied().fold(f64::INFINITY, f64::min);
+    let worst = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = worst - best;
+    let raw: Vec<f64> = if span <= 0.0 || !span.is_finite() {
+        vec![1.0; scores.len()]
+    } else {
+        scores.iter().map(|f| (worst - f) / span).collect()
+    };
+    let total: f64 = raw.iter().sum();
+    raw.iter().map(|m| m / total.max(EPS)).collect()
+}
+
+/// `G(t) = G₀·e^(−α·t/T)` — monotone decay over the run.
+fn gravity(g0: f64, alpha: f64, iter: usize, iterations: usize) -> f64 {
+    g0 * (-alpha * iter as f64 / iterations.max(1) as f64).exp()
+}
+
+/// `Kbest` attractor-count law: shrinks linearly from the full
+/// population at iteration 0 to a single agent on the last iteration.
+fn kbest(population: usize, iter: usize, iterations: usize) -> usize {
+    if population == 0 {
+        return 0;
+    }
+    let shrink = (population - 1) * iter / iterations.saturating_sub(1).max(1);
+    (population - shrink).max(1)
+}
+
+/// Decodes a continuous position vector to VM indices (same wrap rule as
+/// the PSO decoder: `rem_euclid` then floor, clamped to the fleet).
+fn decode(position: &[f64], v: u32) -> Vec<u32> {
+    position
+        .iter()
+        .map(|x| {
+            let wrapped = x.rem_euclid(f64::from(v));
+            (wrapped.floor() as u32).min(v - 1)
+        })
+        .collect()
+}
+
+/// The anytime GSA run: agent positions, velocities and scores plus an
+/// iteration cursor. One [`GsaRun::step`] is one synchronous swarm
+/// update (`population` full-assignment evaluations). Running a fresh
+/// `GsaRun` to completion is bit-identical to [`Gsa::schedule`] with the
+/// same params and seed.
+pub struct GsaRun {
+    params: GsaParams,
+    rng: StdRng,
+    positions: Vec<Vec<f64>>,
+    velocities: Vec<Vec<f64>>,
+    scores: Vec<f64>,
+    best_genes: Vec<u32>,
+    best_score: f64,
+    v: u32,
+    iter: usize,
+}
+
+impl GsaRun {
+    /// Starts a run from a cold seed: agents uniform over the fleet
+    /// (agent 0 optionally warm-started on the `incumbent` plan's cell
+    /// midpoints), batch-scored (`population` evaluation units).
+    pub fn cold(
+        params: GsaParams,
+        seed: u64,
+        cache: &EvalCache,
+        incumbent: Option<&[u32]>,
+    ) -> Self {
+        params.validate().expect("invalid GsaParams");
+        let mut rng = stream(seed, "gsa");
+        let dims = cache.cloudlet_count();
+        let v = (cache.vm_count() as u32).max(1);
+        let n = if dims == 0 { 0 } else { params.population };
+        let mut positions: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..dims)
+                    .map(|_| rng.gen_range(0.0..f64::from(v)))
+                    .collect()
+            })
+            .collect();
+        if let (Some(inc), Some(first)) = (
+            incumbent.filter(|inc| !inc.is_empty()),
+            positions.first_mut(),
+        ) {
+            for (i, x) in first.iter_mut().enumerate() {
+                *x = f64::from(inc[i % inc.len()].min(v - 1)) + 0.5;
+            }
+        }
+        let genomes: Vec<Vec<u32>> = positions.iter().map(|p| decode(p, v)).collect();
+        let scores = evaluate_population(cache, &genomes, params.objective);
+        let (best_genes, best_score) = genomes
+            .into_iter()
+            .zip(scores.iter().copied())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap_or((Vec::new(), 0.0));
+        GsaRun {
+            velocities: vec![vec![0.0; dims]; n],
+            params,
+            rng,
+            positions,
+            scores,
+            best_genes,
+            best_score,
+            v,
+            iter: 0,
+        }
+    }
+
+    /// Evaluation units charged by swarm initialization.
+    pub fn init_units(&self) -> u64 {
+        self.positions.len() as u64
+    }
+
+    /// Evaluation units one [`GsaRun::step`] charges.
+    pub fn step_units(&self) -> u64 {
+        self.positions.len() as u64
+    }
+
+    /// True once every planned iteration has run (or the workload is
+    /// empty).
+    pub fn done(&self) -> bool {
+        self.iter >= self.params.iterations || self.positions.is_empty()
+    }
+
+    /// Best-ever decoded plan.
+    pub fn best_genes(&self) -> &[u32] {
+        &self.best_genes
+    }
+
+    /// Best-ever objective score.
+    pub fn best_score(&self) -> f64 {
+        self.best_score
+    }
+
+    /// One synchronous swarm iteration: masses from current fitness,
+    /// forces from the `Kbest` heaviest agents at decayed `G(t)`,
+    /// velocity/position update, batch re-score. Returns the best-ever
+    /// score (monotone non-increasing across steps).
+    pub fn step(&mut self, cache: &EvalCache) -> f64 {
+        if self.done() {
+            return self.best_score;
+        }
+        let n = self.positions.len();
+        let dims = self.positions[0].len();
+        let m = masses(&self.scores);
+        let g = gravity(
+            self.params.g0,
+            self.params.alpha,
+            self.iter,
+            self.params.iterations,
+        );
+        let k = kbest(n, self.iter, self.params.iterations);
+        // The k heaviest agents, deterministic tie-break by index.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| m[b].total_cmp(&m[a]).then(a.cmp(&b)));
+        let attractors = &order[..k];
+        // Synchronous update: all forces read the iteration-start
+        // snapshot of positions.
+        let mut accels: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut accel = vec![0.0; dims];
+            for &j in attractors {
+                if j == i {
+                    continue;
+                }
+                let r: f64 = self.rng.gen();
+                let dist = self.positions[i]
+                    .iter()
+                    .zip(&self.positions[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                let coef = r * g * m[j] / (dist + EPS);
+                for (a, (pj, pi)) in accel
+                    .iter_mut()
+                    .zip(self.positions[j].iter().zip(&self.positions[i]))
+                {
+                    *a += coef * (pj - pi);
+                }
+            }
+            accels.push(accel);
+        }
+        let rng = &mut self.rng;
+        for ((velocity, position), accel) in self
+            .velocities
+            .iter_mut()
+            .zip(self.positions.iter_mut())
+            .zip(&accels)
+        {
+            let inertia: f64 = rng.gen();
+            for ((v, p), a) in velocity.iter_mut().zip(position.iter_mut()).zip(accel) {
+                *v = inertia * *v + a;
+                *p += *v;
+            }
+        }
+        let genomes: Vec<Vec<u32>> = self.positions.iter().map(|p| decode(p, self.v)).collect();
+        self.scores = evaluate_population(cache, &genomes, self.params.objective);
+        for (genome, score) in genomes.into_iter().zip(self.scores.iter().copied()) {
+            if score < self.best_score {
+                self.best_genes = genome;
+                self.best_score = score;
+            }
+        }
+        self.iter += 1;
+        self.best_score
+    }
+
+    /// Runs the remaining iterations and returns the best plan.
+    fn finish(mut self, cache: &EvalCache) -> Assignment {
+        while !self.done() {
+            self.step(cache);
+        }
+        Assignment::new(self.best_genes.iter().map(|g| VmId(*g)).collect())
+    }
+}
+
+/// The gravitational search scheduler (one-shot façade over [`GsaRun`]).
+pub struct Gsa {
+    params: GsaParams,
+    seed: u64,
+    rounds: u64,
+}
+
+impl Gsa {
+    /// Creates a scheduler with the given parameters and seed.
+    pub fn new(params: GsaParams, seed: u64) -> Self {
+        params.validate().expect("invalid GsaParams");
+        Gsa {
+            params,
+            seed,
+            rounds: 0,
+        }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &GsaParams {
+        &self.params
+    }
+
+    /// Per-round run seed: successive `schedule` calls on one instance
+    /// draw fresh streams, like the other stochastic kinds.
+    fn round_seed(&mut self) -> u64 {
+        let round = self.rounds;
+        self.rounds += 1;
+        self.seed
+            .wrapping_add(round.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+impl Scheduler for Gsa {
+    fn name(&self) -> &'static str {
+        "gsa"
+    }
+
+    fn schedule(&mut self, problem: &SchedulingProblem) -> Assignment {
+        self.schedule_with_cache(problem, &EvalCache::new(problem))
+    }
+
+    fn schedule_with_cache(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+    ) -> Assignment {
+        let _ = problem;
+        let seed = self.round_seed();
+        GsaRun::cold(self.params.clone(), seed, cache, None).finish(cache)
+    }
+
+    fn schedule_warm(
+        &mut self,
+        problem: &SchedulingProblem,
+        cache: &EvalCache,
+        warm: &mut crate::warm::WarmState,
+    ) -> Assignment {
+        let _ = problem;
+        let seed = self.round_seed();
+        let run = GsaRun::cold(self.params.clone(), seed, cache, warm.incumbent.as_deref());
+        let plan = run.finish(cache);
+        warm.note_plan(&plan);
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcloud::characteristics::CostModel;
+    use simcloud::cloudlet::CloudletSpec;
+    use simcloud::vm::VmSpec;
+
+    fn hetero_problem(vms: usize, cloudlets: usize) -> SchedulingProblem {
+        let vm_specs: Vec<VmSpec> = (0..vms)
+            .map(|i| VmSpec::new(500.0 + 700.0 * (i % 4) as f64, 5_000.0, 512.0, 500.0, 1))
+            .collect();
+        let cls: Vec<CloudletSpec> = (0..cloudlets)
+            .map(|i| CloudletSpec::new(1_200.0 + 800.0 * (i % 7) as f64, 300.0, 300.0, 1))
+            .collect();
+        SchedulingProblem::single_datacenter(vm_specs, cls, CostModel::default())
+    }
+
+    #[test]
+    fn produces_valid_assignments() {
+        let p = hetero_problem(6, 30);
+        let a = Gsa::new(GsaParams::fast(), 1).schedule(&p);
+        assert!(a.validate(&p).is_ok());
+        assert_eq!(a.len(), 30);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_rounds_advance() {
+        let p = hetero_problem(5, 20);
+        let a = Gsa::new(GsaParams::fast(), 9).schedule(&p);
+        let b = Gsa::new(GsaParams::fast(), 9).schedule(&p);
+        assert_eq!(a, b);
+        let mut s = Gsa::new(GsaParams::fast(), 9);
+        let first = s.schedule(&p);
+        let second = s.schedule(&p);
+        assert_eq!(first, a);
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn masses_rank_by_fitness() {
+        // The distinct GSA rule: best agent heaviest, worst weightless.
+        let m = masses(&[1.0, 2.0, 3.0]);
+        assert!((m[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m[2], 0.0);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Tied scores weigh the same.
+        let tied = masses(&[5.0, 5.0]);
+        assert_eq!(tied[0], tied[1]);
+    }
+
+    #[test]
+    fn gravity_decays_monotonically() {
+        let mut last = f64::INFINITY;
+        for t in 0..10 {
+            let g = gravity(100.0, 20.0, t, 10);
+            assert!(g > 0.0 && g < last);
+            last = g;
+        }
+        assert_eq!(gravity(100.0, 20.0, 0, 10), 100.0);
+    }
+
+    #[test]
+    fn kbest_shrinks_linearly_to_one() {
+        assert_eq!(kbest(20, 0, 40), 20);
+        assert_eq!(kbest(20, 39, 40), 1);
+        let mut last = usize::MAX;
+        for t in 0..40 {
+            let k = kbest(20, t, 40);
+            assert!(k >= 1 && k <= last);
+            last = k;
+        }
+    }
+
+    #[test]
+    fn lighter_agents_fall_toward_heavier_ones() {
+        // Two agents on a line: the worse (massless) one must accelerate
+        // toward the better one; the better one feels no pull from a
+        // massless peer. Drive one full step and check the motion.
+        let p = hetero_problem(4, 6);
+        let cache = EvalCache::new(&p);
+        let mut run = GsaRun::cold(
+            GsaParams {
+                population: 2,
+                iterations: 1,
+                ..GsaParams::standard()
+            },
+            5,
+            &cache,
+            None,
+        );
+        run.positions[0] = vec![0.5; 6];
+        run.positions[1] = vec![3.5; 6];
+        run.scores = vec![1.0, 2.0]; // agent 0 fitter → mass 1, agent 1 → mass 0
+        let before = run.positions.clone();
+        run.step(&cache);
+        // Massless agent 1 moved toward agent 0 (every coordinate down).
+        assert!(run.positions[1]
+            .iter()
+            .zip(&before[1])
+            .all(|(now, was)| now < was));
+        // Agent 0 felt no force from the massless peer.
+        assert_eq!(run.positions[0], before[0]);
+    }
+
+    #[test]
+    fn stepped_best_is_monotone_and_matches_one_shot() {
+        let p = hetero_problem(6, 24);
+        let cache = EvalCache::new(&p);
+        let mut run = GsaRun::cold(GsaParams::fast(), 3, &cache, None);
+        let mut last = f64::INFINITY;
+        while !run.done() {
+            let best = run.step(&cache);
+            assert!(best <= last + 1e-12, "best-ever cannot regress");
+            last = best;
+        }
+        let stepped = Assignment::new(run.best_genes().iter().map(|g| VmId(*g)).collect());
+        let one_shot = Gsa::new(GsaParams::fast(), 3).schedule(&p);
+        assert_eq!(stepped, one_shot);
+    }
+
+    #[test]
+    fn warm_incumbent_seeds_agent_zero() {
+        let p = hetero_problem(4, 8);
+        let cache = EvalCache::new(&p);
+        let inc: Vec<u32> = vec![2; 8];
+        let run = GsaRun::cold(GsaParams::fast(), 7, &cache, Some(&inc));
+        assert!(run.positions[0].iter().all(|x| (*x - 2.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(GsaParams {
+            population: 1,
+            ..GsaParams::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(GsaParams {
+            g0: 0.0,
+            ..GsaParams::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(GsaParams {
+            alpha: -1.0,
+            ..GsaParams::standard()
+        }
+        .validate()
+        .is_err());
+        assert!(GsaParams::standard().validate().is_ok());
+    }
+
+    #[test]
+    fn for_scale_reduces_effort_above_cutover() {
+        assert_eq!(GsaParams::for_scale(10_000), GsaParams::standard());
+        let big = GsaParams::for_scale(1_000_000);
+        assert!(big.population < GsaParams::standard().population);
+        assert!(big.iterations < GsaParams::standard().iterations);
+        assert!(big.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_workload_is_empty_plan() {
+        let p = SchedulingProblem::single_datacenter(
+            vec![VmSpec::homogeneous_default()],
+            vec![],
+            CostModel::free(),
+        );
+        assert!(Gsa::new(GsaParams::fast(), 1).schedule(&p).is_empty());
+    }
+}

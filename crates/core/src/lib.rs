@@ -39,9 +39,11 @@
 pub mod aco;
 pub mod assignment;
 pub mod baselines;
+pub mod cuckoo_sos;
 pub mod dnc;
 pub mod eval;
 pub mod ga;
+pub mod gsa;
 pub mod hbo;
 pub mod hybrid;
 pub mod minmax;
@@ -49,6 +51,7 @@ pub mod objective;
 pub mod portfolio;
 pub mod problem;
 pub mod pso;
+pub mod racing;
 pub mod rbs;
 pub mod round_robin;
 pub mod scheduler;
@@ -61,9 +64,11 @@ pub mod prelude {
     pub use crate::aco::{AcoParams, AntColony};
     pub use crate::assignment::Assignment;
     pub use crate::baselines::{LeastConnection, WeightedRoundRobin};
+    pub use crate::cuckoo_sos::{CsosParams, CuckooSos};
     pub use crate::dnc::{DivideAndConquer, ShardSpec};
     pub use crate::eval::{evaluate_population, EvalCache, LoadTracker};
     pub use crate::ga::{GaParams, Genetic};
+    pub use crate::gsa::{Gsa, GsaParams};
     pub use crate::hbo::{HboParams, HoneyBee};
     pub use crate::hybrid::Hybrid;
     pub use crate::minmax::{MaxMin, MinMin};
@@ -71,6 +76,7 @@ pub mod prelude {
     pub use crate::portfolio::Portfolio;
     pub use crate::problem::{DatacenterView, SchedulingProblem};
     pub use crate::pso::{ParticleSwarm, PsoParams};
+    pub use crate::racing::{RaceBook, RaceParams, RacingScheduler};
     pub use crate::rbs::{RandomBiasedSampling, RbsParams};
     pub use crate::round_robin::RoundRobin;
     pub use crate::scheduler::{AlgorithmKind, Scheduler};

@@ -31,7 +31,7 @@ use crate::assignment::Assignment;
 use crate::eval::EvalCache;
 use crate::objective::Objective;
 use crate::problem::SchedulingProblem;
-use crate::scheduler::{AlgorithmKind, Scheduler};
+use crate::scheduler::{AlgorithmKind, MetaProvenance, Scheduler};
 
 /// Runs every candidate and keeps the best-scoring assignment.
 pub struct Portfolio {
@@ -103,6 +103,20 @@ impl Scheduler for Portfolio {
         let (winner, _, assignment) = best.expect("portfolio has candidates");
         self.last_winner = Some(winner);
         assignment
+    }
+
+    fn last_meta(&self) -> Option<MetaProvenance> {
+        // Every candidate runs to completion each round; in the racer's
+        // evaluation-unit currency that is one full decision per member.
+        self.last_winner.map(|i| MetaProvenance {
+            winner: self.candidates[i].name().to_string(),
+            spent: self
+                .candidates
+                .iter()
+                .map(|c| (c.name().to_string(), 1))
+                .collect(),
+            total_units: self.candidates.len() as u64,
+        })
     }
 }
 

@@ -175,6 +175,179 @@ impl ParticleSwarm {
     }
 }
 
+/// The anytime PSO run: swarm state plus an iteration cursor.
+///
+/// One [`PsoRun::step`] call is one asynchronous swarm iteration
+/// (`particles` full-assignment evaluations, the run's deterministic
+/// budget unit). [`ParticleSwarm`] drives a `PsoRun` to completion, so a
+/// fresh run stepped to done is bit-identical to
+/// [`ParticleSwarm::schedule`] with the same params and seed.
+pub struct PsoRun {
+    params: PsoParams,
+    rng: StdRng,
+    swarm: Vec<Particle>,
+    global_best: (Vec<f64>, f64),
+    vm_count: usize,
+    dims: usize,
+    v_max: f64,
+    iter: usize,
+}
+
+impl PsoRun {
+    /// Starts a run from a cold seed.
+    pub fn cold(
+        params: PsoParams,
+        seed: u64,
+        cache: &EvalCache,
+        incumbent: Option<&[u32]>,
+    ) -> Self {
+        params.validate().expect("invalid PsoParams");
+        let rng = stream(seed, "pso");
+        Self::with_rng(params, rng, cache, incumbent)
+    }
+
+    /// Starts a run from an already-positioned RNG stream (how
+    /// [`ParticleSwarm`] keeps successive `schedule` rounds on one
+    /// instance drawing fresh randomness).
+    fn with_rng(
+        params: PsoParams,
+        mut rng: StdRng,
+        cache: &EvalCache,
+        incumbent: Option<&[u32]>,
+    ) -> Self {
+        let dims = cache.cloudlet_count();
+        let vm_count = cache.vm_count();
+        let v = vm_count as f64;
+        let v_max = (v * params.v_max_fraction).max(1.0);
+        // Initialize the swarm uniformly over the VM range.
+        let n = if dims == 0 { 0 } else { params.particles };
+        let mut swarm: Vec<Particle> = (0..n)
+            .map(|_| {
+                let position: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..v)).collect();
+                let velocity: Vec<f64> = (0..dims).map(|_| rng.gen_range(-v_max..v_max)).collect();
+                Particle {
+                    best_position: position.clone(),
+                    best_score: f64::INFINITY,
+                    position,
+                    velocity,
+                }
+            })
+            .collect();
+        // Warm start (streaming broker): particle 0 sits at the center of
+        // the previous wave's plan (decode cell midpoints, wraparound when
+        // sizes differ), so the swarm's social pull starts from the
+        // surviving optimum instead of uniform noise.
+        if let Some((inc, p0)) = incumbent
+            .filter(|inc| !inc.is_empty())
+            .zip(swarm.first_mut())
+        {
+            let vm_cap = (vm_count as u32).max(1) - 1;
+            for d in 0..dims {
+                p0.position[d] = f64::from(inc[d % inc.len()].min(vm_cap)) + 0.5;
+            }
+            p0.best_position.clone_from(&p0.position);
+        }
+        // The initial sweep is order-independent (no RNG in scoring, no
+        // gbest yet), so it batches through the evaluation kernel. The
+        // step loop below must stay sequential: gbest updates inside the
+        // particle loop (asynchronous PSO), so particle k sees the best
+        // found by particles 0..k of the same iteration.
+        let decoded: Vec<Assignment> = swarm
+            .iter()
+            .map(|p| ParticleSwarm::decode(&p.position, vm_count))
+            .collect();
+        let scores = evaluate_population(cache, &decoded, params.objective);
+        for (p, score) in swarm.iter_mut().zip(scores) {
+            p.best_score = score;
+        }
+        let global_best = swarm
+            .iter()
+            .min_by(|a, b| a.best_score.total_cmp(&b.best_score))
+            .map(|p| (p.best_position.clone(), p.best_score))
+            .unwrap_or((Vec::new(), 0.0));
+        PsoRun {
+            params,
+            rng,
+            swarm,
+            global_best,
+            vm_count,
+            dims,
+            v_max,
+            iter: 0,
+        }
+    }
+
+    /// Evaluation units charged by swarm initialization.
+    pub fn init_units(&self) -> u64 {
+        self.swarm.len() as u64
+    }
+
+    /// Evaluation units one [`PsoRun::step`] charges.
+    pub fn step_units(&self) -> u64 {
+        self.swarm.len() as u64
+    }
+
+    /// True once every planned iteration has run (or the workload is
+    /// empty).
+    pub fn done(&self) -> bool {
+        self.iter >= self.params.iterations || self.swarm.is_empty()
+    }
+
+    /// The swarm-best decoded plan.
+    pub fn best_genes(&self) -> Vec<u32> {
+        if self.swarm.is_empty() {
+            return Vec::new();
+        }
+        ParticleSwarm::decode(&self.global_best.0, self.vm_count)
+            .as_slice()
+            .iter()
+            .map(|vm| vm.0)
+            .collect()
+    }
+
+    /// The swarm-best objective score.
+    pub fn best_score(&self) -> f64 {
+        self.global_best.1
+    }
+
+    /// One asynchronous swarm iteration (inertia interpolated by the
+    /// iteration cursor). Returns the swarm-best score after the
+    /// iteration (monotone non-increasing across steps).
+    pub fn step(&mut self, cache: &EvalCache) -> f64 {
+        if self.done() {
+            return self.global_best.1;
+        }
+        let dims = self.dims;
+        let progress = self.iter as f64 / self.params.iterations.max(1) as f64;
+        let w = self.params.inertia_start
+            + (self.params.inertia_end - self.params.inertia_start) * progress;
+        for p in &mut self.swarm {
+            for d in 0..dims {
+                let r1: f64 = self.rng.gen_range(0.0..1.0);
+                let r2: f64 = self.rng.gen_range(0.0..1.0);
+                let vel = w * p.velocity[d]
+                    + self.params.cognitive * r1 * (p.best_position[d] - p.position[d])
+                    + self.params.social * r2 * (self.global_best.0[d] - p.position[d]);
+                p.velocity[d] = vel.clamp(-self.v_max, self.v_max);
+                p.position[d] += p.velocity[d];
+            }
+            let score = {
+                let assignment = ParticleSwarm::decode(&p.position, self.vm_count);
+                cache.score(assignment.as_slice(), self.params.objective)
+            };
+            if score < p.best_score {
+                p.best_score = score;
+                p.best_position.clone_from(&p.position);
+            }
+            if score < self.global_best.1 {
+                self.global_best = (p.position.clone(), score);
+            }
+        }
+        self.iter += 1;
+        self.global_best.1
+    }
+}
+
 impl ParticleSwarm {
     /// Like [`Scheduler::schedule`], but also returns the best objective
     /// score after every iteration — the swarm's convergence curve (the
@@ -190,92 +363,24 @@ impl ParticleSwarm {
         traced: bool,
         incumbent: Option<&[u32]>,
     ) -> (Assignment, Vec<f64>) {
-        let dims = problem.cloudlet_count();
-        let v = problem.vm_count() as f64;
+        let _ = problem;
+        let mut run = PsoRun::with_rng(self.params.clone(), self.rng.clone(), cache, incumbent);
         let mut trace = Vec::new();
-        if dims == 0 {
-            return (Assignment::new(Vec::new()), trace);
-        }
-        let v_max = (v * self.params.v_max_fraction).max(1.0);
-
-        // Initialize the swarm uniformly over the VM range.
-        let mut swarm: Vec<Particle> = (0..self.params.particles)
-            .map(|_| {
-                let position: Vec<f64> = (0..dims).map(|_| self.rng.gen_range(0.0..v)).collect();
-                let velocity: Vec<f64> = (0..dims)
-                    .map(|_| self.rng.gen_range(-v_max..v_max))
-                    .collect();
-                Particle {
-                    best_position: position.clone(),
-                    best_score: f64::INFINITY,
-                    position,
-                    velocity,
-                }
-            })
-            .collect();
-        // Warm start (streaming broker): particle 0 sits at the center of
-        // the previous wave's plan (decode cell midpoints, wraparound when
-        // sizes differ), so the swarm's social pull starts from the
-        // surviving optimum instead of uniform noise.
-        if let Some(inc) = incumbent.filter(|inc| !inc.is_empty()) {
-            let vm_cap = (problem.vm_count() as u32).max(1) - 1;
-            let p0 = &mut swarm[0];
-            for d in 0..dims {
-                p0.position[d] = f64::from(inc[d % inc.len()].min(vm_cap)) + 0.5;
-            }
-            p0.best_position.clone_from(&p0.position);
-        }
-        // The initial sweep is order-independent (no RNG in scoring, no
-        // gbest yet), so it batches through the evaluation kernel. The
-        // iteration loop below must stay sequential: gbest updates inside
-        // the particle loop (asynchronous PSO), so particle k sees the best
-        // found by particles 0..k of the same iteration.
-        let decoded: Vec<Assignment> = swarm
-            .iter()
-            .map(|p| Self::decode(&p.position, problem.vm_count()))
-            .collect();
-        let scores = evaluate_population(cache, &decoded, self.params.objective);
-        for (p, score) in swarm.iter_mut().zip(scores) {
-            p.best_score = score;
-        }
-
-        let mut global_best = swarm
-            .iter()
-            .min_by(|a, b| a.best_score.total_cmp(&b.best_score))
-            .map(|p| (p.best_position.clone(), p.best_score))
-            .expect("swarm is non-empty");
-
-        for iter in 0..self.params.iterations {
-            let progress = iter as f64 / self.params.iterations.max(1) as f64;
-            let w = self.params.inertia_start
-                + (self.params.inertia_end - self.params.inertia_start) * progress;
-            for p in &mut swarm {
-                for d in 0..dims {
-                    let r1: f64 = self.rng.gen_range(0.0..1.0);
-                    let r2: f64 = self.rng.gen_range(0.0..1.0);
-                    let vel = w * p.velocity[d]
-                        + self.params.cognitive * r1 * (p.best_position[d] - p.position[d])
-                        + self.params.social * r2 * (global_best.0[d] - p.position[d]);
-                    p.velocity[d] = vel.clamp(-v_max, v_max);
-                    p.position[d] += p.velocity[d];
-                }
-                let score = {
-                    let assignment = Self::decode(&p.position, problem.vm_count());
-                    cache.score(assignment.as_slice(), self.params.objective)
-                };
-                if score < p.best_score {
-                    p.best_score = score;
-                    p.best_position.clone_from(&p.position);
-                }
-                if score < global_best.1 {
-                    global_best = (p.position.clone(), score);
-                }
-            }
+        while !run.done() {
+            let best = run.step(cache);
             if traced {
-                trace.push(global_best.1);
+                trace.push(best);
             }
         }
-        (Self::decode(&global_best.0, problem.vm_count()), trace)
+        let plan = if run.swarm.is_empty() {
+            Assignment::new(Vec::new())
+        } else {
+            Self::decode(&run.global_best.0, run.vm_count)
+        };
+        // Carry the advanced stream back so repeated rounds on one
+        // instance keep drawing fresh randomness.
+        self.rng = run.rng;
+        (plan, trace)
     }
 }
 
@@ -441,6 +546,28 @@ mod tests {
         // Tracing does not change the result.
         let untraced = ParticleSwarm::new(PsoParams::fast(), 8).schedule(&p);
         assert_eq!(plan, untraced);
+    }
+
+    #[test]
+    fn stepped_run_matches_one_shot_bitwise() {
+        // The anytime contract the racing driver relies on: a cold PsoRun
+        // stepped to completion is the one-shot schedule, same bits.
+        let p = hetero_problem(6, 24);
+        let cache = EvalCache::new(&p);
+        let mut run = PsoRun::cold(PsoParams::fast(), 21, &cache, None);
+        let mut steps = 0;
+        let mut last = f64::INFINITY;
+        while !run.done() {
+            let best = run.step(&cache);
+            assert!(best <= last + 1e-12, "swarm best cannot regress");
+            last = best;
+            steps += 1;
+        }
+        assert_eq!(steps, PsoParams::fast().iterations);
+        let stepped = Assignment::new(run.best_genes().iter().map(|g| VmId(*g)).collect());
+        let one_shot = ParticleSwarm::new(PsoParams::fast(), 21).schedule(&p);
+        assert_eq!(stepped, one_shot);
+        assert_eq!(run.step_units(), PsoParams::fast().particles as u64);
     }
 
     #[test]

@@ -3,17 +3,34 @@
 use crate::aco::{AcoParams, AntColony};
 use crate::assignment::Assignment;
 use crate::baselines::{BestFit, LeastConnection, ShortestJobFirst, WeightedRoundRobin};
+use crate::cuckoo_sos::{CsosParams, CuckooSos};
 use crate::eval::EvalCache;
 use crate::ga::{GaParams, Genetic};
+use crate::gsa::{Gsa, GsaParams};
 use crate::hbo::{HboParams, HoneyBee};
 use crate::hybrid::Hybrid;
 use crate::minmax::{MaxMin, MinMin};
 use crate::objective::Objective;
+use crate::portfolio::Portfolio;
 use crate::problem::SchedulingProblem;
 use crate::pso::{ParticleSwarm, PsoParams};
+use crate::racing::{RaceParams, RacingScheduler};
 use crate::rbs::{RandomBiasedSampling, RbsParams};
 use crate::round_robin::RoundRobin;
 use crate::warm::WarmState;
+
+/// Provenance exported by meta-schedulers (portfolio, racer): which
+/// member's plan was returned and what each member cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaProvenance {
+    /// Name of the member whose plan won.
+    pub winner: String,
+    /// Per-member budget spent, in deterministic evaluation units
+    /// (full-assignment evaluations; 1 for one-shot heuristics).
+    pub spent: Vec<(String, u64)>,
+    /// Total units spent across all members.
+    pub total_units: u64,
+}
 
 /// A cloudlet→VM scheduling algorithm.
 ///
@@ -66,6 +83,13 @@ pub trait Scheduler: Send {
         warm.note_plan(&plan);
         plan
     }
+
+    /// Provenance of the most recent scheduling decision, for
+    /// meta-schedulers that pick among members (portfolio, racer).
+    /// Single-algorithm schedulers keep the `None` default.
+    fn last_meta(&self) -> Option<MetaProvenance> {
+        None
+    }
 }
 
 /// Every algorithm in the study, constructible by name.
@@ -97,6 +121,15 @@ pub enum AlgorithmKind {
     Sjf,
     /// Best-fit greedy baseline: min estimated finish per cloudlet.
     BestFit,
+    /// Discrete cuckoo search / symbiotic organisms search hybrid
+    /// (related work, arXiv 2311.15358).
+    CuckooSos,
+    /// Discrete gravitational search (related work, arXiv 2311.07004).
+    Gsa,
+    /// Run-everyone portfolio over the paper set, fixed to an objective.
+    Portfolio(Objective),
+    /// Anytime racing meta-scheduler, fixed to an objective.
+    Racing(Objective),
 }
 
 impl AlgorithmKind {
@@ -124,6 +157,10 @@ impl AlgorithmKind {
             AlgorithmKind::WeightedRoundRobin => "WeightedRR",
             AlgorithmKind::Sjf => "SJF",
             AlgorithmKind::BestFit => "BestFit",
+            AlgorithmKind::CuckooSos => "CuckooSOS",
+            AlgorithmKind::Gsa => "GSA",
+            AlgorithmKind::Portfolio(_) => "Portfolio",
+            AlgorithmKind::Racing(_) => "Racing",
         }
     }
 
@@ -143,6 +180,12 @@ impl AlgorithmKind {
             AlgorithmKind::WeightedRoundRobin => Box::new(WeightedRoundRobin::new()),
             AlgorithmKind::Sjf => Box::new(ShortestJobFirst::new()),
             AlgorithmKind::BestFit => Box::new(BestFit::new()),
+            AlgorithmKind::CuckooSos => Box::new(CuckooSos::new(CsosParams::standard(), seed)),
+            AlgorithmKind::Gsa => Box::new(Gsa::new(GsaParams::standard(), seed)),
+            AlgorithmKind::Portfolio(objective) => Box::new(Portfolio::paper_set(objective, seed)),
+            AlgorithmKind::Racing(objective) => {
+                Box::new(RacingScheduler::new(RaceParams::new(objective), seed))
+            }
         }
     }
 }
@@ -185,6 +228,10 @@ mod tests {
             AlgorithmKind::WeightedRoundRobin,
             AlgorithmKind::Sjf,
             AlgorithmKind::BestFit,
+            AlgorithmKind::CuckooSos,
+            AlgorithmKind::Gsa,
+            AlgorithmKind::Portfolio(Objective::Makespan),
+            AlgorithmKind::Racing(Objective::Makespan),
         ];
         for kind in kinds {
             let mut s = kind.build(42);
@@ -224,6 +271,10 @@ mod tests {
             AlgorithmKind::WeightedRoundRobin,
             AlgorithmKind::Sjf,
             AlgorithmKind::BestFit,
+            AlgorithmKind::CuckooSos,
+            AlgorithmKind::Gsa,
+            AlgorithmKind::Portfolio(Objective::Makespan),
+            AlgorithmKind::Racing(Objective::Makespan),
         ];
         for kind in kinds {
             for seed in [7u64, 42, 1_234] {

@@ -19,6 +19,10 @@
 //! | `iterations` | positive integer | AntColony |
 //! | `batch` | positive integer | AntColony |
 //! | `q0` | float in \[0,1\] | AntColony |
+//! | `population` | positive integer | CuckooSos, Gsa |
+//! | `rounds` | positive integer | CuckooSos, Gsa |
+//! | `budget` | positive integer (evaluation units) | Racing |
+//! | `quantum` | positive integer (evaluation units) | Racing |
 //! | `shards` | positive integer or `dc` | any kind (wraps in [`DivideAndConquer`]) |
 //!
 //! When `strategy=random` is given without an explicit `sampling`, the
@@ -26,7 +30,10 @@
 //! have no stable row for prefix/alias indexing).
 
 use crate::aco::{AcoParams, AntColony, CandidateStrategy, SamplingMode};
+use crate::cuckoo_sos::{CsosParams, CuckooSos};
 use crate::dnc::{DivideAndConquer, ShardSpec};
+use crate::gsa::{Gsa, GsaParams};
+use crate::racing::{RaceParams, RacingScheduler};
 use crate::scheduler::{AlgorithmKind, Scheduler};
 
 /// Parsed `--sched-params` overrides. Every field is optional; `None`
@@ -50,9 +57,18 @@ pub struct SchedTuning {
     pub q0: Option<f64>,
     /// Divide-and-conquer sharding (`N` balanced ranges or `dc`).
     pub shards: Option<ShardSpec>,
+    /// Population size (cuckoo-SOS organisms / GSA agents).
+    pub population: Option<usize>,
+    /// Search rounds for the population families (their `iterations`).
+    pub rounds: Option<usize>,
+    /// Racing total-budget cap in evaluation units.
+    pub budget: Option<u64>,
+    /// Racing per-round funding quantum in evaluation units.
+    pub quantum: Option<u64>,
 }
 
-const VALID_KEYS: &str = "candidates, strategy, sampling, ants, iterations, batch, q0, shards";
+const VALID_KEYS: &str = "candidates, strategy, sampling, ants, iterations, batch, q0, shards, \
+                          population, rounds, budget, quantum";
 
 fn parse_count(key: &str, value: &str) -> Result<usize, String> {
     let n: usize = value
@@ -118,6 +134,10 @@ impl SchedTuning {
                         .map_err(|_| format!("q0 expects a float, got '{value}'"))?;
                     tuning.q0 = Some(q0);
                 }
+                "population" => tuning.population = Some(parse_count(key, value)?),
+                "rounds" => tuning.rounds = Some(parse_count(key, value)?),
+                "budget" => tuning.budget = Some(parse_count(key, value)? as u64),
+                "quantum" => tuning.quantum = Some(parse_count(key, value)? as u64),
                 "shards" => {
                     tuning.shards = Some(if value == "dc" {
                         ShardSpec::ByDatacenter
@@ -179,6 +199,16 @@ impl SchedTuning {
         Ok(p)
     }
 
+    /// True when a population-family knob is set.
+    fn touches_population(&self) -> bool {
+        self.population.is_some() || self.rounds.is_some()
+    }
+
+    /// True when a racing knob is set.
+    fn touches_racing(&self) -> bool {
+        self.budget.is_some() || self.quantum.is_some()
+    }
+
     /// Builds the tuned scheduler for `kind`, wrapping it in
     /// [`DivideAndConquer`] when `shards` is set.
     pub fn build(&self, kind: AlgorithmKind, seed: u64) -> Result<Box<dyn Scheduler>, String> {
@@ -188,11 +218,53 @@ impl SchedTuning {
                  batch/q0) only apply to AntColony, not {kind}"
             ));
         }
-        let inner: ShardBuilder = if kind == AlgorithmKind::AntColony {
-            let params = self.apply_aco(AcoParams::paper())?;
-            Box::new(move |s| Box::new(AntColony::new(params.clone(), s)))
-        } else {
-            Box::new(move |s| kind.build(s))
+        let population_kind = matches!(kind, AlgorithmKind::CuckooSos | AlgorithmKind::Gsa);
+        if self.touches_population() && !population_kind {
+            return Err(format!(
+                "population/rounds only apply to CuckooSOS and GSA, not {kind}"
+            ));
+        }
+        if self.touches_racing() && !matches!(kind, AlgorithmKind::Racing(_)) {
+            return Err(format!("budget/quantum only apply to Racing, not {kind}"));
+        }
+        let inner: ShardBuilder = match kind {
+            AlgorithmKind::AntColony => {
+                let params = self.apply_aco(AcoParams::paper())?;
+                Box::new(move |s| Box::new(AntColony::new(params.clone(), s)))
+            }
+            AlgorithmKind::CuckooSos => {
+                let mut params = CsosParams::standard();
+                if let Some(p) = self.population {
+                    params.population = p;
+                }
+                if let Some(r) = self.rounds {
+                    params.iterations = r;
+                }
+                params.validate()?;
+                Box::new(move |s| Box::new(CuckooSos::new(params.clone(), s)))
+            }
+            AlgorithmKind::Gsa => {
+                let mut params = GsaParams::standard();
+                if let Some(p) = self.population {
+                    params.population = p;
+                }
+                if let Some(r) = self.rounds {
+                    params.iterations = r;
+                }
+                params.validate()?;
+                Box::new(move |s| Box::new(Gsa::new(params.clone(), s)))
+            }
+            AlgorithmKind::Racing(objective) => {
+                let params = RaceParams {
+                    objective,
+                    target_units: None,
+                    quantum: self.quantum,
+                    budget: self.budget,
+                };
+                params.validate()?;
+                Box::new(move |s| Box::new(RacingScheduler::new(params.clone(), s)))
+            }
+            _ => Box::new(move |s| kind.build(s)),
         };
         match self.shards {
             Some(spec) => Ok(Box::new(DivideAndConquer::new(spec, seed, inner)?)),
@@ -277,6 +349,32 @@ mod tests {
         // shards alone applies to any kind.
         let t = SchedTuning::parse("shards=2").unwrap();
         assert!(t.build(AlgorithmKind::Ga, 1).is_ok());
+    }
+
+    #[test]
+    fn population_and_racing_keys_are_kind_gated() {
+        use crate::objective::Objective;
+        let t = SchedTuning::parse("population=8,rounds=5").unwrap();
+        assert_eq!(t.population, Some(8));
+        assert_eq!(t.rounds, Some(5));
+        assert!(t.build(AlgorithmKind::CuckooSos, 1).is_ok());
+        assert!(t.build(AlgorithmKind::Gsa, 1).is_ok());
+        assert!(matches!(
+            t.build(AlgorithmKind::AntColony, 1),
+            Err(e) if e.contains("population/rounds")
+        ));
+        let t = SchedTuning::parse("budget=500,quantum=50").unwrap();
+        assert_eq!(t.budget, Some(500));
+        assert_eq!(t.quantum, Some(50));
+        assert!(t
+            .build(AlgorithmKind::Racing(Objective::Makespan), 1)
+            .is_ok());
+        assert!(matches!(
+            t.build(AlgorithmKind::CuckooSos, 1),
+            Err(e) if e.contains("budget/quantum")
+        ));
+        assert!(SchedTuning::parse("population=0").is_err());
+        assert!(SchedTuning::parse("budget=0").is_err());
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Racing meta-scheduler determinism and never-worse guarantees.
+//!
+//! The racer's budget is counted in deterministic evaluation units, so a
+//! race's elimination order, winner, per-member spend and returned plan
+//! must be byte-identical at any rayon thread count (the matrix here
+//! sweeps {1, 2, 4, 8} × 3 seeds × both scenario families), and the
+//! raced plan must never score worse than any member run standalone to
+//! its full racing budget on the same seed (the survivor anchor makes
+//! this exact for the winner; eliminated members are covered by the
+//! pruning guarantee, asserted over every seed in the matrix).
+#![cfg(feature = "parallel")]
+
+use biosched_core::eval::EvalCache;
+use biosched_core::objective::Objective;
+use biosched_core::problem::SchedulingProblem;
+use biosched_core::racing::{RaceParams, RacingScheduler};
+use biosched_core::scheduler::Scheduler;
+use rand::Rng;
+use simcloud::characteristics::CostModel;
+use simcloud::cloudlet::CloudletSpec;
+use simcloud::vm::VmSpec;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SEEDS: [u64; 3] = [11, 42, 9001];
+
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    Homogeneous,
+    Heterogeneous,
+}
+
+fn build_problem(shape: Shape, seed: u64) -> SchedulingProblem {
+    let mut rng = simcloud::rng::stream(seed, "racing-determinism");
+    let (vm_count, cloudlet_count) = (12, 80);
+    let vms: Vec<VmSpec> = (0..vm_count)
+        .map(|_| match shape {
+            Shape::Homogeneous => VmSpec::new(1_000.0, 10_000.0, 512.0, 1_000.0, 1),
+            Shape::Heterogeneous => VmSpec::new(
+                rng.gen_range(500.0..2_500.0),
+                10_000.0,
+                512.0,
+                rng.gen_range(100.0..1_000.0),
+                1,
+            ),
+        })
+        .collect();
+    let cloudlets: Vec<CloudletSpec> = (0..cloudlet_count)
+        .map(|_| {
+            let len = rng.gen_range(1_000.0..40_000.0);
+            match shape {
+                Shape::Homogeneous => CloudletSpec::new(len, 0.0, 0.0, 1),
+                Shape::Heterogeneous => {
+                    CloudletSpec::new(len, rng.gen_range(0.0..300.0), rng.gen_range(0.0..300.0), 1)
+                }
+            }
+        })
+        .collect();
+    SchedulingProblem::single_datacenter(vms, cloudlets, CostModel::default())
+}
+
+fn set_threads(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("vendored rayon accepts repeated build_global");
+}
+
+fn race_params() -> RaceParams {
+    RaceParams {
+        target_units: Some(480),
+        ..RaceParams::new(Objective::Makespan)
+    }
+}
+
+#[test]
+fn races_are_byte_identical_across_thread_counts() {
+    for shape in [Shape::Homogeneous, Shape::Heterogeneous] {
+        for seed in SEEDS {
+            let problem = build_problem(shape, seed);
+            set_threads(1);
+            let mut racer = RacingScheduler::new(race_params(), seed);
+            let baseline_plan = racer.schedule(&problem);
+            let baseline_report = racer.last_report().cloned().expect("race ran");
+            for threads in &THREAD_COUNTS[1..] {
+                set_threads(*threads);
+                let mut racer = RacingScheduler::new(race_params(), seed);
+                let plan = racer.schedule(&problem);
+                let report = racer.last_report().cloned().expect("race ran");
+                assert_eq!(
+                    baseline_plan, plan,
+                    "racer plan diverged at {threads} threads ({shape:?}, seed {seed})"
+                );
+                assert_eq!(
+                    baseline_report, report,
+                    "race provenance diverged at {threads} threads ({shape:?}, seed {seed})"
+                );
+            }
+        }
+    }
+    set_threads(0); // restore automatic sizing for other tests
+}
+
+#[test]
+fn raced_plan_never_loses_to_a_standalone_member() {
+    // Budget parity: each member standalone gets exactly its full racing
+    // budget (the roster the racer itself builds for round 0 shares the
+    // member seeds, so the winner's standalone run is the racer's own
+    // survivor path).
+    for shape in [Shape::Homogeneous, Shape::Heterogeneous] {
+        for seed in SEEDS {
+            let problem = build_problem(shape, seed);
+            let cache = EvalCache::new(&problem);
+            let params = race_params();
+            let mut racer = RacingScheduler::new(params.clone(), seed);
+            let plan = racer.schedule_with_cache(&problem, &cache);
+            let raced = cache.score(plan.as_slice(), Objective::Makespan);
+            let report = racer.last_report().expect("race ran");
+            for (name, score) in
+                biosched_core::racing::standalone_scores(seed, &params, &problem, &cache)
+            {
+                assert!(
+                    raced <= score + 1e-9,
+                    "racer ({}) at {raced} lost to standalone {name} at {score} \
+                     ({shape:?}, seed {seed})",
+                    report.winner
+                );
+            }
+        }
+    }
+}

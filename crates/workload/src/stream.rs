@@ -387,6 +387,9 @@ mod tests {
             AlgorithmKind::AntColony,
             AlgorithmKind::Ga,
             AlgorithmKind::Pso,
+            AlgorithmKind::CuckooSos,
+            AlgorithmKind::Gsa,
+            AlgorithmKind::Racing(biosched_core::objective::Objective::Makespan),
             AlgorithmKind::LeastConnection,
             AlgorithmKind::WeightedRoundRobin,
             AlgorithmKind::Sjf,
@@ -536,6 +539,8 @@ mod tests {
                     AlgorithmKind::AntColony,
                     AlgorithmKind::Ga,
                     AlgorithmKind::Pso,
+                    AlgorithmKind::CuckooSos,
+                    AlgorithmKind::Gsa,
                 ] {
                     let run = |plans: &mut Vec<Vec<u32>>| -> Result<(), TestCaseError> {
                         let mut sched = kind.build(seed);

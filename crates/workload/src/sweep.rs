@@ -66,6 +66,12 @@ pub struct PointResult {
     pub engine_ran: EngineKind,
     /// Why the engines differ, when they do ([`EngineFallback`] reason).
     pub engine_fallback_reason: Option<&'static str>,
+    /// Winning member name when the algorithm is a meta-scheduler
+    /// (portfolio or racer); `None` for single-algorithm kinds.
+    pub meta_winner: Option<String>,
+    /// Per-member budget spent by a meta-scheduler, rendered as
+    /// `name:units;name:units` (deterministic evaluation units).
+    pub meta_spent: Option<String>,
 }
 
 /// Read-only state every task at one scenario point shares: the scenario,
@@ -169,6 +175,7 @@ pub fn run_point_with(
     let started = Instant::now();
     let assignment = scheduler.schedule_with_cache(problem, &artifacts.cache);
     let scheduling_time_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    let meta = scheduler.last_meta();
 
     assignment
         .validate(problem)
@@ -192,6 +199,14 @@ pub fn run_point_with(
         engine_requested: engine,
         engine_ran: outcome.engine,
         engine_fallback_reason: outcome.fallback.as_ref().map(|f: &EngineFallback| f.reason),
+        meta_winner: meta.as_ref().map(|m| m.winner.clone()),
+        meta_spent: meta.as_ref().map(|m| {
+            m.spent
+                .iter()
+                .map(|(name, units)| format!("{name}:{units}"))
+                .collect::<Vec<_>>()
+                .join(";")
+        }),
     }
 }
 
@@ -591,6 +606,42 @@ mod tests {
         );
         assert_eq!(seq.imbalance.mean.to_bits(), sh.imbalance.mean.to_bits());
         assert_eq!(seq.total_cost.mean.to_bits(), sh.total_cost.mean.to_bits());
+    }
+
+    #[test]
+    fn meta_provenance_flows_into_points_and_matches_across_engines() {
+        use biosched_core::objective::Objective;
+        let scenario = HeterogeneousScenario {
+            vm_count: 6,
+            cloudlet_count: 30,
+            datacenter_count: 2,
+            seed: 17,
+        }
+        .build();
+        let kind = AlgorithmKind::Racing(Objective::Makespan);
+        let seq = run_point_on(&scenario, kind, 17, EngineKind::Sequential);
+        let sh = run_point_on(&scenario, kind, 17, EngineKind::Sharded);
+        // The race budget is counted in evaluation units, so the winner,
+        // the per-member spend, and every simulated metric are
+        // bit-identical across engines.
+        assert_eq!(
+            seq.simulation_time_ms.to_bits(),
+            sh.simulation_time_ms.to_bits()
+        );
+        assert_eq!(seq.total_cost.to_bits(), sh.total_cost.to_bits());
+        assert_eq!(seq.meta_winner, sh.meta_winner);
+        assert_eq!(seq.meta_spent, sh.meta_spent);
+        let winner = seq.meta_winner.as_deref().expect("racer reports a winner");
+        let spent = seq.meta_spent.as_deref().expect("racer reports spend");
+        assert!(spent.contains(&format!("{winner}:")), "{spent}");
+        assert_eq!(spent.matches(';').count(), 5, "six roster members");
+
+        let portfolio = run_point(&scenario, AlgorithmKind::Portfolio(Objective::Makespan), 17);
+        assert!(portfolio.meta_winner.is_some());
+        // Plain schedulers leave the provenance columns empty.
+        let plain = run_point(&scenario, AlgorithmKind::HoneyBee, 17);
+        assert_eq!(plain.meta_winner, None);
+        assert_eq!(plain.meta_spent, None);
     }
 
     #[test]
